@@ -1,0 +1,314 @@
+//! NoScope-like cascades for video object queries (Appendix B).
+//!
+//! Figure 13's pipeline, stage by stage:
+//!
+//! 1. **Masked sampler** — sample 1-in-k frames; zero the low-information
+//!    mask region ("we apply a mask to eliminate unimportant video frame
+//!    regions"). Unsampled frames inherit the nearest sampled frame's
+//!    decision.
+//! 2. **Absolute background subtraction** — frames close to the empty
+//!    footage are decided negative outright.
+//! 3. **Relative background subtraction** — frames close to the previous
+//!    sampled frame reuse its decision (motion detection).
+//! 4. **Early filter with dual thresholds** — accept when the score
+//!    clears a high threshold, reject below a low threshold, and only the
+//!    ambiguous middle invokes the expensive reference detector. (The PP
+//!    variant uses a linear SVM; the NoScope variant models the shallow
+//!    DNN with full frame scope and a higher per-frame cost.)
+
+use pp_data::video_stream::VideoStream;
+use pp_linalg::Features;
+use pp_ml::dataset::{LabeledSet, Sample};
+use pp_ml::pipeline::ScoreModel;
+use pp_ml::svm::{LinearSvm, SvmParams};
+use pp_ml::{MlError, Result};
+
+/// Which early filter the cascade uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Masked linear-SVM PP (the paper's pipeline, Figure 13).
+    MaskedSvmPp,
+    /// Shallow-DNN stand-in with full frame scope (NoScope, Figure 12) —
+    /// modeled as the same learner over unmasked frames with a higher
+    /// per-frame cost.
+    ShallowDnn,
+}
+
+/// Cascade configuration.
+#[derive(Debug, Clone)]
+pub struct CascadeConfig {
+    /// The early-filter flavor.
+    pub filter: FilterKind,
+    /// Sample 1-in-`sample_rate` frames.
+    pub sample_rate: usize,
+    /// Frames used to train the early filter ("we train our SVM on the
+    /// initial 10K frames").
+    pub train_frames: usize,
+    /// Fraction of positives the accept/reject thresholds must preserve.
+    pub target_accuracy: f64,
+    /// Simulated cost of one reference-detector invocation (seconds).
+    pub reference_cost: f64,
+    /// Simulated cost of one background-subtraction check.
+    pub bs_cost: f64,
+    /// Simulated cost of one early-filter evaluation.
+    pub filter_cost: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig {
+            filter: FilterKind::MaskedSvmPp,
+            sample_rate: 15,
+            train_frames: 4_000,
+            target_accuracy: 0.99,
+            reference_cost: 0.1,
+            bs_cost: 1e-5,
+            filter_cost: 5e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome metrics, matching Table 12's columns.
+#[derive(Debug, Clone)]
+pub struct CascadeOutcome {
+    /// Total frames processed (excluding the training prefix).
+    pub frames: usize,
+    /// Fraction of frames eliminated before the early filter (sampling +
+    /// background subtraction) — Table 12's "Pre-Proc." data reduction.
+    pub pre_reduction: f64,
+    /// Fraction of filter-visited frames resolved without the reference
+    /// detector — Table 12's "Early drop".
+    pub early_drop: f64,
+    /// Reference-detector invocations.
+    pub reference_invocations: usize,
+    /// Pipeline speed-up vs. running the reference on every frame.
+    pub speedup: f64,
+    /// Recall of true-positive frames.
+    pub accuracy: f64,
+}
+
+/// Runs the cascade over a stream.
+///
+/// The first `train_frames` frames (with ground-truth labels, as produced
+/// by running the reference detector once) train the early filter; the
+/// remainder is the evaluation window.
+pub fn run_cascade(stream: &VideoStream, config: &CascadeConfig) -> Result<CascadeOutcome> {
+    if config.sample_rate == 0 {
+        return Err(MlError::InvalidParameter("sample_rate must be >= 1"));
+    }
+    let n = stream.len();
+    let train_n = config.train_frames.min(n / 2);
+    if train_n < 10 {
+        return Err(MlError::EmptyInput);
+    }
+    let masked = |f: &Features| -> Vec<f64> {
+        let mut v = f.to_dense();
+        if config.filter == FilterKind::MaskedSvmPp {
+            for &m in stream.mask() {
+                v[m] = 0.0;
+            }
+        }
+        v
+    };
+    // Train the early filter on the prefix.
+    let train_set = LabeledSet::new(
+        (0..train_n)
+            .map(|i| Sample::new(masked(&stream.frames()[i]), stream.labels()[i]))
+            .collect(),
+    )?;
+    if train_set.positives() == 0 || train_set.positives() == train_set.len() {
+        return Err(MlError::SingleClass);
+    }
+    let svm = LinearSvm::train(&train_set, &SvmParams::default())?;
+    // Dual thresholds from the training prefix: `lo` keeps the target
+    // fraction of positives above it (reject below), `hi` is the smallest
+    // score above which predictions are almost always correct (accept).
+    let mut pos: Vec<f64> = Vec::new();
+    let mut neg: Vec<f64> = Vec::new();
+    for s in train_set.iter() {
+        let score = svm.score(&s.features);
+        if s.label {
+            pos.push(score);
+        } else {
+            neg.push(score);
+        }
+    }
+    pos.sort_by(f64::total_cmp);
+    neg.sort_by(f64::total_cmp);
+    let keep = ((config.target_accuracy * pos.len() as f64).ceil() as usize).clamp(1, pos.len());
+    let lo = pos[pos.len() - keep];
+    // Accept threshold: above the 99.9th percentile of negatives.
+    let hi = neg[((neg.len() as f64 * 0.999) as usize).min(neg.len() - 1)].max(lo);
+
+    // Calibrate background-subtraction thresholds on the prefix: a quiet
+    // frame barely differs from the background / its predecessor.
+    let bg = stream.background();
+    let mut quiet_abs: Vec<f64> = Vec::new();
+    for i in 0..train_n {
+        if !stream.labels()[i] {
+            quiet_abs.push(pp_linalg::dense::sq_dist(&masked(&stream.frames()[i]), &masked_bg(bg, stream, config)));
+        }
+    }
+    quiet_abs.sort_by(f64::total_cmp);
+    let abs_th = quiet_abs[(quiet_abs.len() as f64 * 0.6) as usize];
+    let rel_th = abs_th * 0.5;
+
+    // Evaluate on the remainder.
+    let mut cost = 0.0;
+    let mut decisions: Vec<bool> = Vec::with_capacity(n - train_n);
+    let mut pre_dropped = 0usize;
+    let mut filter_seen = 0usize;
+    let mut filter_resolved = 0usize;
+    let mut reference_invocations = 0usize;
+    let mut prev_sampled: Option<(Vec<f64>, bool)> = None;
+    let mut last_decision = false;
+    for i in train_n..n {
+        if !(i - train_n).is_multiple_of(config.sample_rate) {
+            // Unsampled: inherit the last sampled decision. Counted as
+            // pre-processed away.
+            pre_dropped += 1;
+            decisions.push(last_decision);
+            continue;
+        }
+        let frame = masked(&stream.frames()[i]);
+        // Absolute background subtraction.
+        cost += config.bs_cost;
+        if pp_linalg::dense::sq_dist(&frame, &masked_bg(bg, stream, config)) < abs_th {
+            pre_dropped += 1;
+            last_decision = false;
+            decisions.push(false);
+            prev_sampled = Some((frame, false));
+            continue;
+        }
+        // Relative background subtraction.
+        cost += config.bs_cost;
+        if let Some((prev, prev_dec)) = &prev_sampled {
+            if pp_linalg::dense::sq_dist(&frame, prev) < rel_th {
+                pre_dropped += 1;
+                last_decision = *prev_dec;
+                decisions.push(*prev_dec);
+                continue;
+            }
+        }
+        // Early filter with dual thresholds.
+        filter_seen += 1;
+        cost += match config.filter {
+            FilterKind::MaskedSvmPp => config.filter_cost,
+            FilterKind::ShallowDnn => config.filter_cost * 6.0,
+        };
+        let score = svm.score(&Features::Dense(frame.clone()));
+        let decision = if score >= hi {
+            filter_resolved += 1;
+            true
+        } else if score < lo {
+            filter_resolved += 1;
+            false
+        } else {
+            reference_invocations += 1;
+            cost += config.reference_cost;
+            stream.labels()[i] // the reference detector is exact
+        };
+        last_decision = decision;
+        decisions.push(decision);
+        prev_sampled = Some((frame, decision));
+    }
+    let frames = n - train_n;
+    let mut tp = 0usize;
+    let mut pos_total = 0usize;
+    for (i, dec) in decisions.iter().enumerate() {
+        if stream.labels()[train_n + i] {
+            pos_total += 1;
+            if *dec {
+                tp += 1;
+            }
+        }
+    }
+    let baseline_cost = frames as f64 * config.reference_cost;
+    Ok(CascadeOutcome {
+        frames,
+        pre_reduction: pre_dropped as f64 / frames as f64,
+        early_drop: if filter_seen == 0 {
+            0.0
+        } else {
+            filter_resolved as f64 / filter_seen as f64
+        },
+        reference_invocations,
+        speedup: baseline_cost / cost.max(1e-12),
+        accuracy: if pos_total == 0 {
+            1.0
+        } else {
+            tp as f64 / pos_total as f64
+        },
+    })
+}
+
+fn masked_bg(bg: &[f64], stream: &VideoStream, config: &CascadeConfig) -> Vec<f64> {
+    let mut v = bg.to_vec();
+    if config.filter == FilterKind::MaskedSvmPp {
+        for &m in stream.mask() {
+            v[m] = 0.0;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_data::video_stream::VideoStreamConfig;
+
+    fn stream() -> VideoStream {
+        // Long enough that both the training prefix and the evaluation
+        // window contain several object bursts across the prominence range.
+        VideoStream::generate(VideoStreamConfig {
+            n_frames: 30_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn pp_cascade_is_fast_and_accurate() {
+        let s = stream();
+        let out = run_cascade(&s, &CascadeConfig::default()).unwrap();
+        assert!(out.pre_reduction > 0.8, "pre {:.3}", out.pre_reduction);
+        assert!(out.speedup > 50.0, "speedup {:.0}", out.speedup);
+        assert!(out.accuracy > 0.75, "accuracy {:.3}", out.accuracy);
+        assert!(out.reference_invocations < out.frames / 10);
+    }
+
+    #[test]
+    fn dnn_variant_costs_more() {
+        let s = stream();
+        let pp = run_cascade(&s, &CascadeConfig::default()).unwrap();
+        let dnn = run_cascade(
+            &s,
+            &CascadeConfig { filter: FilterKind::ShallowDnn, ..Default::default() },
+        )
+        .unwrap();
+        // More filter cost per frame ⇒ lower or equal speed-up (both are
+        // orders of magnitude over the reference-everywhere baseline).
+        assert!(dnn.speedup <= pp.speedup * 1.2, "pp {} dnn {}", pp.speedup, dnn.speedup);
+        assert!(dnn.speedup > 10.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let s = stream();
+        assert!(run_cascade(&s, &CascadeConfig { sample_rate: 0, ..Default::default() }).is_err());
+        let tiny = VideoStream::generate(VideoStreamConfig { n_frames: 10, ..Default::default() });
+        assert!(run_cascade(&tiny, &CascadeConfig::default()).is_err());
+    }
+
+    #[test]
+    fn outcome_fields_consistent() {
+        let s = stream();
+        let out = run_cascade(&s, &CascadeConfig::default()).unwrap();
+        assert!(out.frames > 0);
+        assert!((0.0..=1.0).contains(&out.pre_reduction));
+        assert!((0.0..=1.0).contains(&out.early_drop));
+        assert!((0.0..=1.0).contains(&out.accuracy));
+    }
+}

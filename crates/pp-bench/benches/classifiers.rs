@@ -1,0 +1,129 @@
+//! Criterion micro-benchmarks for the PP classifier substrate: training
+//! and per-blob inference cost of each technique (the `c` of §3, Table 2's
+//! complexity rows), plus the k-d-tree ablation for KDE (§5.2).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pp_data::corpora::{lshtc_like, ucf101_like};
+use pp_linalg::{Features, KdTree};
+use pp_ml::dataset::LabeledSet;
+use pp_ml::dnn::{Dnn, DnnParams};
+use pp_ml::kde::{Bandwidth, Kde, KdeParams};
+use pp_ml::pipeline::ScoreModel;
+use pp_ml::reduction::ReducerSpec;
+use pp_ml::svm::{LinearSvm, SvmParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense_set(n: usize, dim: usize, seed: u64) -> LabeledSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    LabeledSet::new(
+        (0..n)
+            .map(|_| {
+                let pos = rng.gen_bool(0.3);
+                let shift = if pos { 1.0 } else { -1.0 };
+                let v: Vec<f64> = (0..dim)
+                    .map(|_| shift * 0.3 + rng.gen_range(-1.0..1.0))
+                    .collect();
+                pp_ml::dataset::Sample::new(v, pos)
+            })
+            .collect(),
+    )
+    .expect("uniform dims")
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train");
+    g.sample_size(10);
+    let dense = dense_set(500, 32, 1);
+    g.bench_function("svm_500x32", |b| {
+        b.iter(|| LinearSvm::train(&dense, &SvmParams::default()).expect("trains"))
+    });
+    g.bench_function("kde_500x32", |b| {
+        b.iter(|| {
+            Kde::train(
+                &dense,
+                &KdeParams { bandwidth: Bandwidth::Silverman, ..Default::default() },
+            )
+            .expect("trains")
+        })
+    });
+    let small = dense_set(300, 16, 2);
+    g.bench_function("dnn_300x16", |b| {
+        b.iter(|| {
+            Dnn::train(&small, &DnnParams { epochs: 10, ..Default::default() }).expect("trains")
+        })
+    });
+    g.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("score_per_blob");
+    let dense = dense_set(800, 32, 3);
+    let blob = Features::Dense(vec![0.1; 32]);
+    let svm = LinearSvm::train(&dense, &SvmParams::default()).expect("trains");
+    g.bench_function("svm", |b| b.iter(|| svm.score(&blob)));
+    let kde = Kde::train(
+        &dense,
+        &KdeParams { bandwidth: Bandwidth::Silverman, ..Default::default() },
+    )
+    .expect("trains");
+    g.bench_function("kde_kdtree", |b| b.iter(|| kde.score(&blob)));
+    let dnn = Dnn::train(&dense, &DnnParams { epochs: 5, ..Default::default() }).expect("trains");
+    g.bench_function("dnn", |b| b.iter(|| dnn.score(&blob)));
+    g.finish();
+}
+
+fn bench_reducers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction");
+    let ucf = ucf101_like(600, 4);
+    let set = ucf.labeled(0);
+    let pca = (ReducerSpec::Pca { k: 12, fit_sample: 400 })
+        .fit(&set, 5)
+        .expect("fits");
+    let blob = set.samples()[0].features.clone();
+    g.bench_function("pca_project_96d_to_12d", |b| b.iter(|| pca.apply(&blob)));
+    let docs = lshtc_like(200, 6);
+    let doc = docs.blobs()[0].clone();
+    let fh = (ReducerSpec::FeatureHash { dr: 256 })
+        .fit(&docs.labeled(0), 7)
+        .expect("fits");
+    g.bench_function("feature_hash_sparse_to_256d", |b| b.iter(|| fh.apply(&doc)));
+    g.finish();
+}
+
+/// §5.2's ablation: density from k-d-tree neighbors vs. a full pass.
+fn bench_kdtree_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kde_neighborhood");
+    let mut rng = StdRng::seed_from_u64(8);
+    let points: Vec<Vec<f64>> = (0..4_000)
+        .map(|_| (0..12).map(|_| rng.gen_range(-3.0..3.0)).collect())
+        .collect();
+    let tree = KdTree::build(points.clone()).expect("builds");
+    let query: Vec<f64> = (0..12).map(|_| rng.gen_range(-3.0..3.0)).collect();
+    g.bench_function("kdtree_32nn_of_4000", |b| {
+        b.iter(|| tree.nearest(&query, 32).expect("valid query"))
+    });
+    g.bench_function("full_scan_4000", |b| {
+        b.iter_batched(
+            || query.clone(),
+            |q| {
+                let mut acc = 0.0;
+                for p in &points {
+                    acc += (-pp_linalg::dense::sq_dist(p, &q)).exp();
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_training,
+    bench_inference,
+    bench_reducers,
+    bench_kdtree_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the query-engine substrate: operator
+//! throughput and end-to-end plan execution with and without an injected
+//! PP filter.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_data::traf20::traf20_queries;
+use pp_data::traffic::{TrafficConfig, TrafficDataset};
+use pp_engine::cost::CostModel;
+use pp_engine::udf::ClosureFilter;
+use pp_engine::{execute, Catalog, CostMeter, LogicalPlan};
+
+fn setup(n: usize) -> (TrafficDataset, Catalog) {
+    let d = TrafficDataset::generate(TrafficConfig {
+        n_frames: n,
+        ..Default::default()
+    });
+    let mut cat = Catalog::new();
+    d.register(&mut cat);
+    (d, cat)
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    let (d, cat) = setup(2_000);
+    let model = CostModel::default();
+
+    let scan = LogicalPlan::scan("traffic");
+    g.bench_function("scan_2000", |b| {
+        b.iter(|| {
+            let mut m = CostMeter::new();
+            execute(&scan, &cat, &mut m, &model).expect("scan")
+        })
+    });
+
+    let process = LogicalPlan::scan("traffic").process(d.udf("vehType").expect("udf"));
+    g.bench_function("scan_process_2000", |b| {
+        b.iter(|| {
+            let mut m = CostMeter::new();
+            execute(&process, &cat, &mut m, &model).expect("process")
+        })
+    });
+
+    let filter_plan = LogicalPlan::scan("traffic").filter(Arc::new(ClosureFilter::new(
+        "PP[stub]",
+        1e-4,
+        |row, schema| {
+            let blob = row.get_named(schema, "frame")?.as_blob()?;
+            Ok(blob.to_dense()[0] > 0.0)
+        },
+    )));
+    g.bench_function("scan_filter_2000", |b| {
+        b.iter(|| {
+            let mut m = CostMeter::new();
+            execute(&filter_plan, &cat, &mut m, &model).expect("filter")
+        })
+    });
+    g.finish();
+}
+
+fn bench_traf_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traf20_nop_plan");
+    g.sample_size(10);
+    let (d, cat) = setup(2_000);
+    let model = CostModel::default();
+    let queries = traf20_queries();
+    for id in [1u32, 7, 16] {
+        let q = queries.iter().find(|q| q.id == id).expect("known id");
+        let plan = q.nop_plan(&d);
+        g.bench_function(format!("q{id}"), |b| {
+            b.iter(|| {
+                let mut m = CostMeter::new();
+                execute(&plan, &cat, &mut m, &model).expect("query")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators, bench_traf_queries);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Criterion benchmarks and ablations for the query-optimizer extension:
+//! rewrite/enumeration latency (the paper reports "80 to 100ms to
+//! translate the query predicates"), the accuracy-allocation DP vs.
+//! uniform splitting (§6.2's DP ablation), PP-ordering strategies, and the
+//! effect of the `k` budget on enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pp_core::alloc::{allocate, allocate_uniform, AccuracyGrid};
+use pp_core::catalog::PpCatalog;
+use pp_core::order::{best_order, Gate, OrderItem};
+use pp_core::pp::ProbabilisticPredicate;
+use pp_core::rewrite::{rewrite, RewriteConfig};
+use pp_core::wrangle::Domains;
+use pp_core::PpExpr;
+use pp_engine::predicate::{CompareOp, Predicate};
+use pp_ml::dataset::{LabeledSet, Sample};
+use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
+use pp_ml::reduction::ReducerSpec;
+use pp_ml::svm::SvmParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Trains a quick SVM PP for an arbitrary predicate label.
+fn quick_pp(predicate: Predicate, seed: u64) -> ProbabilisticPredicate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = LabeledSet::new(
+        (0..400)
+            .map(|_| {
+                let pos = rng.gen_bool(0.3);
+                let cx = if pos { 2.0 } else { -2.0 };
+                Sample::new(
+                    vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                    pos,
+                )
+            })
+            .collect(),
+    )
+    .expect("uniform dims");
+    let (train, val, _) = data.split(0.7, 0.3, seed).expect("valid split");
+    let approach = Approach {
+        reducer: ReducerSpec::Identity,
+        model: ModelSpec::Svm(SvmParams::default()),
+    };
+    let pipeline = Pipeline::train(&approach, &train, &val, seed).expect("trains");
+    ProbabilisticPredicate::new(predicate, pipeline, 2.5e-3).expect("valid cost")
+}
+
+fn traf_catalog() -> PpCatalog {
+    let mut cat = PpCatalog::new();
+    let mut seed = 0u64;
+    let mut add = |cat: &mut PpCatalog, pred: Predicate| {
+        seed += 1;
+        cat.insert(quick_pp(pred, seed));
+    };
+    for t in ["sedan", "SUV", "truck", "van"] {
+        add(&mut cat, Predicate::clause("t", CompareOp::Eq, t));
+        add(&mut cat, Predicate::clause("t", CompareOp::Ne, t));
+    }
+    for v in [40.0, 50.0, 60.0] {
+        add(&mut cat, Predicate::clause("s", CompareOp::Ge, v));
+    }
+    for v in [65.0, 70.0] {
+        add(&mut cat, Predicate::clause("s", CompareOp::Le, v));
+    }
+    for c in ["red", "black", "white", "silver", "other"] {
+        add(&mut cat, Predicate::clause("c", CompareOp::Eq, c));
+    }
+    cat
+}
+
+fn complex_predicate() -> Predicate {
+    Predicate::And(vec![
+        Predicate::clause("s", CompareOp::Gt, 60.0),
+        Predicate::clause("s", CompareOp::Lt, 65.0),
+        Predicate::clause("c", CompareOp::Eq, "white"),
+        Predicate::or(
+            Predicate::clause("t", CompareOp::Eq, "SUV"),
+            Predicate::clause("t", CompareOp::Eq, "van"),
+        ),
+    ])
+}
+
+fn bench_rewrite(c: &mut Criterion) {
+    let cat = traf_catalog();
+    let domains = Domains::new();
+    let pred = complex_predicate();
+    let mut g = c.benchmark_group("qo_rewrite");
+    for k in [1usize, 2, 3, 4] {
+        let cfg = RewriteConfig { max_pps: k, ..Default::default() };
+        g.bench_function(format!("enumerate_k{k}"), |b| {
+            b.iter(|| rewrite(&pred, &cat, &domains, &cfg))
+        });
+    }
+    g.finish();
+}
+
+fn bench_allocation(c: &mut Criterion) {
+    let cat = traf_catalog();
+    let domains = Domains::new();
+    let pred = complex_predicate();
+    let outcome = rewrite(&pred, &cat, &domains, &RewriteConfig::default());
+    let expr = outcome.candidates.into_iter().max_by_key(PpExpr::leaf_count).expect("candidates");
+    let grid = AccuracyGrid::default();
+    let mut g = c.benchmark_group("qo_allocation");
+    g.bench_function("dp", |b| {
+        b.iter(|| allocate(&expr, 0.95, 0.05, &grid).expect("feasible"))
+    });
+    g.bench_function("uniform", |b| {
+        b.iter(|| allocate_uniform(&expr, 0.95, &grid).expect("feasible"))
+    });
+    // Report the quality difference once (ablation summary).
+    let dp = allocate(&expr, 0.95, 0.05, &grid).expect("feasible");
+    let uni = allocate_uniform(&expr, 0.95, &grid).expect("feasible");
+    eprintln!(
+        "[ablation] allocation on {expr}: DP r={:.3} vs uniform r={:.3}",
+        dp.estimate.reduction, uni.estimate.reduction
+    );
+    g.finish();
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let items: Vec<OrderItem> = (0..8)
+        .map(|_| OrderItem {
+            cost: rng.gen_range(0.001..0.01),
+            reduction: rng.gen_range(0.1..0.9),
+        })
+        .collect();
+    let mut g = c.benchmark_group("qo_ordering");
+    g.bench_function("exhaustive_5", |b| {
+        b.iter(|| best_order(&items[..5], Gate::Conjunction))
+    });
+    g.bench_function("heuristic_8", |b| {
+        b.iter(|| best_order(&items, Gate::Conjunction))
+    });
+    g.finish();
+}
+
+fn bench_pp_inference(c: &mut Criterion) {
+    let pp = Arc::new(quick_pp(Predicate::clause("t", CompareOp::Eq, "SUV"), 99));
+    let expr = PpExpr::And(vec![
+        PpExpr::leaf(pp.clone()),
+        PpExpr::leaf(Arc::new(quick_pp(
+            Predicate::clause("c", CompareOp::Eq, "red"),
+            100,
+        ))),
+    ]);
+    let assignment = pp_core::expr::Assignment::uniform(&expr, 0.98).expect("valid");
+    let blob = pp_linalg::Features::Dense(vec![2.5, 0.0]);
+    let mut g = c.benchmark_group("pp_filter");
+    g.bench_function("two_pp_conjunction_passes", |b| {
+        b.iter(|| expr.passes(&blob, &assignment).expect("evaluates"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rewrite,
+    bench_allocation,
+    bench_ordering,
+    bench_pp_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Figures 15/16: demonstration of PP confidences on individual blobs.
+//!
+//! Figure 15 shows, for a dozen COCO images, the confidence each of four
+//! PPs assigns; the gap between confidences for present and absent labels
+//! is large, so thresholds achieve high reduction at full accuracy.
+//! Figure 16 repeats with PPs trained on COCO applied to ImageNet.
+
+use pp_bench::setup::{approach_by_name, corpus, split601020};
+use pp_bench::table::{f2, Table};
+use pp_ml::pipeline::Pipeline;
+
+/// Squashes a raw classifier score into a [0, 1] confidence.
+fn confidence(score: f64) -> f64 {
+    1.0 / (1.0 + (-score).exp())
+}
+
+fn main() {
+    let n = 4_000;
+    let pp_classes = [0usize, 1, 2, 3];
+    let coco = corpus("COCO", n, 0xF15);
+    let imagenet = corpus("ImageNet", n, 0xF15 + 1);
+    let approach = approach_by_name("DNN");
+
+    // Train one PP per class on COCO.
+    let mut pps: Vec<Pipeline> = Vec::new();
+    for &k in &pp_classes {
+        let (train, val, _) = split601020(&coco.labeled(k), 0xF15 + k as u64);
+        pps.push(Pipeline::train(&approach, &train, &val, 0xF15 + k as u64).expect("training"));
+    }
+
+    for (fig, corpus_ref, title) in [
+        (15, &coco, "Figure 15 — PP confidences on COCO blobs"),
+        (16, &imagenet, "Figure 16 — COCO-trained PPs on ImageNet blobs"),
+    ] {
+        let mut table = Table::new(title).headers([
+            "blob", "true labels", "PP[class0]", "PP[class1]", "PP[class2]", "PP[class3]",
+        ]);
+        // Pick 12 interesting blobs: ensure some positives per PP class.
+        let mut shown = 0usize;
+        let mut need: Vec<usize> = pp_classes.to_vec();
+        for (i, blob) in corpus_ref.blobs().iter().enumerate() {
+            let labels: Vec<usize> = pp_classes
+                .iter()
+                .copied()
+                .filter(|&k| corpus_ref.labeled(k).samples()[i].label)
+                .collect();
+            let wanted = labels.iter().any(|l| need.contains(l)) || (labels.is_empty() && shown < 4);
+            if !wanted {
+                continue;
+            }
+            need.retain(|k| !labels.contains(k));
+            let label_str = if labels.is_empty() {
+                "(none of 0–3)".to_string()
+            } else {
+                labels
+                    .iter()
+                    .map(|l| format!("class{l}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
+            let confs: Vec<String> = pps.iter().map(|p| f2(confidence(p.score(blob)))).collect();
+            table.row([
+                format!("blob{i}"),
+                label_str,
+                confs[0].clone(),
+                confs[1].clone(),
+                confs[2].clone(),
+                confs[3].clone(),
+            ]);
+            shown += 1;
+            if shown >= 12 {
+                break;
+            }
+        }
+        table.print();
+        let _ = fig;
+    }
+    println!("Paper (Figs 15/16): confidences for present labels sit well above absent");
+    println!("ones, so per-PP thresholds drop most irrelevant blobs at accuracy 1.0; the");
+    println!("gap narrows (but persists) for cross-domain application.");
+}

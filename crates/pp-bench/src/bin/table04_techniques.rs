@@ -1,0 +1,96 @@
+//! Table 4: data reduction achieved by PPs using different techniques.
+//!
+//! Paper shape to reproduce:
+//! * UCF101 — PCA+KDE beats PCA+SVM and Raw+SVM by ~10% absolute;
+//! * COCO / ImageNet — the DNN beats an SVM (by 20–40% absolute at
+//!   relaxed accuracies);
+//! * cross-training — DNN PPs trained on COCO and applied to ImageNet are
+//!   "not as good as PPs trained on the same dataset but ... perform
+//!   reasonably well especially at relaxed accuracy targets".
+
+use pp_bench::setup::{approach_by_name, corpus, split601020};
+use pp_bench::table::{f3, Table};
+use pp_ml::pipeline::Pipeline;
+
+const ACCURACIES: [f64; 3] = [1.0, 0.99, 0.9];
+
+/// Mean validation reduction over categories for one (corpus, approach).
+fn mean_reductions(
+    corpus_name: &str,
+    approach_name: &str,
+    n: usize,
+    cats: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let c = corpus(corpus_name, n, seed);
+    let approach = approach_by_name(approach_name);
+    let mut sums = vec![0.0; ACCURACIES.len()];
+    let mut count = 0usize;
+    for cat in 0..cats.min(c.categories().len()) {
+        let set = c.labeled(cat);
+        let (train, val, _) = split601020(&set, seed + cat as u64);
+        let Ok(p) = Pipeline::train(&approach, &train, &val, seed + cat as u64) else {
+            continue;
+        };
+        count += 1;
+        for (i, &a) in ACCURACIES.iter().enumerate() {
+            sums[i] += p.reduction(a).expect("valid accuracy");
+        }
+    }
+    sums.iter().map(|s| s / count.max(1) as f64).collect()
+}
+
+/// Cross-training: train on COCO, calibrate + evaluate on ImageNet.
+fn cross_trained_reductions(n: usize, cats: usize, seed: u64) -> Vec<f64> {
+    let coco = corpus("COCO", n, seed);
+    let imagenet = corpus("ImageNet", n, seed + 1);
+    let approach = approach_by_name("DNN");
+    let mut sums = vec![0.0; ACCURACIES.len()];
+    let mut count = 0usize;
+    for cat in 0..cats {
+        let (coco_train, _, _) = split601020(&coco.labeled(cat), seed + cat as u64);
+        let (_, img_val, _) = split601020(&imagenet.labeled(cat), seed + 100 + cat as u64);
+        // Train on COCO blobs; calibrate the threshold table on ImageNet
+        // validation data (the deployment domain).
+        let Ok(p) = Pipeline::train(&approach, &coco_train, &img_val, seed + cat as u64) else {
+            continue;
+        };
+        count += 1;
+        for (i, &a) in ACCURACIES.iter().enumerate() {
+            sums[i] += p.reduction(a).expect("valid accuracy");
+        }
+    }
+    sums.iter().map(|s| s / count.max(1) as f64).collect()
+}
+
+fn main() {
+    let n = 4_000;
+    let cats = 8;
+    let mut table = Table::new("Table 4 — reduction by PP technique").headers([
+        "dataset", "approach", "r(1.0]", "r(0.99]", "r(0.9]",
+    ]);
+    for (ds, approach) in [
+        ("UCF101", "PCA + KDE"),
+        ("UCF101", "PCA + SVM"),
+        ("UCF101", "Raw + SVM"),
+        ("COCO", "DNN"),
+        ("COCO", "Raw + SVM"),
+        ("ImageNet", "DNN"),
+        ("ImageNet", "Raw + SVM"),
+    ] {
+        let r = mean_reductions(ds, approach, n, cats, 0x7AB4);
+        table.row([ds.to_string(), approach.to_string(), f3(r[0]), f3(r[1]), f3(r[2])]);
+    }
+    let cross = cross_trained_reductions(n, cats, 0x7AB4);
+    table.row([
+        "ImageNet".to_string(),
+        "DNN trained on COCO".to_string(),
+        f3(cross[0]),
+        f3(cross[1]),
+        f3(cross[2]),
+    ]);
+    table.print();
+    println!("Paper (Table 4): PCA+KDE > {{PCA,Raw}}+SVM on UCF101 (~10% absolute);");
+    println!("DNN > SVM on COCO/ImageNet (20–40%); cross-trained DNN slightly below native,");
+    println!("closing the gap at relaxed accuracy targets.");
+}

@@ -1,0 +1,113 @@
+//! Table 10: the query optimizer in action — for example predicates, the
+//! number of feasible PP combinations, the range of estimated reductions,
+//! the picked plan, and alternates; repeated with a halved PP corpus.
+//!
+//! Paper: "for many queries, the QO has a meaningful choice to make ...
+//! the combination picked by the QO can have multiple PPs even when the
+//! predicate has only a single clause ... data reduction rates of the best
+//! possible PP combination decrease but not substantially" when half the
+//! corpus is dropped.
+
+use pp_bench::setup::traffic_setup;
+use pp_bench::table::{f3, Table};
+use pp_core::rewrite::{rewrite, RewriteConfig};
+use pp_core::alloc::{allocate, AccuracyGrid};
+use pp_core::combine::plan_cost_per_blob;
+use pp_engine::predicate::{CompareOp, Predicate};
+
+fn example_predicates() -> Vec<(&'static str, Predicate)> {
+    fn c(col: &str, op: CompareOp, v: impl Into<pp_engine::Value>) -> Predicate {
+        Predicate::clause(col, op, v)
+    }
+    vec![
+        (
+            "t IN (SUV, van)",
+            Predicate::or(
+                c("vehType", CompareOp::Eq, "SUV"),
+                c("vehType", CompareOp::Eq, "van"),
+            ),
+        ),
+        (
+            "s > 60 AND s < 65",
+            Predicate::and(c("speed", CompareOp::Gt, 60.0), c("speed", CompareOp::Lt, 65.0)),
+        ),
+        (
+            "s > 60 AND s < 65 AND c = white AND t IN (SUV, van)",
+            Predicate::And(vec![
+                c("speed", CompareOp::Gt, 60.0),
+                c("speed", CompareOp::Lt, 65.0),
+                c("vehColor", CompareOp::Eq, "white"),
+                Predicate::or(
+                    c("vehType", CompareOp::Eq, "SUV"),
+                    c("vehType", CompareOp::Eq, "van"),
+                ),
+            ]),
+        ),
+    ]
+}
+
+fn main() {
+    let setup = traffic_setup(4_000, 1_500, 0xF1A);
+    let udf_cost = 0.05; // representative downstream UDF cost per blob
+    let grid = AccuracyGrid::default();
+    let cfg = RewriteConfig::default();
+
+    for (corpus_label, drop_half) in [("full corpus", false), ("half the PPs dropped", true)] {
+        let mut catalog = setup.pp_catalog.clone();
+        if drop_half {
+            // Drop every other PP per the paper's "randomly dropped half"
+            // (deterministic here: keep even-indexed entries).
+            let keys: Vec<String> = catalog.all().iter().map(|pp| pp.key()).collect();
+            let dropped: std::collections::BTreeSet<String> =
+                keys.iter().skip(1).step_by(2).cloned().collect();
+            catalog.retain(|pp| !dropped.contains(&pp.key()));
+        }
+        let mut table = Table::new(format!(
+            "Table 10 — QO plan exploration ({corpus_label}, {} PPs)",
+            catalog.len()
+        ))
+        .headers(["predicate", "# plans", "est. r range", "picked (est. r)", "alternates (est. r)"]);
+        for (label, pred) in example_predicates() {
+            let outcome = rewrite(&pred, &catalog, &setup.domains, &cfg);
+            let mut costed: Vec<(String, f64, f64)> = Vec::new(); // (expr, r, plan cost)
+            for cand in &outcome.candidates {
+                if let Ok(planned) = allocate(cand, 0.95, udf_cost, &grid) {
+                    costed.push((
+                        planned.expr.to_string(),
+                        planned.estimate.reduction,
+                        plan_cost_per_blob(&planned.estimate, udf_cost),
+                    ));
+                }
+            }
+            costed.sort_by(|a, b| a.2.total_cmp(&b.2));
+            let range = if costed.is_empty() {
+                "-".to_string()
+            } else {
+                let lo = costed.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+                let hi = costed.iter().map(|c| c.1).fold(f64::NEG_INFINITY, f64::max);
+                format!("{}–{}", f3(lo), f3(hi))
+            };
+            let picked = costed
+                .first()
+                .map_or("-".to_string(), |c| format!("{} ({})", c.0, f3(c.1)));
+            let alternates = costed
+                .iter()
+                .skip(1)
+                .take(2)
+                .map(|c| format!("{} ({})", c.0, f3(c.1)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            table.row([
+                label.to_string(),
+                outcome.feasible_count.to_string(),
+                range,
+                picked,
+                alternates,
+            ]);
+        }
+        table.print();
+    }
+    println!("Paper (Table 10): 4 / 18 / 216 feasible plans on the full 32-PP corpus;");
+    println!("picked plans reach r = 0.42 / 0.79 / 0.77; halving the corpus shrinks the");
+    println!("plan count but best reductions drop only slightly (e.g. 0.42 → 0.40).");
+}

@@ -1,0 +1,18 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §4 for the index). This library holds
+//! the pieces they share: plain-text table rendering and the standard
+//! experiment setup (corpus construction, PP training, TRAF catalog
+//! building).
+//!
+//! Run the binaries in release mode: classifier training dominates and is
+//! 10–50× slower unoptimized.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod setup;
+pub mod table;
+
+pub use table::Table;

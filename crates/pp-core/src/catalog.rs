@@ -1,0 +1,170 @@
+//! The store of trained probabilistic predicates.
+//!
+//! The modified query optimizer "takes two additional inputs compared to
+//! the baseline QO: a list of trained probabilistic predicates and a
+//! desired accuracy threshold" (§4). The catalog is that list, with the
+//! lookups the rewriter needs: exact match by predicate, and "all PPs whose
+//! predicate is implied by a given clause" for necessary-condition
+//! matching.
+
+use std::sync::Arc;
+
+use pp_engine::predicate::{Clause, Predicate};
+
+use crate::implication::{clause_implies, implies};
+use crate::pp::ProbabilisticPredicate;
+
+/// A collection of trained PPs.
+#[derive(Debug, Clone, Default)]
+pub struct PpCatalog {
+    pps: Vec<Arc<ProbabilisticPredicate>>,
+}
+
+impl PpCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        PpCatalog::default()
+    }
+
+    /// Adds a PP (replacing any existing PP for the identical predicate).
+    pub fn insert(&mut self, pp: ProbabilisticPredicate) -> Arc<ProbabilisticPredicate> {
+        let arc = Arc::new(pp);
+        if let Some(existing) = self.pps.iter_mut().find(|p| p.key() == arc.key()) {
+            *existing = arc.clone();
+        } else {
+            self.pps.push(arc.clone());
+        }
+        arc
+    }
+
+    /// Number of stored PPs.
+    pub fn len(&self) -> usize {
+        self.pps.len()
+    }
+
+    /// True when no PPs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.pps.is_empty()
+    }
+
+    /// All PPs.
+    pub fn all(&self) -> &[Arc<ProbabilisticPredicate>] {
+        &self.pps
+    }
+
+    /// Exact-match lookup by predicate.
+    pub fn get(&self, predicate: &Predicate) -> Option<&Arc<ProbabilisticPredicate>> {
+        let key = predicate.to_string();
+        self.pps.iter().find(|p| p.key() == key)
+    }
+
+    /// Exact-match lookup by simple clause.
+    pub fn get_clause(&self, clause: &Clause) -> Option<&Arc<ProbabilisticPredicate>> {
+        self.get(&Predicate::Clause(clause.clone()))
+    }
+
+    /// PPs usable as necessary conditions for a simple clause `c`: every PP
+    /// whose mimicked predicate `q` satisfies `c ⇒ q`.
+    ///
+    /// Sorted by ascending efficiency ratio `c/r(1]` so that greedy
+    /// consumers try the best PP first (§6.1).
+    pub fn implied_by_clause(&self, c: &Clause) -> Vec<Arc<ProbabilisticPredicate>> {
+        let mut out: Vec<Arc<ProbabilisticPredicate>> = self
+            .pps
+            .iter()
+            .filter(|pp| match pp.predicate() {
+                Predicate::Clause(q) => clause_implies(c, q),
+                q => implies(&Predicate::Clause(c.clone()), q),
+            })
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.efficiency_ratio().total_cmp(&b.efficiency_ratio()));
+        out
+    }
+
+    /// PPs usable as necessary conditions for an arbitrary predicate.
+    pub fn implied_by(&self, predicate: &Predicate) -> Vec<Arc<ProbabilisticPredicate>> {
+        let mut out: Vec<Arc<ProbabilisticPredicate>> = self
+            .pps
+            .iter()
+            .filter(|pp| implies(predicate, pp.predicate()))
+            .cloned()
+            .collect();
+        out.sort_by(|a, b| a.efficiency_ratio().total_cmp(&b.efficiency_ratio()));
+        out
+    }
+
+    /// Removes PPs not satisfying the predicate filter (used by the Table
+    /// 10 "drop half the corpus" experiment).
+    pub fn retain(&mut self, keep: impl Fn(&ProbabilisticPredicate) -> bool) {
+        self.pps.retain(|pp| keep(pp));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pp::tests::trained_pp;
+    use pp_engine::CompareOp;
+
+    fn pp_for(pred: Predicate, seed: u64) -> ProbabilisticPredicate {
+        let base = trained_pp(0.3, seed, 0.001);
+        ProbabilisticPredicate::new(pred, base.pipeline().clone(), 0.001).unwrap()
+    }
+
+    #[test]
+    fn insert_and_exact_lookup() {
+        let mut cat = PpCatalog::new();
+        let p = Predicate::clause("t", CompareOp::Eq, "SUV");
+        cat.insert(pp_for(p.clone(), 1));
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get(&p).is_some());
+        assert!(cat.get(&Predicate::clause("t", CompareOp::Eq, "van")).is_none());
+        // Replacement keeps a single entry.
+        cat.insert(pp_for(p.clone(), 2));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn implied_lookup_finds_relaxations() {
+        let mut cat = PpCatalog::new();
+        cat.insert(pp_for(Predicate::clause("s", CompareOp::Gt, 50.0), 1));
+        cat.insert(pp_for(Predicate::clause("s", CompareOp::Gt, 60.0), 2));
+        cat.insert(pp_for(Predicate::clause("s", CompareOp::Lt, 70.0), 3));
+        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "SUV"), 4));
+        // The clause s > 65 implies both s > 50 and s > 60 PPs.
+        let c = Clause::new("s", CompareOp::Gt, 65.0);
+        let found = cat.implied_by_clause(&c);
+        assert_eq!(found.len(), 2);
+        for pp in &found {
+            assert!(pp.key().starts_with("s >"));
+        }
+    }
+
+    #[test]
+    fn implied_by_predicate_handles_conjunctions() {
+        let mut cat = PpCatalog::new();
+        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "SUV"), 1));
+        cat.insert(pp_for(Predicate::clause("c", CompareOp::Eq, "red"), 2));
+        let pred = Predicate::and(
+            Predicate::clause("t", CompareOp::Eq, "SUV"),
+            Predicate::clause("c", CompareOp::Eq, "red"),
+        );
+        assert_eq!(cat.implied_by(&pred).len(), 2);
+        // A disjunction implies neither leaf PP.
+        let disj = Predicate::or(
+            Predicate::clause("t", CompareOp::Eq, "SUV"),
+            Predicate::clause("c", CompareOp::Eq, "red"),
+        );
+        assert!(cat.implied_by(&disj).is_empty());
+    }
+
+    #[test]
+    fn retain_drops() {
+        let mut cat = PpCatalog::new();
+        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "SUV"), 1));
+        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "van"), 2));
+        cat.retain(|pp| pp.key().contains("SUV"));
+        assert_eq!(cat.len(), 1);
+    }
+}

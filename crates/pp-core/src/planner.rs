@@ -1,0 +1,479 @@
+//! The end-to-end query-optimizer extension (Figure 3c, §6).
+//!
+//! "Our modified query optimizer takes two additional inputs compared to
+//! the baseline QO: a list of trained probabilistic predicates and a
+//! desired accuracy threshold for the query. The modified query optimizer
+//! injects appropriate combinations of PPs for each query based on the
+//! accuracy threshold; the PPs execute directly on the raw inputs and the
+//! remaining query plan is semantically equivalent to the original."
+//!
+//! Pipeline: inspect the plan for pushable predicates → rewrite to
+//! candidate PP expressions (§6.1) → allocate the accuracy budget per
+//! candidate (§6.2's DP) → cost each plan as `c + (1 − r)·u` → pick the
+//! cheapest improving plan → order its PPs → inject the filter above the
+//! blob scan.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pp_engine::logical::LogicalPlan;
+use pp_engine::predicate::Predicate;
+use pp_engine::Catalog;
+
+use crate::alloc::{allocate, allocate_uniform, AccuracyGrid};
+use crate::catalog::PpCatalog;
+use crate::combine::{plan_cost_per_blob, Estimate};
+use crate::expr::{Assignment, PlannedPpExpr, PpExpr};
+use crate::inject::{inject_above_scan, pushable_predicates, udf_cost_per_blob};
+use crate::order::{best_order, Gate, OrderItem};
+use crate::rewrite::{rewrite, RewriteConfig};
+use crate::runtime::DependencyMonitor;
+use crate::wrangle::Domains;
+use crate::{PpError, Result};
+
+/// Configuration of the PP query optimizer.
+#[derive(Debug, Clone)]
+pub struct QoConfig {
+    /// Query-level accuracy threshold `a` (§4; users "specify a desired
+    /// accuracy threshold").
+    pub accuracy_target: f64,
+    /// Rewrite-search tunables (§6.1).
+    pub rewrite: RewriteConfig,
+    /// Accuracy grid for budget allocation (§6.2).
+    pub grid: AccuracyGrid,
+    /// Use the DP allocator; `false` falls back to uniform splitting (an
+    /// ablation of §6.2's dynamic program).
+    pub use_dp_allocation: bool,
+    /// Only inject when the estimated plan cost beats the unfiltered plan
+    /// (§3: filtering can hurt when `r ≤ c/u`).
+    pub require_improvement: bool,
+}
+
+impl Default for QoConfig {
+    fn default() -> Self {
+        QoConfig {
+            accuracy_target: 0.95,
+            rewrite: RewriteConfig::default(),
+            grid: AccuracyGrid::default(),
+            use_dp_allocation: true,
+            require_improvement: true,
+        }
+    }
+}
+
+/// One costed candidate, for reporting (Table 10's "picked and alternate
+/// plans").
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// Display form of the expression.
+    pub expr: String,
+    /// Estimated accuracy/reduction/cost at the allocated budget.
+    pub estimate: Estimate,
+    /// Estimated total plan cost per blob.
+    pub plan_cost: f64,
+}
+
+/// The chosen injection for one blob table.
+#[derive(Debug, Clone)]
+pub struct ChosenPlan {
+    /// The blob table filtered.
+    pub table: String,
+    /// Display form of the injected expression.
+    pub expr: String,
+    /// Per-leaf accuracies.
+    pub leaf_accuracies: Vec<f64>,
+    /// Estimated properties.
+    pub estimate: Estimate,
+}
+
+/// A report of what the optimizer saw and decided.
+#[derive(Debug, Clone, Default)]
+pub struct PlanReport {
+    /// The (canonicalized, conjoined) predicate the QO worked from.
+    pub predicate: String,
+    /// Feasible plan count within the PP budget (Table 10's "# plans").
+    pub feasible_count: u64,
+    /// Candidates actually costed.
+    pub candidates: Vec<CandidateReport>,
+    /// The injected plan, if any.
+    pub chosen: Option<ChosenPlan>,
+    /// Downstream UDF cost per blob (`u`).
+    pub udf_cost_per_blob: f64,
+    /// Wall-clock optimization time in seconds (Table 9 reports 80–100ms).
+    pub optimize_seconds: f64,
+}
+
+impl PlanReport {
+    /// The range of estimated reductions across costed candidates
+    /// (Table 10's "Est. r" column).
+    pub fn reduction_range(&self) -> Option<(f64, f64)> {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for c in &self.candidates {
+            lo = lo.min(c.estimate.reduction);
+            hi = hi.max(c.estimate.reduction);
+        }
+        (lo.is_finite() && hi.is_finite()).then_some((lo, hi))
+    }
+}
+
+/// The optimizer's output: a (possibly rewritten) plan plus its report.
+#[derive(Debug)]
+pub struct OptimizedQuery {
+    /// The executable plan (original plan when no PP was injected).
+    pub plan: LogicalPlan,
+    /// What the optimizer considered and chose.
+    pub report: PlanReport,
+}
+
+/// The PP-aware query optimizer.
+#[derive(Debug)]
+pub struct PpQueryOptimizer {
+    pp_catalog: PpCatalog,
+    domains: Domains,
+    config: QoConfig,
+}
+
+impl PpQueryOptimizer {
+    /// Creates an optimizer over a trained-PP catalog.
+    pub fn new(pp_catalog: PpCatalog, domains: Domains, config: QoConfig) -> Self {
+        PpQueryOptimizer {
+            pp_catalog,
+            domains,
+            config,
+        }
+    }
+
+    /// The PP catalog.
+    pub fn catalog(&self) -> &PpCatalog {
+        &self.pp_catalog
+    }
+
+    /// Optimizes a plan (no dependency monitor).
+    pub fn optimize(&self, plan: &LogicalPlan, catalog: &Catalog) -> Result<OptimizedQuery> {
+        self.optimize_with_monitor(plan, catalog, None)
+    }
+
+    /// Optimizes a plan, honoring dependency flags when a monitor is
+    /// provided (Appendix A.5).
+    pub fn optimize_with_monitor(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        monitor: Option<&DependencyMonitor>,
+    ) -> Result<OptimizedQuery> {
+        let started = Instant::now();
+        let pushables = pushable_predicates(plan, catalog)?;
+        if pushables.is_empty() {
+            return Ok(OptimizedQuery {
+                plan: plan.clone(),
+                report: PlanReport {
+                    optimize_seconds: started.elapsed().as_secs_f64(),
+                    ..Default::default()
+                },
+            });
+        }
+        // Conjoin pushable predicates per blob table (stacked selects).
+        let mut by_table: Vec<(String, String, Vec<Predicate>)> = Vec::new();
+        for p in pushables {
+            match by_table.iter_mut().find(|(t, _, _)| *t == p.table) {
+                Some((_, _, preds)) => preds.push(p.predicate),
+                None => by_table.push((p.table, p.blob_column, vec![p.predicate])),
+            }
+        }
+
+        let udf_cost = udf_cost_per_blob(plan);
+        let mut out_plan = plan.clone();
+        let mut report = PlanReport {
+            udf_cost_per_blob: udf_cost,
+            ..Default::default()
+        };
+        for (table, blob_column, preds) in by_table {
+            let predicate = if preds.len() == 1 {
+                preds.into_iter().next().expect("len checked")
+            } else {
+                Predicate::And(preds)
+            }
+            .simplify();
+            let outcome = rewrite(&predicate, &self.pp_catalog, &self.domains, &self.config.rewrite);
+            // Dependent-predicate fix: flagged predicates may only use a
+            // single PP.
+            let flagged = monitor.is_some_and(|m| m.is_flagged(&predicate.to_string()));
+            let candidates: Vec<PpExpr> = outcome
+                .candidates
+                .into_iter()
+                .filter(|c| !flagged || c.leaf_count() == 1)
+                .collect();
+            report.predicate = predicate.to_string();
+            report.feasible_count = outcome.feasible_count;
+
+            let mut best: Option<(f64, PlannedPpExpr)> = None;
+            for cand in candidates {
+                let planned = if self.config.use_dp_allocation {
+                    allocate(&cand, self.config.accuracy_target, udf_cost, &self.config.grid)
+                } else {
+                    allocate_uniform(&cand, self.config.accuracy_target, &self.config.grid)
+                };
+                let planned = match planned {
+                    Ok(p) => p,
+                    Err(PpError::InfeasibleAccuracy(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                let cost = plan_cost_per_blob(&planned.estimate, udf_cost);
+                report.candidates.push(CandidateReport {
+                    expr: planned.expr.to_string(),
+                    estimate: planned.estimate,
+                    plan_cost: cost,
+                });
+                if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                    best = Some((cost, planned));
+                }
+            }
+            let Some((cost, planned)) = best else {
+                continue;
+            };
+            if self.config.require_improvement && cost >= udf_cost {
+                continue; // §3: early filtering would not pay off
+            }
+            // Order the PPs for execution, then inject.
+            let planned = reorder(planned)?;
+            report.chosen = Some(ChosenPlan {
+                table: table.clone(),
+                expr: planned.expr.to_string(),
+                leaf_accuracies: planned.assignment.accuracies().to_vec(),
+                estimate: planned.estimate,
+            });
+            let filter = Arc::new(planned.into_filter(blob_column));
+            out_plan = inject_above_scan(&out_plan, &table, filter)?;
+        }
+        report.optimize_seconds = started.elapsed().as_secs_f64();
+        Ok(OptimizedQuery {
+            plan: out_plan,
+            report,
+        })
+    }
+}
+
+/// Reorders the children of every And/Or node by expected sequential cost
+/// (§6.2's ordering exploration), permuting the assignment along.
+fn reorder(planned: PlannedPpExpr) -> Result<PlannedPpExpr> {
+    let (expr, accs) = reorder_rec(&planned.expr, planned.assignment.accuracies())?;
+    let assignment = Assignment::new(accs)?;
+    let estimate = expr.estimate(&assignment)?;
+    Ok(PlannedPpExpr {
+        expr,
+        assignment,
+        estimate,
+    })
+}
+
+fn reorder_rec(expr: &PpExpr, accs: &[f64]) -> Result<(PpExpr, Vec<f64>)> {
+    match expr {
+        PpExpr::Leaf(_) => Ok((expr.clone(), accs.to_vec())),
+        PpExpr::And(children) | PpExpr::Or(children) => {
+            let gate = if matches!(expr, PpExpr::And(_)) {
+                Gate::Conjunction
+            } else {
+                Gate::Disjunction
+            };
+            // Slice the assignment per child, recurse, and estimate each.
+            let mut offset = 0usize;
+            let mut rebuilt: Vec<(PpExpr, Vec<f64>, OrderItem)> = Vec::with_capacity(children.len());
+            for child in children {
+                let n = child.leaf_count();
+                let slice = &accs[offset..offset + n];
+                offset += n;
+                let (sub, sub_accs) = reorder_rec(child, slice)?;
+                let est = sub.estimate(&Assignment::new(sub_accs.clone())?)?;
+                rebuilt.push((
+                    sub,
+                    sub_accs,
+                    OrderItem {
+                        cost: est.cost,
+                        reduction: est.reduction,
+                    },
+                ));
+            }
+            let items: Vec<OrderItem> = rebuilt.iter().map(|(_, _, i)| *i).collect();
+            let (order, _) = best_order(&items, gate);
+            let mut new_children = Vec::with_capacity(rebuilt.len());
+            let mut new_accs = Vec::with_capacity(accs.len());
+            for &i in &order {
+                new_children.push(rebuilt[i].0.clone());
+                new_accs.extend_from_slice(&rebuilt[i].1);
+            }
+            let node = match gate {
+                Gate::Conjunction => PpExpr::And(new_children),
+                Gate::Disjunction => PpExpr::Or(new_children),
+            };
+            Ok((node, new_accs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pp::tests::trained_pp;
+    use crate::pp::ProbabilisticPredicate;
+    use pp_engine::udf::ClosureProcessor;
+    use pp_engine::{Column, CompareOp, DataType, Row, Rowset, Schema, Value};
+    use pp_linalg::Features;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    /// Blob table where blob[0] > 0 ⇔ "SUV"; a UDF materializes vehType.
+    fn setup(n: usize, seed: u64) -> (Catalog, LogicalPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = Schema::new(vec![
+            Column::new("frameID", DataType::Int),
+            Column::new("frame", DataType::Blob),
+        ])
+        .unwrap();
+        let rows = (0..n)
+            .map(|i| {
+                let pos = rng.gen_bool(0.3);
+                let cx = if pos { 2.0 } else { -2.0 };
+                Row::new(vec![
+                    Value::Int(i as i64),
+                    Value::blob(Features::Dense(vec![
+                        cx + rng.gen_range(-1.0..1.0),
+                        rng.gen_range(-1.0..1.0),
+                    ])),
+                ])
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.register("video", Rowset::new(schema, rows).unwrap());
+        let udf = Arc::new(ClosureProcessor::map(
+            "VehType",
+            vec![Column::new("vehType", DataType::Str)],
+            5.0,
+            |row, schema| {
+                let blob = row.get_named(schema, "frame")?.as_blob()?;
+                Ok(vec![Value::str(if blob.to_dense()[0] > 0.0 { "SUV" } else { "sedan" })])
+            },
+        ));
+        let plan = LogicalPlan::scan("video")
+            .process(udf)
+            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+        (cat, plan)
+    }
+
+    fn pp_catalog() -> PpCatalog {
+        // A PP trained on exactly the blob geometry of `setup`.
+        let mut cat = PpCatalog::new();
+        let base = trained_pp(0.3, 7, 0.01);
+        cat.insert(
+            ProbabilisticPredicate::new(
+                Predicate::clause("vehType", CompareOp::Eq, "SUV"),
+                base.pipeline().clone(),
+                0.01,
+            )
+            .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn injects_and_preserves_results() {
+        let (cat, plan) = setup(400, 1);
+        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat).unwrap();
+        assert!(optimized.report.chosen.is_some(), "{:?}", optimized.report);
+
+        let model = pp_engine::cost::CostModel::default();
+        let mut m0 = pp_engine::CostMeter::new();
+        let baseline = pp_engine::execute(&plan, &cat, &mut m0, &model).unwrap();
+        let mut m1 = pp_engine::CostMeter::new();
+        let with_pp = pp_engine::execute(&optimized.plan, &cat, &mut m1, &model).unwrap();
+
+        // No false positives: every output row of the PP plan is an
+        // output of the original plan, and cost strictly improves.
+        assert!(with_pp.len() <= baseline.len());
+        assert!(with_pp.len() as f64 >= 0.85 * baseline.len() as f64);
+        assert!(m1.cluster_seconds() < m0.cluster_seconds());
+    }
+
+    #[test]
+    fn accuracy_one_keeps_everything_the_pp_guarantees() {
+        let (cat, plan) = setup(400, 2);
+        let config = QoConfig { accuracy_target: 1.0, ..Default::default() };
+        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), config);
+        let optimized = qo.optimize(&plan, &cat).unwrap();
+        if let Some(chosen) = &optimized.report.chosen {
+            for &a in &chosen.leaf_accuracies {
+                assert_eq!(a, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn no_catalog_returns_original_plan() {
+        let (cat, plan) = setup(100, 3);
+        let qo = PpQueryOptimizer::new(PpCatalog::new(), Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat).unwrap();
+        assert!(optimized.report.chosen.is_none());
+        assert_eq!(optimized.plan.explain(), plan.explain());
+    }
+
+    #[test]
+    fn expensive_pp_not_injected_when_udf_is_cheap() {
+        let (cat, _) = setup(100, 4);
+        // A UDF costing less than the PP itself.
+        let udf = Arc::new(ClosureProcessor::map(
+            "Cheap",
+            vec![Column::new("vehType", DataType::Str)],
+            1e-6,
+            |_, _| Ok(vec![Value::str("SUV")]),
+        ));
+        let plan = LogicalPlan::scan("video")
+            .process(udf)
+            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat).unwrap();
+        assert!(optimized.report.chosen.is_none(), "should not inject: {:?}", optimized.report.chosen);
+    }
+
+    #[test]
+    fn flagged_predicate_limited_to_single_pp() {
+        let (cat, plan) = setup(300, 5);
+        // Catalog with two PPs for the same clause family so multi-PP
+        // candidates exist: vehType = SUV and vehType != sedan.
+        let mut ppcat = pp_catalog();
+        let base = trained_pp(0.3, 8, 0.01);
+        ppcat.insert(
+            ProbabilisticPredicate::new(
+                Predicate::clause("vehType", CompareOp::Ne, "sedan"),
+                base.pipeline().clone(),
+                0.01,
+            )
+            .unwrap(),
+        );
+        let qo = PpQueryOptimizer::new(ppcat, Domains::new(), QoConfig::default());
+        let monitor = DependencyMonitor::new();
+        monitor.observe(
+            "vehType = SUV",
+            crate::runtime::Observation { estimated_reduction: 0.9, observed_reduction: 0.2 },
+        );
+        let optimized = qo
+            .optimize_with_monitor(&plan, &cat, Some(&monitor))
+            .unwrap();
+        if let Some(chosen) = &optimized.report.chosen {
+            assert_eq!(chosen.leaf_accuracies.len(), 1, "flagged predicate must use one PP");
+        }
+    }
+
+    #[test]
+    fn report_contains_candidates_and_range() {
+        let (cat, plan) = setup(300, 6);
+        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat).unwrap();
+        assert!(!optimized.report.candidates.is_empty());
+        assert!(optimized.report.reduction_range().is_some());
+        assert!(optimized.report.udf_cost_per_blob > 0.0);
+        assert_eq!(optimized.report.predicate, "vehType = SUV");
+        assert!(optimized.report.optimize_seconds >= 0.0);
+    }
+}

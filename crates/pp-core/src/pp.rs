@@ -1,0 +1,193 @@
+//! The probabilistic predicate itself.
+//!
+//! "A PP for predicate clause p is uniquely characterized by the triple
+//! PP_p = ⟨𝒟, m, r(a]⟩" (§5): the training set, the approach picked by
+//! model selection, and the accuracy-parametrized reduction curve. Here a
+//! [`ProbabilisticPredicate`] bundles the predicate it mimics, the trained
+//! [`pp_ml::Pipeline`] (approach + calibration), and its per-blob execution
+//! cost in simulated cluster seconds.
+
+use std::sync::Arc;
+
+use pp_engine::Predicate;
+use pp_linalg::Features;
+use pp_ml::Pipeline;
+
+use crate::{PpError, Result};
+
+/// A trained probabilistic predicate.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticPredicate {
+    predicate: Predicate,
+    pipeline: Arc<Pipeline>,
+    /// Per-blob execution cost in simulated cluster seconds (the `c` of
+    /// §3). Defaults to the measured wall-clock inference cost but is
+    /// usually set explicitly by the workload so that the simulated cost
+    /// model stays machine-independent.
+    cost_per_row: f64,
+}
+
+impl ProbabilisticPredicate {
+    /// Wraps a trained pipeline as the PP for `predicate`, with an explicit
+    /// simulated per-blob cost.
+    pub fn new(predicate: Predicate, pipeline: Pipeline, cost_per_row: f64) -> Result<Self> {
+        if cost_per_row.is_nan() || cost_per_row < 0.0 {
+            return Err(PpError::InvalidParameter("cost_per_row must be >= 0"));
+        }
+        Ok(ProbabilisticPredicate {
+            predicate,
+            pipeline: Arc::new(pipeline),
+            cost_per_row,
+        })
+    }
+
+    /// Wraps a trained pipeline, using its measured wall-clock inference
+    /// cost as the simulated cost.
+    pub fn from_measured(predicate: Predicate, pipeline: Pipeline) -> Self {
+        let cost = pipeline.test_seconds_per_blob();
+        ProbabilisticPredicate {
+            predicate,
+            pipeline: Arc::new(pipeline),
+            cost_per_row: cost,
+        }
+    }
+
+    /// The predicate this PP mimics.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// Canonical identity string (catalog key / display).
+    pub fn key(&self) -> String {
+        self.predicate.to_string()
+    }
+
+    /// The underlying trained pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// Per-blob execution cost in simulated cluster seconds.
+    pub fn cost_per_row(&self) -> f64 {
+        self.cost_per_row
+    }
+
+    /// Predicted data reduction at accuracy `a` (validation estimate).
+    pub fn reduction(&self, a: f64) -> Result<f64> {
+        Ok(self.pipeline.reduction(a)?)
+    }
+
+    /// The decision for one blob at accuracy `a` (Eq. 2): `true` keeps the
+    /// blob.
+    pub fn passes(&self, blob: &Features, a: f64) -> Result<bool> {
+        Ok(self.pipeline.passes(blob, a)?)
+    }
+
+    /// Raw classifier score `f(ψ(x))`.
+    pub fn score(&self, blob: &Features) -> f64 {
+        self.pipeline.score(blob)
+    }
+
+    /// The intrinsic cost-to-reduction ratio `c / r(1]` used by the QO's
+    /// greedy pruning (§6.1: "a smaller ratio of cost to data reduction ...
+    /// indicates better performance"). Returns `f64::INFINITY` when the PP
+    /// achieves no reduction at full accuracy.
+    pub fn efficiency_ratio(&self) -> f64 {
+        match self.pipeline.reduction(1.0) {
+            Ok(r) if r > 0.0 => self.cost_per_row / r,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// The selectivity of the mimicked predicate observed on validation
+    /// data.
+    pub fn observed_selectivity(&self) -> f64 {
+        self.pipeline.calibration().selectivity()
+    }
+
+    /// Training wall time in seconds (reported in Tables 5/9).
+    pub fn train_seconds(&self) -> f64 {
+        self.pipeline.train_seconds()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use pp_engine::CompareOp;
+    use pp_ml::dataset::{LabeledSet, Sample};
+    use pp_ml::pipeline::{Approach, ModelSpec};
+    use pp_ml::reduction::ReducerSpec;
+    use pp_ml::svm::SvmParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    pub(crate) fn trained_pp(selectivity: f64, seed: u64, cost: f64) -> ProbabilisticPredicate {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = LabeledSet::new(
+            (0..500)
+                .map(|_| {
+                    let pos = rng.gen_bool(selectivity);
+                    let cx = if pos { 2.0 } else { -2.0 };
+                    Sample::new(
+                        vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                        pos,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let (train, val, _) = data.split(0.7, 0.3, seed).unwrap();
+        let approach = Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Svm(SvmParams::default()),
+        };
+        let pipeline = Pipeline::train(&approach, &train, &val, seed).unwrap();
+        ProbabilisticPredicate::new(
+            Predicate::clause("t", CompareOp::Eq, "SUV"),
+            pipeline,
+            cost,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pp_filters_with_accuracy_guarantee() {
+        let pp = trained_pp(0.3, 1, 0.001);
+        assert!(pp.reduction(0.95).unwrap() > 0.3);
+        assert!(pp.reduction(1.0).unwrap() <= pp.reduction(0.9).unwrap());
+        // Positive-looking blob passes, negative-looking blob fails.
+        assert!(pp.passes(&Features::Dense(vec![2.5, 0.0]), 0.95).unwrap());
+        assert!(!pp.passes(&Features::Dense(vec![-2.5, 0.0]), 0.95).unwrap());
+    }
+
+    #[test]
+    fn efficiency_ratio_scales_with_cost() {
+        let cheap = trained_pp(0.3, 2, 0.001);
+        let pricey = trained_pp(0.3, 2, 0.1);
+        assert!(cheap.efficiency_ratio() < pricey.efficiency_ratio());
+    }
+
+    #[test]
+    fn key_is_predicate_string() {
+        let pp = trained_pp(0.3, 3, 0.001);
+        assert_eq!(pp.key(), "t = SUV");
+    }
+
+    #[test]
+    fn negative_cost_rejected() {
+        let pp = trained_pp(0.3, 4, 0.001);
+        let pipeline = (*pp.pipeline).clone();
+        assert!(matches!(
+            ProbabilisticPredicate::new(pp.predicate.clone(), pipeline, -1.0),
+            Err(PpError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn observed_selectivity_tracks_data() {
+        let pp = trained_pp(0.3, 5, 0.001);
+        let s = pp.observed_selectivity();
+        assert!((0.2..0.4).contains(&s), "selectivity={s}");
+    }
+}

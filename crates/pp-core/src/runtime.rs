@@ -1,0 +1,130 @@
+//! The dependent-predicate runtime fix (Appendix A.5).
+//!
+//! "If the PPs upon multiple predicate columns are dependent, the cost and
+//! reduction rate estimation ... will be suboptimal. In such case, we apply
+//! a runtime fix. If we observe that the PP cost and reduction rate at
+//! runtime differ dramatically from their estimations, we flag such
+//! predicates as possibly dependent so that the QO will only use one PP
+//! (and not a combination of dependent PPs) in the future for that
+//! predicate."
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// One runtime observation of a PP expression's behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Reduction predicted by the QO's estimate.
+    pub estimated_reduction: f64,
+    /// Reduction actually observed during execution.
+    pub observed_reduction: f64,
+}
+
+impl Observation {
+    /// Absolute deviation between estimate and observation.
+    pub fn deviation(&self) -> f64 {
+        (self.estimated_reduction - self.observed_reduction).abs()
+    }
+}
+
+/// Tracks per-predicate estimate-vs-observation deviations and flags
+/// predicates whose multi-PP combinations appear dependent.
+#[derive(Debug, Default)]
+pub struct DependencyMonitor {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    history: HashMap<String, Vec<Observation>>,
+    flagged: HashMap<String, bool>,
+}
+
+/// Deviation above which a single observation is "dramatic".
+const DEVIATION_THRESHOLD: f64 = 0.15;
+
+impl DependencyMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        DependencyMonitor::default()
+    }
+
+    /// Records an execution of a (multi-PP) plan for `predicate_key` —
+    /// canonically `predicate.to_string()`.
+    pub fn observe(&self, predicate_key: &str, obs: Observation) {
+        let mut inner = self.inner.write();
+        inner
+            .history
+            .entry(predicate_key.to_string())
+            .or_default()
+            .push(obs);
+        if obs.deviation() > DEVIATION_THRESHOLD {
+            inner.flagged.insert(predicate_key.to_string(), true);
+        }
+    }
+
+    /// Whether the predicate has been flagged as possibly dependent; the
+    /// planner restricts flagged predicates to single-PP expressions.
+    pub fn is_flagged(&self, predicate_key: &str) -> bool {
+        self.inner.read().flagged.get(predicate_key).copied().unwrap_or(false)
+    }
+
+    /// All recorded observations for a predicate.
+    pub fn history(&self, predicate_key: &str) -> Vec<Observation> {
+        self.inner
+            .read()
+            .history
+            .get(predicate_key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Clears a flag (e.g. after retraining the PPs involved).
+    pub fn clear(&self, predicate_key: &str) {
+        let mut inner = self.inner.write();
+        inner.flagged.remove(predicate_key);
+        inner.history.remove(predicate_key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_deviation_not_flagged() {
+        let m = DependencyMonitor::new();
+        m.observe("t = SUV", Observation { estimated_reduction: 0.5, observed_reduction: 0.45 });
+        assert!(!m.is_flagged("t = SUV"));
+        assert_eq!(m.history("t = SUV").len(), 1);
+    }
+
+    #[test]
+    fn dramatic_deviation_flags() {
+        let m = DependencyMonitor::new();
+        m.observe(
+            "(t = SUV) AND (c = red)",
+            Observation { estimated_reduction: 0.8, observed_reduction: 0.4 },
+        );
+        assert!(m.is_flagged("(t = SUV) AND (c = red)"));
+        // Other predicates unaffected.
+        assert!(!m.is_flagged("t = SUV"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = DependencyMonitor::new();
+        m.observe("p", Observation { estimated_reduction: 1.0, observed_reduction: 0.0 });
+        assert!(m.is_flagged("p"));
+        m.clear("p");
+        assert!(!m.is_flagged("p"));
+        assert!(m.history("p").is_empty());
+    }
+
+    #[test]
+    fn deviation_math() {
+        let o = Observation { estimated_reduction: 0.7, observed_reduction: 0.55 };
+        assert!((o.deviation() - 0.15).abs() < 1e-12);
+    }
+}

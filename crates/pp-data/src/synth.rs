@@ -1,0 +1,101 @@
+//! Shared machinery for the synthetic generators.
+
+use pp_linalg::rng::derive_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic unit-norm "embedding" vector for a named entity
+/// (object class, vehicle attribute value, …), stable across calls.
+pub fn embedding(dim: usize, name: &str, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, name));
+    let mut v: Vec<f64> = (0..dim).map(|_| standard_normal(&mut rng)).collect();
+    let norm = pp_linalg::dense::norm2(&v).max(1e-12);
+    pp_linalg::dense::scale(1.0 / norm, &mut v);
+    v
+}
+
+/// A standard-normal sample via Box–Muller (the `rand` crate alone ships
+/// no normal distribution).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Adds iid Gaussian noise of the given scale.
+pub fn add_noise(v: &mut [f64], scale: f64, rng: &mut StdRng) {
+    for x in v.iter_mut() {
+        *x += scale * standard_normal(rng);
+    }
+}
+
+/// Samples an index from unnormalized weights.
+pub fn weighted_choice(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut t = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if t < *w {
+            return i;
+        }
+        t -= w;
+    }
+    weights.len() - 1
+}
+
+/// A Zipf-ish rank sampler over `n` items (used for background words in
+/// the document corpus).
+pub fn zipf_rank(n: usize, exponent: f64, rng: &mut StdRng) -> usize {
+    // Inverse-CDF on the continuous approximation; adequate for data
+    // generation.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let r = ((n as f64).powf(1.0 - exponent) * u + (1.0 - u)).powf(1.0 / (1.0 - exponent));
+    (r.floor() as usize).clamp(1, n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_stable_and_unit_norm() {
+        let a = embedding(32, "SUV", 7);
+        let b = embedding(32, "SUV", 7);
+        let c = embedding(32, "sedan", 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!((pp_linalg::dense::norm2(&a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        assert!(pp_linalg::stats::mean(&xs).abs() < 0.05);
+        assert!((pp_linalg::stats::variance(&xs) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..9_000 {
+            counts[weighted_choice(&[1.0, 2.0, 6.0], &mut rng)] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        assert!((counts[2] as f64 / 9_000.0 - 2.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn zipf_head_is_heavy() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0usize;
+        for _ in 0..5_000 {
+            if zipf_rank(1_000, 1.1, &mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // The top-10 ranks of a Zipf(1.1) over 1000 items carry a large
+        // share of the mass.
+        assert!(head > 1_000, "head={head}");
+    }
+}

@@ -1,0 +1,68 @@
+//! The table catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::row::Rowset;
+use crate::{EngineError, Result};
+
+/// Named, materialized tables visible to plans.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Rowset>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table.
+    pub fn register(&mut self, name: impl Into<String>, table: Rowset) {
+        self.tables.insert(name.into(), Arc::new(table));
+    }
+
+    /// Registers a shared table without copying.
+    pub fn register_shared(&mut self, name: impl Into<String>, table: Arc<Rowset>) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Arc<Rowset>> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Table names (unordered).
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType, Schema};
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        c.register("t", Rowset::empty(schema));
+        assert!(c.table("t").is_ok());
+        assert!(matches!(c.table("missing"), Err(EngineError::UnknownTable(_))));
+        assert_eq!(c.table_names().count(), 1);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        c.register("t", Rowset::empty(schema.clone()));
+        let schema2 = Schema::new(vec![Column::new("y", DataType::Str)]).unwrap();
+        c.register("t", Rowset::empty(schema2));
+        assert!(c.table("t").unwrap().schema().contains("y"));
+    }
+}

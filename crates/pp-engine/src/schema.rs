@@ -1,0 +1,143 @@
+//! Column schemas.
+
+use std::sync::Arc;
+
+use crate::{EngineError, Result};
+
+/// Logical data types for columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Raw unstructured blob.
+    Blob,
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered set of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate column names.
+    pub fn new(columns: Vec<Column>) -> Result<Arc<Schema>> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(EngineError::InvalidPlan(format!(
+                    "duplicate column name: {}",
+                    c.name
+                )));
+            }
+        }
+        Ok(Arc::new(Schema { columns }))
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True for a zero-column schema.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))
+    }
+
+    /// Whether a column exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name == name)
+    }
+
+    /// The column definition by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let idx = self.index_of(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// A new schema with extra columns appended (used by Process nodes).
+    pub fn extend(&self, extra: &[Column]) -> Result<Arc<Schema>> {
+        let mut cols = self.columns.clone();
+        cols.extend_from_slice(extra);
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Arc<Schema> {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("frame", DataType::Blob),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let schema = s();
+        assert_eq!(schema.index_of("id").unwrap(), 0);
+        assert_eq!(schema.index_of("frame").unwrap(), 1);
+        assert!(schema.index_of("missing").is_err());
+        assert!(schema.contains("id"));
+        assert_eq!(schema.column("frame").unwrap().dtype, DataType::Blob);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Str),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn extend_appends() {
+        let schema = s();
+        let bigger = schema.extend(&[Column::new("vehType", DataType::Str)]).unwrap();
+        assert_eq!(bigger.len(), 3);
+        assert_eq!(bigger.index_of("vehType").unwrap(), 2);
+        // Extending with a duplicate fails.
+        assert!(schema.extend(&[Column::new("id", DataType::Int)]).is_err());
+    }
+}

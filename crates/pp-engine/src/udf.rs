@@ -1,0 +1,350 @@
+//! UDF templates: processors, reducers, combiners, and row filters.
+//!
+//! Mirrors §4 "Language support for UDFs": *processors* encapsulate row
+//! manipulators producing "one or more output rows per input row" (data
+//! ingestion, per-blob ML operations such as feature extraction);
+//! *reducers* encapsulate operations over groups of related items
+//! (context-based ML such as object tracking); *combiners* encapsulate
+//! custom joins over multiple groups.
+//!
+//! [`RowFilter`] is the hook through which probabilistic predicates enter a
+//! plan: a filter executes directly on rows (typically raw blob rows),
+//! charges its own (small) cost, and drops rows that fail.
+//!
+//! Every UDF declares a per-input-row cost in simulated cluster seconds —
+//! the `u` (UDF cost) and `c` (early-filter cost) of §3's cost model.
+
+use std::sync::Arc;
+
+use crate::row::Row;
+use crate::schema::{Column, Schema};
+use crate::value::Value;
+use crate::{EngineError, Result};
+
+/// A processor UDF: appends columns, emitting zero or more output rows per
+/// input row.
+pub trait Processor: Send + Sync {
+    /// Unique UDF name.
+    fn name(&self) -> &str;
+    /// The columns this processor appends to its input schema.
+    fn output_columns(&self) -> &[Column];
+    /// Simulated cluster seconds charged per *input* row.
+    fn cost_per_row(&self) -> f64;
+    /// Produces the appended cells for each output row derived from `row`.
+    /// Returning an empty vec drops the row (e.g. a detector finding no
+    /// vehicles).
+    fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>>;
+}
+
+/// A reducer UDF: consumes a group of related rows, emits aggregated rows.
+pub trait Reducer: Send + Sync {
+    /// Unique UDF name.
+    fn name(&self) -> &str;
+    /// Columns to group on (the "partition" of partition-shuffle-aggregate).
+    fn key_columns(&self) -> &[String];
+    /// The full output schema of emitted rows.
+    fn output_columns(&self) -> &[Column];
+    /// Simulated cluster seconds charged per input row.
+    fn cost_per_row(&self) -> f64;
+    /// Reduces one group (all rows sharing the key) to output rows.
+    fn reduce(&self, group: &[Row], schema: &Schema) -> Result<Vec<Row>>;
+}
+
+/// A combiner UDF: a custom join over two grouped inputs.
+pub trait Combiner: Send + Sync {
+    /// Unique UDF name.
+    fn name(&self) -> &str;
+    /// Join key column on the left input.
+    fn left_key(&self) -> &str;
+    /// Join key column on the right input.
+    fn right_key(&self) -> &str;
+    /// The full output schema of emitted rows.
+    fn output_columns(&self) -> &[Column];
+    /// Simulated cluster seconds charged per (left + right) input row.
+    fn cost_per_row(&self) -> f64;
+    /// Combines the matching groups for one key value.
+    fn combine(
+        &self,
+        left: &[Row],
+        right: &[Row],
+        left_schema: &Schema,
+        right_schema: &Schema,
+    ) -> Result<Vec<Row>>;
+}
+
+/// A row-level filter — the physical form a probabilistic predicate takes
+/// inside a plan.
+pub trait RowFilter: Send + Sync {
+    /// Display name (e.g. `PP[t = SUV]@0.95`).
+    fn name(&self) -> &str;
+    /// Simulated cluster seconds charged per input row (the `c` of §3).
+    fn cost_per_row(&self) -> f64;
+    /// Whether the row survives the filter.
+    fn passes(&self, row: &Row, schema: &Schema) -> Result<bool>;
+}
+
+/// A [`Processor`] built from a closure, for dataset-defined UDFs.
+pub struct ClosureProcessor {
+    name: String,
+    output_columns: Vec<Column>,
+    cost_per_row: f64,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&Row, &Schema) -> Result<Vec<Vec<Value>>> + Send + Sync>,
+}
+
+impl ClosureProcessor {
+    /// Creates a processor from a closure returning appended cells.
+    pub fn new<F>(
+        name: impl Into<String>,
+        output_columns: Vec<Column>,
+        cost_per_row: f64,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&Row, &Schema) -> Result<Vec<Vec<Value>>> + Send + Sync + 'static,
+    {
+        ClosureProcessor {
+            name: name.into(),
+            output_columns,
+            cost_per_row,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Creates a 1:1 processor that maps each input row to exactly one
+    /// output row.
+    pub fn map<F>(
+        name: impl Into<String>,
+        output_columns: Vec<Column>,
+        cost_per_row: f64,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&Row, &Schema) -> Result<Vec<Value>> + Send + Sync + 'static,
+    {
+        Self::new(name, output_columns, cost_per_row, move |row, schema| {
+            Ok(vec![f(row, schema)?])
+        })
+    }
+}
+
+impl std::fmt::Debug for ClosureProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosureProcessor")
+            .field("name", &self.name)
+            .field("cost_per_row", &self.cost_per_row)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Processor for ClosureProcessor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn output_columns(&self) -> &[Column] {
+        &self.output_columns
+    }
+    fn cost_per_row(&self) -> f64 {
+        self.cost_per_row
+    }
+    fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>> {
+        let rows = (self.f)(row, schema)?;
+        for cells in &rows {
+            if cells.len() != self.output_columns.len() {
+                return Err(EngineError::Udf(format!(
+                    "{}: produced {} cells, declared {} output columns",
+                    self.name,
+                    cells.len(),
+                    self.output_columns.len()
+                )));
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// A [`Reducer`] built from a closure.
+pub struct ClosureReducer {
+    name: String,
+    key_columns: Vec<String>,
+    output_columns: Vec<Column>,
+    cost_per_row: f64,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&[Row], &Schema) -> Result<Vec<Row>> + Send + Sync>,
+}
+
+impl ClosureReducer {
+    /// Creates a reducer from a closure over one group.
+    pub fn new<F>(
+        name: impl Into<String>,
+        key_columns: Vec<String>,
+        output_columns: Vec<Column>,
+        cost_per_row: f64,
+        f: F,
+    ) -> Self
+    where
+        F: Fn(&[Row], &Schema) -> Result<Vec<Row>> + Send + Sync + 'static,
+    {
+        ClosureReducer {
+            name: name.into(),
+            key_columns,
+            output_columns,
+            cost_per_row,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClosureReducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosureReducer")
+            .field("name", &self.name)
+            .field("key_columns", &self.key_columns)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Reducer for ClosureReducer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn key_columns(&self) -> &[String] {
+        &self.key_columns
+    }
+    fn output_columns(&self) -> &[Column] {
+        &self.output_columns
+    }
+    fn cost_per_row(&self) -> f64 {
+        self.cost_per_row
+    }
+    fn reduce(&self, group: &[Row], schema: &Schema) -> Result<Vec<Row>> {
+        (self.f)(group, schema)
+    }
+}
+
+/// A [`RowFilter`] built from a closure (used for deterministic filters and
+/// in tests; PPs provide their own implementation in `pp-core`).
+pub struct ClosureFilter {
+    name: String,
+    cost_per_row: f64,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&Row, &Schema) -> Result<bool> + Send + Sync>,
+}
+
+impl ClosureFilter {
+    /// Creates a filter from a predicate closure.
+    pub fn new<F>(name: impl Into<String>, cost_per_row: f64, f: F) -> Self
+    where
+        F: Fn(&Row, &Schema) -> Result<bool> + Send + Sync + 'static,
+    {
+        ClosureFilter {
+            name: name.into(),
+            cost_per_row,
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClosureFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClosureFilter")
+            .field("name", &self.name)
+            .field("cost_per_row", &self.cost_per_row)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RowFilter for ClosureFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn cost_per_row(&self) -> f64 {
+        self.cost_per_row
+    }
+    fn passes(&self, row: &Row, schema: &Schema) -> Result<bool> {
+        (self.f)(row, schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Column::new("x", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn closure_processor_validates_arity() {
+        let p = ClosureProcessor::new(
+            "bad",
+            vec![Column::new("y", DataType::Int)],
+            0.1,
+            |_, _| Ok(vec![vec![Value::Int(1), Value::Int(2)]]),
+        );
+        let s = schema();
+        assert!(p.process(&Row::new(vec![Value::Int(0)]), &s).is_err());
+    }
+
+    #[test]
+    fn map_processor_is_one_to_one() {
+        let p = ClosureProcessor::map(
+            "double",
+            vec![Column::new("y", DataType::Int)],
+            0.5,
+            |row, _| Ok(vec![Value::Int(row.get(0).as_int()? * 2)]),
+        );
+        let s = schema();
+        let out = p.process(&Row::new(vec![Value::Int(21)]), &s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0][0].sql_eq(&Value::Int(42)));
+        assert_eq!(p.cost_per_row(), 0.5);
+        assert_eq!(p.name(), "double");
+    }
+
+    #[test]
+    fn processor_can_fan_out_or_drop() {
+        let p = ClosureProcessor::new(
+            "detector",
+            vec![Column::new("box", DataType::Int)],
+            1.0,
+            |row, _| {
+                let n = row.get(0).as_int()?;
+                Ok((0..n).map(|i| vec![Value::Int(i)]).collect())
+            },
+        );
+        let s = schema();
+        assert_eq!(p.process(&Row::new(vec![Value::Int(3)]), &s).unwrap().len(), 3);
+        assert!(p.process(&Row::new(vec![Value::Int(0)]), &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn closure_filter_passes() {
+        let f = ClosureFilter::new("even", 0.01, |row, _| Ok(row.get(0).as_int()? % 2 == 0));
+        let s = schema();
+        assert!(f.passes(&Row::new(vec![Value::Int(4)]), &s).unwrap());
+        assert!(!f.passes(&Row::new(vec![Value::Int(3)]), &s).unwrap());
+    }
+
+    #[test]
+    fn closure_reducer_reduces() {
+        let r = ClosureReducer::new(
+            "count",
+            vec!["x".to_string()],
+            vec![Column::new("x", DataType::Int), Column::new("n", DataType::Int)],
+            0.2,
+            |group, _schema| {
+                Ok(vec![Row::new(vec![
+                    group[0].get(0).clone(),
+                    Value::Int(group.len() as i64),
+                ])])
+            },
+        );
+        let s = schema();
+        let group = vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(1)])];
+        let out = r.reduce(&group, &s).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].get(1).sql_eq(&Value::Int(2)));
+    }
+}

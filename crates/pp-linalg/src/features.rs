@@ -1,0 +1,154 @@
+//! Unified dense/sparse feature representation for data blobs.
+//!
+//! The paper's PP input is "a simple representation of the data blob, e.g.
+//! raw pixels for images ... and tokenized word vectors for documents"
+//! (§5.6). Images/videos are dense; documents are sparse. [`Features`] lets
+//! the classifiers and dimension reducers accept either without copying.
+
+use crate::dense;
+use crate::sparse::SparseVector;
+
+/// The raw feature vector of a data blob: dense (pixels, frames) or sparse
+/// (bag-of-words).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Features {
+    /// Dense coordinates.
+    Dense(Vec<f64>),
+    /// Sparse coordinates.
+    Sparse(SparseVector),
+}
+
+impl Features {
+    /// Logical dimensionality.
+    pub fn dim(&self) -> usize {
+        match self {
+            Features::Dense(v) => v.len(),
+            Features::Sparse(s) => s.dim(),
+        }
+    }
+
+    /// Number of stored entries (equal to `dim()` for dense vectors).
+    pub fn nnz(&self) -> usize {
+        match self {
+            Features::Dense(v) => v.len(),
+            Features::Sparse(s) => s.nnz(),
+        }
+    }
+
+    /// True when the representation is sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Features::Sparse(_))
+    }
+
+    /// Dot product with a dense weight vector of the same dimension.
+    pub fn dot(&self, weights: &[f64]) -> f64 {
+        match self {
+            Features::Dense(v) => dense::dot(v, weights),
+            Features::Sparse(s) => s.dot_dense(weights),
+        }
+    }
+
+    /// Adds `alpha * self` into a dense accumulator.
+    pub fn axpy_into(&self, alpha: f64, acc: &mut [f64]) {
+        match self {
+            Features::Dense(v) => dense::axpy(alpha, v, acc),
+            Features::Sparse(s) => s.axpy_into(alpha, acc),
+        }
+    }
+
+    /// Squared Euclidean norm.
+    pub fn sq_norm(&self) -> f64 {
+        match self {
+            Features::Dense(v) => dense::dot(v, v),
+            Features::Sparse(s) => s.sq_norm(),
+        }
+    }
+
+    /// Materializes a dense copy (cheap for dense, O(dim) for sparse).
+    pub fn to_dense(&self) -> Vec<f64> {
+        match self {
+            Features::Dense(v) => v.clone(),
+            Features::Sparse(s) => s.to_dense(),
+        }
+    }
+
+    /// Borrows the dense buffer if this is a dense vector.
+    pub fn as_dense(&self) -> Option<&[f64]> {
+        match self {
+            Features::Dense(v) => Some(v),
+            Features::Sparse(_) => None,
+        }
+    }
+
+    /// Iterates stored `(index, value)` pairs in increasing index order.
+    pub fn iter_nonzero(&self) -> Box<dyn Iterator<Item = (u32, f64)> + '_> {
+        match self {
+            Features::Dense(v) => Box::new(
+                v.iter()
+                    .enumerate()
+                    .filter(|(_, v)| **v != 0.0)
+                    .map(|(i, v)| (i as u32, *v)),
+            ),
+            Features::Sparse(s) => Box::new(s.iter()),
+        }
+    }
+}
+
+impl From<Vec<f64>> for Features {
+    fn from(v: Vec<f64>) -> Self {
+        Features::Dense(v)
+    }
+}
+
+impl From<SparseVector> for Features {
+    fn from(s: SparseVector) -> Self {
+        Features::Sparse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(dim: usize, pairs: &[(u32, f64)]) -> Features {
+        Features::Sparse(SparseVector::from_pairs(dim, pairs.to_vec()).unwrap())
+    }
+
+    #[test]
+    fn dense_sparse_dot_agree() {
+        let s = sparse(4, &[(1, 2.0), (3, -1.0)]);
+        let d = Features::Dense(s.to_dense());
+        let w = [0.5, 1.5, 2.5, 3.5];
+        assert_eq!(s.dot(&w), d.dot(&w));
+    }
+
+    #[test]
+    fn axpy_agree() {
+        let s = sparse(3, &[(0, 1.0), (2, 2.0)]);
+        let d = Features::Dense(s.to_dense());
+        let mut acc_s = vec![1.0; 3];
+        let mut acc_d = vec![1.0; 3];
+        s.axpy_into(2.0, &mut acc_s);
+        d.axpy_into(2.0, &mut acc_d);
+        assert_eq!(acc_s, acc_d);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let d = Features::Dense(vec![0.0, 1.0, 0.0, 2.0]);
+        let got: Vec<_> = d.iter_nonzero().collect();
+        assert_eq!(got, vec![(1, 1.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn metadata() {
+        let s = sparse(100, &[(7, 1.0)]);
+        assert_eq!(s.dim(), 100);
+        assert_eq!(s.nnz(), 1);
+        assert!(s.is_sparse());
+        assert!(s.as_dense().is_none());
+        let d = Features::Dense(vec![0.0; 4]);
+        assert_eq!(d.nnz(), 4);
+        assert!(d.as_dense().is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! A k-d tree over dense points (Bentley 1975).
+//!
+//! §5.2 of the paper: applying a KDE-based PP naively requires a pass over
+//! the whole training set per test blob; instead "we use a k-d tree, a data
+//! structure that partitions the data by its dimensions", and estimate the
+//! density from the `n' ≪ n` retrieved neighbors.
+//!
+//! The tree stores point indices into a caller-owned point array and
+//! supports exact k-nearest-neighbor queries via branch-and-bound.
+
+use crate::dense::sq_dist;
+use crate::{LinalgError, Result};
+use std::collections::BinaryHeap;
+
+/// A node of the k-d tree, packed in a flat arena.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index of the splitting point in the point array.
+    point: u32,
+    /// Splitting axis.
+    axis: u16,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+/// A k-d tree over a set of equal-dimension dense points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    dim: usize,
+}
+
+/// A neighbor returned by [`KdTree::nearest`]: point index plus squared
+/// Euclidean distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index into the point array the tree was built from.
+    pub index: usize,
+    /// Squared Euclidean distance to the query point.
+    pub sq_dist: f64,
+}
+
+/// Max-heap entry ordered by squared distance.
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    sq_dist: f64,
+    index: usize,
+}
+
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.sq_dist.total_cmp(&other.sq_dist)
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl KdTree {
+    /// Builds a tree from owned points.
+    ///
+    /// Errors when points are empty or dimensions are inconsistent.
+    pub fn build(points: Vec<Vec<f64>>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(LinalgError::EmptyInput);
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(LinalgError::InvalidParameter("points must have dim > 0"));
+        }
+        for p in &points {
+            if p.len() != dim {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: dim,
+                    actual: p.len(),
+                });
+            }
+        }
+        let mut idx: Vec<u32> = (0..points.len() as u32).collect();
+        let mut tree = KdTree {
+            points,
+            nodes: Vec::new(),
+            root: None,
+            dim,
+        };
+        tree.nodes.reserve(tree.points.len());
+        let root = tree.build_rec(&mut idx, 0);
+        tree.root = root;
+        Ok(tree)
+    }
+
+    fn build_rec(&mut self, idx: &mut [u32], depth: usize) -> Option<u32> {
+        if idx.is_empty() {
+            return None;
+        }
+        let axis = depth % self.dim;
+        let mid = idx.len() / 2;
+        // Median split via selection (O(n) per level on average).
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a as usize][axis].total_cmp(&self.points[b as usize][axis])
+        });
+        let point = idx[mid];
+        // Split into left/right halves. Recursion order: children first, so
+        // we need to stash the point index before mutably splitting.
+        let (left_idx, rest) = idx.split_at_mut(mid);
+        let right_idx = &mut rest[1..];
+        let left = self.build_rec(left_idx, depth + 1);
+        let right = self.build_rec(right_idx, depth + 1);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            point,
+            axis: axis as u16,
+            left,
+            right,
+        });
+        Some(id)
+    }
+
+    /// Number of points in the tree.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the tree holds no points (cannot happen post-`build`).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Dimensionality of the stored points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow a stored point by index.
+    pub fn point(&self, index: usize) -> &[f64] {
+        &self.points[index]
+    }
+
+    /// Exact `k`-nearest-neighbor query, ascending by distance.
+    ///
+    /// Errors when the query dimension mismatches. `k` larger than the point
+    /// count returns all points.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Result<Vec<Neighbor>> {
+        if query.len() != self.dim {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim,
+                actual: query.len(),
+            });
+        }
+        if k == 0 {
+            return Ok(Vec::new());
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        if let Some(root) = self.root {
+            self.search(root, query, k, &mut heap);
+        }
+        let mut out: Vec<Neighbor> = heap
+            .into_iter()
+            .map(|h| Neighbor {
+                index: h.index,
+                sq_dist: h.sq_dist,
+            })
+            .collect();
+        out.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist));
+        Ok(out)
+    }
+
+    fn search(&self, node_id: u32, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        let node = &self.nodes[node_id as usize];
+        let pt = &self.points[node.point as usize];
+        let d2 = sq_dist(pt, query);
+        if heap.len() < k {
+            heap.push(HeapItem {
+                sq_dist: d2,
+                index: node.point as usize,
+            });
+        } else if d2 < heap.peek().map_or(f64::INFINITY, |h| h.sq_dist) {
+            heap.pop();
+            heap.push(HeapItem {
+                sq_dist: d2,
+                index: node.point as usize,
+            });
+        }
+        let axis = node.axis as usize;
+        let delta = query[axis] - pt[axis];
+        let (near, far) = if delta < 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.search(n, query, k, heap);
+        }
+        // Prune the far side when the splitting plane is farther than the
+        // current k-th best.
+        let worst = heap.peek().map_or(f64::INFINITY, |h| h.sq_dist);
+        if heap.len() < k || delta * delta < worst {
+            if let Some(f) = far {
+                self.search(f, query, k, heap);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute_force(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut all: Vec<Neighbor> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Neighbor {
+                index: i,
+                sq_dist: sq_dist(p, query),
+            })
+            .collect();
+        all.sort_by(|a, b| a.sq_dist.total_cmp(&b.sq_dist));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn build_rejects_bad_input() {
+        assert!(KdTree::build(vec![]).is_err());
+        assert!(KdTree::build(vec![vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(KdTree::build(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![vec![1.0, 2.0]]).unwrap();
+        let n = t.nearest(&[0.0, 0.0], 3).unwrap();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].index, 0);
+        assert!((n[0].sq_dist - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for dim in [1usize, 2, 3, 5] {
+            let points: Vec<Vec<f64>> = (0..300)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+                .collect();
+            let tree = KdTree::build(points.clone()).unwrap();
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+                let k = rng.gen_range(1..20);
+                let fast = tree.nearest(&q, k).unwrap();
+                let slow = brute_force(&points, &q, k);
+                assert_eq!(fast.len(), slow.len());
+                for (f, s) in fast.iter().zip(&slow) {
+                    // Distances must match exactly (ties may swap indices).
+                    assert!((f.sq_dist - s.sq_dist).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_k_all() {
+        let points = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let t = KdTree::build(points).unwrap();
+        assert!(t.nearest(&[0.5], 0).unwrap().is_empty());
+        let all = t.nearest(&[0.5], 10).unwrap();
+        assert_eq!(all.len(), 3);
+        assert!(all[0].sq_dist <= all[1].sq_dist && all[1].sq_dist <= all[2].sq_dist);
+    }
+
+    #[test]
+    fn query_dim_mismatch() {
+        let t = KdTree::build(vec![vec![0.0, 0.0]]).unwrap();
+        assert!(t.nearest(&[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let t = KdTree::build(vec![vec![1.0, 1.0]; 5]).unwrap();
+        let n = t.nearest(&[1.0, 1.0], 3).unwrap();
+        assert_eq!(n.len(), 3);
+        for nb in n {
+            assert_eq!(nb.sq_dist, 0.0);
+        }
+    }
+}

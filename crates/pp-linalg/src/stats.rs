@@ -1,0 +1,208 @@
+//! Summary statistics used by the calibration layer and the benchmark
+//! harness (Figure 9's whisker plots, Table 5's averages, etc.).
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample variance; 0.0 for fewer than two values.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Linear-interpolation percentile of *unsorted* data, `q ∈ [0, 1]`.
+///
+/// Returns `None` on empty input or `q` outside `[0, 1]`.
+pub fn percentile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(percentile_sorted(&sorted, q))
+}
+
+/// Percentile of already-sorted data (no bounds check on sortedness).
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The five-number-plus-mean summary used by the paper's Figure 9 whisker
+/// plots: "the lines are the min and max ...; the ends of the box are the
+/// 25th and 75th percentiles; the horizontal line ... the 50th percentile
+/// and x marks the average".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Whisker {
+    /// Minimum value.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub p50: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Whisker {
+    /// Summarizes a non-empty sample; returns `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Whisker> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Whisker {
+            min: sorted[0],
+            p25: percentile_sorted(&sorted, 0.25),
+            p50: percentile_sorted(&sorted, 0.50),
+            p75: percentile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+            mean: mean(xs),
+        })
+    }
+}
+
+impl std::fmt::Display for Whisker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={:.3} p25={:.3} p50={:.3} p75={:.3} max={:.3} mean={:.3}",
+            self.min, self.p25, self.p50, self.p75, self.max, self.mean
+        )
+    }
+}
+
+/// Online mean/variance accumulator (Welford), for cost meters that cannot
+/// buffer every observation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased variance (0.0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(4.0));
+        assert_eq!(percentile(&xs, 0.5), Some(2.5));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&xs, 1.5), None);
+    }
+
+    #[test]
+    fn whisker_ordering_invariant() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        let w = Whisker::of(&xs).unwrap();
+        assert!(w.min <= w.p25 && w.p25 <= w.p50 && w.p50 <= w.p75 && w.p75 <= w.max);
+        assert_eq!(w.min, 1.0);
+        assert_eq!(w.max, 9.0);
+        assert_eq!(w.p50, 5.0);
+        assert!(Whisker::of(&[]).is_none());
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let xs = [1.5, -2.0, 3.25, 0.0, 10.0];
+        let mut o = OnlineStats::new();
+        for x in xs {
+            o.push(x);
+        }
+        assert_eq!(o.count(), 5);
+        assert!((o.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((o.variance() - variance(&xs)).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn whisker_bounds_hold(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let w = Whisker::of(&xs).unwrap();
+            proptest::prop_assert!(w.min <= w.p25 + 1e-9);
+            proptest::prop_assert!(w.p25 <= w.p50 + 1e-9);
+            proptest::prop_assert!(w.p50 <= w.p75 + 1e-9);
+            proptest::prop_assert!(w.p75 <= w.max + 1e-9);
+            proptest::prop_assert!(w.mean >= w.min - 1e-9 && w.mean <= w.max + 1e-9);
+        }
+
+        #[test]
+        fn online_stats_match_batch_prop(xs in proptest::collection::vec(-1e3f64..1e3, 2..100)) {
+            let mut o = OnlineStats::new();
+            for &x in &xs { o.push(x); }
+            proptest::prop_assert!((o.mean() - mean(&xs)).abs() < 1e-6);
+            proptest::prop_assert!((o.variance() - variance(&xs)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Binary-classification metrics used by the experiment harness.
+//!
+//! The paper's evaluation metrics (§8.1): predicate selectivity `s_p`,
+//! PP accuracy `a` (fraction of the original query output that survives),
+//! data reduction `r_p(a]`, and the *relative reduction* `r_p(a] / (1 −
+//! s_p)` — the achieved fraction of the maximum possible reduction
+//! ("optimality" in Table 5).
+
+/// A 2×2 confusion matrix for PP decisions against ground-truth labels.
+///
+/// "Positive" prediction means the PP *passes* the blob downstream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Label +1, passed.
+    pub true_pos: usize,
+    /// Label −1, passed.
+    pub false_pos: usize,
+    /// Label −1, dropped.
+    pub true_neg: usize,
+    /// Label +1, dropped (the only error PPs can introduce).
+    pub false_neg: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions; `pairs` yields `(label, passed)`.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (bool, bool)>) -> Self {
+        let mut c = Confusion::default();
+        for (label, passed) in pairs {
+            match (label, passed) {
+                (true, true) => c.true_pos += 1,
+                (false, true) => c.false_pos += 1,
+                (false, false) => c.true_neg += 1,
+                (true, false) => c.false_neg += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of blobs.
+    pub fn total(&self) -> usize {
+        self.true_pos + self.false_pos + self.true_neg + self.false_neg
+    }
+
+    /// Fraction of positives that pass — the PP accuracy `a` of §8.1.
+    pub fn pp_accuracy(&self) -> f64 {
+        let pos = self.true_pos + self.false_neg;
+        if pos == 0 {
+            return 1.0;
+        }
+        self.true_pos as f64 / pos as f64
+    }
+
+    /// Fraction of all blobs dropped — the empirical data reduction `r`.
+    pub fn reduction(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_neg + self.false_neg) as f64 / self.total() as f64
+    }
+
+    /// Ground-truth selectivity `s_p`.
+    pub fn selectivity(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_pos + self.false_neg) as f64 / self.total() as f64
+    }
+
+    /// `r / (1 − s_p)`: reduction relative to the maximum possible (the
+    /// "optimality" measure of Table 5). `None` when every blob is positive.
+    pub fn relative_reduction(&self) -> Option<f64> {
+        let s = self.selectivity();
+        if s >= 1.0 {
+            return None;
+        }
+        Some(self.reduction() / (1.0 - s))
+    }
+
+    /// Classic precision of the *pass* decision.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_pos + self.false_pos;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.true_pos as f64 / denom as f64
+    }
+
+    /// Classic recall of the *pass* decision (same as [`Self::pp_accuracy`]).
+    pub fn recall(&self) -> f64 {
+        self.pp_accuracy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Confusion {
+        // 10 positives (8 passed), 90 negatives (60 dropped).
+        Confusion {
+            true_pos: 8,
+            false_neg: 2,
+            false_pos: 30,
+            true_neg: 60,
+        }
+    }
+
+    #[test]
+    fn accuracy_reduction_selectivity() {
+        let c = example();
+        assert!((c.pp_accuracy() - 0.8).abs() < 1e-12);
+        assert!((c.reduction() - 0.62).abs() < 1e-12);
+        assert!((c.selectivity() - 0.1).abs() < 1e-12);
+        assert!((c.relative_reduction().unwrap() - 0.62 / 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pairs_tallies() {
+        let c = Confusion::from_pairs(vec![
+            (true, true),
+            (true, false),
+            (false, true),
+            (false, false),
+            (false, false),
+        ]);
+        assert_eq!(c.true_pos, 1);
+        assert_eq!(c.false_neg, 1);
+        assert_eq!(c.false_pos, 1);
+        assert_eq!(c.true_neg, 2);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let empty = Confusion::default();
+        assert_eq!(empty.pp_accuracy(), 1.0);
+        assert_eq!(empty.reduction(), 0.0);
+        assert_eq!(empty.selectivity(), 0.0);
+        let all_pos = Confusion { true_pos: 5, ..Default::default() };
+        assert!(all_pos.relative_reduction().is_none());
+    }
+
+    #[test]
+    fn precision_recall() {
+        let c = example();
+        assert!((c.precision() - 8.0 / 38.0).abs() < 1e-12);
+        assert_eq!(c.recall(), c.pp_accuracy());
+    }
+}

@@ -1,0 +1,323 @@
+//! A deployable PP scorer: dimension reducer + classifier + calibration.
+//!
+//! This is the "approach `m`" of §5 — "the filtering strategy picked by our
+//! model selection scheme, indicating which classification f(·) and
+//! dimension reduction ψ(·) algorithms to use" — bundled with the
+//! accuracy/reduction curve measured on validation data, plus observed
+//! training and per-blob inference costs (the `c` of §3).
+
+use std::time::Instant;
+
+use pp_linalg::Features;
+
+use crate::calibrate::Calibration;
+use crate::dataset::LabeledSet;
+use crate::dnn::{Dnn, DnnParams};
+use crate::kde::{Kde, KdeParams};
+use crate::reduction::{Reducer, ReducerSpec};
+use crate::svm::{LinearSvm, SvmParams};
+use crate::{MlError, Result};
+
+/// A real-valued scoring function `f(·)` over (reduced) features (Eq. 2's
+/// `f`).
+pub trait ScoreModel {
+    /// Scores one feature vector; higher means "more likely to pass".
+    fn score(&self, x: &Features) -> f64;
+}
+
+/// Which classifier to train, with its hyper-parameters.
+#[derive(Debug, Clone)]
+pub enum ModelSpec {
+    /// Linear SVM (§5.1).
+    Svm(SvmParams),
+    /// Kernel density estimator (§5.2).
+    Kde(KdeParams),
+    /// Fully-connected network (§5.3).
+    Dnn(DnnParams),
+}
+
+impl ModelSpec {
+    /// Short display name ("SVM", "KDE", "DNN").
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            ModelSpec::Svm(_) => "SVM",
+            ModelSpec::Kde(_) => "KDE",
+            ModelSpec::Dnn(_) => "DNN",
+        }
+    }
+
+    /// Relative model complexity, used as a tie-breaker by model selection
+    /// ("use the least complex model that returns a good data reduction").
+    pub fn complexity_rank(&self) -> u8 {
+        match self {
+            ModelSpec::Svm(_) => 0,
+            ModelSpec::Kde(_) => 1,
+            ModelSpec::Dnn(_) => 2,
+        }
+    }
+}
+
+/// A reducer + classifier combination to train (one member of ℳ in §5.5).
+#[derive(Debug, Clone)]
+pub struct Approach {
+    /// Dimension reduction ψ.
+    pub reducer: ReducerSpec,
+    /// Classifier f.
+    pub model: ModelSpec,
+}
+
+impl Approach {
+    /// Display name matching the paper's tables ("FH + SVM", "PCA + KDE",
+    /// "Raw + SVM", "DNN").
+    pub fn name(&self) -> String {
+        match (&self.reducer, &self.model) {
+            (ReducerSpec::Identity, ModelSpec::Dnn(_)) => "DNN".to_string(),
+            (r, m) => format!("{} + {}", r.short_name(), m.short_name()),
+        }
+    }
+}
+
+/// A trained classifier of any kind.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// Linear SVM.
+    Svm(LinearSvm),
+    /// Kernel density estimator.
+    Kde(Kde),
+    /// Fully-connected network.
+    Dnn(Dnn),
+    /// Sign-flipped wrapper used for negated predicates (§5.6).
+    Negated(Box<Model>),
+}
+
+impl ScoreModel for Model {
+    fn score(&self, x: &Features) -> f64 {
+        match self {
+            Model::Svm(m) => m.score(x),
+            Model::Kde(m) => m.score(x),
+            Model::Dnn(m) => m.score(x),
+            Model::Negated(m) => -m.score(x),
+        }
+    }
+}
+
+/// A fully trained, calibrated PP scorer.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    approach_name: String,
+    reducer: Reducer,
+    model: Model,
+    calibration: Calibration,
+    /// Observed wall-clock training time in seconds.
+    train_seconds: f64,
+    /// Observed per-blob inference time in seconds (reduction + scoring).
+    test_seconds_per_blob: f64,
+}
+
+impl Pipeline {
+    /// Trains the approach on `train` and calibrates on `val`.
+    ///
+    /// Both sets must be non-empty and `val` must contain at least one
+    /// positive (otherwise no threshold can guarantee any accuracy).
+    pub fn train(approach: &Approach, train: &LabeledSet, val: &LabeledSet, seed: u64) -> Result<Self> {
+        if train.is_empty() || val.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        let started = Instant::now();
+        let reducer = approach.reducer.fit(train, seed)?;
+        let reduced_train = reducer.apply_set(train)?;
+        let model = match &approach.model {
+            ModelSpec::Svm(p) => Model::Svm(LinearSvm::train(&reduced_train, p)?),
+            ModelSpec::Kde(p) => Model::Kde(Kde::train(&reduced_train, p)?),
+            ModelSpec::Dnn(p) => Model::Dnn(Dnn::train(&reduced_train, p)?),
+        };
+        let train_seconds = started.elapsed().as_secs_f64();
+
+        // Calibrate on validation scores, timing per-blob inference.
+        let scoring_started = Instant::now();
+        let mut pos_scores = Vec::with_capacity(val.positives());
+        let mut all_scores = Vec::with_capacity(val.len());
+        for s in val.iter() {
+            let score = model.score(&reducer.apply(&s.features));
+            all_scores.push(score);
+            if s.label {
+                pos_scores.push(score);
+            }
+        }
+        let test_seconds_per_blob = scoring_started.elapsed().as_secs_f64() / val.len() as f64;
+        let calibration = Calibration::from_scores(pos_scores, all_scores)?;
+        Ok(Pipeline {
+            approach_name: approach.name(),
+            reducer,
+            model,
+            calibration,
+            train_seconds,
+            test_seconds_per_blob,
+        })
+    }
+
+    /// The approach's display name.
+    pub fn approach_name(&self) -> &str {
+        &self.approach_name
+    }
+
+    /// Scores a raw blob: `f(ψ(x))`.
+    pub fn score(&self, x: &Features) -> f64 {
+        self.model.score(&self.reducer.apply(x))
+    }
+
+    /// Decision at accuracy target `a` (Eq. 2): pass iff `f(ψ(x)) ≥ th(a]`.
+    pub fn passes(&self, x: &Features, a: f64) -> Result<bool> {
+        Ok(self.score(x) >= self.calibration.threshold(a)?)
+    }
+
+    /// The calibration table.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Predicted data reduction at accuracy `a` (Eq. 4, on validation).
+    pub fn reduction(&self, a: f64) -> Result<f64> {
+        self.calibration.reduction(a)
+    }
+
+    /// Observed training wall time in seconds.
+    pub fn train_seconds(&self) -> f64 {
+        self.train_seconds
+    }
+
+    /// Observed per-blob inference wall time in seconds.
+    pub fn test_seconds_per_blob(&self) -> f64 {
+        self.test_seconds_per_blob
+    }
+
+    /// Builds the pipeline for the *negated* predicate by flipping the
+    /// score sign and recalibrating on the same validation scores (§5.6:
+    /// "multiplying these functions with −1 yields the corresponding
+    /// classifier functions for predicate ¬p").
+    pub fn negated(&self, val: &LabeledSet) -> Result<Pipeline> {
+        let mut pos_scores = Vec::new();
+        let mut all_scores = Vec::with_capacity(val.len());
+        for s in val.iter() {
+            let score = -self.score(&s.features);
+            all_scores.push(score);
+            if !s.label {
+                pos_scores.push(score);
+            }
+        }
+        Ok(Pipeline {
+            approach_name: format!("neg({})", self.approach_name),
+            reducer: self.reducer.clone(),
+            model: Model::Negated(Box::new(self.model.clone())),
+            calibration: Calibration::from_scores(pos_scores, all_scores)?,
+            train_seconds: 0.0, // reuses the existing classifier
+            test_seconds_per_blob: self.test_seconds_per_blob,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_set(n: usize, seed: u64) -> LabeledSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LabeledSet::new(
+            (0..n)
+                .map(|_| {
+                    let pos = rng.gen_bool(0.3);
+                    let cx = if pos { 1.5 } else { -1.5 };
+                    Sample::new(
+                        vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                        pos,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn svm_approach() -> Approach {
+        Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Svm(SvmParams::default()),
+        }
+    }
+
+    #[test]
+    fn trains_and_guarantees_val_accuracy() {
+        let data = blob_set(600, 1);
+        let (train, val, test) = data.split(0.6, 0.2, 2).unwrap();
+        let pp = Pipeline::train(&svm_approach(), &train, &val, 3).unwrap();
+        // On held-out test data, accuracy should be near the target.
+        for a in [0.9, 0.95, 1.0] {
+            let mut kept = 0usize;
+            let mut pos = 0usize;
+            for s in test.iter() {
+                if s.label {
+                    pos += 1;
+                    if pp.passes(&s.features, a).unwrap() {
+                        kept += 1;
+                    }
+                }
+            }
+            let acc = kept as f64 / pos as f64;
+            assert!(acc >= a - 0.1, "target={a} achieved={acc}");
+        }
+    }
+
+    #[test]
+    fn reduction_positive_for_separable_data() {
+        let data = blob_set(600, 4);
+        let (train, val, _) = data.split(0.6, 0.2, 5).unwrap();
+        let pp = Pipeline::train(&svm_approach(), &train, &val, 6).unwrap();
+        assert!(pp.reduction(0.95).unwrap() > 0.3);
+        assert!(pp.train_seconds() >= 0.0);
+        assert!(pp.test_seconds_per_blob() >= 0.0);
+    }
+
+    #[test]
+    fn negated_pipeline_flips_decision() {
+        let data = blob_set(600, 7);
+        let (train, val, _) = data.split(0.6, 0.2, 8).unwrap();
+        let pp = Pipeline::train(&svm_approach(), &train, &val, 9).unwrap();
+        let neg = pp.negated(&val).unwrap();
+        // Scores are negated.
+        let x = &val.samples()[0].features;
+        assert!((pp.score(x) + neg.score(x)).abs() < 1e-9);
+        // The negated PP's selectivity is 1 - original.
+        let s = pp.calibration().selectivity();
+        let sn = neg.calibration().selectivity();
+        assert!((s + sn - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let data = blob_set(50, 10);
+        assert!(Pipeline::train(&svm_approach(), &LabeledSet::empty(), &data, 0).is_err());
+        assert!(Pipeline::train(&svm_approach(), &data, &LabeledSet::empty(), 0).is_err());
+    }
+
+    #[test]
+    fn approach_names_match_paper() {
+        assert_eq!(svm_approach().name(), "Raw + SVM");
+        let fh = Approach {
+            reducer: ReducerSpec::FeatureHash { dr: 64 },
+            model: ModelSpec::Svm(SvmParams::default()),
+        };
+        assert_eq!(fh.name(), "FH + SVM");
+        let dnn = Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Dnn(DnnParams::default()),
+        };
+        assert_eq!(dnn.name(), "DNN");
+        let pca_kde = Approach {
+            reducer: ReducerSpec::Pca { k: 8, fit_sample: 100 },
+            model: ModelSpec::Kde(KdeParams::default()),
+        };
+        assert_eq!(pca_kde.name(), "PCA + KDE");
+    }
+}

@@ -1,0 +1,291 @@
+//! Model selection across PP approaches (§5.5).
+//!
+//! "Given different PP methods ℳ, we select the best approach m by
+//! maximizing the reduction rate r_m for that approach" (Eq. 8), after
+//! pruning ℳ with the applicability constraints of Table 2 (feature
+//! hashing only for sparse inputs, KDE/DNN for non-linear structure, PCA
+//! for high-dimensional dense blobs). To keep selection cheap, candidates
+//! are trained on "a sample of the training data" at a fixed `a = 0.95`.
+
+use crate::dataset::LabeledSet;
+use crate::dnn::DnnParams;
+use crate::kde::KdeParams;
+use crate::pipeline::{Approach, ModelSpec, Pipeline};
+use crate::reduction::ReducerSpec;
+use crate::svm::SvmParams;
+use crate::{MlError, Result};
+
+/// Configuration for a model-selection run.
+#[derive(Debug, Clone)]
+pub struct SelectionConfig {
+    /// Accuracy target used during selection (the paper fixes 0.95).
+    pub accuracy: f64,
+    /// Cap on training rows per candidate (sampling makes selection cheap).
+    pub sample_size: usize,
+    /// Consider DNN candidates (expensive; the paper reserves them for
+    /// workloads that "justify higher training costs").
+    pub allow_dnn: bool,
+    /// Reduction within this absolute margin of the best counts as a tie;
+    /// ties go to the less complex model.
+    pub tie_margin: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        SelectionConfig {
+            accuracy: 0.95,
+            sample_size: 2_000,
+            allow_dnn: true,
+            tie_margin: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct CandidateResult {
+    /// The approach that was trained.
+    pub approach: Approach,
+    /// Validation reduction at the selection accuracy.
+    pub reduction: f64,
+    /// Observed training seconds (on the sampled set).
+    pub train_seconds: f64,
+    /// Observed per-blob inference seconds.
+    pub test_seconds_per_blob: f64,
+}
+
+/// The outcome of model selection: ranked candidates, best first.
+#[derive(Debug, Clone)]
+pub struct ModelSelection {
+    /// All trained candidates, ranked best-first (ties broken toward less
+    /// complex models).
+    pub ranked: Vec<CandidateResult>,
+}
+
+impl ModelSelection {
+    /// The winning approach.
+    pub fn best(&self) -> &CandidateResult {
+        &self.ranked[0]
+    }
+}
+
+/// Enumerates the applicable approaches ℳ for a dataset, per Table 2's
+/// applicability columns.
+pub fn candidate_approaches(data: &LabeledSet, config: &SelectionConfig) -> Vec<Approach> {
+    let dim = data.dim();
+    let sparse = data.samples().first().is_some_and(|s| s.features.is_sparse());
+    let mut out = Vec::new();
+    let pca_k = dim.clamp(2, 16);
+    let fit_sample = config.sample_size.min(1_000);
+    if sparse {
+        // Table 2: feature hashing suits sparse, high-dimensional inputs;
+        // hash collisions ruin dense features.
+        let dr = dim.clamp(16, 256);
+        out.push(Approach {
+            reducer: ReducerSpec::FeatureHash { dr },
+            model: ModelSpec::Svm(SvmParams::default()),
+        });
+        out.push(Approach {
+            reducer: ReducerSpec::FeatureHash { dr: dr.min(32) },
+            model: ModelSpec::Kde(KdeParams::default()),
+        });
+        // A raw linear SVM handles sparse vectors natively.
+        out.push(Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Svm(SvmParams::default()),
+        });
+    } else {
+        if dim > 24 {
+            // High-dimensional dense blobs: reduce with PCA first.
+            out.push(Approach {
+                reducer: ReducerSpec::Pca { k: pca_k, fit_sample },
+                model: ModelSpec::Svm(SvmParams::default()),
+            });
+            out.push(Approach {
+                reducer: ReducerSpec::Pca { k: pca_k, fit_sample },
+                model: ModelSpec::Kde(KdeParams::default()),
+            });
+        } else {
+            out.push(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Svm(SvmParams::default()),
+            });
+            out.push(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Kde(KdeParams::default()),
+            });
+        }
+        if config.allow_dnn {
+            out.push(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Dnn(DnnParams::default()),
+            });
+        }
+    }
+    out
+}
+
+/// Runs model selection: trains each applicable candidate on a sample and
+/// ranks by reduction at the selection accuracy (Eq. 8).
+///
+/// Candidates that fail to train (e.g. a class is missing after sampling)
+/// are skipped; an error is returned only when *no* candidate trains.
+pub fn select_model(
+    train: &LabeledSet,
+    val: &LabeledSet,
+    config: &SelectionConfig,
+) -> Result<ModelSelection> {
+    if train.is_empty() || val.is_empty() {
+        return Err(MlError::EmptyInput);
+    }
+    let sampled = train.subsample(config.sample_size, config.seed);
+    let approaches = candidate_approaches(train, config);
+    let mut results = Vec::new();
+    for (i, approach) in approaches.into_iter().enumerate() {
+        let seed = config.seed.wrapping_add(i as u64 + 1);
+        match Pipeline::train(&approach, &sampled, val, seed) {
+            Ok(pp) => {
+                let reduction = pp.reduction(config.accuracy)?;
+                results.push(CandidateResult {
+                    approach,
+                    reduction,
+                    train_seconds: pp.train_seconds(),
+                    test_seconds_per_blob: pp.test_seconds_per_blob(),
+                });
+            }
+            Err(MlError::SingleClass) | Err(MlError::EmptyInput) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if results.is_empty() {
+        return Err(MlError::SingleClass);
+    }
+    // Rank by reduction, then break near-ties toward simpler models.
+    results.sort_by(|a, b| {
+        b.reduction
+            .total_cmp(&a.reduction)
+            .then_with(|| a.approach.model.complexity_rank().cmp(&b.approach.model.complexity_rank()))
+    });
+    // Tie-break pass: if a simpler model is within the margin of the best,
+    // promote it.
+    let best_r = results[0].reduction;
+    let mut best_idx = 0;
+    for (i, c) in results.iter().enumerate() {
+        if best_r - c.reduction <= config.tie_margin
+            && c.approach.model.complexity_rank()
+                < results[best_idx].approach.model.complexity_rank()
+        {
+            best_idx = i;
+        }
+    }
+    results.swap(0, best_idx);
+    Ok(ModelSelection { ranked: results })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Sample;
+    use pp_linalg::{Features, SparseVector};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn linear_dense(n: usize, seed: u64) -> LabeledSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LabeledSet::new(
+            (0..n)
+                .map(|_| {
+                    let pos = rng.gen_bool(0.3);
+                    let cx = if pos { 2.0 } else { -2.0 };
+                    Sample::new(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], pos)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn sparse_docs(n: usize, seed: u64) -> LabeledSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LabeledSet::new(
+            (0..n)
+                .map(|_| {
+                    let pos = rng.gen_bool(0.2);
+                    let mut pairs: Vec<(u32, f64)> =
+                        (0..5).map(|_| (rng.gen_range(0..5000u32), 1.0)).collect();
+                    if pos {
+                        pairs.push((9_999, 2.0));
+                    }
+                    Sample::new(
+                        Features::Sparse(SparseVector::from_pairs(10_000, pairs).unwrap()),
+                        pos,
+                    )
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidates_respect_applicability() {
+        let cfg = SelectionConfig::default();
+        let sparse = sparse_docs(30, 1);
+        let names: Vec<String> = candidate_approaches(&sparse, &cfg)
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        assert!(names.iter().any(|n| n == "FH + SVM"), "{names:?}");
+        assert!(!names.iter().any(|n| n.starts_with("PCA")), "{names:?}");
+
+        let dense = linear_dense(30, 2);
+        let names: Vec<String> = candidate_approaches(&dense, &cfg)
+            .iter()
+            .map(|a| a.name())
+            .collect();
+        assert!(!names.iter().any(|n| n.starts_with("FH")), "{names:?}");
+    }
+
+    #[test]
+    fn selects_a_working_model_on_dense_data() {
+        let data = linear_dense(500, 3);
+        let (train, val, _) = data.split(0.6, 0.2, 4).unwrap();
+        let cfg = SelectionConfig { allow_dnn: false, ..Default::default() };
+        let sel = select_model(&train, &val, &cfg).unwrap();
+        assert!(!sel.ranked.is_empty());
+        assert!(sel.best().reduction > 0.3, "reduction={}", sel.best().reduction);
+    }
+
+    #[test]
+    fn selects_fh_svm_on_sparse_docs() {
+        let data = sparse_docs(600, 5);
+        let (train, val, _) = data.split(0.6, 0.2, 6).unwrap();
+        let sel = select_model(&train, &val, &SelectionConfig::default()).unwrap();
+        // Sparse, linearly separable: an SVM-based approach must win.
+        assert!(
+            sel.best().approach.name().contains("SVM"),
+            "winner={}",
+            sel.best().approach.name()
+        );
+        assert!(sel.best().reduction > 0.3);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        let data = linear_dense(50, 7);
+        assert!(select_model(&LabeledSet::empty(), &data, &SelectionConfig::default()).is_err());
+        assert!(select_model(&data, &LabeledSet::empty(), &SelectionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn tie_break_prefers_simpler_model() {
+        // With a margin of 1.0 everything ties; the SVM (complexity 0)
+        // must be promoted to the front.
+        let data = linear_dense(300, 8);
+        let (train, val, _) = data.split(0.6, 0.2, 9).unwrap();
+        let cfg = SelectionConfig { tie_margin: 1.0, allow_dnn: true, ..Default::default() };
+        let sel = select_model(&train, &val, &cfg).unwrap();
+        assert_eq!(sel.best().approach.model.complexity_rank(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Document filtering: model selection on sparse bag-of-words blobs
+//! (the paper's LSHTC case study, §5.5 and §7 Case 1).
+//!
+//! ```text
+//! cargo run --release --example document_filtering
+//! ```
+//!
+//! Shows the §5.5 machinery directly: enumerate the applicable PP
+//! approaches for a sparse corpus, train each on a sample, and rank by
+//! reduction at the selection accuracy — then deploy the winner and report
+//! held-out accuracy/reduction at several targets.
+
+use probabilistic_predicates::data::corpora::lshtc_like;
+use probabilistic_predicates::ml::metrics::Confusion;
+use probabilistic_predicates::ml::pipeline::Pipeline;
+use probabilistic_predicates::ml::select::{select_model, SelectionConfig};
+
+fn main() {
+    let corpus = lshtc_like(4_000, 11);
+    println!(
+        "corpus: {} documents, {} categories, sparse {} dims\n",
+        corpus.len(),
+        corpus.categories().len(),
+        corpus.blobs()[0].dim()
+    );
+
+    // Query: retrieve documents of category 2.
+    let set = corpus.labeled(2);
+    println!(
+        "category 2 selectivity: {:.3} (1-in-{:.0})",
+        set.selectivity(),
+        1.0 / set.selectivity()
+    );
+    let (train, val, test) = set.split(0.6, 0.2, 3).expect("split");
+
+    // §5.5: model selection over the applicable approaches.
+    let config = SelectionConfig::default();
+    let selection = select_model(&train, &val, &config).expect("selection");
+    println!("\nmodel selection at a = {}:", config.accuracy);
+    for cand in &selection.ranked {
+        println!(
+            "  {:12} reduction {:.3}  (train {:.2}s, test {:.1}µs/blob)",
+            cand.approach.name(),
+            cand.reduction,
+            cand.train_seconds,
+            cand.test_seconds_per_blob * 1e6
+        );
+    }
+
+    // Deploy the winner on the full training data.
+    let winner = selection.best().approach.clone();
+    let pp = Pipeline::train(&winner, &train, &val, 4).expect("train winner");
+    println!("\ndeployed {} — held-out test metrics:", winner.name());
+    for a in [1.0, 0.99, 0.95, 0.9] {
+        let conf = Confusion::from_pairs(
+            test.iter()
+                .map(|s| (s.label, pp.passes(&s.features, a).expect("valid target"))),
+        );
+        println!(
+            "  target a={a:<5} achieved accuracy {:.3}, reduction {:.3} (of max {:.3})",
+            conf.pp_accuracy(),
+            conf.reduction(),
+            1.0 - conf.selectivity()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Probabilistic predicates for machine-learning inference queries.
+//!
+//! A Rust reproduction of *Accelerating Machine Learning Inference with
+//! Probabilistic Predicates* (Lu, Chowdhery, Kandula, Chaudhuri — SIGMOD
+//! 2018). The umbrella crate re-exports the workspace's public API:
+//!
+//! * [`linalg`] — numeric substrate (PCA, feature hashing, k-d tree, stats),
+//! * [`ml`] — PP classifiers (linear SVM, KDE, DNN), calibration and model
+//!   selection (§5),
+//! * [`engine`] — a relational query engine over blob tables with
+//!   processor/reducer/combiner UDF templates and cost metering (§4),
+//! * [`core`] — probabilistic predicates plus the query-optimizer extension
+//!   that injects them (§6),
+//! * [`data`] — synthetic datasets and workloads mirroring the paper's case
+//!   studies (§7), including the TRAF-20 benchmark,
+//! * [`baselines`] — the comparator systems of §8 (NoP, SortP, the
+//!   correlation filter of Joglekar et al., a NoScope-like cascade).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![deny(missing_docs)]
+
+pub use pp_baselines as baselines;
+pub use pp_core as core;
+pub use pp_data as data;
+pub use pp_engine as engine;
+pub use pp_linalg as linalg;
+pub use pp_ml as ml;

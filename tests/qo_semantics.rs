@@ -1,0 +1,142 @@
+//! Integration tests for the query-optimizer semantics: every candidate
+//! expression the rewriter emits must be a necessary condition of the
+//! query predicate (property-tested over random predicates), and the
+//! calibration/combination machinery must keep its monotonicity
+//! guarantees through the full stack.
+
+use probabilistic_predicates::core::implication::implies;
+use probabilistic_predicates::core::rewrite::{rewrite, RewriteConfig};
+use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
+use probabilistic_predicates::core::wrangle::Domains;
+use probabilistic_predicates::core::PpCatalog;
+use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
+use probabilistic_predicates::engine::predicate::{CompareOp, Predicate};
+use probabilistic_predicates::engine::Value;
+use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
+use probabilistic_predicates::ml::reduction::ReducerSpec;
+use probabilistic_predicates::ml::svm::SvmParams;
+use proptest::prelude::*;
+
+fn traf_pp_catalog() -> PpCatalog {
+    let dataset = TrafficDataset::generate(TrafficConfig {
+        n_frames: 600,
+        seed: 0x5E1,
+        ..Default::default()
+    });
+    let trainer = PpTrainer::new(TrainerConfig {
+        approach_override: Some(Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Svm(SvmParams::default()),
+        }),
+        cost_per_row: Some(0.0025),
+        ..Default::default()
+    });
+    let clauses = TrafficDataset::pp_corpus_clauses();
+    let labeled: Vec<_> = clauses
+        .iter()
+        .map(|c| dataset.labeled_for_clause_range(c, 0..600))
+        .collect();
+    trainer.train_catalog(&clauses, &labeled).expect("trains")
+}
+
+fn domains() -> Domains {
+    let mut d = Domains::new();
+    for (col, values) in TrafficDataset::column_domains() {
+        d.declare(col, values);
+    }
+    d
+}
+
+/// Strategy over random predicates in the TRAF column vocabulary.
+fn arb_clause() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        proptest::sample::select(vec!["sedan", "SUV", "truck", "van"]).prop_map(|t| {
+            Predicate::clause("vehType", CompareOp::Eq, t)
+        }),
+        proptest::sample::select(vec!["red", "black", "white", "silver", "other"]).prop_map(|c| {
+            Predicate::clause("vehColor", CompareOp::Eq, c)
+        }),
+        proptest::sample::select(vec!["sedan", "SUV", "truck", "van"]).prop_map(|t| {
+            Predicate::clause("vehType", CompareOp::Ne, t)
+        }),
+        (30.0f64..75.0).prop_map(|v| Predicate::clause("speed", CompareOp::Gt, v)),
+        (30.0f64..75.0).prop_map(|v| Predicate::clause("speed", CompareOp::Lt, v)),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = arb_clause();
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Predicate::And),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Predicate::Or),
+            inner.prop_map(Predicate::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The §6 soundness invariant: 𝒫 ⇒ ℰ.mimicked() for every candidate.
+    #[test]
+    fn candidates_are_necessary_conditions(pred in arb_predicate()) {
+        // The catalog is deterministic; build it once per process.
+        use std::sync::OnceLock;
+        static CATALOG: OnceLock<PpCatalog> = OnceLock::new();
+        let catalog = CATALOG.get_or_init(traf_pp_catalog);
+        let outcome = rewrite(&pred, catalog, &domains(), &RewriteConfig::default());
+        for cand in &outcome.candidates {
+            prop_assert!(
+                implies(&pred, &cand.mimicked()),
+                "{pred} does not imply {cand}"
+            );
+            prop_assert!(cand.leaf_count() <= 4);
+        }
+    }
+}
+
+#[test]
+fn wrangled_inequality_finds_candidates() {
+    let catalog = traf_pp_catalog();
+    // `vehColor != white` should match the trained negation PP directly
+    // AND yield an expanded disjunction of equality PPs.
+    let pred = Predicate::clause("vehColor", CompareOp::Ne, "white");
+    let outcome = rewrite(&pred, &catalog, &domains(), &RewriteConfig::default());
+    assert!(!outcome.candidates.is_empty());
+    for cand in &outcome.candidates {
+        assert!(implies(&pred, &cand.mimicked()), "{pred} vs {cand}");
+    }
+}
+
+#[test]
+fn unknown_columns_produce_no_candidates() {
+    let catalog = traf_pp_catalog();
+    let pred = Predicate::clause("weather", CompareOp::Eq, Value::str("rain"));
+    let outcome = rewrite(&pred, &catalog, &domains(), &RewriteConfig::default());
+    assert!(outcome.candidates.is_empty());
+    assert_eq!(outcome.feasible_count, 0);
+}
+
+#[test]
+fn negated_pp_catalog_entries_behave_inversely() {
+    let catalog = traf_pp_catalog();
+    let pos = catalog
+        .get(&Predicate::clause("vehType", CompareOp::Eq, "SUV"))
+        .expect("PP for vehType = SUV");
+    let neg = catalog
+        .get(&Predicate::clause("vehType", CompareOp::Ne, "SUV"))
+        .expect("PP for vehType != SUV");
+    // Scores are exact negations (§5.6's sign flip).
+    let dataset = TrafficDataset::generate(TrafficConfig {
+        n_frames: 50,
+        seed: 0xBEEF,
+        ..Default::default()
+    });
+    for row in dataset.table().rows().iter().take(20) {
+        let blob = row.get(2).as_blob().expect("blob");
+        let s = pos.score(blob);
+        let ns = neg.score(blob);
+        assert!((s + ns).abs() < 1e-9, "scores not negated: {s} vs {ns}");
+    }
+}
