@@ -81,11 +81,7 @@ pub struct CorrelationFilter {
 
 impl CorrelationFilter {
     /// Trains on labeled blobs and calibrates on a validation set.
-    pub fn train(
-        train: &LabeledSet,
-        val: &LabeledSet,
-        config: &CorrelationConfig,
-    ) -> Result<Self> {
+    pub fn train(train: &LabeledSet, val: &LabeledSet, config: &CorrelationConfig) -> Result<Self> {
         if train.is_empty() || val.is_empty() {
             return Err(MlError::EmptyInput);
         }
@@ -227,7 +223,10 @@ mod tests {
         let f = CorrelationFilter::train(
             &train,
             &val,
-            &CorrelationConfig { top_dims: 64, ..Default::default() },
+            &CorrelationConfig {
+                top_dims: 64,
+                ..Default::default()
+            },
         )
         .unwrap();
         let r = f.reduction(0.9).unwrap();
@@ -248,7 +247,10 @@ mod tests {
         let corr_r = f.reduction(0.99).unwrap();
         let pp = Pipeline::train(
             &Approach {
-                reducer: ReducerSpec::Pca { k: 12, fit_sample: 400 },
+                reducer: ReducerSpec::Pca {
+                    k: 12,
+                    fit_sample: 400,
+                },
                 model: ModelSpec::Kde(KdeParams::default()),
             },
             &train,
@@ -271,7 +273,10 @@ mod tests {
         let f = CorrelationFilter::train(
             &train,
             &val,
-            &CorrelationConfig { pca: Some(8), ..Default::default() },
+            &CorrelationConfig {
+                pca: Some(8),
+                ..Default::default()
+            },
         )
         .unwrap();
         let r = f.reduction(0.9).unwrap();
@@ -283,9 +288,22 @@ mod tests {
         let corpus = ucf101_like(100, 6);
         let set = corpus.labeled(0);
         let (train, val, _) = set.split(0.6, 0.2, 7).unwrap();
-        assert!(CorrelationFilter::train(&LabeledSet::empty(), &val, &CorrelationConfig::default()).is_err());
-        assert!(CorrelationFilter::train(&train, &LabeledSet::empty(), &CorrelationConfig::default()).is_err());
-        let bad = CorrelationConfig { buckets: 1, ..Default::default() };
+        assert!(CorrelationFilter::train(
+            &LabeledSet::empty(),
+            &val,
+            &CorrelationConfig::default()
+        )
+        .is_err());
+        assert!(CorrelationFilter::train(
+            &train,
+            &LabeledSet::empty(),
+            &CorrelationConfig::default()
+        )
+        .is_err());
+        let bad = CorrelationConfig {
+            buckets: 1,
+            ..Default::default()
+        };
         assert!(CorrelationFilter::train(&train, &val, &bad).is_err());
     }
 
@@ -294,7 +312,15 @@ mod tests {
         let corpus = lshtc_like(800, 8);
         let set = corpus.labeled(1);
         let (train, val, _) = set.split(0.6, 0.2, 9).unwrap();
-        let f = CorrelationFilter::train(&train, &val, &CorrelationConfig { top_dims: 64, ..Default::default() }).unwrap();
+        let f = CorrelationFilter::train(
+            &train,
+            &val,
+            &CorrelationConfig {
+                top_dims: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         for a in [0.9, 0.99, 1.0] {
             let th = f.calibration().threshold(a).unwrap();
             assert!(f.calibration().accuracy_at_threshold(th) >= a - 1e-12);

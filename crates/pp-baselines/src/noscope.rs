@@ -149,7 +149,10 @@ pub fn run_cascade(stream: &VideoStream, config: &CascadeConfig) -> Result<Casca
     let mut quiet_abs: Vec<f64> = Vec::new();
     for i in 0..train_n {
         if !stream.labels()[i] {
-            quiet_abs.push(pp_linalg::dense::sq_dist(&masked(&stream.frames()[i]), &masked_bg(bg, stream, config)));
+            quiet_abs.push(pp_linalg::dense::sq_dist(
+                &masked(&stream.frames()[i]),
+                &masked_bg(bg, stream, config),
+            ));
         }
     }
     quiet_abs.sort_by(f64::total_cmp);
@@ -285,20 +288,38 @@ mod tests {
         let pp = run_cascade(&s, &CascadeConfig::default()).unwrap();
         let dnn = run_cascade(
             &s,
-            &CascadeConfig { filter: FilterKind::ShallowDnn, ..Default::default() },
+            &CascadeConfig {
+                filter: FilterKind::ShallowDnn,
+                ..Default::default()
+            },
         )
         .unwrap();
         // More filter cost per frame ⇒ lower or equal speed-up (both are
         // orders of magnitude over the reference-everywhere baseline).
-        assert!(dnn.speedup <= pp.speedup * 1.2, "pp {} dnn {}", pp.speedup, dnn.speedup);
+        assert!(
+            dnn.speedup <= pp.speedup * 1.2,
+            "pp {} dnn {}",
+            pp.speedup,
+            dnn.speedup
+        );
         assert!(dnn.speedup > 10.0);
     }
 
     #[test]
     fn invalid_configs_rejected() {
         let s = stream();
-        assert!(run_cascade(&s, &CascadeConfig { sample_rate: 0, ..Default::default() }).is_err());
-        let tiny = VideoStream::generate(VideoStreamConfig { n_frames: 10, ..Default::default() });
+        assert!(run_cascade(
+            &s,
+            &CascadeConfig {
+                sample_rate: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        let tiny = VideoStream::generate(VideoStreamConfig {
+            n_frames: 10,
+            ..Default::default()
+        });
         assert!(run_cascade(&tiny, &CascadeConfig::default()).is_err());
     }
 

@@ -34,8 +34,7 @@ pub fn sortp_plan(dataset: &TrafficDataset, query: &TrafQuery, sample: usize) ->
     let groups: Vec<Group> = cnf
         .into_iter()
         .map(|clauses| {
-            let columns: BTreeSet<String> =
-                clauses.iter().map(|c| c.column.clone()).collect();
+            let columns: BTreeSet<String> = clauses.iter().map(|c| c.column.clone()).collect();
             let passed = (0..n)
                 .filter(|&i| clauses.iter().any(|c| dataset.clause_truth(c, i)))
                 .count();
@@ -87,7 +86,14 @@ pub fn sortp_plan(dataset: &TrafficDataset, query: &TrafQuery, sample: usize) ->
         let pred = if group.clauses.len() == 1 {
             Predicate::Clause(group.clauses[0].clone())
         } else {
-            Predicate::Or(group.clauses.iter().cloned().map(Predicate::Clause).collect())
+            Predicate::Or(
+                group
+                    .clauses
+                    .iter()
+                    .cloned()
+                    .map(Predicate::Clause)
+                    .collect(),
+            )
         };
         plan = plan.select(pred);
     }

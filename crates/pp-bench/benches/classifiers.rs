@@ -42,7 +42,10 @@ fn bench_training(c: &mut Criterion) {
         b.iter(|| {
             Kde::train(
                 &dense,
-                &KdeParams { bandwidth: Bandwidth::Silverman, ..Default::default() },
+                &KdeParams {
+                    bandwidth: Bandwidth::Silverman,
+                    ..Default::default()
+                },
             )
             .expect("trains")
         })
@@ -50,7 +53,14 @@ fn bench_training(c: &mut Criterion) {
     let small = dense_set(300, 16, 2);
     g.bench_function("dnn_300x16", |b| {
         b.iter(|| {
-            Dnn::train(&small, &DnnParams { epochs: 10, ..Default::default() }).expect("trains")
+            Dnn::train(
+                &small,
+                &DnnParams {
+                    epochs: 10,
+                    ..Default::default()
+                },
+            )
+            .expect("trains")
         })
     });
     g.finish();
@@ -64,11 +74,21 @@ fn bench_inference(c: &mut Criterion) {
     g.bench_function("svm", |b| b.iter(|| svm.score(&blob)));
     let kde = Kde::train(
         &dense,
-        &KdeParams { bandwidth: Bandwidth::Silverman, ..Default::default() },
+        &KdeParams {
+            bandwidth: Bandwidth::Silverman,
+            ..Default::default()
+        },
     )
     .expect("trains");
     g.bench_function("kde_kdtree", |b| b.iter(|| kde.score(&blob)));
-    let dnn = Dnn::train(&dense, &DnnParams { epochs: 5, ..Default::default() }).expect("trains");
+    let dnn = Dnn::train(
+        &dense,
+        &DnnParams {
+            epochs: 5,
+            ..Default::default()
+        },
+    )
+    .expect("trains");
     g.bench_function("dnn", |b| b.iter(|| dnn.score(&blob)));
     g.finish();
 }
@@ -77,9 +97,12 @@ fn bench_reducers(c: &mut Criterion) {
     let mut g = c.benchmark_group("reduction");
     let ucf = ucf101_like(600, 4);
     let set = ucf.labeled(0);
-    let pca = (ReducerSpec::Pca { k: 12, fit_sample: 400 })
-        .fit(&set, 5)
-        .expect("fits");
+    let pca = (ReducerSpec::Pca {
+        k: 12,
+        fit_sample: 400,
+    })
+    .fit(&set, 5)
+    .expect("fits");
     let blob = set.samples()[0].features.clone();
     g.bench_function("pca_project_96d_to_12d", |b| b.iter(|| pca.apply(&blob)));
     let docs = lshtc_like(200, 6);

@@ -87,7 +87,10 @@ fn bench_rewrite(c: &mut Criterion) {
     let pred = complex_predicate();
     let mut g = c.benchmark_group("qo_rewrite");
     for k in [1usize, 2, 3, 4] {
-        let cfg = RewriteConfig { max_pps: k, ..Default::default() };
+        let cfg = RewriteConfig {
+            max_pps: k,
+            ..Default::default()
+        };
         g.bench_function(format!("enumerate_k{k}"), |b| {
             b.iter(|| rewrite(&pred, &cat, &domains, &cfg))
         });
@@ -100,7 +103,11 @@ fn bench_allocation(c: &mut Criterion) {
     let domains = Domains::new();
     let pred = complex_predicate();
     let outcome = rewrite(&pred, &cat, &domains, &RewriteConfig::default());
-    let expr = outcome.candidates.into_iter().max_by_key(PpExpr::leaf_count).expect("candidates");
+    let expr = outcome
+        .candidates
+        .into_iter()
+        .max_by_key(PpExpr::leaf_count)
+        .expect("candidates");
     let grid = AccuracyGrid::default();
     let mut g = c.benchmark_group("qo_allocation");
     g.bench_function("dp", |b| {

@@ -19,7 +19,16 @@ fn main() {
     let datasets = ["LSHTC", "SUNAttribute", "COCO", "ImageNet", "UCF101"];
     let n = 5_000;
     let mut table = Table::new("Figure 9 — data reduction r(a] across datasets").headers([
-        "dataset", "technique", "a", "min", "p25", "p50", "p75", "max", "mean", "#PPs",
+        "dataset",
+        "technique",
+        "a",
+        "min",
+        "p25",
+        "p50",
+        "p75",
+        "max",
+        "mean",
+        "#PPs",
     ]);
     for name in datasets {
         let c = corpus(name, n, 0xF19);

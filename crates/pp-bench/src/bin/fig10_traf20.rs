@@ -43,8 +43,8 @@ fn main() {
     for q in &queries {
         let nop_plan = q.nop_plan(&setup.dataset);
         let mut nop_meter = CostMeter::new();
-        let nop_out = execute(&nop_plan, &setup.catalog, &mut nop_meter, &model)
-            .expect("NoP execution");
+        let nop_out =
+            execute(&nop_plan, &setup.catalog, &mut nop_meter, &model).expect("NoP execution");
         let nop_cost = nop_meter.cluster_seconds();
         let input_rows = setup.catalog.table("traffic").expect("registered").len();
         let selectivity = nop_out.len() as f64 / input_rows as f64;
@@ -65,10 +65,14 @@ fn main() {
             let qo = setup.optimizer(target);
             let optimized = qo.optimize(&nop_plan, &setup.catalog).expect("QO");
             let mut meter = CostMeter::new();
-            let out = execute(&optimized.plan, &setup.catalog, &mut meter, &model)
-                .expect("PP execution");
+            let out =
+                execute(&optimized.plan, &setup.catalog, &mut meter, &model).expect("PP execution");
             // No false positives: PP output ⊆ NoP output.
-            assert!(out.len() <= nop_out.len(), "Q{}: PP produced extra rows", q.id);
+            assert!(
+                out.len() <= nop_out.len(),
+                "Q{}: PP produced extra rows",
+                q.id
+            );
             pp[ti] = nop_cost / meter.cluster_seconds();
             acc[ti] = if nop_out.is_empty() {
                 1.0
@@ -117,5 +121,7 @@ fn main() {
         "max PP@0.95 speed-up: {}",
         speedup(pp_speedups[0].iter().cloned().fold(f64::MIN, f64::max))
     );
-    println!("\nPaper (Fig 10): SortP ≈ 1.2x avg; PP@1.0 ≈ 1.4x avg; PP@0.95 ranges to 12.5x, avg 3.2x.");
+    println!(
+        "\nPaper (Fig 10): SortP ≈ 1.2x avg; PP@1.0 ≈ 1.4x avg; PP@0.95 ranges to 12.5x, avg 3.2x."
+    );
 }

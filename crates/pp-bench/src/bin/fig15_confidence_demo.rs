@@ -30,10 +30,19 @@ fn main() {
 
     for (fig, corpus_ref, title) in [
         (15, &coco, "Figure 15 — PP confidences on COCO blobs"),
-        (16, &imagenet, "Figure 16 — COCO-trained PPs on ImageNet blobs"),
+        (
+            16,
+            &imagenet,
+            "Figure 16 — COCO-trained PPs on ImageNet blobs",
+        ),
     ] {
         let mut table = Table::new(title).headers([
-            "blob", "true labels", "PP[class0]", "PP[class1]", "PP[class2]", "PP[class3]",
+            "blob",
+            "true labels",
+            "PP[class0]",
+            "PP[class1]",
+            "PP[class2]",
+            "PP[class3]",
         ]);
         // Pick 12 interesting blobs: ensure some positives per PP class.
         let mut shown = 0usize;
@@ -44,7 +53,8 @@ fn main() {
                 .copied()
                 .filter(|&k| corpus_ref.labeled(k).samples()[i].label)
                 .collect();
-            let wanted = labels.iter().any(|l| need.contains(l)) || (labels.is_empty() && shown < 4);
+            let wanted =
+                labels.iter().any(|l| need.contains(l)) || (labels.is_empty() && shown < 4);
             if !wanted {
                 continue;
             }

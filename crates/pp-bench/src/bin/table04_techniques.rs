@@ -66,9 +66,8 @@ fn cross_trained_reductions(n: usize, cats: usize, seed: u64) -> Vec<f64> {
 fn main() {
     let n = 4_000;
     let cats = 8;
-    let mut table = Table::new("Table 4 — reduction by PP technique").headers([
-        "dataset", "approach", "r(1.0]", "r(0.99]", "r(0.9]",
-    ]);
+    let mut table = Table::new("Table 4 — reduction by PP technique")
+        .headers(["dataset", "approach", "r(1.0]", "r(0.99]", "r(0.9]"]);
     for (ds, approach) in [
         ("UCF101", "PCA + KDE"),
         ("UCF101", "PCA + SVM"),
@@ -79,7 +78,13 @@ fn main() {
         ("ImageNet", "Raw + SVM"),
     ] {
         let r = mean_reductions(ds, approach, n, cats, 0x7AB4);
-        table.row([ds.to_string(), approach.to_string(), f3(r[0]), f3(r[1]), f3(r[2])]);
+        table.row([
+            ds.to_string(),
+            approach.to_string(),
+            f3(r[0]),
+            f3(r[1]),
+            f3(r[2]),
+        ]);
     }
     let cross = cross_trained_reductions(n, cats, 0x7AB4);
     table.row([

@@ -35,7 +35,10 @@ fn main() {
                 if let Ok(f) = CorrelationFilter::train(
                     &train,
                     &val,
-                    &CorrelationConfig { pca: Some(12), ..Default::default() },
+                    &CorrelationConfig {
+                        pca: Some(12),
+                        ..Default::default()
+                    },
                 ) {
                     corr_pca.push(f.reduction(target).expect("valid accuracy"));
                 }

@@ -52,7 +52,11 @@ fn main() {
             RowOut {
                 construction_s: per_pp_train * n_pps as f64 * scale_15k,
                 n_pps,
-                pp_inference: optimized.report.chosen.as_ref().map_or(0.0, |c| c.estimate.cost),
+                pp_inference: optimized
+                    .report
+                    .chosen
+                    .as_ref()
+                    .map_or(0.0, |c| c.estimate.cost),
                 sub_udf: optimized.report.udf_cost_per_blob,
                 selectivity: nop_out.len() as f64 / input_rows as f64,
                 reduction: 1.0 - m1.cluster_seconds() / m0.cluster_seconds(),
@@ -62,8 +66,14 @@ fn main() {
     }
 
     let mut table = Table::new("Table 9 — PP deployment overhead (a = 0.95)").headers([
-        "query", "PP cons. (15K rows)", "#PPs", "PP inf./row", "Sub.UDF/row", "selectivity",
-        "reduction", "QO time",
+        "query",
+        "PP cons. (15K rows)",
+        "#PPs",
+        "PP inf./row",
+        "Sub.UDF/row",
+        "selectivity",
+        "reduction",
+        "QO time",
     ]);
     for (id, r) in rows.iter().filter(|(id, _)| detail_ids.contains(id)) {
         table.row([

@@ -10,9 +10,9 @@
 
 use pp_bench::setup::traffic_setup;
 use pp_bench::table::{f3, Table};
-use pp_core::rewrite::{rewrite, RewriteConfig};
 use pp_core::alloc::{allocate, AccuracyGrid};
 use pp_core::combine::plan_cost_per_blob;
+use pp_core::rewrite::{rewrite, RewriteConfig};
 use pp_engine::predicate::{CompareOp, Predicate};
 
 fn example_predicates() -> Vec<(&'static str, Predicate)> {
@@ -29,7 +29,10 @@ fn example_predicates() -> Vec<(&'static str, Predicate)> {
         ),
         (
             "s > 60 AND s < 65",
-            Predicate::and(c("speed", CompareOp::Gt, 60.0), c("speed", CompareOp::Lt, 65.0)),
+            Predicate::and(
+                c("speed", CompareOp::Gt, 60.0),
+                c("speed", CompareOp::Lt, 65.0),
+            ),
         ),
         (
             "s > 60 AND s < 65 AND c = white AND t IN (SUV, van)",
@@ -66,7 +69,13 @@ fn main() {
             "Table 10 — QO plan exploration ({corpus_label}, {} PPs)",
             catalog.len()
         ))
-        .headers(["predicate", "# plans", "est. r range", "picked (est. r)", "alternates (est. r)"]);
+        .headers([
+            "predicate",
+            "# plans",
+            "est. r range",
+            "picked (est. r)",
+            "alternates (est. r)",
+        ]);
         for (label, pred) in example_predicates() {
             let outcome = rewrite(&pred, &catalog, &setup.domains, &cfg);
             let mut costed: Vec<(String, f64, f64)> = Vec::new(); // (expr, r, plan cost)

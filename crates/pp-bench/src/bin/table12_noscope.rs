@@ -32,9 +32,16 @@ fn main() {
         square.selectivity()
     );
 
-    let mut table = Table::new("Table 12 — NoScope-like vs PP pipeline on video streams").headers([
-        "system", "video", "pre-proc reduction", "early drop", "speed-up", "accuracy", "#ref calls",
-    ]);
+    let mut table =
+        Table::new("Table 12 — NoScope-like vs PP pipeline on video streams").headers([
+            "system",
+            "video",
+            "pre-proc reduction",
+            "early drop",
+            "speed-up",
+            "accuracy",
+            "#ref calls",
+        ]);
     for (system, filter, target) in [
         ("NoScope-like", FilterKind::ShallowDnn, 0.998),
         ("NoScope-like", FilterKind::ShallowDnn, 0.98),

@@ -8,13 +8,13 @@ use pp_core::wrangle::Domains;
 use pp_core::PpCatalog;
 use pp_data::corpora::{self, Corpus};
 use pp_data::traffic::{TrafficConfig, TrafficDataset};
+use pp_engine::Catalog;
 use pp_ml::dataset::LabeledSet;
 use pp_ml::dnn::DnnParams;
 use pp_ml::kde::KdeParams;
 use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
 use pp_ml::reduction::ReducerSpec;
 use pp_ml::svm::SvmParams;
-use pp_engine::Catalog;
 
 /// Builds a corpus by paper-dataset name.
 ///
@@ -41,7 +41,10 @@ pub fn paper_approach(corpus_name: &str) -> Approach {
             model: ModelSpec::Svm(SvmParams::default()),
         },
         "SUNAttribute" | "UCF101" => Approach {
-            reducer: ReducerSpec::Pca { k: 12, fit_sample: 1_000 },
+            reducer: ReducerSpec::Pca {
+                k: 12,
+                fit_sample: 1_000,
+            },
             model: ModelSpec::Kde(KdeParams::default()),
         },
         "COCO" | "ImageNet" => Approach {
@@ -73,11 +76,17 @@ pub fn approach_by_name(name: &str) -> Approach {
             model: ModelSpec::Svm(SvmParams::default()),
         },
         "PCA + KDE" => Approach {
-            reducer: ReducerSpec::Pca { k: 12, fit_sample: 1_000 },
+            reducer: ReducerSpec::Pca {
+                k: 12,
+                fit_sample: 1_000,
+            },
             model: ModelSpec::Kde(KdeParams::default()),
         },
         "PCA + SVM" => Approach {
-            reducer: ReducerSpec::Pca { k: 12, fit_sample: 1_000 },
+            reducer: ReducerSpec::Pca {
+                k: 12,
+                fit_sample: 1_000,
+            },
             model: ModelSpec::Svm(SvmParams::default()),
         },
         "Raw + SVM" => Approach {
@@ -124,7 +133,9 @@ pub fn test_metrics(pipeline: &Pipeline, test: &LabeledSet, a: f64) -> pp_ml::me
     pp_ml::metrics::Confusion::from_pairs(test.iter().map(|s| {
         (
             s.label,
-            pipeline.passes(&s.features, a).expect("valid accuracy target"),
+            pipeline
+                .passes(&s.features, a)
+                .expect("valid accuracy target"),
         )
     }))
 }
@@ -232,7 +243,11 @@ mod tests {
     fn traffic_setup_trains_a_catalog() {
         let s = traffic_setup(800, 400, 3);
         // 26 base clauses, most trainable, each with a negation twin.
-        assert!(s.pp_catalog.len() >= 30, "catalog size {}", s.pp_catalog.len());
+        assert!(
+            s.pp_catalog.len() >= 30,
+            "catalog size {}",
+            s.pp_catalog.len()
+        );
         assert!(s.train_seconds > 0.0);
         // The registered table excludes the training slice.
         assert_eq!(s.catalog.table("traffic").unwrap().len(), 400);

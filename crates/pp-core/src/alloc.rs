@@ -29,8 +29,8 @@ pub struct AccuracyGrid {
 impl Default for AccuracyGrid {
     fn default() -> Self {
         AccuracyGrid::new(vec![
-            0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.93, 0.95, 0.96, 0.97, 0.98, 0.99, 0.995, 0.998,
-            0.999, 1.0,
+            0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.93, 0.95, 0.96, 0.97, 0.98, 0.99, 0.995, 0.998, 0.999,
+            1.0,
         ])
         .expect("default grid is valid")
     }
@@ -82,7 +82,9 @@ pub fn allocate(
     grid: &AccuracyGrid,
 ) -> Result<PlannedPpExpr> {
     if !(target > 0.0 && target <= 1.0) {
-        return Err(PpError::InvalidParameter("accuracy target must be in (0, 1]"));
+        return Err(PpError::InvalidParameter(
+            "accuracy target must be in (0, 1]",
+        ));
     }
     let curve = build_curve(expr, udf_cost, grid)?;
     let idx = grid
@@ -115,13 +117,11 @@ pub fn allocate(
 /// Uniform-allocation baseline (ablation): every leaf gets the same grid
 /// accuracy — the smallest one whose combined accuracy still meets the
 /// target.
-pub fn allocate_uniform(
-    expr: &PpExpr,
-    target: f64,
-    grid: &AccuracyGrid,
-) -> Result<PlannedPpExpr> {
+pub fn allocate_uniform(expr: &PpExpr, target: f64, grid: &AccuracyGrid) -> Result<PlannedPpExpr> {
     if !(target > 0.0 && target <= 1.0) {
-        return Err(PpError::InvalidParameter("accuracy target must be in (0, 1]"));
+        return Err(PpError::InvalidParameter(
+            "accuracy target must be in (0, 1]",
+        ));
     }
     for &a in grid.points() {
         let assignment = Assignment::uniform(expr, a)?;
@@ -139,7 +139,11 @@ pub fn allocate_uniform(
 
 /// Computes the DP curve for a sub-expression: `curve[i]` is the best entry
 /// with combined accuracy ≥ `grid.points()[i]`, if any.
-fn build_curve(expr: &PpExpr, udf_cost: f64, grid: &AccuracyGrid) -> Result<Vec<Option<CurveEntry>>> {
+fn build_curve(
+    expr: &PpExpr,
+    udf_cost: f64,
+    grid: &AccuracyGrid,
+) -> Result<Vec<Option<CurveEntry>>> {
     let g = grid.points();
     match expr {
         PpExpr::Leaf(pp) => {

@@ -119,7 +119,9 @@ mod tests {
         cat.insert(pp_for(p.clone(), 1));
         assert_eq!(cat.len(), 1);
         assert!(cat.get(&p).is_some());
-        assert!(cat.get(&Predicate::clause("t", CompareOp::Eq, "van")).is_none());
+        assert!(cat
+            .get(&Predicate::clause("t", CompareOp::Eq, "van"))
+            .is_none());
         // Replacement keeps a single entry.
         cat.insert(pp_for(p.clone(), 2));
         assert_eq!(cat.len(), 1);

@@ -75,9 +75,7 @@ pub fn disjoin(e1: Estimate, e2: Estimate) -> Estimate {
 
 /// Folds a sequence of estimates under conjunction.
 pub fn conjoin_all(estimates: impl IntoIterator<Item = Estimate>) -> Estimate {
-    estimates
-        .into_iter()
-        .fold(Estimate::passthrough(), conjoin)
+    estimates.into_iter().fold(Estimate::passthrough(), conjoin)
 }
 
 /// Folds a sequence of estimates under disjunction.

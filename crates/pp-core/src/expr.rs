@@ -87,16 +87,20 @@ impl PpExpr {
                 })
             }
             PpExpr::And(es) => {
-                let parts: Result<Vec<Estimate>> =
-                    es.iter().map(|e| e.estimate_rec(assignment, next_leaf)).collect();
+                let parts: Result<Vec<Estimate>> = es
+                    .iter()
+                    .map(|e| e.estimate_rec(assignment, next_leaf))
+                    .collect();
                 Ok(conjoin_all(parts?))
             }
             PpExpr::Or(es) => {
                 if es.is_empty() {
                     return Err(PpError::InvalidParameter("empty disjunction"));
                 }
-                let parts: Result<Vec<Estimate>> =
-                    es.iter().map(|e| e.estimate_rec(assignment, next_leaf)).collect();
+                let parts: Result<Vec<Estimate>> = es
+                    .iter()
+                    .map(|e| e.estimate_rec(assignment, next_leaf))
+                    .collect();
                 Ok(disjoin_all(parts?))
             }
         }
@@ -197,7 +201,9 @@ impl Assignment {
         self.accuracies
             .get(idx)
             .copied()
-            .ok_or(PpError::InvalidParameter("assignment shorter than leaf count"))
+            .ok_or(PpError::InvalidParameter(
+                "assignment shorter than leaf count",
+            ))
     }
 
     /// All accuracies, in leaf pre-order.

@@ -35,9 +35,9 @@ pub fn clause_implies(p: &Clause, q: &Clause) -> bool {
         (Eq, Gt) => cmp == Greater,
         (Eq, Ge) => cmp != Less,
         // x > v1 ⇒ ...
-        (Gt, Gt) => cmp != Less,    // v1 >= v2
-        (Gt, Ge) => cmp != Less,    // x > v1 >= v2 ⇒ x >= v2 (indeed x > v2)
-        (Gt, Ne) => cmp != Less,    // x > v1 >= v2 ⇒ x != v2
+        (Gt, Gt) => cmp != Less, // v1 >= v2
+        (Gt, Ge) => cmp != Less, // x > v1 >= v2 ⇒ x >= v2 (indeed x > v2)
+        (Gt, Ne) => cmp != Less, // x > v1 >= v2 ⇒ x != v2
         // x >= v1 ⇒ ...
         (Ge, Ge) => cmp != Less,    // v1 >= v2
         (Ge, Gt) => cmp == Greater, // v1 > v2
@@ -168,11 +168,17 @@ mod tests {
             Predicate::clause("t", CompareOp::Eq, "van"),
         );
         // p ⇒ p ∨ q
-        assert!(implies(&Predicate::clause("t", CompareOp::Eq, "SUV"), &p_or_q));
+        assert!(implies(
+            &Predicate::clause("t", CompareOp::Eq, "SUV"),
+            &p_or_q
+        ));
         // p ∨ q ⇒ p ∨ q  (the R3 pattern: the whole OR maps into the OR)
         assert!(implies(&p_or_q, &p_or_q));
         // p ∨ q does NOT imply p.
-        assert!(!implies(&p_or_q, &Predicate::clause("t", CompareOp::Eq, "SUV")));
+        assert!(!implies(
+            &p_or_q,
+            &Predicate::clause("t", CompareOp::Eq, "SUV")
+        ));
     }
 
     #[test]
@@ -190,7 +196,10 @@ mod tests {
         // 𝒫 ⇒ p ∨ q
         assert!(implies(&pred, &Predicate::or(p.clone(), q.clone())));
         // 𝒫 ⇒ ¬r  (i.e. c != red)
-        assert!(implies(&pred, &Predicate::clause("c", CompareOp::Ne, "red")));
+        assert!(implies(
+            &pred,
+            &Predicate::clause("c", CompareOp::Ne, "red")
+        ));
         // 𝒫 ⇒ (p ∨ q) ∧ ¬r
         assert!(implies(
             &pred,

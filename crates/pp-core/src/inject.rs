@@ -45,7 +45,10 @@ pub struct PushablePredicate {
 ///
 /// Stacked selects over the same scan produce one entry each; the planner
 /// conjoins entries that share a table.
-pub fn pushable_predicates(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<PushablePredicate>> {
+pub fn pushable_predicates(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+) -> Result<Vec<PushablePredicate>> {
     let mut out = Vec::new();
     walk(plan, catalog, &mut out)?;
     Ok(out)
@@ -195,15 +198,13 @@ pub fn inject_above_scan(
     if injected {
         Ok(rebuilt)
     } else {
-        Err(PpError::InvalidParameter("blob table scan not found in plan"))
+        Err(PpError::InvalidParameter(
+            "blob table scan not found in plan",
+        ))
     }
 }
 
-fn inject_rec(
-    plan: &LogicalPlan,
-    table: &str,
-    filter: &Arc<dyn RowFilter>,
-) -> (LogicalPlan, bool) {
+fn inject_rec(plan: &LogicalPlan, table: &str, filter: &Arc<dyn RowFilter>) -> (LogicalPlan, bool) {
     match plan {
         LogicalPlan::Scan { table: t } if t == table => (
             LogicalPlan::Filter {
@@ -338,9 +339,7 @@ pub fn udf_cost_per_blob(plan: &LogicalPlan) -> f64 {
         | LogicalPlan::Project { input, .. }
         | LogicalPlan::Aggregate { input, .. } => udf_cost_per_blob(input),
         LogicalPlan::Reduce { input, reducer } => reducer.cost_per_row() + udf_cost_per_blob(input),
-        LogicalPlan::Join { left, right, .. } => {
-            udf_cost_per_blob(left) + udf_cost_per_blob(right)
-        }
+        LogicalPlan::Join { left, right, .. } => udf_cost_per_blob(left) + udf_cost_per_blob(right),
         LogicalPlan::Combine {
             left,
             right,
@@ -405,7 +404,10 @@ mod tests {
             .process(veh_proc())
             .project(vec![
                 ProjectItem::Keep("frame".into()),
-                ProjectItem::Rename { from: "vehType".into(), to: "t".into() },
+                ProjectItem::Rename {
+                    from: "vehType".into(),
+                    to: "t".into(),
+                },
             ])
             .select(Predicate::clause("t", CompareOp::Eq, "SUV"));
         let found = pushable_predicates(&plan, &cat).unwrap();
@@ -453,7 +455,11 @@ mod tests {
     #[test]
     fn join_follows_blob_side() {
         let mut cat = catalog();
-        let dim = Schema::new(vec![Column::new("fid", DataType::Int), Column::new("cam", DataType::Str)]).unwrap();
+        let dim = Schema::new(vec![
+            Column::new("fid", DataType::Int),
+            Column::new("cam", DataType::Str),
+        ])
+        .unwrap();
         cat.register("meta", Rowset::empty(dim));
         let plan = LogicalPlan::Join {
             left: Box::new(LogicalPlan::scan("video").process(veh_proc())),

@@ -21,7 +21,8 @@
 //!   candidate PP expressions (rules R1–R4),
 //! * [`inject`] — plan injection and the pushdown rules of Table 11 / A.4,
 //! * [`planner`] — the end-to-end QO extension of Fig. 3c,
-//! * [`runtime`] — the dependent-predicate runtime fix of Appendix A.5.
+//! * [`runtime`] — the runtime monitor: the dependent-predicate fix of
+//!   Appendix A.5 plus fault-rate tracking that quarantines broken PPs.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -44,6 +45,7 @@ pub use catalog::PpCatalog;
 pub use expr::PpExpr;
 pub use planner::{PpQueryOptimizer, QoConfig};
 pub use pp::ProbabilisticPredicate;
+pub use runtime::{MonitorConfig, RuntimeMonitor};
 
 /// Errors produced by the PP core.
 #[derive(Debug)]
@@ -96,3 +98,7 @@ impl From<pp_engine::EngineError> for PpError {
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, PpError>;
+
+/// Alias emphasizing the planning-time error surface: everything the query
+/// optimizer ([`planner::PpQueryOptimizer`]) can fail with is a [`PpError`].
+pub type PlanError = PpError;

@@ -156,13 +156,19 @@ mod tests {
         let b = item(3.0, 0.8);
         let fwd = sequence_cost(&[a, b], &[0, 1], Gate::Conjunction);
         let bwd = sequence_cost(&[a, b], &[1, 0], Gate::Conjunction);
-        let eq9 = (a.cost + (1.0 - a.reduction) * b.cost).min(b.cost + (1.0 - b.reduction) * a.cost);
+        let eq9 =
+            (a.cost + (1.0 - a.reduction) * b.cost).min(b.cost + (1.0 - b.reduction) * a.cost);
         assert!((fwd.min(bwd) - eq9).abs() < 1e-12);
     }
 
     #[test]
     fn exhaustive_beats_or_ties_any_fixed_order() {
-        let items = [item(1.0, 0.3), item(2.0, 0.6), item(0.5, 0.1), item(4.0, 0.9)];
+        let items = [
+            item(1.0, 0.3),
+            item(2.0, 0.6),
+            item(0.5, 0.1),
+            item(4.0, 0.9),
+        ];
         let (_, best_cost) = best_order(&items, Gate::Conjunction);
         let identity: Vec<usize> = (0..items.len()).collect();
         assert!(best_cost <= sequence_cost(&items, &identity, Gate::Conjunction) + 1e-12);

@@ -27,7 +27,7 @@ use crate::expr::{Assignment, PlannedPpExpr, PpExpr};
 use crate::inject::{inject_above_scan, pushable_predicates, udf_cost_per_blob};
 use crate::order::{best_order, Gate, OrderItem};
 use crate::rewrite::{rewrite, RewriteConfig};
-use crate::runtime::DependencyMonitor;
+use crate::runtime::RuntimeMonitor;
 use crate::wrangle::Domains;
 use crate::{PpError, Result};
 
@@ -149,18 +149,21 @@ impl PpQueryOptimizer {
         &self.pp_catalog
     }
 
-    /// Optimizes a plan (no dependency monitor).
+    /// Optimizes a plan (no runtime monitor).
     pub fn optimize(&self, plan: &LogicalPlan, catalog: &Catalog) -> Result<OptimizedQuery> {
         self.optimize_with_monitor(plan, catalog, None)
     }
 
-    /// Optimizes a plan, honoring dependency flags when a monitor is
-    /// provided (Appendix A.5).
+    /// Optimizes a plan, honoring runtime feedback when a monitor is
+    /// provided: predicates flagged as dependent (Appendix A.5) are
+    /// limited to single-PP expressions, and candidates using a broken
+    /// (fault-quarantined) PP are excluded entirely — if every candidate
+    /// is broken, the query degrades to its original, PP-free plan.
     pub fn optimize_with_monitor(
         &self,
         plan: &LogicalPlan,
         catalog: &Catalog,
-        monitor: Option<&DependencyMonitor>,
+        monitor: Option<&RuntimeMonitor>,
     ) -> Result<OptimizedQuery> {
         let started = Instant::now();
         let pushables = pushable_predicates(plan, catalog)?;
@@ -188,21 +191,30 @@ impl PpQueryOptimizer {
             udf_cost_per_blob: udf_cost,
             ..Default::default()
         };
-        for (table, blob_column, preds) in by_table {
-            let predicate = if preds.len() == 1 {
-                preds.into_iter().next().expect("len checked")
-            } else {
-                Predicate::And(preds)
+        for (table, blob_column, mut preds) in by_table {
+            let predicate = match preds.len() {
+                1 => preds.swap_remove(0),
+                _ => Predicate::And(preds),
             }
             .simplify();
-            let outcome = rewrite(&predicate, &self.pp_catalog, &self.domains, &self.config.rewrite);
+            let outcome = rewrite(
+                &predicate,
+                &self.pp_catalog,
+                &self.domains,
+                &self.config.rewrite,
+            );
             // Dependent-predicate fix: flagged predicates may only use a
-            // single PP.
+            // single PP. Broken PPs (fault-quarantined by the monitor) are
+            // excluded outright — injecting a filter that keeps failing
+            // would charge its cost for no reduction.
             let flagged = monitor.is_some_and(|m| m.is_flagged(&predicate.to_string()));
             let candidates: Vec<PpExpr> = outcome
                 .candidates
                 .into_iter()
                 .filter(|c| !flagged || c.leaf_count() == 1)
+                .filter(|c| {
+                    monitor.is_none_or(|m| !c.leaves().iter().any(|pp| m.is_broken(&pp.key())))
+                })
                 .collect();
             report.predicate = predicate.to_string();
             report.feasible_count = outcome.feasible_count;
@@ -210,7 +222,12 @@ impl PpQueryOptimizer {
             let mut best: Option<(f64, PlannedPpExpr)> = None;
             for cand in candidates {
                 let planned = if self.config.use_dp_allocation {
-                    allocate(&cand, self.config.accuracy_target, udf_cost, &self.config.grid)
+                    allocate(
+                        &cand,
+                        self.config.accuracy_target,
+                        udf_cost,
+                        &self.config.grid,
+                    )
                 } else {
                     allocate_uniform(&cand, self.config.accuracy_target, &self.config.grid)
                 };
@@ -278,7 +295,8 @@ fn reorder_rec(expr: &PpExpr, accs: &[f64]) -> Result<(PpExpr, Vec<f64>)> {
             };
             // Slice the assignment per child, recurse, and estimate each.
             let mut offset = 0usize;
-            let mut rebuilt: Vec<(PpExpr, Vec<f64>, OrderItem)> = Vec::with_capacity(children.len());
+            let mut rebuilt: Vec<(PpExpr, Vec<f64>, OrderItem)> =
+                Vec::with_capacity(children.len());
             for child in children {
                 let n = child.leaf_count();
                 let slice = &accs[offset..offset + n];
@@ -324,13 +342,12 @@ mod tests {
     use std::sync::Arc;
 
     /// Blob table where blob[0] > 0 ⇔ "SUV"; a UDF materializes vehType.
-    fn setup(n: usize, seed: u64) -> (Catalog, LogicalPlan) {
+    fn setup(n: usize, seed: u64) -> Result<(Catalog, LogicalPlan)> {
         let mut rng = StdRng::seed_from_u64(seed);
         let schema = Schema::new(vec![
             Column::new("frameID", DataType::Int),
             Column::new("frame", DataType::Blob),
-        ])
-        .unwrap();
+        ])?;
         let rows = (0..n)
             .map(|i| {
                 let pos = rng.gen_bool(0.3);
@@ -345,82 +362,89 @@ mod tests {
             })
             .collect();
         let mut cat = Catalog::new();
-        cat.register("video", Rowset::new(schema, rows).unwrap());
+        cat.register("video", Rowset::new(schema, rows).map_err(PpError::Engine)?);
         let udf = Arc::new(ClosureProcessor::map(
             "VehType",
             vec![Column::new("vehType", DataType::Str)],
             5.0,
             |row, schema| {
                 let blob = row.get_named(schema, "frame")?.as_blob()?;
-                Ok(vec![Value::str(if blob.to_dense()[0] > 0.0 { "SUV" } else { "sedan" })])
+                Ok(vec![Value::str(if blob.to_dense()[0] > 0.0 {
+                    "SUV"
+                } else {
+                    "sedan"
+                })])
             },
         ));
         let plan = LogicalPlan::scan("video")
             .process(udf)
             .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
-        (cat, plan)
+        Ok((cat, plan))
     }
 
-    fn pp_catalog() -> PpCatalog {
+    fn pp_catalog() -> Result<PpCatalog> {
         // A PP trained on exactly the blob geometry of `setup`.
         let mut cat = PpCatalog::new();
         let base = trained_pp(0.3, 7, 0.01);
-        cat.insert(
-            ProbabilisticPredicate::new(
-                Predicate::clause("vehType", CompareOp::Eq, "SUV"),
-                base.pipeline().clone(),
-                0.01,
-            )
-            .unwrap(),
-        );
-        cat
+        cat.insert(ProbabilisticPredicate::new(
+            Predicate::clause("vehType", CompareOp::Eq, "SUV"),
+            base.pipeline().clone(),
+            0.01,
+        )?);
+        Ok(cat)
     }
 
     #[test]
-    fn injects_and_preserves_results() {
-        let (cat, plan) = setup(400, 1);
-        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), QoConfig::default());
-        let optimized = qo.optimize(&plan, &cat).unwrap();
+    fn injects_and_preserves_results() -> Result<()> {
+        let (cat, plan) = setup(400, 1)?;
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat)?;
         assert!(optimized.report.chosen.is_some(), "{:?}", optimized.report);
 
         let model = pp_engine::cost::CostModel::default();
         let mut m0 = pp_engine::CostMeter::new();
-        let baseline = pp_engine::execute(&plan, &cat, &mut m0, &model).unwrap();
+        let baseline = pp_engine::execute(&plan, &cat, &mut m0, &model)?;
         let mut m1 = pp_engine::CostMeter::new();
-        let with_pp = pp_engine::execute(&optimized.plan, &cat, &mut m1, &model).unwrap();
+        let with_pp = pp_engine::execute(&optimized.plan, &cat, &mut m1, &model)?;
 
         // No false positives: every output row of the PP plan is an
         // output of the original plan, and cost strictly improves.
         assert!(with_pp.len() <= baseline.len());
         assert!(with_pp.len() as f64 >= 0.85 * baseline.len() as f64);
         assert!(m1.cluster_seconds() < m0.cluster_seconds());
+        Ok(())
     }
 
     #[test]
-    fn accuracy_one_keeps_everything_the_pp_guarantees() {
-        let (cat, plan) = setup(400, 2);
-        let config = QoConfig { accuracy_target: 1.0, ..Default::default() };
-        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), config);
-        let optimized = qo.optimize(&plan, &cat).unwrap();
+    fn accuracy_one_keeps_everything_the_pp_guarantees() -> Result<()> {
+        let (cat, plan) = setup(400, 2)?;
+        let config = QoConfig {
+            accuracy_target: 1.0,
+            ..Default::default()
+        };
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), config);
+        let optimized = qo.optimize(&plan, &cat)?;
         if let Some(chosen) = &optimized.report.chosen {
             for &a in &chosen.leaf_accuracies {
                 assert_eq!(a, 1.0);
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn no_catalog_returns_original_plan() {
-        let (cat, plan) = setup(100, 3);
+    fn no_catalog_returns_original_plan() -> Result<()> {
+        let (cat, plan) = setup(100, 3)?;
         let qo = PpQueryOptimizer::new(PpCatalog::new(), Domains::new(), QoConfig::default());
-        let optimized = qo.optimize(&plan, &cat).unwrap();
+        let optimized = qo.optimize(&plan, &cat)?;
         assert!(optimized.report.chosen.is_none());
         assert_eq!(optimized.plan.explain(), plan.explain());
+        Ok(())
     }
 
     #[test]
-    fn expensive_pp_not_injected_when_udf_is_cheap() {
-        let (cat, _) = setup(100, 4);
+    fn expensive_pp_not_injected_when_udf_is_cheap() -> Result<()> {
+        let (cat, _) = setup(100, 4)?;
         // A UDF costing less than the PP itself.
         let udf = Arc::new(ClosureProcessor::map(
             "Cheap",
@@ -431,49 +455,81 @@ mod tests {
         let plan = LogicalPlan::scan("video")
             .process(udf)
             .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
-        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), QoConfig::default());
-        let optimized = qo.optimize(&plan, &cat).unwrap();
-        assert!(optimized.report.chosen.is_none(), "should not inject: {:?}", optimized.report.chosen);
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat)?;
+        assert!(
+            optimized.report.chosen.is_none(),
+            "should not inject: {:?}",
+            optimized.report.chosen
+        );
+        Ok(())
     }
 
     #[test]
-    fn flagged_predicate_limited_to_single_pp() {
-        let (cat, plan) = setup(300, 5);
+    fn flagged_predicate_limited_to_single_pp() -> Result<()> {
+        let (cat, plan) = setup(300, 5)?;
         // Catalog with two PPs for the same clause family so multi-PP
         // candidates exist: vehType = SUV and vehType != sedan.
-        let mut ppcat = pp_catalog();
+        let mut ppcat = pp_catalog()?;
         let base = trained_pp(0.3, 8, 0.01);
-        ppcat.insert(
-            ProbabilisticPredicate::new(
-                Predicate::clause("vehType", CompareOp::Ne, "sedan"),
-                base.pipeline().clone(),
-                0.01,
-            )
-            .unwrap(),
-        );
+        ppcat.insert(ProbabilisticPredicate::new(
+            Predicate::clause("vehType", CompareOp::Ne, "sedan"),
+            base.pipeline().clone(),
+            0.01,
+        )?);
         let qo = PpQueryOptimizer::new(ppcat, Domains::new(), QoConfig::default());
-        let monitor = DependencyMonitor::new();
+        let monitor = RuntimeMonitor::new();
         monitor.observe(
             "vehType = SUV",
-            crate::runtime::Observation { estimated_reduction: 0.9, observed_reduction: 0.2 },
+            crate::runtime::Observation {
+                estimated_reduction: 0.9,
+                observed_reduction: 0.2,
+            },
         );
-        let optimized = qo
-            .optimize_with_monitor(&plan, &cat, Some(&monitor))
-            .unwrap();
+        let optimized = qo.optimize_with_monitor(&plan, &cat, Some(&monitor))?;
         if let Some(chosen) = &optimized.report.chosen {
-            assert_eq!(chosen.leaf_accuracies.len(), 1, "flagged predicate must use one PP");
+            assert_eq!(
+                chosen.leaf_accuracies.len(),
+                1,
+                "flagged predicate must use one PP"
+            );
         }
+        Ok(())
     }
 
     #[test]
-    fn report_contains_candidates_and_range() {
-        let (cat, plan) = setup(300, 6);
-        let qo = PpQueryOptimizer::new(pp_catalog(), Domains::new(), QoConfig::default());
-        let optimized = qo.optimize(&plan, &cat).unwrap();
+    fn broken_pp_degrades_to_original_plan() -> Result<()> {
+        let (cat, plan) = setup(300, 7)?;
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
+        // Sanity: with a healthy monitor the PP is injected.
+        let monitor = RuntimeMonitor::new();
+        let healthy = qo.optimize_with_monitor(&plan, &cat, Some(&monitor))?;
+        assert!(healthy.report.chosen.is_some());
+        // Quarantine the PP: the planner must fall back to the no-PP plan.
+        monitor.mark_broken("vehType = SUV");
+        let degraded = qo.optimize_with_monitor(&plan, &cat, Some(&monitor))?;
+        assert!(
+            degraded.report.chosen.is_none(),
+            "broken PP must not be injected"
+        );
+        assert_eq!(degraded.plan.explain(), plan.explain());
+        // Restoring the PP re-enables injection.
+        monitor.restore("vehType = SUV");
+        let restored = qo.optimize_with_monitor(&plan, &cat, Some(&monitor))?;
+        assert!(restored.report.chosen.is_some());
+        Ok(())
+    }
+
+    #[test]
+    fn report_contains_candidates_and_range() -> Result<()> {
+        let (cat, plan) = setup(300, 6)?;
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat)?;
         assert!(!optimized.report.candidates.is_empty());
         assert!(optimized.report.reduction_range().is_some());
         assert!(optimized.report.udf_cost_per_blob > 0.0);
         assert_eq!(optimized.report.predicate, "vehType = SUV");
         assert!(optimized.report.optimize_seconds >= 0.0);
+        Ok(())
     }
 }

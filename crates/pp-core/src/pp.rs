@@ -143,12 +143,8 @@ pub(crate) mod tests {
             model: ModelSpec::Svm(SvmParams::default()),
         };
         let pipeline = Pipeline::train(&approach, &train, &val, seed).unwrap();
-        ProbabilisticPredicate::new(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            pipeline,
-            cost,
-        )
-        .unwrap()
+        ProbabilisticPredicate::new(Predicate::clause("t", CompareOp::Eq, "SUV"), pipeline, cost)
+            .unwrap()
     }
 
     #[test]

@@ -199,7 +199,9 @@ fn analyze_group(group: &[Clause], catalog: &PpCatalog, config: &RewriteConfig) 
                 options.iter().map(|o| o[0].clone()).collect();
             let beats_whole = match exact_whole {
                 None => true,
-                Some(w) => picks.iter().any(|pp| pp.efficiency_ratio() < w.efficiency_ratio()),
+                Some(w) => picks
+                    .iter()
+                    .any(|pp| pp.efficiency_ratio() < w.efficiency_ratio()),
             };
             if beats_whole {
                 // Dedupe: the same PP covering several disjuncts collapses.
@@ -222,7 +224,11 @@ fn analyze_group(group: &[Clause], catalog: &PpCatalog, config: &RewriteConfig) 
                         .iter()
                         .any(|i| matches!(&i.expr, PpExpr::Leaf(l) if l.key() == unique[0].key()));
                 if !duplicate {
-                    impls.push(GroupImpl { expr, leaves, score });
+                    impls.push(GroupImpl {
+                        expr,
+                        leaves,
+                        score,
+                    });
                 }
             }
         }
@@ -282,10 +288,7 @@ fn enumerate_candidates(groups: &[GroupAnalysis], config: &RewriteConfig) -> Vec
     // choices is small, explore it exhaustively; otherwise fall back to
     // greedy chains that vary one group's choice at a time.
     if group_order.len() >= 2 {
-        let product: usize = group_order
-            .iter()
-            .map(|&g| groups[g].impls.len())
-            .product();
+        let product: usize = group_order.iter().map(|&g| groups[g].impls.len()).product();
         if product <= config.max_candidates.max(8) {
             cartesian_chains(groups, &group_order, config, &mut candidates);
         } else {
@@ -337,7 +340,16 @@ fn cartesian_chains(
         for gi in &groups[order[pos]].impls {
             if leaves + gi.leaves <= config.max_pps {
                 parts.push(gi.expr.clone());
-                rec(groups, order, pos + 1, parts, leaves + gi.leaves, score + gi.score, config, out);
+                rec(
+                    groups,
+                    order,
+                    pos + 1,
+                    parts,
+                    leaves + gi.leaves,
+                    score + gi.score,
+                    config,
+                    out,
+                );
                 parts.pop();
             }
         }
@@ -401,9 +413,7 @@ mod tests {
         let mut add = |cat: &mut PpCatalog, pred: Predicate| {
             seed += 1;
             let base = trained_pp(0.3, seed, 0.001);
-            cat.insert(
-                ProbabilisticPredicate::new(pred, base.pipeline().clone(), 0.001).unwrap(),
-            );
+            cat.insert(ProbabilisticPredicate::new(pred, base.pipeline().clone(), 0.001).unwrap());
         };
         for t in ["sedan", "SUV", "truck", "van"] {
             add(&mut cat, Predicate::clause("t", CompareOp::Eq, t));
@@ -444,11 +454,17 @@ mod tests {
         assert!(!out.candidates.is_empty());
         assert!(out.feasible_count >= 3, "count={}", out.feasible_count);
         // Candidates include an OR of the two equality PPs.
-        let has_or = out
-            .candidates
-            .iter()
-            .any(|c| c.to_string().contains("PP[t = SUV]") && c.to_string().contains("PP[t = van]"));
-        assert!(has_or, "{:?}", out.candidates.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        let has_or = out.candidates.iter().any(|c| {
+            c.to_string().contains("PP[t = SUV]") && c.to_string().contains("PP[t = van]")
+        });
+        assert!(
+            has_or,
+            "{:?}",
+            out.candidates
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+        );
         // Whole-group inequality PPs appear too (t≠sedan is implied).
         let has_ne = out.candidates.iter().any(|c| c.to_string().contains("!="));
         assert!(has_ne);
@@ -474,7 +490,14 @@ mod tests {
             let s = c.to_string();
             s.contains("s >= 60") && s.contains("s <= 65")
         });
-        assert!(has_conj, "{:?}", out.candidates.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+        assert!(
+            has_conj,
+            "{:?}",
+            out.candidates
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+        );
         for c in &out.candidates {
             assert!(implies(&pred, &c.mimicked()), "not implied: {c}");
         }
@@ -566,7 +589,10 @@ mod tests {
             ),
         ]);
         let cat = traf_catalog();
-        let cfg = RewriteConfig { max_pps: 2, ..Default::default() };
+        let cfg = RewriteConfig {
+            max_pps: 2,
+            ..Default::default()
+        };
         let out = rewrite(&pred, &cat, &domains(), &cfg);
         for c in &out.candidates {
             assert!(c.leaf_count() <= 2, "too many PPs: {c}");

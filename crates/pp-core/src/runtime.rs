@@ -1,4 +1,5 @@
-//! The dependent-predicate runtime fix (Appendix A.5).
+//! The runtime monitor: dependent-predicate detection (Appendix A.5) plus
+//! fault-health tracking for safe PP degradation.
 //!
 //! "If the PPs upon multiple predicate columns are dependent, the cost and
 //! reduction rate estimation ... will be suboptimal. In such case, we apply
@@ -7,10 +8,19 @@
 //! predicates as possibly dependent so that the QO will only use one PP
 //! (and not a combination of dependent PPs) in the future for that
 //! predicate."
+//!
+//! This module generalizes that fix into a [`RuntimeMonitor`] which also
+//! watches execution health: feeding it the executor's
+//! [`ExecReport`](pp_engine::resilience::ExecReport) after each query lets
+//! it mark PPs *broken* — ones whose filters keep failing or whose circuit
+//! breakers tripped — so the planner stops injecting them. A broken PP
+//! degrades the query to its no-PP plan: slower, never wrong.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use parking_lot::RwLock;
+
+use pp_engine::resilience::ExecReport;
 
 /// One runtime observation of a PP expression's behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,26 +38,108 @@ impl Observation {
     }
 }
 
-/// Tracks per-predicate estimate-vs-observation deviations and flags
-/// predicates whose multi-PP combinations appear dependent.
+/// Thresholds governing when the monitor flags or quarantines a PP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorConfig {
+    /// Estimate-vs-observation reduction deviation above which a single
+    /// observation is "dramatic" and flags its predicate as dependent
+    /// (Appendix A.5's runtime fix).
+    pub deviation_threshold: f64,
+    /// Fraction of failed filter calls above which a PP is considered
+    /// broken (once `min_calls` have been seen).
+    pub fault_rate_threshold: f64,
+    /// Minimum recorded calls before the fault rate is trusted; prevents a
+    /// single unlucky call from quarantining a healthy PP.
+    pub min_calls: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            deviation_threshold: 0.15,
+            fault_rate_threshold: 0.5,
+            min_calls: 10,
+        }
+    }
+}
+
+impl MonitorConfig {
+    /// Sets the dependency-deviation threshold.
+    pub fn with_deviation_threshold(mut self, t: f64) -> Self {
+        self.deviation_threshold = t;
+        self
+    }
+
+    /// Sets the broken-PP fault-rate threshold.
+    pub fn with_fault_rate_threshold(mut self, t: f64) -> Self {
+        self.fault_rate_threshold = t;
+        self
+    }
+
+    /// Sets the minimum calls before fault rates are trusted.
+    pub fn with_min_calls(mut self, n: u64) -> Self {
+        self.min_calls = n;
+        self
+    }
+}
+
+/// Cumulative fault counters for one PP key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Filter calls attempted.
+    pub calls: u64,
+    /// Calls that failed.
+    pub failures: u64,
+}
+
+impl FaultStats {
+    /// Observed failure fraction (0 when never called).
+    pub fn rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.calls as f64
+        }
+    }
+}
+
+/// Tracks per-predicate estimate deviations (dependency flags) and
+/// per-PP fault health (broken set), feeding both back into planning.
 #[derive(Debug, Default)]
-pub struct DependencyMonitor {
+pub struct RuntimeMonitor {
+    config: MonitorConfig,
     inner: RwLock<Inner>,
 }
+
+/// The original name of the Appendix A.5 monitor; [`RuntimeMonitor`]
+/// subsumes it.
+pub type DependencyMonitor = RuntimeMonitor;
 
 #[derive(Debug, Default)]
 struct Inner {
     history: HashMap<String, Vec<Observation>>,
     flagged: HashMap<String, bool>,
+    faults: HashMap<String, FaultStats>,
+    broken: HashSet<String>,
 }
 
-/// Deviation above which a single observation is "dramatic".
-const DEVIATION_THRESHOLD: f64 = 0.15;
-
-impl DependencyMonitor {
-    /// A fresh monitor.
+impl RuntimeMonitor {
+    /// A fresh monitor with default thresholds.
     pub fn new() -> Self {
-        DependencyMonitor::default()
+        RuntimeMonitor::default()
+    }
+
+    /// A fresh monitor with explicit thresholds.
+    pub fn with_config(config: MonitorConfig) -> Self {
+        RuntimeMonitor {
+            config,
+            inner: RwLock::default(),
+        }
+    }
+
+    /// The monitor's thresholds.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
     }
 
     /// Records an execution of a (multi-PP) plan for `predicate_key` —
@@ -59,7 +151,7 @@ impl DependencyMonitor {
             .entry(predicate_key.to_string())
             .or_default()
             .push(obs);
-        if obs.deviation() > DEVIATION_THRESHOLD {
+        if obs.deviation() > self.config.deviation_threshold {
             inner.flagged.insert(predicate_key.to_string(), true);
         }
     }
@@ -67,7 +159,12 @@ impl DependencyMonitor {
     /// Whether the predicate has been flagged as possibly dependent; the
     /// planner restricts flagged predicates to single-PP expressions.
     pub fn is_flagged(&self, predicate_key: &str) -> bool {
-        self.inner.read().flagged.get(predicate_key).copied().unwrap_or(false)
+        self.inner
+            .read()
+            .flagged
+            .get(predicate_key)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// All recorded observations for a predicate.
@@ -80,32 +177,131 @@ impl DependencyMonitor {
             .unwrap_or_default()
     }
 
-    /// Clears a flag (e.g. after retraining the PPs involved).
+    /// Clears a predicate's dependency flag and history (e.g. after
+    /// retraining the PPs involved).
     pub fn clear(&self, predicate_key: &str) {
         let mut inner = self.inner.write();
         inner.flagged.remove(predicate_key);
         inner.history.remove(predicate_key);
     }
+
+    /// Accumulates fault counters for one PP key, quarantining it when its
+    /// failure rate crosses the threshold.
+    pub fn record_faults(&self, pp_key: &str, calls: u64, failures: u64) {
+        let mut inner = self.inner.write();
+        let stats = inner.faults.entry(pp_key.to_string()).or_default();
+        stats.calls += calls;
+        stats.failures += failures;
+        let stats = *stats;
+        if stats.calls >= self.config.min_calls && stats.rate() >= self.config.fault_rate_threshold
+        {
+            inner.broken.insert(pp_key.to_string());
+        }
+    }
+
+    /// Explicitly quarantines a PP (e.g. its circuit breaker tripped).
+    pub fn mark_broken(&self, pp_key: &str) {
+        self.inner.write().broken.insert(pp_key.to_string());
+    }
+
+    /// Whether the PP is quarantined; the planner excludes broken PPs from
+    /// candidate expressions, degrading to the no-PP plan if none remain.
+    pub fn is_broken(&self, pp_key: &str) -> bool {
+        self.inner.read().broken.contains(pp_key)
+    }
+
+    /// All quarantined PP keys, sorted.
+    pub fn broken(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.inner.read().broken.iter().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Cumulative fault counters for one PP key.
+    pub fn fault_stats(&self, pp_key: &str) -> FaultStats {
+        self.inner
+            .read()
+            .faults
+            .get(pp_key)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Restores a quarantined PP and resets its fault counters (e.g. after
+    /// redeploying a fixed model).
+    pub fn restore(&self, pp_key: &str) {
+        let mut inner = self.inner.write();
+        inner.broken.remove(pp_key);
+        inner.faults.remove(pp_key);
+    }
+
+    /// Digests an executor report: every `PP[...]` operator's calls and
+    /// failures are attributed to the PP keys named in it (a composite
+    /// filter charges all its member leaves — conservative, since a broken
+    /// PP only costs speed-up, never results), and a tripped circuit
+    /// breaker quarantines those keys outright.
+    pub fn observe_query(&self, report: &ExecReport) {
+        for op in &report.ops {
+            let keys = extract_pp_keys(&op.op);
+            if keys.is_empty() {
+                continue;
+            }
+            for key in &keys {
+                self.record_faults(key, op.calls, op.failures);
+                if op.breaker_tripped {
+                    self.mark_broken(key);
+                }
+            }
+        }
+    }
+}
+
+/// Extracts every `PP[<key>]` occurrence from an operator display name
+/// (e.g. `(PP[t = SUV] ∧ PP[c = red])` → `["t = SUV", "c = red"]`).
+fn extract_pp_keys(op: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = op;
+    while let Some(start) = rest.find("PP[") {
+        let tail = &rest[start + 3..];
+        match tail.find(']') {
+            Some(end) => {
+                keys.push(tail[..end].to_string());
+                rest = &tail[end + 1..];
+            }
+            None => break,
+        }
+    }
+    keys
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_engine::resilience::OpResilience;
 
     #[test]
     fn small_deviation_not_flagged() {
-        let m = DependencyMonitor::new();
-        m.observe("t = SUV", Observation { estimated_reduction: 0.5, observed_reduction: 0.45 });
+        let m = RuntimeMonitor::new();
+        m.observe(
+            "t = SUV",
+            Observation {
+                estimated_reduction: 0.5,
+                observed_reduction: 0.45,
+            },
+        );
         assert!(!m.is_flagged("t = SUV"));
         assert_eq!(m.history("t = SUV").len(), 1);
     }
 
     #[test]
     fn dramatic_deviation_flags() {
-        let m = DependencyMonitor::new();
+        let m = RuntimeMonitor::new();
         m.observe(
             "(t = SUV) AND (c = red)",
-            Observation { estimated_reduction: 0.8, observed_reduction: 0.4 },
+            Observation {
+                estimated_reduction: 0.8,
+                observed_reduction: 0.4,
+            },
         );
         assert!(m.is_flagged("(t = SUV) AND (c = red)"));
         // Other predicates unaffected.
@@ -114,8 +310,14 @@ mod tests {
 
     #[test]
     fn clear_resets() {
-        let m = DependencyMonitor::new();
-        m.observe("p", Observation { estimated_reduction: 1.0, observed_reduction: 0.0 });
+        let m = RuntimeMonitor::new();
+        m.observe(
+            "p",
+            Observation {
+                estimated_reduction: 1.0,
+                observed_reduction: 0.0,
+            },
+        );
         assert!(m.is_flagged("p"));
         m.clear("p");
         assert!(!m.is_flagged("p"));
@@ -124,7 +326,121 @@ mod tests {
 
     #[test]
     fn deviation_math() {
-        let o = Observation { estimated_reduction: 0.7, observed_reduction: 0.55 };
+        let o = Observation {
+            estimated_reduction: 0.7,
+            observed_reduction: 0.55,
+        };
         assert!((o.deviation() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_threshold_is_configurable() {
+        let strict =
+            RuntimeMonitor::with_config(MonitorConfig::default().with_deviation_threshold(0.01));
+        strict.observe(
+            "p",
+            Observation {
+                estimated_reduction: 0.5,
+                observed_reduction: 0.45,
+            },
+        );
+        assert!(strict.is_flagged("p"));
+        let lax =
+            RuntimeMonitor::with_config(MonitorConfig::default().with_deviation_threshold(0.5));
+        lax.observe(
+            "p",
+            Observation {
+                estimated_reduction: 0.8,
+                observed_reduction: 0.4,
+            },
+        );
+        assert!(!lax.is_flagged("p"));
+    }
+
+    #[test]
+    fn fault_rate_quarantines_after_min_calls() {
+        let m = RuntimeMonitor::with_config(
+            MonitorConfig::default()
+                .with_fault_rate_threshold(0.5)
+                .with_min_calls(10),
+        );
+        // Below min_calls: a bad rate is not yet trusted.
+        m.record_faults("t = SUV", 5, 5);
+        assert!(!m.is_broken("t = SUV"));
+        // Crossing min_calls with rate ≥ 0.5 quarantines.
+        m.record_faults("t = SUV", 5, 1);
+        assert!(m.is_broken("t = SUV"));
+        assert_eq!(
+            m.fault_stats("t = SUV"),
+            FaultStats {
+                calls: 10,
+                failures: 6
+            }
+        );
+        assert_eq!(m.broken(), vec!["t = SUV".to_string()]);
+        m.restore("t = SUV");
+        assert!(!m.is_broken("t = SUV"));
+        assert_eq!(m.fault_stats("t = SUV").calls, 0);
+    }
+
+    #[test]
+    fn healthy_rate_never_quarantines() {
+        let m = RuntimeMonitor::new();
+        m.record_faults("t = SUV", 1000, 10);
+        assert!(!m.is_broken("t = SUV"));
+    }
+
+    #[test]
+    fn observe_query_attributes_pp_ops() {
+        let m = RuntimeMonitor::new();
+        let report = ExecReport {
+            ops: vec![
+                OpResilience {
+                    op: "PP[t = SUV]".into(),
+                    calls: 20,
+                    failures: 20,
+                    breaker_tripped: true,
+                    ..Default::default()
+                },
+                OpResilience {
+                    op: "Process[VehType]".into(),
+                    calls: 100,
+                    failures: 100,
+                    ..Default::default()
+                },
+            ],
+        };
+        m.observe_query(&report);
+        assert!(m.is_broken("t = SUV"));
+        // Non-PP operators are not the monitor's business.
+        assert!(!m.is_broken("Process[VehType]"));
+        assert!(!m.is_broken("VehType"));
+    }
+
+    #[test]
+    fn composite_filter_charges_all_leaves() {
+        let m = RuntimeMonitor::new();
+        let report = ExecReport {
+            ops: vec![OpResilience {
+                op: "(PP[t = SUV] ∧ PP[c = red])".into(),
+                calls: 40,
+                failures: 30,
+                ..Default::default()
+            }],
+        };
+        m.observe_query(&report);
+        assert!(m.is_broken("t = SUV"));
+        assert!(m.is_broken("c = red"));
+    }
+
+    #[test]
+    fn pp_key_extraction() {
+        assert_eq!(extract_pp_keys("PP[t = SUV]"), vec!["t = SUV"]);
+        assert_eq!(
+            extract_pp_keys("(PP[a] ∨ (PP[b] ∧ PP[c]))"),
+            vec!["a", "b", "c"]
+        );
+        assert!(extract_pp_keys("Scan[video]").is_empty());
+        assert!(extract_pp_keys("PP[unterminated").is_empty());
     }
 }

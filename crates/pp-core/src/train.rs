@@ -64,7 +64,9 @@ pub fn harvest_labels(
     for row in out.rows() {
         let blob = row.get(out_blob_idx).as_blob()?;
         let ptr = Arc::as_ptr(blob) as usize;
-        let flags = passed.entry(ptr).or_insert_with(|| vec![false; clauses.len()]);
+        let flags = passed
+            .entry(ptr)
+            .or_insert_with(|| vec![false; clauses.len()]);
         for (i, clause) in clauses.iter().enumerate() {
             if !flags[i] && clause.eval(row, &out_schema)? {
                 flags[i] = true;
@@ -142,7 +144,11 @@ impl PpTrainer {
         labeled: &LabeledSet,
     ) -> Result<Vec<ProbabilisticPredicate>> {
         let (train, val, _test) = labeled
-            .split(self.config.train_frac, self.config.val_frac, self.config.seed)
+            .split(
+                self.config.train_frac,
+                self.config.val_frac,
+                self.config.seed,
+            )
             .map_err(PpError::Ml)?;
         let approach = match &self.config.approach_override {
             Some(a) => a.clone(),
@@ -170,11 +176,7 @@ impl PpTrainer {
 
     /// Trains PPs for many clauses into a catalog; clauses whose labeled
     /// sets are single-class (untrainable) are skipped.
-    pub fn train_catalog(
-        &self,
-        clauses: &[Clause],
-        labeled: &[LabeledSet],
-    ) -> Result<PpCatalog> {
+    pub fn train_catalog(&self, clauses: &[Clause], labeled: &[LabeledSet]) -> Result<PpCatalog> {
         if clauses.len() != labeled.len() {
             return Err(PpError::InvalidParameter(
                 "clauses and labeled sets must align",
@@ -287,7 +289,8 @@ mod tests {
     fn trainer_builds_working_pp_and_negation() {
         let (cat, plan) = setup(600, 3);
         let clause = Clause::new("vehType", CompareOp::Eq, "SUV");
-        let sets = harvest_labels(&cat, "video", "frame", &plan, std::slice::from_ref(&clause)).unwrap();
+        let sets =
+            harvest_labels(&cat, "video", "frame", &plan, std::slice::from_ref(&clause)).unwrap();
         let trainer = PpTrainer::new(TrainerConfig {
             cost_per_row: Some(0.01),
             ..base_config()
@@ -307,7 +310,10 @@ mod tests {
         TrainerConfig {
             train_frac: 0.8,
             val_frac: 0.2,
-            selection: SelectionConfig { allow_dnn: false, ..Default::default() },
+            selection: SelectionConfig {
+                allow_dnn: false,
+                ..Default::default()
+            },
             approach_override: None,
             cost_per_row: None,
             train_negations: true,
@@ -332,9 +338,7 @@ mod tests {
             cost_per_row: Some(0.01),
             ..base_config()
         });
-        let pp_cat = trainer
-            .train_catalog(&[good, impossible], &sets)
-            .unwrap();
+        let pp_cat = trainer.train_catalog(&[good, impossible], &sets).unwrap();
         // Only the trainable clause (plus its negation) lands.
         assert_eq!(pp_cat.len(), 2);
     }

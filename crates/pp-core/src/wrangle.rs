@@ -224,7 +224,15 @@ mod tests {
     #[test]
     fn comparison_expands_over_discrete_domain() {
         let mut domains = Domains::new();
-        domains.declare("s", vec![Value::Int(40), Value::Int(50), Value::Int(60), Value::Int(70)]);
+        domains.declare(
+            "s",
+            vec![
+                Value::Int(40),
+                Value::Int(50),
+                Value::Int(60),
+                Value::Int(70),
+            ],
+        );
         let cat = catalog_with(&[
             Predicate::clause("s", CompareOp::Eq, 60i64),
             Predicate::clause("s", CompareOp::Eq, 70i64),
@@ -247,7 +255,11 @@ mod tests {
         ]);
         let domains = veh_domains();
         let w = Wrangler::new(&domains, &cat);
-        let out = w.wrangle(&Predicate::not(Predicate::clause("t", CompareOp::Eq, "SUV")));
+        let out = w.wrangle(&Predicate::not(Predicate::clause(
+            "t",
+            CompareOp::Eq,
+            "SUV",
+        )));
         assert!(matches!(out, Predicate::Or(_)));
     }
 

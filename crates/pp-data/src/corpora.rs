@@ -150,11 +150,15 @@ pub fn sun_like(n: usize, seed: u64) -> Corpus {
     const LATENT: usize = 12;
     const N_ATTRS: usize = 12;
     let mut rng = StdRng::seed_from_u64(seed);
-    let basis: Vec<Vec<f64>> = (0..LATENT).map(|l| embedding(DIM, &format!("sun-basis-{l}"), seed)).collect();
+    let basis: Vec<Vec<f64>> = (0..LATENT)
+        .map(|l| embedding(DIM, &format!("sun-basis-{l}"), seed))
+        .collect();
     let centers: Vec<Vec<f64>> = (0..N_ATTRS)
         .map(|a| {
             let mut rng = StdRng::seed_from_u64(seed ^ (a as u64 + 101));
-            (0..LATENT).map(|_| 0.7 * standard_normal(&mut rng)).collect()
+            (0..LATENT)
+                .map(|_| 0.7 * standard_normal(&mut rng))
+                .collect()
         })
         .collect();
     // Calibrate each attribute's ball radius to ~10% selectivity on a
@@ -167,7 +171,10 @@ pub fn sun_like(n: usize, seed: u64) -> Corpus {
         centers
             .iter()
             .map(|c| {
-                let d2: Vec<f64> = sample.iter().map(|x| pp_linalg::dense::sq_dist(x, c)).collect();
+                let d2: Vec<f64> = sample
+                    .iter()
+                    .map(|x| pp_linalg::dense::sq_dist(x, c))
+                    .collect();
                 pp_linalg::stats::percentile(&d2, 0.10).expect("non-empty sample")
             })
             .collect()
@@ -245,7 +252,9 @@ fn image_corpus(
             e
         })
         .collect();
-    let weights: Vec<f64> = (0..IMG_CLASSES).map(|k| 1.0 / (1.0 + k as f64 * 0.3)).collect();
+    let weights: Vec<f64> = (0..IMG_CLASSES)
+        .map(|k| 1.0 / (1.0 + k as f64 * 0.3))
+        .collect();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut blobs = Vec::with_capacity(n);
     let mut labels = vec![vec![false; n]; IMG_CLASSES];
@@ -319,9 +328,10 @@ pub fn ucf101_like(n: usize, seed: u64) -> Corpus {
     let mut rng = StdRng::seed_from_u64(seed);
     // Two sign-pattern modes per activity, derived deterministically.
     let mode = |a: usize, m: usize| -> Vec<f64> {
-        let mut mrng = StdRng::seed_from_u64(
-            pp_linalg::rng::derive_seed(seed, &format!("ucf-mode-{a}-{m}")),
-        );
+        let mut mrng = StdRng::seed_from_u64(pp_linalg::rng::derive_seed(
+            seed,
+            &format!("ucf-mode-{a}-{m}"),
+        ));
         (0..DIM)
             .map(|_| if mrng.gen_bool(0.5) { MAG } else { -MAG })
             .collect()
@@ -400,7 +410,11 @@ mod tests {
         let pp = Pipeline::train(&approach, &train, &val, 4).unwrap();
         // The 25% weak positives cap high-accuracy reduction by design;
         // at a = 0.9 the strong signature structure must dominate.
-        assert!(pp.reduction(0.9).unwrap() > 0.3, "r={}", pp.reduction(0.9).unwrap());
+        assert!(
+            pp.reduction(0.9).unwrap() > 0.3,
+            "r={}",
+            pp.reduction(0.9).unwrap()
+        );
     }
 
     #[test]
@@ -410,7 +424,10 @@ mod tests {
             .map(|a| c.selectivity(a))
             .sum::<f64>()
             / c.categories().len() as f64;
-        assert!((0.02..0.35).contains(&mean_sel), "mean selectivity {mean_sel}");
+        assert!(
+            (0.02..0.35).contains(&mean_sel),
+            "mean selectivity {mean_sel}"
+        );
     }
 
     #[test]
@@ -430,7 +447,11 @@ mod tests {
             6,
         )
         .unwrap();
-        assert!(svm.reduction(0.99).unwrap() < 0.45, "svm r={}", svm.reduction(0.99).unwrap());
+        assert!(
+            svm.reduction(0.99).unwrap() < 0.45,
+            "svm r={}",
+            svm.reduction(0.99).unwrap()
+        );
     }
 
     #[test]
@@ -468,7 +489,9 @@ mod tests {
         let c = ucf101_like(400, 8);
         // Every clip belongs to exactly one activity.
         for i in 0..c.len() {
-            let count = (0..c.categories().len()).filter(|&a| c.labels[a][i]).count();
+            let count = (0..c.categories().len())
+                .filter(|&a| c.labels[a][i])
+                .count();
             assert_eq!(count, 1);
         }
     }

@@ -165,12 +165,28 @@ impl TrafficDataset {
         let d = config.blob_dim;
         let seed = 0x7AF1C; // embeddings shared across dataset instances
         let mut v = vec![0.0; d];
-        pp_linalg::dense::axpy(2.2, &embedding(d, &format!("type-{}", truth.veh_type), seed), &mut v);
-        pp_linalg::dense::axpy(2.0, &embedding(d, &format!("color-{}", truth.color), seed), &mut v);
+        pp_linalg::dense::axpy(
+            2.2,
+            &embedding(d, &format!("type-{}", truth.veh_type), seed),
+            &mut v,
+        );
+        pp_linalg::dense::axpy(
+            2.0,
+            &embedding(d, &format!("color-{}", truth.color), seed),
+            &mut v,
+        );
         let speed_signal = (truth.speed / 80.0 - 0.5) * 4.0;
         pp_linalg::dense::axpy(speed_signal, &embedding(d, "speed-direction", seed), &mut v);
-        pp_linalg::dense::axpy(1.5, &embedding(d, &format!("from-{}", truth.from), seed), &mut v);
-        pp_linalg::dense::axpy(1.5, &embedding(d, &format!("to-{}", truth.to), seed), &mut v);
+        pp_linalg::dense::axpy(
+            1.5,
+            &embedding(d, &format!("from-{}", truth.from), seed),
+            &mut v,
+        );
+        pp_linalg::dense::axpy(
+            1.5,
+            &embedding(d, &format!("to-{}", truth.to), seed),
+            &mut v,
+        );
         add_noise(&mut v, 0.3, rng);
         Features::Dense(v)
     }
@@ -221,7 +237,10 @@ impl TrafficDataset {
         LabeledSet::new(
             range
                 .map(|i| {
-                    let blob = self.table.rows()[i].get(blob_idx).as_blob().expect("blob column");
+                    let blob = self.table.rows()[i]
+                        .get(blob_idx)
+                        .as_blob()
+                        .expect("blob column");
                     Sample::new((**blob).clone(), self.clause_truth(clause, i))
                 })
                 .collect(),
@@ -291,10 +310,7 @@ impl TrafficDataset {
     /// The finite domains of the predicate columns (for the wrangler).
     pub fn column_domains() -> Vec<(String, Vec<Value>)> {
         vec![
-            (
-                "vehType".into(),
-                VEH_TYPES.iter().map(Value::str).collect(),
-            ),
+            ("vehType".into(), VEH_TYPES.iter().map(Value::str).collect()),
             (
                 "vehColor".into(),
                 VEH_COLORS.iter().map(Value::str).collect(),
@@ -303,10 +319,7 @@ impl TrafficDataset {
                 "fromI".into(),
                 INTERSECTIONS.iter().map(Value::str).collect(),
             ),
-            (
-                "toI".into(),
-                INTERSECTIONS.iter().map(Value::str).collect(),
-            ),
+            ("toI".into(), INTERSECTIONS.iter().map(Value::str).collect()),
         ]
     }
 
@@ -388,7 +401,9 @@ mod tests {
             n_frames: 3_000,
             ..Default::default()
         });
-        let sedans = (0..d.len()).filter(|&i| d.truth(i).veh_type == "sedan").count();
+        let sedans = (0..d.len())
+            .filter(|&i| d.truth(i).veh_type == "sedan")
+            .count();
         let s = sedans as f64 / d.len() as f64;
         assert!((0.4..0.6).contains(&s), "sedan share {s}");
         let fast = (0..d.len()).filter(|&i| d.truth(i).speed > 60.0).count();

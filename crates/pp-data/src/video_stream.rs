@@ -223,7 +223,8 @@ mod tests {
     #[test]
     fn positives_are_separable_from_background() {
         let s = small();
-        let object = crate::synth::embedding(s.config().dim, "coral-object", s.config().seed ^ 0xC0A1);
+        let object =
+            crate::synth::embedding(s.config().dim, "coral-object", s.config().seed ^ 0xC0A1);
         let mut pos = Vec::new();
         let mut neg = Vec::new();
         for (f, &l) in s.frames().iter().zip(s.labels()) {

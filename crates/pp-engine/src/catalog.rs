@@ -52,7 +52,10 @@ mod tests {
         let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
         c.register("t", Rowset::empty(schema));
         assert!(c.table("t").is_ok());
-        assert!(matches!(c.table("missing"), Err(EngineError::UnknownTable(_))));
+        assert!(matches!(
+            c.table("missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
         assert_eq!(c.table_names().count(), 1);
     }
 

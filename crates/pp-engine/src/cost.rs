@@ -149,7 +149,11 @@ mod tests {
 
     #[test]
     fn latency_model_penalizes_stages() {
-        let model = CostModel { degree_of_parallelism: 10.0, stage_overhead: 1.0, ..Default::default() };
+        let model = CostModel {
+            degree_of_parallelism: 10.0,
+            stage_overhead: 1.0,
+            ..Default::default()
+        };
         let mut one_stage = CostMeter::new();
         one_stage.charge("A", 10, 10, 100.0);
         let mut two_stages = CostMeter::new();

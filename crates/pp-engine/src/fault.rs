@@ -1,0 +1,570 @@
+//! Seeded, deterministic fault injection for UDFs and PP filters.
+//!
+//! A [`FaultPlan`] rewrites a logical plan, wrapping named processors and
+//! row filters in shims that fail at configured rates. Failure decisions
+//! are pure functions of `(seed, operator, attempt index)` — or of the row
+//! contents, for poison rows — so a faulted run is exactly reproducible:
+//! same seed, same plan, same failures, same retries, same charges. That
+//! determinism is what makes resilience testable: the integration suite
+//! asserts byte-identical outputs across repeated faulted runs.
+//!
+//! Failure modes, applied per attempt in cumulative-probability bands:
+//!
+//! * **transient** — the call returns [`EngineError::Transient`]; a retry
+//!   draws a fresh decision and usually succeeds.
+//! * **timeout** — the call returns [`EngineError::Timeout`] after
+//!   stalling `stall_seconds`; the resilience layer charges the stall
+//!   (capped at the timeout budget) and retries.
+//! * **corrupt** — a processor emits NaN in its float output cells
+//!   (detected when output validation is on); a filter reports
+//!   [`EngineError::CorruptOutput`] directly.
+//! * **poison** — decided by a content fingerprint of the *row*, not the
+//!   attempt, so the same rows fail on every attempt:
+//!   [`EngineError::PoisonedRow`] is not retryable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pp_linalg::rng::{derive_seed, hash2};
+
+use crate::logical::LogicalPlan;
+use crate::row::Row;
+use crate::schema::{Column, Schema};
+use crate::udf::{Processor, RowFilter};
+use crate::value::Value;
+use crate::{EngineError, Result};
+
+/// Per-operator fault rates (all probabilities in `[0, 1]`; the sum of
+/// `transient_rate + timeout_rate + corrupt_rate` should stay ≤ 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability an attempt fails with a transient error.
+    pub transient_rate: f64,
+    /// Probability an attempt stalls and times out.
+    pub timeout_rate: f64,
+    /// Simulated seconds a timed-out attempt stalls before cancellation.
+    pub stall_seconds: f64,
+    /// Probability an attempt produces corrupt (NaN) output.
+    pub corrupt_rate: f64,
+    /// Probability a given *row* deterministically crashes the UDF.
+    pub poison_rate: f64,
+}
+
+impl FaultSpec {
+    /// A spec injecting only transient failures at `rate`.
+    pub fn transient(rate: f64) -> Self {
+        FaultSpec {
+            transient_rate: rate,
+            ..Default::default()
+        }
+    }
+
+    /// A spec injecting only timeouts at `rate`, stalling `stall_seconds`.
+    pub fn timeouts(rate: f64, stall_seconds: f64) -> Self {
+        FaultSpec {
+            timeout_rate: rate,
+            stall_seconds,
+            ..Default::default()
+        }
+    }
+
+    /// A spec injecting only corrupt output at `rate`.
+    pub fn corrupt(rate: f64) -> Self {
+        FaultSpec {
+            corrupt_rate: rate,
+            ..Default::default()
+        }
+    }
+
+    /// A spec poisoning a `rate` fraction of rows.
+    pub fn poison(rate: f64) -> Self {
+        FaultSpec {
+            poison_rate: rate,
+            ..Default::default()
+        }
+    }
+
+    /// Adds transient failures at `rate`.
+    pub fn with_transient(mut self, rate: f64) -> Self {
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Adds timeouts at `rate` stalling `stall_seconds`.
+    pub fn with_timeouts(mut self, rate: f64, stall_seconds: f64) -> Self {
+        self.timeout_rate = rate;
+        self.stall_seconds = stall_seconds;
+        self
+    }
+
+    /// Adds corrupt output at `rate`.
+    pub fn with_corrupt(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Adds row poisoning at `rate`.
+    pub fn with_poison(mut self, rate: f64) -> Self {
+        self.poison_rate = rate;
+        self
+    }
+}
+
+/// A seeded set of fault injections, applied to a plan by operator name.
+///
+/// ```
+/// use pp_engine::{FaultPlan, FaultSpec};
+/// # let plan = pp_engine::LogicalPlan::scan("frames");
+/// let faulted = FaultPlan::new(0xFA117)
+///     .inject("VehDetector", FaultSpec::transient(0.2))
+///     .apply(&plan);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    specs: Vec<(String, FaultSpec)>,
+}
+
+impl FaultPlan {
+    /// A fault plan derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Registers `spec` for the processor or filter whose `name()` equals
+    /// `udf_name`.
+    pub fn inject(mut self, udf_name: impl Into<String>, spec: FaultSpec) -> Self {
+        self.specs.push((udf_name.into(), spec));
+        self
+    }
+
+    fn spec_for(&self, name: &str) -> Option<FaultSpec> {
+        self.specs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, spec)| *spec)
+    }
+
+    /// Rewrites `plan`, wrapping every matching processor / filter in a
+    /// fault-injecting shim. Non-matching operators and plan structure are
+    /// untouched; shims report the inner UDF's name, so plans, explain
+    /// output, and cost-meter entries stay comparable with the fault-free
+    /// run.
+    pub fn apply(&self, plan: &LogicalPlan) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Scan { table } => LogicalPlan::Scan {
+                table: table.clone(),
+            },
+            LogicalPlan::Process { input, processor } => {
+                let processor = match self.spec_for(processor.name()) {
+                    Some(spec) => Arc::new(FaultyProcessor::new(
+                        Arc::clone(processor),
+                        spec,
+                        derive_seed(self.seed, processor.name()),
+                    )) as Arc<dyn Processor>,
+                    None => Arc::clone(processor),
+                };
+                LogicalPlan::Process {
+                    input: Box::new(self.apply(input)),
+                    processor,
+                }
+            }
+            LogicalPlan::Filter { input, filter } => {
+                let filter = match self.spec_for(filter.name()) {
+                    Some(spec) => Arc::new(FaultyFilter::new(
+                        Arc::clone(filter),
+                        spec,
+                        derive_seed(self.seed, filter.name()),
+                    )) as Arc<dyn RowFilter>,
+                    None => Arc::clone(filter),
+                };
+                LogicalPlan::Filter {
+                    input: Box::new(self.apply(input)),
+                    filter,
+                }
+            }
+            LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+                input: Box::new(self.apply(input)),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { input, items } => LogicalPlan::Project {
+                input: Box::new(self.apply(input)),
+                items: items.clone(),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => LogicalPlan::Join {
+                left: Box::new(self.apply(left)),
+                right: Box::new(self.apply(right)),
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(self.apply(input)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::Reduce { input, reducer } => LogicalPlan::Reduce {
+                input: Box::new(self.apply(input)),
+                reducer: Arc::clone(reducer),
+            },
+            LogicalPlan::Combine {
+                left,
+                right,
+                combiner,
+            } => LogicalPlan::Combine {
+                left: Box::new(self.apply(left)),
+                right: Box::new(self.apply(right)),
+                combiner: Arc::clone(combiner),
+            },
+        }
+    }
+}
+
+/// Maps a hash to a uniform float in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Which fault (if any) an attempt draws from its decision stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Drawn {
+    None,
+    Transient,
+    Timeout,
+    Corrupt,
+}
+
+fn draw(spec: &FaultSpec, seed: u64, attempt: u64) -> Drawn {
+    let u = unit(hash2(seed, attempt));
+    if u < spec.transient_rate {
+        Drawn::Transient
+    } else if u < spec.transient_rate + spec.timeout_rate {
+        Drawn::Timeout
+    } else if u < spec.transient_rate + spec.timeout_rate + spec.corrupt_rate {
+        Drawn::Corrupt
+    } else {
+        Drawn::None
+    }
+}
+
+/// Content fingerprint over the row's hashable cells (ints, strings,
+/// bools). Floats and blobs are skipped so the fingerprint is stable under
+/// derived-column jitter; if a row has no hashable cells its fingerprint
+/// is a constant.
+fn row_fingerprint(row: &Row) -> u64 {
+    let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+    for v in row.values() {
+        let cell = match v {
+            Value::Int(i) => hash2(1, *i as u64),
+            Value::Bool(b) => hash2(2, u64::from(*b)),
+            Value::Str(s) => {
+                let mut h: u64 = 3;
+                for byte in s.as_bytes() {
+                    h = hash2(h, u64::from(*byte));
+                }
+                h
+            }
+            _ => continue,
+        };
+        acc = hash2(acc, cell);
+    }
+    acc
+}
+
+fn poisoned(spec: &FaultSpec, seed: u64, row: &Row) -> bool {
+    spec.poison_rate > 0.0
+        && unit(hash2(derive_seed(seed, "poison"), row_fingerprint(row))) < spec.poison_rate
+}
+
+/// A [`Processor`] shim injecting seeded faults around an inner processor.
+pub struct FaultyProcessor {
+    inner: Arc<dyn Processor>,
+    spec: FaultSpec,
+    seed: u64,
+    attempts: AtomicU64,
+}
+
+impl FaultyProcessor {
+    /// Wraps `inner`, drawing fault decisions from `seed`.
+    pub fn new(inner: Arc<dyn Processor>, spec: FaultSpec, seed: u64) -> Self {
+        FaultyProcessor {
+            inner,
+            spec,
+            seed,
+            attempts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultyProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyProcessor")
+            .field("inner", &self.inner.name())
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Processor for FaultyProcessor {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn output_columns(&self) -> &[Column] {
+        self.inner.output_columns()
+    }
+    fn cost_per_row(&self) -> f64 {
+        self.inner.cost_per_row()
+    }
+    fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>> {
+        if poisoned(&self.spec, self.seed, row) {
+            return Err(EngineError::PoisonedRow(format!(
+                "{}: input row crashes the UDF",
+                self.name()
+            )));
+        }
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+        match draw(&self.spec, self.seed, attempt) {
+            Drawn::Transient => Err(EngineError::Transient(format!(
+                "{}: injected worker failure",
+                self.name()
+            ))),
+            Drawn::Timeout => Err(EngineError::Timeout {
+                op: self.name().to_string(),
+                stalled_seconds: self.spec.stall_seconds,
+            }),
+            Drawn::Corrupt => {
+                // Silent corruption: NaN out every float cell. Only output
+                // validation (ResilienceConfig::validate_outputs) catches it.
+                let mut rows = self.inner.process(row, schema)?;
+                let mut corrupted = false;
+                for cells in &mut rows {
+                    for cell in cells.iter_mut() {
+                        if matches!(cell, Value::Float(_)) {
+                            *cell = Value::Float(f64::NAN);
+                            corrupted = true;
+                        }
+                    }
+                }
+                if !corrupted {
+                    // No float cells to corrupt — surface a loud failure
+                    // instead so the configured rate still bites.
+                    return Err(EngineError::CorruptOutput(format!(
+                        "{}: injected garbage output",
+                        self.name()
+                    )));
+                }
+                Ok(rows)
+            }
+            Drawn::None => self.inner.process(row, schema),
+        }
+    }
+}
+
+/// A [`RowFilter`] shim injecting seeded faults around an inner filter.
+pub struct FaultyFilter {
+    inner: Arc<dyn RowFilter>,
+    spec: FaultSpec,
+    seed: u64,
+    attempts: AtomicU64,
+}
+
+impl FaultyFilter {
+    /// Wraps `inner`, drawing fault decisions from `seed`.
+    pub fn new(inner: Arc<dyn RowFilter>, spec: FaultSpec, seed: u64) -> Self {
+        FaultyFilter {
+            inner,
+            spec,
+            seed,
+            attempts: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultyFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyFilter")
+            .field("inner", &self.inner.name())
+            .field("spec", &self.spec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RowFilter for FaultyFilter {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn cost_per_row(&self) -> f64 {
+        self.inner.cost_per_row()
+    }
+    fn fail_open(&self) -> bool {
+        self.inner.fail_open()
+    }
+    fn passes(&self, row: &Row, schema: &Schema) -> Result<bool> {
+        if poisoned(&self.spec, self.seed, row) {
+            return Err(EngineError::PoisonedRow(format!(
+                "{}: input row crashes the filter",
+                self.name()
+            )));
+        }
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
+        match draw(&self.spec, self.seed, attempt) {
+            Drawn::Transient => Err(EngineError::Transient(format!(
+                "{}: injected worker failure",
+                self.name()
+            ))),
+            Drawn::Timeout => Err(EngineError::Timeout {
+                op: self.name().to_string(),
+                stalled_seconds: self.spec.stall_seconds,
+            }),
+            // A filter's output is one bit; flipping it would *silently*
+            // drop rows, which no validation could catch. Corruption is
+            // surfaced as a detectable error instead, and fail-open keeps
+            // the row.
+            Drawn::Corrupt => Err(EngineError::CorruptOutput(format!(
+                "{}: injected garbage score",
+                self.name()
+            ))),
+            Drawn::None => self.inner.passes(row, schema),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::udf::{ClosureFilter, ClosureProcessor};
+
+    fn schema() -> Arc<Schema> {
+        match Schema::new(vec![Column::new("x", DataType::Int)]) {
+            Ok(s) => s,
+            Err(e) => panic!("schema: {e}"),
+        }
+    }
+
+    fn passthrough() -> Arc<dyn Processor> {
+        Arc::new(ClosureProcessor::map(
+            "P",
+            vec![Column::new("y", DataType::Float)],
+            1.0,
+            |row, _| Ok(vec![Value::Float(row.get(0).as_int()? as f64)]),
+        ))
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let p = FaultyProcessor::new(passthrough(), FaultSpec::default(), 7);
+        let s = schema();
+        for i in 0..50 {
+            let out = match p.process(&Row::new(vec![Value::Int(i)]), &s) {
+                Ok(o) => o,
+                Err(e) => panic!("unexpected fault: {e}"),
+            };
+            assert_eq!(out.len(), 1);
+        }
+        assert_eq!(p.name(), "P");
+        assert_eq!(p.cost_per_row(), 1.0);
+    }
+
+    #[test]
+    fn transient_rate_is_roughly_respected_and_deterministic() {
+        let run = || {
+            let p = FaultyProcessor::new(passthrough(), FaultSpec::transient(0.3), 42);
+            let s = schema();
+            (0..1000)
+                .map(|i| p.process(&Row::new(vec![Value::Int(i)]), &s).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must give identical failures");
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!((250..350).contains(&failures), "got {failures} failures");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let stream = |seed| {
+            let p = FaultyProcessor::new(passthrough(), FaultSpec::transient(0.5), seed);
+            let s = schema();
+            (0..64)
+                .map(|i| p.process(&Row::new(vec![Value::Int(i)]), &s).is_err())
+                .collect::<Vec<bool>>()
+        };
+        assert_ne!(stream(1), stream(2));
+    }
+
+    #[test]
+    fn poison_is_per_row_not_per_attempt() {
+        let p = FaultyProcessor::new(passthrough(), FaultSpec::poison(0.5), 9);
+        let s = schema();
+        let row = Row::new(vec![Value::Int(12345)]);
+        let first = p.process(&row, &s).is_err();
+        for _ in 0..10 {
+            assert_eq!(p.process(&row, &s).is_err(), first);
+        }
+    }
+
+    #[test]
+    fn corrupt_processor_emits_nan() {
+        let p = FaultyProcessor::new(passthrough(), FaultSpec::corrupt(1.0), 3);
+        let s = schema();
+        let out = match p.process(&Row::new(vec![Value::Int(1)]), &s) {
+            Ok(o) => o,
+            Err(e) => panic!("corruption should be silent here: {e}"),
+        };
+        match out[0][0] {
+            Value::Float(f) => assert!(f.is_nan()),
+            ref other => panic!("expected NaN float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_filter_errors_instead_of_lying() {
+        let inner = Arc::new(ClosureFilter::new("F", 0.1, |_, _| Ok(true)));
+        let f = FaultyFilter::new(inner, FaultSpec::corrupt(1.0), 3);
+        let s = schema();
+        assert!(matches!(
+            f.passes(&Row::new(vec![Value::Int(1)]), &s),
+            Err(EngineError::CorruptOutput(_))
+        ));
+        assert!(f.fail_open());
+    }
+
+    #[test]
+    fn timeout_carries_the_stall() {
+        let p = FaultyProcessor::new(passthrough(), FaultSpec::timeouts(1.0, 30.0), 3);
+        let s = schema();
+        match p.process(&Row::new(vec![Value::Int(1)]), &s) {
+            Err(EngineError::Timeout {
+                stalled_seconds, ..
+            }) => {
+                assert_eq!(stalled_seconds, 30.0)
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_wraps_only_named_udfs() {
+        let plan = LogicalPlan::scan("t")
+            .process(passthrough())
+            .filter(Arc::new(ClosureFilter::new("PP[x]", 0.1, |_, _| Ok(true))));
+        let faulted = FaultPlan::new(1)
+            .inject("P", FaultSpec::transient(0.1))
+            .apply(&plan);
+        // Structure and names are preserved.
+        assert_eq!(plan.explain(), faulted.explain());
+    }
+}

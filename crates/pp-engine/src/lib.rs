@@ -23,9 +23,11 @@
 
 pub mod catalog;
 pub mod cost;
+pub mod fault;
 pub mod logical;
 pub mod physical;
 pub mod predicate;
+pub mod resilience;
 pub mod row;
 pub mod schema;
 pub mod stats;
@@ -34,9 +36,11 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use cost::{CostMeter, QueryMetrics};
+pub use fault::{FaultPlan, FaultSpec};
 pub use logical::LogicalPlan;
-pub use physical::execute;
+pub use physical::{execute, execute_with};
 pub use predicate::{Clause, CompareOp, Predicate};
+pub use resilience::{ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy};
 pub use row::{Row, Rowset};
 pub use schema::{Column, DataType, Schema};
 pub use udf::{Processor, Reducer, RowFilter};
@@ -62,6 +66,48 @@ pub enum EngineError {
     InvalidPlan(String),
     /// Group-by / join keys must be hashable (no floats or blobs).
     UnhashableKey(&'static str),
+    /// A UDF call failed for a transient reason (worth retrying).
+    Transient(String),
+    /// A UDF call stalled past its simulated deadline.
+    Timeout {
+        /// The operator that stalled.
+        op: String,
+        /// Simulated seconds the call hung before being cancelled.
+        stalled_seconds: f64,
+    },
+    /// A UDF produced output that failed validation (e.g. NaN cells).
+    CorruptOutput(String),
+    /// A row deterministically crashes its UDF — retrying cannot help.
+    PoisonedRow(String),
+    /// The operator's circuit breaker is open; the call was not attempted.
+    BreakerOpen {
+        /// The operator whose breaker is open.
+        op: String,
+    },
+    /// A UDF call kept failing after all configured retries.
+    RetriesExhausted {
+        /// The operator that failed.
+        op: String,
+        /// Total attempts made (first call + retries).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<EngineError>,
+    },
+}
+
+impl EngineError {
+    /// Whether retrying the failed call could plausibly succeed.
+    ///
+    /// Transient faults, timeouts, and corrupt outputs are retryable;
+    /// deterministic failures (poison rows, schema/type errors, plain UDF
+    /// errors) and terminal wrappers (breaker open, retries exhausted)
+    /// are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Transient(_) | EngineError::Timeout { .. } | EngineError::CorruptOutput(_)
+        )
+    }
 }
 
 impl std::fmt::Display for EngineError {
@@ -75,6 +121,19 @@ impl std::fmt::Display for EngineError {
             EngineError::Udf(m) => write!(f, "udf error: {m}"),
             EngineError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             EngineError::UnhashableKey(t) => write!(f, "unhashable key type: {t}"),
+            EngineError::Transient(m) => write!(f, "transient failure: {m}"),
+            EngineError::Timeout {
+                op,
+                stalled_seconds,
+            } => {
+                write!(f, "timeout: {op} stalled for {stalled_seconds}s")
+            }
+            EngineError::CorruptOutput(m) => write!(f, "corrupt output: {m}"),
+            EngineError::PoisonedRow(m) => write!(f, "poisoned row: {m}"),
+            EngineError::BreakerOpen { op } => write!(f, "circuit breaker open for {op}"),
+            EngineError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "{op} failed after {attempts} attempts: {last}")
+            }
         }
     }
 }

@@ -157,7 +157,9 @@ impl std::fmt::Debug for LogicalPlan {
 impl LogicalPlan {
     /// Scan constructor.
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
-        LogicalPlan::Scan { table: table.into() }
+        LogicalPlan::Scan {
+            table: table.into(),
+        }
     }
 
     /// Chains a processor.
@@ -415,7 +417,10 @@ mod tests {
             .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"))
             .project(vec![
                 ProjectItem::Keep("frameID".into()),
-                ProjectItem::Rename { from: "vehType".into(), to: "t".into() },
+                ProjectItem::Rename {
+                    from: "vehType".into(),
+                    to: "t".into(),
+                },
             ]);
         let schema = plan.output_schema(&cat).unwrap();
         assert_eq!(schema.len(), 2);
@@ -426,8 +431,8 @@ mod tests {
     #[test]
     fn select_on_missing_column_fails() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("video")
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+        let plan =
+            LogicalPlan::scan("video").select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
         assert!(plan.output_schema(&cat).is_err());
     }
 
@@ -454,14 +459,28 @@ mod tests {
     #[test]
     fn aggregate_schema_types() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("video").process(veh_type_proc()).aggregate(
-            vec!["vehType".into()],
-            vec![
-                AggExpr { func: AggFunc::Count, column: String::new(), alias: "n".into() },
-                AggExpr { func: AggFunc::Avg, column: "frameID".into(), alias: "avg_f".into() },
-                AggExpr { func: AggFunc::Max, column: "frameID".into(), alias: "max_f".into() },
-            ],
-        );
+        let plan = LogicalPlan::scan("video")
+            .process(veh_type_proc())
+            .aggregate(
+                vec!["vehType".into()],
+                vec![
+                    AggExpr {
+                        func: AggFunc::Count,
+                        column: String::new(),
+                        alias: "n".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Avg,
+                        column: "frameID".into(),
+                        alias: "avg_f".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Max,
+                        column: "frameID".into(),
+                        alias: "max_f".into(),
+                    },
+                ],
+            );
         let schema = plan.output_schema(&cat).unwrap();
         assert_eq!(schema.column("n").unwrap().dtype, DataType::Int);
         assert_eq!(schema.column("avg_f").unwrap().dtype, DataType::Float);

@@ -1,26 +1,55 @@
 //! The executor: materialized, bottom-up evaluation of logical plans with
-//! cost metering.
+//! cost metering and fault-tolerant UDF dispatch.
 //!
 //! Corpora in this reproduction are in-memory, so operators materialize
 //! their outputs (no volcano iterators); the interesting quantity is the
 //! *charged* cost, not the wall clock. Every operator charges
-//! `rows_in × cost_per_row` simulated seconds to the [`CostMeter`].
+//! `attempts × cost_per_row` simulated seconds to the [`CostMeter`] —
+//! which equals the classic `rows_in × cost_per_row` on a fault-free run —
+//! plus any retry backoff and timeout stalls accrued by the
+//! [`ExecSession`].
+//!
+//! Failure semantics, per operator kind:
+//!
+//! * **Filter** (where PPs live): a call that still fails after retries
+//!   *fails open* — the row passes unfiltered — when both the session
+//!   config and the filter allow it. An open circuit breaker skips the
+//!   filter entirely (rows pass, nothing is charged). Fail-open can waste
+//!   downstream UDF cost but can never drop a row the exact query wanted.
+//! * **Process / Reduce / Combine**: these materialize real columns, so
+//!   their errors are not maskable; after retries the error propagates.
 
 use std::collections::HashMap;
 
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel};
 use crate::logical::{AggFunc, LogicalPlan};
+use crate::resilience::ExecSession;
 use crate::row::{Row, Rowset};
 use crate::value::{Key, Value};
 use crate::{EngineError, Result};
 
-/// Executes a plan against a catalog, charging costs to the meter.
+/// Executes a plan against a catalog, charging costs to the meter, under a
+/// fresh default [`ExecSession`] (retries on, fail-open filters on).
 pub fn execute(
     plan: &LogicalPlan,
     catalog: &Catalog,
     meter: &mut CostMeter,
     model: &CostModel,
+) -> Result<Rowset> {
+    let mut session = ExecSession::default();
+    execute_with(plan, catalog, meter, model, &mut session)
+}
+
+/// Executes a plan under a caller-supplied [`ExecSession`], so circuit
+/// breakers, retry budgets, and resilience counters persist across queries
+/// and can be inspected afterwards via [`ExecSession::report`].
+pub fn execute_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    meter: &mut CostMeter,
+    model: &CostModel,
+    session: &mut ExecSession,
 ) -> Result<Rowset> {
     match plan {
         LogicalPlan::Scan { table } => {
@@ -34,24 +63,51 @@ pub fn execute(
             Ok((**t).clone())
         }
         LogicalPlan::Process { input, processor } => {
-            let in_rows = execute(input, catalog, meter, model)?;
+            let in_rows = execute_with(input, catalog, meter, model, session)?;
             let out_schema = in_rows.schema().extend(processor.output_columns())?;
+            let op = format!("Process[{}]", processor.name());
+            let validate = session.config().validate_outputs;
             let mut out = Rowset::empty(out_schema);
+            let mut attempts: u64 = 0;
+            let mut extra_seconds = 0.0;
+            let mut failure: Option<EngineError> = None;
             for row in in_rows.rows() {
-                for cells in processor.process(row, in_rows.schema())? {
-                    out.push(row.extended(cells))?;
+                let inv = session.invoke(&op, || {
+                    let groups = processor.process(row, in_rows.schema())?;
+                    if validate {
+                        validate_cells(&groups, processor.name())?;
+                    }
+                    Ok(groups)
+                });
+                attempts += u64::from(inv.attempts);
+                extra_seconds += inv.extra_seconds;
+                match inv.result {
+                    Ok(groups) => {
+                        for cells in groups {
+                            out.push(row.extended(cells))?;
+                        }
+                    }
+                    Err(e) => {
+                        // A processor materializes real columns; its failure
+                        // cannot be masked. Charge the work done, then bail.
+                        failure = Some(e);
+                        break;
+                    }
                 }
             }
             meter.charge(
-                format!("Process[{}]", processor.name()),
+                op,
                 in_rows.len(),
                 out.len(),
-                in_rows.len() as f64 * processor.cost_per_row(),
+                attempts as f64 * processor.cost_per_row() + extra_seconds,
             );
-            Ok(out)
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
         }
         LogicalPlan::Select { input, predicate } => {
-            let in_rows = execute(input, catalog, meter, model)?;
+            let in_rows = execute_with(input, catalog, meter, model, session)?;
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
             let mut out = Rowset::empty(schema.clone());
@@ -69,25 +125,50 @@ pub fn execute(
             Ok(out)
         }
         LogicalPlan::Filter { input, filter } => {
-            let in_rows = execute(input, catalog, meter, model)?;
+            let in_rows = execute_with(input, catalog, meter, model, session)?;
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
+            let op = filter.name().to_string();
+            let fail_open = session.config().fail_open_filters && filter.fail_open();
             let mut out = Rowset::empty(schema.clone());
+            let mut attempts: u64 = 0;
+            let mut extra_seconds = 0.0;
+            let mut failure: Option<EngineError> = None;
             for row in in_rows.into_rows() {
-                if filter.passes(&row, &schema)? {
+                let inv = session.invoke(&op, || filter.passes(&row, &schema));
+                attempts += u64::from(inv.attempts);
+                extra_seconds += inv.extra_seconds;
+                let keep = match inv.result {
+                    Ok(b) => b,
+                    Err(_) if fail_open => {
+                        // Safe degradation: a PP is pure data reduction, so
+                        // on failure the row passes. We lose speed-up on
+                        // this row, never a result.
+                        session.record_fail_open(&op);
+                        true
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                };
+                if keep {
                     out.push(row)?;
                 }
             }
             meter.charge(
-                filter.name().to_string(),
+                op,
                 total,
                 out.len(),
-                total as f64 * filter.cost_per_row(),
+                attempts as f64 * filter.cost_per_row() + extra_seconds,
             );
-            Ok(out)
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
         }
         LogicalPlan::Project { input, items } => {
-            let in_rows = execute(input, catalog, meter, model)?;
+            let in_rows = execute_with(input, catalog, meter, model, session)?;
             let out_schema = plan_project_schema(&in_rows, items)?;
             let indices: Vec<usize> = items
                 .iter()
@@ -96,7 +177,9 @@ pub fn execute(
             let total = in_rows.len();
             let mut out = Rowset::empty(out_schema);
             for row in in_rows.rows() {
-                out.push(Row::new(indices.iter().map(|&i| row.get(i).clone()).collect()))?;
+                out.push(Row::new(
+                    indices.iter().map(|&i| row.get(i).clone()).collect(),
+                ))?;
             }
             meter.charge("Project", total, total, total as f64 * model.project);
             Ok(out)
@@ -107,8 +190,8 @@ pub fn execute(
             left_key,
             right_key,
         } => {
-            let l = execute(left, catalog, meter, model)?;
-            let r = execute(right, catalog, meter, model)?;
+            let l = execute_with(left, catalog, meter, model, session)?;
+            let r = execute_with(right, catalog, meter, model, session)?;
             let lk = l.schema().index_of(left_key)?;
             let rk = r.schema().index_of(right_key)?;
             // Build on the (primary-key) right side.
@@ -152,7 +235,7 @@ pub fn execute(
             group_by,
             aggs,
         } => {
-            let in_rows = execute(input, catalog, meter, model)?;
+            let in_rows = execute_with(input, catalog, meter, model, session)?;
             let out_schema = plan.output_schema(catalog)?;
             let key_idx: Vec<usize> = group_by
                 .iter()
@@ -201,8 +284,9 @@ pub fn execute(
             Ok(out)
         }
         LogicalPlan::Reduce { input, reducer } => {
-            let in_rows = execute(input, catalog, meter, model)?;
+            let in_rows = execute_with(input, catalog, meter, model, session)?;
             let out_schema = crate::schema::Schema::new(reducer.output_columns().to_vec())?;
+            let op = format!("Reduce[{}]", reducer.name());
             let key_idx: Vec<usize> = reducer
                 .key_columns()
                 .iter()
@@ -222,28 +306,51 @@ pub fn execute(
                 entry.push(row.clone());
             }
             let mut out = Rowset::empty(out_schema);
+            // Reducers are charged per input row; a retried group re-pays
+            // for each of its rows.
+            let mut retried_rows: usize = 0;
+            let mut extra_seconds = 0.0;
+            let mut failure: Option<EngineError> = None;
             for key in &order {
-                for row in reducer.reduce(&groups[key], in_rows.schema())? {
-                    out.push(row)?;
+                let group = &groups[key];
+                let inv = session.invoke(&op, || reducer.reduce(group, in_rows.schema()));
+                if inv.attempts > 1 {
+                    retried_rows += (inv.attempts as usize - 1) * group.len();
+                }
+                extra_seconds += inv.extra_seconds;
+                match inv.result {
+                    Ok(rows) => {
+                        for row in rows {
+                            out.push(row)?;
+                        }
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
                 }
             }
             meter.charge(
-                format!("Reduce[{}]", reducer.name()),
+                op,
                 in_rows.len(),
                 out.len(),
-                in_rows.len() as f64 * reducer.cost_per_row(),
+                (in_rows.len() + retried_rows) as f64 * reducer.cost_per_row() + extra_seconds,
             );
-            Ok(out)
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
         }
         LogicalPlan::Combine {
             left,
             right,
             combiner,
         } => {
-            let l = execute(left, catalog, meter, model)?;
-            let r = execute(right, catalog, meter, model)?;
+            let l = execute_with(left, catalog, meter, model, session)?;
+            let r = execute_with(right, catalog, meter, model, session)?;
             let lk = l.schema().index_of(combiner.left_key())?;
             let rk = r.schema().index_of(combiner.right_key())?;
+            let op = format!("Combine[{}]", combiner.name());
             let mut order: Vec<Key> = Vec::new();
             let mut lgroups: HashMap<Key, Vec<Row>> = HashMap::new();
             for row in l.rows() {
@@ -256,27 +363,69 @@ pub fn execute(
             }
             let mut rgroups: HashMap<Key, Vec<Row>> = HashMap::new();
             for row in r.rows() {
-                rgroups.entry(row.get(rk).as_key()?).or_default().push(row.clone());
+                rgroups
+                    .entry(row.get(rk).as_key()?)
+                    .or_default()
+                    .push(row.clone());
             }
             let out_schema = crate::schema::Schema::new(combiner.output_columns().to_vec())?;
             let mut out = Rowset::empty(out_schema);
+            let mut retried_rows: usize = 0;
+            let mut extra_seconds = 0.0;
+            let mut failure: Option<EngineError> = None;
             for key in &order {
                 if let Some(rg) = rgroups.get(key) {
-                    for row in combiner.combine(&lgroups[key], rg, l.schema(), r.schema())? {
-                        out.push(row)?;
+                    let lg = &lgroups[key];
+                    let inv =
+                        session.invoke(&op, || combiner.combine(lg, rg, l.schema(), r.schema()));
+                    if inv.attempts > 1 {
+                        retried_rows += (inv.attempts as usize - 1) * (lg.len() + rg.len());
+                    }
+                    extra_seconds += inv.extra_seconds;
+                    match inv.result {
+                        Ok(rows) => {
+                            for row in rows {
+                                out.push(row)?;
+                            }
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
                     }
                 }
             }
             let rows_in = l.len() + r.len();
             meter.charge(
-                format!("Combine[{}]", combiner.name()),
+                op,
                 rows_in,
                 out.len(),
-                rows_in as f64 * combiner.cost_per_row(),
+                (rows_in + retried_rows) as f64 * combiner.cost_per_row() + extra_seconds,
             );
-            Ok(out)
+            match failure {
+                Some(e) => Err(e),
+                None => Ok(out),
+            }
         }
     }
+}
+
+/// Rejects non-finite floats in processor output (when
+/// [`ResilienceConfig::validate_outputs`](crate::resilience::ResilienceConfig)
+/// is on), converting silent corruption into a retryable error.
+fn validate_cells(groups: &[Vec<Value>], udf: &str) -> Result<()> {
+    for cells in groups {
+        for cell in cells {
+            if let Value::Float(f) = cell {
+                if !f.is_finite() {
+                    return Err(EngineError::CorruptOutput(format!(
+                        "{udf}: non-finite float in output"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 fn plan_project_schema(
@@ -342,18 +491,20 @@ fn eval_agg(func: AggFunc, col: Option<usize>, rows: &[&Row]) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::OpStats;
     use crate::logical::{AggExpr, ProjectItem};
     use crate::predicate::{CompareOp, Predicate};
+    use crate::resilience::{ResilienceConfig, RetryPolicy};
     use crate::schema::{Column, DataType, Schema};
     use crate::udf::{ClosureFilter, ClosureProcessor, ClosureReducer};
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
-    fn catalog() -> Catalog {
+    fn catalog() -> Result<Catalog> {
         let schema = Schema::new(vec![
             Column::new("id", DataType::Int),
             Column::new("cam", DataType::Str),
-        ])
-        .unwrap();
+        ])?;
         let rows = (0..10)
             .map(|i| {
                 Row::new(vec![
@@ -363,27 +514,36 @@ mod tests {
             })
             .collect();
         let mut c = Catalog::new();
-        c.register("frames", Rowset::new(schema, rows).unwrap());
-        c
+        c.register("frames", Rowset::new(schema, rows)?);
+        Ok(c)
     }
 
-    fn run(plan: &LogicalPlan, cat: &Catalog) -> (Rowset, CostMeter) {
+    fn run(plan: &LogicalPlan, cat: &Catalog) -> Result<(Rowset, CostMeter)> {
         let mut meter = CostMeter::new();
-        let out = execute(plan, cat, &mut meter, &CostModel::default()).unwrap();
-        (out, meter)
+        let out = execute(plan, cat, &mut meter, &CostModel::default())?;
+        Ok((out, meter))
+    }
+
+    fn find_op<'a>(meter: &'a CostMeter, prefix: &str) -> Result<&'a OpStats> {
+        meter
+            .entries()
+            .iter()
+            .find(|e| e.op.starts_with(prefix))
+            .ok_or_else(|| EngineError::InvalidPlan(format!("no operator matching {prefix}")))
     }
 
     #[test]
-    fn scan_returns_everything_and_charges() {
-        let cat = catalog();
-        let (out, meter) = run(&LogicalPlan::scan("frames"), &cat);
+    fn scan_returns_everything_and_charges() -> Result<()> {
+        let cat = catalog()?;
+        let (out, meter) = run(&LogicalPlan::scan("frames"), &cat)?;
         assert_eq!(out.len(), 10);
         assert!(meter.cluster_seconds() > 0.0);
+        Ok(())
     }
 
     #[test]
-    fn process_fans_out_and_charges_udf_cost() {
-        let cat = catalog();
+    fn process_fans_out_and_charges_udf_cost() -> Result<()> {
+        let cat = catalog()?;
         let detector = Arc::new(ClosureProcessor::new(
             "Detector",
             vec![Column::new("obj", DataType::Int)],
@@ -398,62 +558,60 @@ mod tests {
             },
         ));
         let plan = LogicalPlan::scan("frames").process(detector);
-        let (out, meter) = run(&plan, &cat);
+        let (out, meter) = run(&plan, &cat)?;
         assert_eq!(out.len(), 10); // 5 even ids × 2 objects
-        // UDF charged for all 10 input rows at 2.0s each.
-        let udf_secs = meter
-            .entries()
-            .iter()
-            .find(|e| e.op.starts_with("Process"))
-            .unwrap()
-            .seconds;
+                                   // UDF charged for all 10 input rows at 2.0s each.
+        let udf_secs = find_op(&meter, "Process")?.seconds;
         assert!((udf_secs - 20.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn select_filters_rows() {
-        let cat = catalog();
-        let plan = LogicalPlan::scan("frames")
-            .select(Predicate::clause("cam", CompareOp::Eq, "C1"));
-        let (out, _) = run(&plan, &cat);
+    fn select_filters_rows() -> Result<()> {
+        let cat = catalog()?;
+        let plan =
+            LogicalPlan::scan("frames").select(Predicate::clause("cam", CompareOp::Eq, "C1"));
+        let (out, _) = run(&plan, &cat)?;
         assert_eq!(out.len(), 5);
+        Ok(())
     }
 
     #[test]
-    fn filter_drops_and_charges_its_own_cost() {
-        let cat = catalog();
+    fn filter_drops_and_charges_its_own_cost() -> Result<()> {
+        let cat = catalog()?;
         let f = Arc::new(ClosureFilter::new("PP[test]", 0.1, |row, _| {
             Ok(row.get(0).as_int()? < 4)
         }));
         let plan = LogicalPlan::scan("frames").filter(f);
-        let (out, meter) = run(&plan, &cat);
+        let (out, meter) = run(&plan, &cat)?;
         assert_eq!(out.len(), 4);
-        let pp = meter.entries().iter().find(|e| e.op == "PP[test]").unwrap();
+        let pp = find_op(&meter, "PP[test]")?;
         assert_eq!(pp.rows_in, 10);
         assert_eq!(pp.rows_out, 4);
         assert!((pp.seconds - 1.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn project_renames() {
-        let cat = catalog();
+    fn project_renames() -> Result<()> {
+        let cat = catalog()?;
         let plan = LogicalPlan::scan("frames").project(vec![ProjectItem::Rename {
             from: "cam".into(),
             to: "camera".into(),
         }]);
-        let (out, _) = run(&plan, &cat);
+        let (out, _) = run(&plan, &cat)?;
         assert_eq!(out.schema().columns()[0].name, "camera");
         assert_eq!(out.rows()[0].len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn fk_join_matches_keys() {
-        let mut cat = catalog();
+    fn fk_join_matches_keys() -> Result<()> {
+        let mut cat = catalog()?;
         let dim = Schema::new(vec![
             Column::new("cam_name", DataType::Str),
             Column::new("city", DataType::Str),
-        ])
-        .unwrap();
+        ])?;
         cat.register(
             "cams",
             Rowset::new(
@@ -462,8 +620,7 @@ mod tests {
                     Row::new(vec![Value::str("C1"), Value::str("Seattle")]),
                     Row::new(vec![Value::str("C2"), Value::str("Houston")]),
                 ],
-            )
-            .unwrap(),
+            )?,
         );
         let plan = LogicalPlan::Join {
             left: Box::new(LogicalPlan::scan("frames")),
@@ -471,27 +628,28 @@ mod tests {
             left_key: "cam".into(),
             right_key: "cam_name".into(),
         };
-        let (out, _) = run(&plan, &cat);
+        let (out, _) = run(&plan, &cat)?;
         assert_eq!(out.len(), 10);
         let schema = out.schema().clone();
         for row in out.rows() {
-            let cam = row.get_named(&schema, "cam").unwrap().as_str().unwrap().to_string();
-            let city = row.get_named(&schema, "city").unwrap().as_str().unwrap();
+            let cam = row.get_named(&schema, "cam")?.as_str()?.to_string();
+            let city = row.get_named(&schema, "city")?.as_str()?;
             if cam == "C1" {
                 assert_eq!(city, "Seattle");
             } else {
                 assert_eq!(city, "Houston");
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn join_drops_unmatched_left_rows() {
-        let mut cat = catalog();
-        let dim = Schema::new(vec![Column::new("cam_name", DataType::Str)]).unwrap();
+    fn join_drops_unmatched_left_rows() -> Result<()> {
+        let mut cat = catalog()?;
+        let dim = Schema::new(vec![Column::new("cam_name", DataType::Str)])?;
         cat.register(
             "cams",
-            Rowset::new(dim, vec![Row::new(vec![Value::str("C1")])]).unwrap(),
+            Rowset::new(dim, vec![Row::new(vec![Value::str("C1")])])?,
         );
         let plan = LogicalPlan::Join {
             left: Box::new(LogicalPlan::scan("frames")),
@@ -499,37 +657,55 @@ mod tests {
             left_key: "cam".into(),
             right_key: "cam_name".into(),
         };
-        let (out, _) = run(&plan, &cat);
+        let (out, _) = run(&plan, &cat)?;
         assert_eq!(out.len(), 5);
+        Ok(())
     }
 
     #[test]
-    fn aggregate_counts_and_avgs() {
-        let cat = catalog();
+    fn aggregate_counts_and_avgs() -> Result<()> {
+        let cat = catalog()?;
         let plan = LogicalPlan::scan("frames").aggregate(
             vec!["cam".into()],
             vec![
-                AggExpr { func: AggFunc::Count, column: String::new(), alias: "n".into() },
-                AggExpr { func: AggFunc::Avg, column: "id".into(), alias: "avg_id".into() },
-                AggExpr { func: AggFunc::Min, column: "id".into(), alias: "min_id".into() },
-                AggExpr { func: AggFunc::Max, column: "id".into(), alias: "max_id".into() },
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: String::new(),
+                    alias: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    column: "id".into(),
+                    alias: "avg_id".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Min,
+                    column: "id".into(),
+                    alias: "min_id".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    column: "id".into(),
+                    alias: "max_id".into(),
+                },
             ],
         );
-        let (out, _) = run(&plan, &cat);
+        let (out, _) = run(&plan, &cat)?;
         assert_eq!(out.len(), 2);
         let schema = out.schema().clone();
         // First-seen order: C1 (id 0) first.
         let first = &out.rows()[0];
-        assert_eq!(first.get_named(&schema, "cam").unwrap().as_str().unwrap(), "C1");
-        assert_eq!(first.get_named(&schema, "n").unwrap().as_int().unwrap(), 5);
-        assert!((first.get_named(&schema, "avg_id").unwrap().as_float().unwrap() - 4.0).abs() < 1e-9);
-        assert_eq!(first.get_named(&schema, "min_id").unwrap().as_int().unwrap(), 0);
-        assert_eq!(first.get_named(&schema, "max_id").unwrap().as_int().unwrap(), 8);
+        assert_eq!(first.get_named(&schema, "cam")?.as_str()?, "C1");
+        assert_eq!(first.get_named(&schema, "n")?.as_int()?, 5);
+        assert!((first.get_named(&schema, "avg_id")?.as_float()? - 4.0).abs() < 1e-9);
+        assert_eq!(first.get_named(&schema, "min_id")?.as_int()?, 0);
+        assert_eq!(first.get_named(&schema, "max_id")?.as_int()?, 8);
+        Ok(())
     }
 
     #[test]
-    fn reduce_applies_per_group() {
-        let cat = catalog();
+    fn reduce_applies_per_group() -> Result<()> {
+        let cat = catalog()?;
         let reducer = Arc::new(ClosureReducer::new(
             "Tracker",
             vec!["cam".into()],
@@ -544,33 +720,209 @@ mod tests {
             },
         ));
         let plan = LogicalPlan::scan("frames").reduce(reducer);
-        let (out, meter) = run(&plan, &cat);
+        let (out, meter) = run(&plan, &cat)?;
         assert_eq!(out.len(), 2);
-        let reduce_secs = meter
-            .entries()
-            .iter()
-            .find(|e| e.op.starts_with("Reduce"))
-            .unwrap()
-            .seconds;
+        let reduce_secs = find_op(&meter, "Reduce")?.seconds;
         assert!((reduce_secs - 5.0).abs() < 1e-9);
+        Ok(())
     }
 
     #[test]
-    fn float_keys_rejected() {
+    fn float_keys_rejected() -> Result<()> {
         let mut cat = Catalog::new();
-        let schema = Schema::new(vec![Column::new("f", DataType::Float)]).unwrap();
+        let schema = Schema::new(vec![Column::new("f", DataType::Float)])?;
         cat.register(
             "t",
-            Rowset::new(schema, vec![Row::new(vec![Value::Float(1.0)])]).unwrap(),
+            Rowset::new(schema, vec![Row::new(vec![Value::Float(1.0)])])?,
         );
         let plan = LogicalPlan::scan("t").aggregate(
             vec!["f".into()],
-            vec![AggExpr { func: AggFunc::Count, column: String::new(), alias: "n".into() }],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                column: String::new(),
+                alias: "n".into(),
+            }],
         );
         let mut meter = CostMeter::new();
         assert!(matches!(
             execute(&plan, &cat, &mut meter, &CostModel::default()),
             Err(EngineError::UnhashableKey(_))
         ));
+        Ok(())
+    }
+
+    /// A filter that fails its first `fail_first` calls with a transient
+    /// error, then behaves (keeps even ids).
+    fn flaky_filter(fail_first: u64) -> Arc<dyn crate::udf::RowFilter> {
+        let count = AtomicU64::new(0);
+        Arc::new(ClosureFilter::new("PP[flaky]", 0.1, move |row, _| {
+            if count.fetch_add(1, Ordering::Relaxed) < fail_first {
+                Err(EngineError::Transient("worker lost".into()))
+            } else {
+                Ok(row.get(0).as_int()? % 2 == 0)
+            }
+        }))
+    }
+
+    #[test]
+    fn transient_filter_failures_are_retried_and_charged() -> Result<()> {
+        let cat = catalog()?;
+        let plan = LogicalPlan::scan("frames").filter(flaky_filter(2));
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::default();
+        let out = execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session)?;
+        // Retries hid the failures entirely: same rows as a healthy run.
+        assert_eq!(out.len(), 5);
+        let pp = find_op(&meter, "PP[flaky]")?;
+        // 12 attempts (10 rows + 2 retries on the first row) at 0.1s, plus
+        // exponential backoff of 0.05s then 0.10s.
+        assert!(
+            (pp.seconds - (1.2 + 0.15)).abs() < 1e-9,
+            "got {}",
+            pp.seconds
+        );
+        let report = session.report();
+        let stats = report
+            .op("PP[flaky]")
+            .ok_or_else(|| EngineError::InvalidPlan("missing resilience stats".into()))?;
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.failed_open, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn hard_failed_filter_fails_open_then_breaker_skips_it() -> Result<()> {
+        let cat = catalog()?;
+        let dead = Arc::new(ClosureFilter::new("PP[dead]", 0.1, |_, _| {
+            Err::<bool, _>(EngineError::Transient("model server down".into()))
+        }));
+        let plan = LogicalPlan::scan("frames").filter(dead);
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::new(
+            ResilienceConfig::default()
+                .with_retry(RetryPolicy::none())
+                .with_breaker_threshold(3),
+        );
+        let out = execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session)?;
+        // Fail-open: every row passes despite the filter being dead.
+        assert_eq!(out.len(), 10);
+        assert!(session.breaker_open("PP[dead]"));
+        let report = session.report();
+        let stats = report
+            .op("PP[dead]")
+            .ok_or_else(|| EngineError::InvalidPlan("missing resilience stats".into()))?;
+        // 3 real failures trip the breaker; the remaining 7 rows skip the
+        // call entirely.
+        assert_eq!(stats.calls, 3);
+        assert_eq!(stats.short_circuited, 7);
+        assert_eq!(stats.failed_open, 10);
+        assert!(stats.breaker_tripped);
+        // Only the 3 attempted calls are charged.
+        let pp = find_op(&meter, "PP[dead]")?;
+        assert!((pp.seconds - 0.3).abs() < 1e-9);
+        Ok(())
+    }
+
+    #[test]
+    fn fail_closed_filter_propagates_the_error() -> Result<()> {
+        struct Gate;
+        impl crate::udf::RowFilter for Gate {
+            fn name(&self) -> &str {
+                "Gate"
+            }
+            fn cost_per_row(&self) -> f64 {
+                0.1
+            }
+            fn passes(&self, _: &Row, _: &Schema) -> Result<bool> {
+                Err(EngineError::Transient("down".into()))
+            }
+            fn fail_open(&self) -> bool {
+                false
+            }
+        }
+        let cat = catalog()?;
+        let plan = LogicalPlan::scan("frames").filter(Arc::new(Gate));
+        let mut meter = CostMeter::new();
+        let mut session =
+            ExecSession::new(ResilienceConfig::default().with_retry(RetryPolicy::none()));
+        let err = match execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session) {
+            Err(e) => e,
+            Ok(_) => return Err(EngineError::InvalidPlan("expected failure".into())),
+        };
+        assert!(matches!(err, EngineError::Transient(_)));
+        Ok(())
+    }
+
+    #[test]
+    fn failing_processor_propagates_after_retries() -> Result<()> {
+        let cat = catalog()?;
+        let broken = Arc::new(ClosureProcessor::map(
+            "Broken",
+            vec![Column::new("y", DataType::Int)],
+            1.0,
+            |_, _| Err::<Vec<Value>, _>(EngineError::Transient("gpu lost".into())),
+        ));
+        let plan = LogicalPlan::scan("frames").process(broken);
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::default();
+        let err = match execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session) {
+            Err(e) => e,
+            Ok(_) => return Err(EngineError::InvalidPlan("expected failure".into())),
+        };
+        match err {
+            EngineError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 4),
+            other => return Err(other),
+        }
+        // The failed attempts were still charged.
+        let p = find_op(&meter, "Process[Broken]")?;
+        assert!(p.seconds > 0.0);
+        Ok(())
+    }
+
+    #[test]
+    fn validation_catches_nan_output() -> Result<()> {
+        let cat = catalog()?;
+        let nan_gen = Arc::new(ClosureProcessor::map(
+            "NanGen",
+            vec![Column::new("score", DataType::Float)],
+            1.0,
+            |_, _| Ok(vec![Value::Float(f64::NAN)]),
+        ));
+        let plan = LogicalPlan::scan("frames").process(nan_gen);
+        // Without validation the NaN flows straight through.
+        let (out, _) = run(&plan, &cat)?;
+        assert_eq!(out.len(), 10);
+        // With validation it is a (retryable, here always-failing) error.
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::new(
+            ResilienceConfig::default()
+                .with_validate_outputs(true)
+                .with_retry(RetryPolicy::none()),
+        );
+        let result = execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session);
+        assert!(matches!(result, Err(EngineError::CorruptOutput(_))));
+        Ok(())
+    }
+
+    #[test]
+    fn default_session_matches_seed_charging() -> Result<()> {
+        // The resilient executor must be charge-identical to the classic
+        // one on a fault-free plan.
+        let cat = catalog()?;
+        let f = Arc::new(ClosureFilter::new("PP[test]", 0.1, |row, _| {
+            Ok(row.get(0).as_int()? < 4)
+        }));
+        let plan = LogicalPlan::scan("frames").filter(f).aggregate(
+            vec!["cam".into()],
+            vec![AggExpr {
+                func: AggFunc::Count,
+                column: String::new(),
+                alias: "n".into(),
+            }],
+        );
+        let (_, meter_a) = run(&plan, &cat)?;
+        let (_, meter_b) = run(&plan, &cat)?;
+        assert_eq!(meter_a.entries(), meter_b.entries());
+        Ok(())
     }
 }

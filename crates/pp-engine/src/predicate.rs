@@ -567,11 +567,9 @@ mod tests {
         ];
         for r in &rows {
             let direct = p.eval(r, &sch).unwrap();
-            let via_cnf = cnf.iter().all(|group| {
-                group
-                    .iter()
-                    .any(|c| c.eval(r, &sch).unwrap_or(false))
-            });
+            let via_cnf = cnf
+                .iter()
+                .all(|group| group.iter().any(|c| c.eval(r, &sch).unwrap_or(false)));
             assert_eq!(direct, via_cnf, "row {:?}", r.values()[0].to_string());
         }
     }

@@ -1,0 +1,493 @@
+//! The fault-tolerant UDF execution layer: bounded retries with exponential
+//! backoff, per-call timeout budgets, and per-operator circuit breakers.
+//!
+//! Production big-data stacks (the paper's prototype runs inside Cosmos)
+//! assume UDFs fail: tasks are retried, stragglers are cancelled, and
+//! repeatedly-failing operators are quarantined so one broken model cannot
+//! sink a query. This module reproduces that machinery at library scale.
+//! All recovery work is *charged* — retries re-pay the UDF's per-row cost,
+//! backoff and stalled calls add simulated seconds — so the cost meter
+//! stays an honest account of what a cluster would have spent.
+//!
+//! The key safety property lives one level up, in the executor: a
+//! [`RowFilter`](crate::udf::RowFilter) that keeps failing *fails open*
+//! (rows pass unfiltered). A probabilistic predicate is an optimization,
+//! never a correctness gate, so degrading one loses data reduction but can
+//! never introduce false negatives beyond the accuracy target.
+
+use std::collections::HashMap;
+
+use crate::{EngineError, Result};
+
+/// Bounded-retry policy with exponential backoff.
+///
+/// Backoff is charged to the operator in simulated seconds: retry `k`
+/// (1-indexed) waits `backoff_base_secs × backoff_multiplier^(k−1)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Simulated seconds charged before the first retry.
+    pub backoff_base_secs: f64,
+    /// Growth factor applied to each subsequent backoff.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_secs: 0.05,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Simulated seconds of backoff before retry `k` (1-indexed).
+    fn backoff_secs(&self, retry: u32) -> f64 {
+        self.backoff_base_secs * self.backoff_multiplier.powi(retry.saturating_sub(1) as i32)
+    }
+}
+
+/// Tunable knobs for the execution session.
+///
+/// The defaults are deliberately conservative: on a fault-free run they
+/// reproduce the non-resilient executor's behavior and charges exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Retry policy applied to every UDF call.
+    pub retry: RetryPolicy,
+    /// Per-call stall budget: a timed-out call is charged
+    /// `min(stalled_seconds, udf_timeout_secs)` before being cancelled.
+    pub udf_timeout_secs: f64,
+    /// Consecutive exhausted failures before an operator's circuit breaker
+    /// opens (0 disables breaking).
+    pub breaker_threshold: u32,
+    /// Whether row filters degrade to pass-through on failure. Disabling
+    /// this makes filter errors fatal, like any other UDF error.
+    pub fail_open_filters: bool,
+    /// Whether processor outputs are checked for non-finite floats (NaN /
+    /// ±∞), turning silent corruption into a retryable
+    /// [`EngineError::CorruptOutput`].
+    pub validate_outputs: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::default(),
+            udf_timeout_secs: 60.0,
+            breaker_threshold: 5,
+            fail_open_filters: true,
+            validate_outputs: false,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the per-call stall budget.
+    pub fn with_udf_timeout_secs(mut self, secs: f64) -> Self {
+        self.udf_timeout_secs = secs;
+        self
+    }
+
+    /// Sets the circuit-breaker threshold.
+    pub fn with_breaker_threshold(mut self, n: u32) -> Self {
+        self.breaker_threshold = n;
+        self
+    }
+
+    /// Enables or disables fail-open filter degradation.
+    pub fn with_fail_open_filters(mut self, on: bool) -> Self {
+        self.fail_open_filters = on;
+        self
+    }
+
+    /// Enables or disables NaN/∞ output validation.
+    pub fn with_validate_outputs(mut self, on: bool) -> Self {
+        self.validate_outputs = on;
+        self
+    }
+}
+
+/// Per-operator resilience counters, reported after execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpResilience {
+    /// Operator display name.
+    pub op: String,
+    /// UDF executions attempted (first calls + retries).
+    pub calls: u64,
+    /// Attempts that returned an error.
+    pub failures: u64,
+    /// Retries performed (a subset of `calls`).
+    pub retries: u64,
+    /// Attempts cancelled by the timeout budget.
+    pub timeouts: u64,
+    /// Rows a filter passed because the call failed (or its breaker was
+    /// open) and the filter degrades fail-open.
+    pub failed_open: u64,
+    /// Calls skipped outright because the circuit breaker was open.
+    pub short_circuited: u64,
+    /// Whether the breaker tripped during execution.
+    pub breaker_tripped: bool,
+    /// Simulated seconds of recovery overhead (backoff + stalls) charged
+    /// on top of per-attempt UDF cost.
+    pub extra_seconds: f64,
+}
+
+/// Resilience counters for one execution, per operator in first-touch
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecReport {
+    /// Per-operator counters.
+    pub ops: Vec<OpResilience>,
+}
+
+impl ExecReport {
+    /// The counters for one operator, if it was touched.
+    pub fn op(&self, name: &str) -> Option<&OpResilience> {
+        self.ops.iter().find(|o| o.op == name)
+    }
+
+    /// Total failed attempts across all operators.
+    pub fn total_failures(&self) -> u64 {
+        self.ops.iter().map(|o| o.failures).sum()
+    }
+
+    /// Fraction of attempted calls that failed for `op` (0.0 if untouched
+    /// or never called).
+    pub fn failure_rate(&self, op: &str) -> f64 {
+        match self.op(op) {
+            Some(o) if o.calls > 0 => o.failures as f64 / o.calls as f64,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The outcome of one resilient UDF invocation.
+#[derive(Debug)]
+pub struct Invocation<T> {
+    /// The final result after retries (or a terminal error).
+    pub result: Result<T>,
+    /// UDF executions performed (0 when the breaker short-circuited).
+    pub attempts: u32,
+    /// Simulated seconds of backoff + stall overhead to charge.
+    pub extra_seconds: f64,
+}
+
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive_failures: u32,
+    open: bool,
+}
+
+/// A stateful execution session: owns the config, per-operator circuit
+/// breakers, and resilience counters. One session can span many
+/// [`execute_with`](crate::physical::execute_with) calls, so breaker state
+/// and fault history persist across queries, the way a long-running
+/// cluster service would track a misbehaving UDF.
+#[derive(Debug, Default)]
+pub struct ExecSession {
+    config: ResilienceConfig,
+    breakers: HashMap<String, BreakerState>,
+    stats: HashMap<String, OpResilience>,
+    touch_order: Vec<String>,
+}
+
+impl ExecSession {
+    /// A session with the given configuration.
+    pub fn new(config: ResilienceConfig) -> Self {
+        ExecSession {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &ResilienceConfig {
+        &self.config
+    }
+
+    /// Whether `op`'s circuit breaker is currently open.
+    pub fn breaker_open(&self, op: &str) -> bool {
+        self.breakers.get(op).is_some_and(|b| b.open)
+    }
+
+    /// Manually reset one operator's breaker (e.g. after redeploying a
+    /// fixed UDF).
+    pub fn reset_breaker(&mut self, op: &str) {
+        if let Some(b) = self.breakers.get_mut(op) {
+            b.consecutive_failures = 0;
+            b.open = false;
+        }
+    }
+
+    /// Snapshot of the per-operator counters, in first-touch order.
+    pub fn report(&self) -> ExecReport {
+        ExecReport {
+            ops: self
+                .touch_order
+                .iter()
+                .filter_map(|op| self.stats.get(op))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    fn stat(&mut self, op: &str) -> &mut OpResilience {
+        if !self.stats.contains_key(op) {
+            self.touch_order.push(op.to_string());
+        }
+        self.stats
+            .entry(op.to_string())
+            .or_insert_with(|| OpResilience {
+                op: op.to_string(),
+                ..Default::default()
+            })
+    }
+
+    /// Records that a filter passed a row via fail-open degradation.
+    pub fn record_fail_open(&mut self, op: &str) {
+        self.stat(op).failed_open += 1;
+    }
+
+    /// Runs one UDF call under the session's retry / timeout / breaker
+    /// policy. The caller charges `attempts × cost_per_row +
+    /// extra_seconds` to the cost meter and decides how to handle a
+    /// terminal error (processors propagate, filters may fail open).
+    pub fn invoke<T>(&mut self, op: &str, mut call: impl FnMut() -> Result<T>) -> Invocation<T> {
+        if self.breaker_open(op) {
+            let st = self.stat(op);
+            st.short_circuited += 1;
+            return Invocation {
+                result: Err(EngineError::BreakerOpen { op: op.to_string() }),
+                attempts: 0,
+                extra_seconds: 0.0,
+            };
+        }
+
+        let retry = self.config.retry;
+        let timeout_budget = self.config.udf_timeout_secs;
+        let breaker_threshold = self.config.breaker_threshold;
+        let mut attempts: u32 = 0;
+        let mut extra_seconds = 0.0;
+
+        loop {
+            attempts += 1;
+            let outcome = call();
+            let st = self.stat(op);
+            st.calls += 1;
+
+            match outcome {
+                Ok(value) => {
+                    self.breakers
+                        .entry(op.to_string())
+                        .or_default()
+                        .consecutive_failures = 0;
+                    return Invocation {
+                        result: Ok(value),
+                        attempts,
+                        extra_seconds,
+                    };
+                }
+                Err(err) => {
+                    st.failures += 1;
+                    if let EngineError::Timeout {
+                        stalled_seconds, ..
+                    } = &err
+                    {
+                        st.timeouts += 1;
+                        // The stalled attempt burned cluster time until the
+                        // deadline cancelled it.
+                        let stalled = stalled_seconds.min(timeout_budget);
+                        st.extra_seconds += stalled;
+                        extra_seconds += stalled;
+                    }
+                    let retries_used = attempts - 1;
+                    if err.is_retryable() && retries_used < retry.max_retries {
+                        let next_retry = retries_used + 1;
+                        st.retries += 1;
+                        let backoff = retry.backoff_secs(next_retry);
+                        st.extra_seconds += backoff;
+                        extra_seconds += backoff;
+                        continue;
+                    }
+                    // Terminal failure: count toward the breaker.
+                    let breaker = self.breakers.entry(op.to_string()).or_default();
+                    breaker.consecutive_failures += 1;
+                    if breaker_threshold > 0 && breaker.consecutive_failures >= breaker_threshold {
+                        breaker.open = true;
+                        self.stat(op).breaker_tripped = true;
+                    }
+                    let result = if attempts > 1 {
+                        Err(EngineError::RetriesExhausted {
+                            op: op.to_string(),
+                            attempts,
+                            last: Box::new(err),
+                        })
+                    } else {
+                        Err(err)
+                    };
+                    return Invocation {
+                        result,
+                        attempts,
+                        extra_seconds,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky(fail_first: u32) -> impl FnMut() -> Result<u32> {
+        let mut n = 0;
+        move || {
+            n += 1;
+            if n <= fail_first {
+                Err(EngineError::Transient(format!("attempt {n}")))
+            } else {
+                Ok(n)
+            }
+        }
+    }
+
+    #[test]
+    fn success_needs_one_attempt_and_no_overhead() {
+        let mut s = ExecSession::default();
+        let inv = s.invoke("op", || Ok::<_, EngineError>(42));
+        assert_eq!(inv.attempts, 1);
+        assert_eq!(inv.extra_seconds, 0.0);
+        assert!(matches!(inv.result, Ok(42)));
+        let report = s.report();
+        assert_eq!(report.op("op").map(|o| o.calls), Some(1));
+        assert_eq!(report.total_failures(), 0);
+    }
+
+    #[test]
+    fn transient_failures_retry_with_growing_backoff() {
+        let mut s = ExecSession::default();
+        let inv = s.invoke("op", flaky(2));
+        assert!(matches!(inv.result, Ok(3)));
+        assert_eq!(inv.attempts, 3);
+        // 0.05 + 0.10 of backoff.
+        assert!((inv.extra_seconds - 0.15).abs() < 1e-12);
+        let report = s.report();
+        let op = report.op("op").expect("op touched");
+        assert_eq!(op.retries, 2);
+        assert_eq!(op.failures, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_wrap_the_last_error() {
+        let mut s = ExecSession::default();
+        let inv = s.invoke("op", flaky(10));
+        assert_eq!(inv.attempts, 4); // 1 + max_retries(3)
+        match inv.result {
+            Err(EngineError::RetriesExhausted { op, attempts, last }) => {
+                assert_eq!(op, "op");
+                assert_eq!(attempts, 4);
+                assert!(matches!(*last, EngineError::Transient(_)));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poison_is_not_retried() {
+        let mut s = ExecSession::default();
+        let inv = s.invoke("op", || {
+            Err::<u32, _>(EngineError::PoisonedRow("row 7".into()))
+        });
+        assert_eq!(inv.attempts, 1);
+        assert!(matches!(inv.result, Err(EngineError::PoisonedRow(_))));
+    }
+
+    #[test]
+    fn timeouts_charge_at_most_the_budget() {
+        let mut s = ExecSession::new(
+            ResilienceConfig::default()
+                .with_udf_timeout_secs(1.0)
+                .with_retry(RetryPolicy::none()),
+        );
+        let inv = s.invoke("op", || {
+            Err::<u32, _>(EngineError::Timeout {
+                op: "op".into(),
+                stalled_seconds: 50.0,
+            })
+        });
+        assert!((inv.extra_seconds - 1.0).abs() < 1e-12);
+        assert_eq!(s.report().op("op").map(|o| o.timeouts), Some(1));
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_short_circuits() {
+        let mut s = ExecSession::new(
+            ResilienceConfig::default()
+                .with_breaker_threshold(3)
+                .with_retry(RetryPolicy::none()),
+        );
+        for _ in 0..3 {
+            let inv = s.invoke("op", || {
+                Err::<u32, _>(EngineError::Transient("down".into()))
+            });
+            assert_eq!(inv.attempts, 1);
+        }
+        assert!(s.breaker_open("op"));
+        let inv = s.invoke("op", || Ok::<_, EngineError>(1));
+        assert_eq!(inv.attempts, 0);
+        assert!(matches!(inv.result, Err(EngineError::BreakerOpen { .. })));
+        let report = s.report();
+        let op = report.op("op").expect("op touched");
+        assert!(op.breaker_tripped);
+        assert_eq!(op.short_circuited, 1);
+
+        s.reset_breaker("op");
+        assert!(!s.breaker_open("op"));
+        let inv = s.invoke("op", || Ok::<_, EngineError>(1));
+        assert!(matches!(inv.result, Ok(1)));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_failure_count() {
+        let mut s = ExecSession::new(
+            ResilienceConfig::default()
+                .with_breaker_threshold(3)
+                .with_retry(RetryPolicy::none()),
+        );
+        for round in 0..4 {
+            let _ = s.invoke("op", || Err::<u32, _>(EngineError::Transient("x".into())));
+            let _ = s.invoke("op", || Ok::<_, EngineError>(round));
+        }
+        // Failures never run consecutively, so the breaker stays closed.
+        assert!(!s.breaker_open("op"));
+    }
+
+    #[test]
+    fn failure_rate_reflects_attempts() {
+        let mut s = ExecSession::new(ResilienceConfig::default().with_retry(RetryPolicy::none()));
+        let _ = s.invoke("op", || Err::<u32, _>(EngineError::Transient("x".into())));
+        let _ = s.invoke("op", || Ok::<_, EngineError>(1));
+        let report = s.report();
+        assert!((report.failure_rate("op") - 0.5).abs() < 1e-12);
+        assert_eq!(report.failure_rate("untouched"), 0.0);
+    }
+}

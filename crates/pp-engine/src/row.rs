@@ -152,7 +152,9 @@ mod tests {
         let s = schema();
         assert!(Rowset::new(s.clone(), vec![Row::new(vec![Value::Int(1)])]).is_err());
         let mut rs = Rowset::empty(s);
-        assert!(rs.push(Row::new(vec![Value::Int(1), Value::str("x")])).is_ok());
+        assert!(rs
+            .push(Row::new(vec![Value::Int(1), Value::str("x")]))
+            .is_ok());
         assert!(rs.push(Row::new(vec![Value::Int(1)])).is_err());
         assert_eq!(rs.len(), 1);
     }

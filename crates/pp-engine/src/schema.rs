@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn extend_appends() {
         let schema = s();
-        let bigger = schema.extend(&[Column::new("vehType", DataType::Str)]).unwrap();
+        let bigger = schema
+            .extend(&[Column::new("vehType", DataType::Str)])
+            .unwrap();
         assert_eq!(bigger.len(), 3);
         assert_eq!(bigger.index_of("vehType").unwrap(), 2);
         // Extending with a duplicate fails.

@@ -59,7 +59,13 @@ mod tests {
 
     fn table(n: usize) -> Rowset {
         let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
-        Rowset::new(schema, (0..n).map(|i| Row::new(vec![Value::Int(i as i64)])).collect()).unwrap()
+        Rowset::new(
+            schema,
+            (0..n)
+                .map(|i| Row::new(vec![Value::Int(i as i64)]))
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -81,6 +81,15 @@ pub trait RowFilter: Send + Sync {
     fn cost_per_row(&self) -> f64;
     /// Whether the row survives the filter.
     fn passes(&self, row: &Row, schema: &Schema) -> Result<bool>;
+    /// Whether the executor may degrade this filter to pass-through when
+    /// it fails (see [`resilience`](crate::resilience)). Defaults to true:
+    /// PP-style filters are best-effort data reduction, so letting a row
+    /// through on error costs cluster time but never correctness. Filters
+    /// that *gate* correctness should override this to false, making their
+    /// failures fatal instead.
+    fn fail_open(&self) -> bool {
+        true
+    }
 }
 
 /// A [`Processor`] built from a closure, for dataset-defined UDFs.
@@ -277,12 +286,9 @@ mod tests {
 
     #[test]
     fn closure_processor_validates_arity() {
-        let p = ClosureProcessor::new(
-            "bad",
-            vec![Column::new("y", DataType::Int)],
-            0.1,
-            |_, _| Ok(vec![vec![Value::Int(1), Value::Int(2)]]),
-        );
+        let p = ClosureProcessor::new("bad", vec![Column::new("y", DataType::Int)], 0.1, |_, _| {
+            Ok(vec![vec![Value::Int(1), Value::Int(2)]])
+        });
         let s = schema();
         assert!(p.process(&Row::new(vec![Value::Int(0)]), &s).is_err());
     }
@@ -315,8 +321,14 @@ mod tests {
             },
         );
         let s = schema();
-        assert_eq!(p.process(&Row::new(vec![Value::Int(3)]), &s).unwrap().len(), 3);
-        assert!(p.process(&Row::new(vec![Value::Int(0)]), &s).unwrap().is_empty());
+        assert_eq!(
+            p.process(&Row::new(vec![Value::Int(3)]), &s).unwrap().len(),
+            3
+        );
+        assert!(p
+            .process(&Row::new(vec![Value::Int(0)]), &s)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -332,7 +344,10 @@ mod tests {
         let r = ClosureReducer::new(
             "count",
             vec!["x".to_string()],
-            vec![Column::new("x", DataType::Int), Column::new("n", DataType::Int)],
+            vec![
+                Column::new("x", DataType::Int),
+                Column::new("n", DataType::Int),
+            ],
             0.2,
             |group, _schema| {
                 Ok(vec![Row::new(vec![

@@ -115,9 +115,7 @@ impl Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a == b,
-            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Blob(a), Value::Blob(b)) => Arc::ptr_eq(a, b),
             _ => false,
@@ -250,6 +248,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Value::Null.to_string(), "NULL");
-        assert_eq!(Value::blob(Features::Dense(vec![0.0; 3])).to_string(), "<blob dim=3>");
+        assert_eq!(
+            Value::blob(Features::Dense(vec![0.0; 3])).to_string(),
+            "<blob dim=3>"
+        );
     }
 }

@@ -232,7 +232,10 @@ mod tests {
         let m = Matrix::zeros(2, 3);
         assert!(matches!(
             m.matvec(&[1.0, 2.0]),
-            Err(LinalgError::DimensionMismatch { expected: 3, actual: 2 })
+            Err(LinalgError::DimensionMismatch {
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

@@ -158,7 +158,9 @@ impl Pca {
             filled += 1;
         }
         if filled == 0 {
-            return Err(LinalgError::DidNotConverge("gram PCA produced no components"));
+            return Err(LinalgError::DidNotConverge(
+                "gram PCA produced no components",
+            ));
         }
         // Shrink if we found fewer than k non-degenerate directions.
         if filled < k {

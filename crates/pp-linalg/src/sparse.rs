@@ -41,7 +41,11 @@ impl SparseVector {
                 return Err(LinalgError::InvalidParameter("sparse index out of range"));
             }
         }
-        Ok(SparseVector { dim, indices, values })
+        Ok(SparseVector {
+            dim,
+            indices,
+            values,
+        })
     }
 
     /// Builds from unsorted pairs, sorting and summing duplicates.
@@ -83,7 +87,10 @@ impl SparseVector {
 
     /// Iterates stored `(index, value)` pairs in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Dot product with a dense slice of the same logical dimension.

@@ -127,12 +127,19 @@ impl LabeledSet {
     ///
     /// The paper's micro-benchmarks use 60/20/20 (§8.1); TRAF-20 uses 80/20
     /// train/validation on the first chunk of the stream (§8.2).
-    pub fn split(&self, train_frac: f64, val_frac: f64, seed: u64) -> Result<(LabeledSet, LabeledSet, LabeledSet)> {
+    pub fn split(
+        &self,
+        train_frac: f64,
+        val_frac: f64,
+        seed: u64,
+    ) -> Result<(LabeledSet, LabeledSet, LabeledSet)> {
         if !(0.0..=1.0).contains(&train_frac)
             || !(0.0..=1.0).contains(&val_frac)
             || train_frac + val_frac > 1.0
         {
-            return Err(MlError::InvalidParameter("split fractions must be in [0,1] and sum <= 1"));
+            return Err(MlError::InvalidParameter(
+                "split fractions must be in [0,1] and sum <= 1",
+            ));
         }
         let mut idx: Vec<usize> = (0..self.samples.len()).collect();
         idx.shuffle(&mut StdRng::seed_from_u64(seed));

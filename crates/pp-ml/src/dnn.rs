@@ -266,7 +266,10 @@ mod tests {
     #[test]
     fn learns_xor() {
         let data = xor_data(500, 21);
-        let params = DnnParams { epochs: 60, ..Default::default() };
+        let params = DnnParams {
+            epochs: 60,
+            ..Default::default()
+        };
         let dnn = Dnn::train(&data, &params).unwrap();
         let acc = accuracy(&dnn, &data);
         assert!(acc > 0.9, "acc={acc}");
@@ -275,7 +278,11 @@ mod tests {
     #[test]
     fn parameter_count_matches_architecture() {
         let data = xor_data(50, 1);
-        let params = DnnParams { hidden: vec![4, 3], epochs: 1, ..Default::default() };
+        let params = DnnParams {
+            hidden: vec![4, 3],
+            epochs: 1,
+            ..Default::default()
+        };
         let dnn = Dnn::train(&data, &params).unwrap();
         // (2*4 + 4) + (4*3 + 3) + (3*1 + 1) = 12 + 15 + 4 = 31
         assert_eq!(dnn.parameter_count(), 31);
@@ -294,18 +301,30 @@ mod tests {
             Err(MlError::SingleClass)
         ));
         let data = xor_data(20, 2);
-        let bad = DnnParams { learning_rate: 0.0, ..Default::default() };
+        let bad = DnnParams {
+            learning_rate: 0.0,
+            ..Default::default()
+        };
         assert!(Dnn::train(&data, &bad).is_err());
-        let bad_m = DnnParams { momentum: 1.0, ..Default::default() };
+        let bad_m = DnnParams {
+            momentum: 1.0,
+            ..Default::default()
+        };
         assert!(Dnn::train(&data, &bad_m).is_err());
-        let bad_e = DnnParams { epochs: 0, ..Default::default() };
+        let bad_e = DnnParams {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(Dnn::train(&data, &bad_e).is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
         let data = xor_data(100, 5);
-        let params = DnnParams { epochs: 5, ..Default::default() };
+        let params = DnnParams {
+            epochs: 5,
+            ..Default::default()
+        };
         let a = Dnn::train(&data, &params).unwrap();
         let b = Dnn::train(&data, &params).unwrap();
         let x = Features::Dense(vec![0.3, -0.4]);
@@ -316,7 +335,11 @@ mod tests {
     fn no_hidden_layers_degrades_to_linear() {
         // A depth-1 network is a linear model and cannot solve XOR.
         let data = xor_data(400, 8);
-        let params = DnnParams { hidden: vec![], epochs: 40, ..Default::default() };
+        let params = DnnParams {
+            hidden: vec![],
+            epochs: 40,
+            ..Default::default()
+        };
         let dnn = Dnn::train(&data, &params).unwrap();
         let acc = accuracy(&dnn, &data);
         assert!(acc < 0.75, "linear model unexpectedly solved XOR: {acc}");

@@ -6,7 +6,7 @@
 //! applying the estimator at test time uses a k-d tree so that only the
 //! `n' ≪ n` nearest training points participate in the density sum.
 
-use pp_linalg::{KdTree, Features};
+use pp_linalg::{Features, KdTree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -81,9 +81,7 @@ impl Kde {
                 h
             }
             Bandwidth::Silverman => silverman,
-            Bandwidth::CrossValidated => {
-                cross_validate_bandwidth(&pos, &neg, silverman, params)?
-            }
+            Bandwidth::CrossValidated => cross_validate_bandwidth(&pos, &neg, silverman, params)?,
         };
         Ok(Kde {
             pos_tree: KdTree::build(pos)?,
@@ -114,7 +112,10 @@ impl Kde {
         if max_term == f64::NEG_INFINITY {
             return f64::NEG_INFINITY;
         }
-        let sum: f64 = nbrs.iter().map(|n| (-n.sq_dist * inv2h2 - max_term).exp()).sum();
+        let sum: f64 = nbrs
+            .iter()
+            .map(|n| (-n.sq_dist * inv2h2 - max_term).exp())
+            .sum();
         max_term + sum.ln() - (tree.len() as f64).ln()
     }
 }
@@ -278,9 +279,15 @@ mod tests {
             Err(MlError::SingleClass)
         ));
         let data = ring_data(20, 1);
-        let bad = KdeParams { neighbors: 0, ..Default::default() };
+        let bad = KdeParams {
+            neighbors: 0,
+            ..Default::default()
+        };
         assert!(Kde::train(&data, &bad).is_err());
-        let bad_h = KdeParams { bandwidth: Bandwidth::Fixed(0.0), ..Default::default() };
+        let bad_h = KdeParams {
+            bandwidth: Bandwidth::Fixed(0.0),
+            ..Default::default()
+        };
         assert!(Kde::train(&data, &bad_h).is_err());
     }
 
@@ -289,7 +296,10 @@ mod tests {
         let data = ring_data(60, 2);
         let kde = Kde::train(
             &data,
-            &KdeParams { bandwidth: Bandwidth::Fixed(0.7), ..Default::default() },
+            &KdeParams {
+                bandwidth: Bandwidth::Fixed(0.7),
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(kde.bandwidth(), 0.7);
@@ -302,7 +312,10 @@ mod tests {
         let data = LabeledSet::new(samples).unwrap();
         let kde = Kde::train(
             &data,
-            &KdeParams { bandwidth: Bandwidth::Silverman, ..Default::default() },
+            &KdeParams {
+                bandwidth: Bandwidth::Silverman,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(kde.bandwidth() > 0.0);

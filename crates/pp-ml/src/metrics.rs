@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(empty.pp_accuracy(), 1.0);
         assert_eq!(empty.reduction(), 0.0);
         assert_eq!(empty.selectivity(), 0.0);
-        let all_pos = Confusion { true_pos: 5, ..Default::default() };
+        let all_pos = Confusion {
+            true_pos: 5,
+            ..Default::default()
+        };
         assert!(all_pos.relative_reduction().is_none());
     }
 

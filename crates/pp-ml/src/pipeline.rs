@@ -119,7 +119,12 @@ impl Pipeline {
     ///
     /// Both sets must be non-empty and `val` must contain at least one
     /// positive (otherwise no threshold can guarantee any accuracy).
-    pub fn train(approach: &Approach, train: &LabeledSet, val: &LabeledSet, seed: u64) -> Result<Self> {
+    pub fn train(
+        approach: &Approach,
+        train: &LabeledSet,
+        val: &LabeledSet,
+        seed: u64,
+    ) -> Result<Self> {
         if train.is_empty() || val.is_empty() {
             return Err(MlError::EmptyInput);
         }
@@ -315,7 +320,10 @@ mod tests {
         };
         assert_eq!(dnn.name(), "DNN");
         let pca_kde = Approach {
-            reducer: ReducerSpec::Pca { k: 8, fit_sample: 100 },
+            reducer: ReducerSpec::Pca {
+                k: 8,
+                fit_sample: 100,
+            },
             model: ModelSpec::Kde(KdeParams::default()),
         };
         assert_eq!(pca_kde.name(), "PCA + KDE");

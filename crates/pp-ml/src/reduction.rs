@@ -114,7 +114,9 @@ mod tests {
         LabeledSet::new(
             (0..n)
                 .map(|i| {
-                    let v: Vec<f64> = (0..d).map(|j| ((i * 7 + j * 13) % 23) as f64 / 23.0).collect();
+                    let v: Vec<f64> = (0..d)
+                        .map(|j| ((i * 7 + j * 13) % 23) as f64 / 23.0)
+                        .collect();
                     Sample::new(v, i % 3 == 0)
                 })
                 .collect(),
@@ -134,7 +136,12 @@ mod tests {
     #[test]
     fn pca_reduces_dimension() {
         let set = dense_set(50, 10);
-        let r = ReducerSpec::Pca { k: 3, fit_sample: 40 }.fit(&set, 2).unwrap();
+        let r = ReducerSpec::Pca {
+            k: 3,
+            fit_sample: 40,
+        }
+        .fit(&set, 2)
+        .unwrap();
         let out = r.apply(&set.samples()[0].features);
         assert_eq!(out.dim(), 3);
         assert_eq!(r.output_dim(10), 3);
@@ -160,7 +167,14 @@ mod tests {
     #[test]
     fn short_names() {
         assert_eq!(ReducerSpec::Identity.short_name(), "Raw");
-        assert_eq!(ReducerSpec::Pca { k: 2, fit_sample: 10 }.short_name(), "PCA");
+        assert_eq!(
+            ReducerSpec::Pca {
+                k: 2,
+                fit_sample: 10
+            }
+            .short_name(),
+            "PCA"
+        );
         assert_eq!(ReducerSpec::FeatureHash { dr: 2 }.short_name(), "FH");
     }
 }

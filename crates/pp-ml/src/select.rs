@@ -76,7 +76,10 @@ impl ModelSelection {
 /// applicability columns.
 pub fn candidate_approaches(data: &LabeledSet, config: &SelectionConfig) -> Vec<Approach> {
     let dim = data.dim();
-    let sparse = data.samples().first().is_some_and(|s| s.features.is_sparse());
+    let sparse = data
+        .samples()
+        .first()
+        .is_some_and(|s| s.features.is_sparse());
     let mut out = Vec::new();
     let pca_k = dim.clamp(2, 16);
     let fit_sample = config.sample_size.min(1_000);
@@ -101,11 +104,17 @@ pub fn candidate_approaches(data: &LabeledSet, config: &SelectionConfig) -> Vec<
         if dim > 24 {
             // High-dimensional dense blobs: reduce with PCA first.
             out.push(Approach {
-                reducer: ReducerSpec::Pca { k: pca_k, fit_sample },
+                reducer: ReducerSpec::Pca {
+                    k: pca_k,
+                    fit_sample,
+                },
                 model: ModelSpec::Svm(SvmParams::default()),
             });
             out.push(Approach {
-                reducer: ReducerSpec::Pca { k: pca_k, fit_sample },
+                reducer: ReducerSpec::Pca {
+                    k: pca_k,
+                    fit_sample,
+                },
                 model: ModelSpec::Kde(KdeParams::default()),
             });
         } else {
@@ -165,9 +174,12 @@ pub fn select_model(
     }
     // Rank by reduction, then break near-ties toward simpler models.
     results.sort_by(|a, b| {
-        b.reduction
-            .total_cmp(&a.reduction)
-            .then_with(|| a.approach.model.complexity_rank().cmp(&b.approach.model.complexity_rank()))
+        b.reduction.total_cmp(&a.reduction).then_with(|| {
+            a.approach
+                .model
+                .complexity_rank()
+                .cmp(&b.approach.model.complexity_rank())
+        })
     });
     // Tie-break pass: if a simpler model is within the margin of the best,
     // promote it.
@@ -200,7 +212,10 @@ mod tests {
                 .map(|_| {
                     let pos = rng.gen_bool(0.3);
                     let cx = if pos { 2.0 } else { -2.0 };
-                    Sample::new(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], pos)
+                    Sample::new(
+                        vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                        pos,
+                    )
                 })
                 .collect(),
         )
@@ -251,10 +266,17 @@ mod tests {
     fn selects_a_working_model_on_dense_data() {
         let data = linear_dense(500, 3);
         let (train, val, _) = data.split(0.6, 0.2, 4).unwrap();
-        let cfg = SelectionConfig { allow_dnn: false, ..Default::default() };
+        let cfg = SelectionConfig {
+            allow_dnn: false,
+            ..Default::default()
+        };
         let sel = select_model(&train, &val, &cfg).unwrap();
         assert!(!sel.ranked.is_empty());
-        assert!(sel.best().reduction > 0.3, "reduction={}", sel.best().reduction);
+        assert!(
+            sel.best().reduction > 0.3,
+            "reduction={}",
+            sel.best().reduction
+        );
     }
 
     #[test]
@@ -284,7 +306,11 @@ mod tests {
         // must be promoted to the front.
         let data = linear_dense(300, 8);
         let (train, val, _) = data.split(0.6, 0.2, 9).unwrap();
-        let cfg = SelectionConfig { tie_margin: 1.0, allow_dnn: true, ..Default::default() };
+        let cfg = SelectionConfig {
+            tie_margin: 1.0,
+            allow_dnn: true,
+            ..Default::default()
+        };
         let sel = select_model(&train, &val, &cfg).unwrap();
         assert_eq!(sel.best().approach.model.complexity_rank(), 0);
     }

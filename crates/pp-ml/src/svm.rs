@@ -119,9 +119,15 @@ impl LinearSvm {
         if avg_count > 0 {
             pp_linalg::dense::scale(1.0 / avg_count as f64, &mut w_avg);
             b_avg /= avg_count as f64;
-            Ok(LinearSvm { weights: w_avg, bias: b_avg })
+            Ok(LinearSvm {
+                weights: w_avg,
+                bias: b_avg,
+            })
         } else {
-            Ok(LinearSvm { weights: w, bias: b })
+            Ok(LinearSvm {
+                weights: w,
+                bias: b,
+            })
         }
     }
 
@@ -174,7 +180,10 @@ mod tests {
             .iter()
             .filter(|s| (svm.score(&s.features) > 0.0) == s.label)
             .count();
-        assert!(correct as f64 / data.len() as f64 > 0.95, "acc={correct}/400");
+        assert!(
+            correct as f64 / data.len() as f64 > 0.95,
+            "acc={correct}/400"
+        );
     }
 
     #[test]
@@ -186,7 +195,10 @@ mod tests {
                 .map(|i| {
                     let pos = i % 20 == 0;
                     let cx = if pos { 1.5 } else { -1.5 };
-                    Sample::new(vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)], pos)
+                    Sample::new(
+                        vec![cx + rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)],
+                        pos,
+                    )
                 })
                 .collect(),
         )
@@ -221,9 +233,15 @@ mod tests {
             Err(MlError::SingleClass)
         ));
         let ok = separable(10, 2);
-        let bad_lambda = SvmParams { lambda: 0.0, ..Default::default() };
+        let bad_lambda = SvmParams {
+            lambda: 0.0,
+            ..Default::default()
+        };
         assert!(LinearSvm::train(&ok, &bad_lambda).is_err());
-        let bad_epochs = SvmParams { epochs: 0, ..Default::default() };
+        let bad_epochs = SvmParams {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(LinearSvm::train(&ok, &bad_epochs).is_err());
     }
 

@@ -1,0 +1,152 @@
+//! Fault injection: run a query under seeded faults and watch the
+//! resilient executor recover.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+//!
+//! Three acts, all on the traffic-surveillance query `vehType = SUV`:
+//!
+//! 1. a flaky UDF (20% transient failures) — retries with backoff make the
+//!    results byte-identical to a fault-free run, at a visible cluster-time
+//!    premium;
+//! 2. a hard-failed probabilistic predicate — the PP filter degrades
+//!    fail-open (rows pass instead of being dropped), its circuit breaker
+//!    trips, and the query still returns exactly the PP-free plan's answer;
+//! 3. the runtime monitor quarantines the broken PP, so replanning leaves
+//!    it out.
+
+use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
+use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
+use probabilistic_predicates::core::wrangle::Domains;
+use probabilistic_predicates::core::RuntimeMonitor;
+use probabilistic_predicates::data::traf20::traf20_queries;
+use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
+use probabilistic_predicates::engine::cost::CostModel;
+use probabilistic_predicates::engine::{
+    execute, execute_with, Catalog, CostMeter, ExecSession, FaultPlan, FaultSpec, ResilienceConfig,
+    RetryPolicy,
+};
+use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
+use probabilistic_predicates::ml::reduction::ReducerSpec;
+use probabilistic_predicates::ml::svm::SvmParams;
+
+fn main() {
+    // Setup: traffic stream, trained PP corpus, and query Q1 (vehType=SUV).
+    let dataset = TrafficDataset::generate(TrafficConfig {
+        n_frames: 1_200,
+        seed: 0xFA17,
+        ..Default::default()
+    });
+    let trainer = PpTrainer::new(TrainerConfig {
+        approach_override: Some(Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Svm(SvmParams::default()),
+        }),
+        cost_per_row: Some(0.0025),
+        ..Default::default()
+    });
+    let clauses = TrafficDataset::pp_corpus_clauses();
+    let labeled: Vec<_> = clauses
+        .iter()
+        .map(|c| dataset.labeled_for_clause_range(c, 0..600))
+        .collect();
+    let pp_catalog = trainer.train_catalog(&clauses, &labeled).expect("train");
+    let mut domains = Domains::new();
+    for (col, values) in TrafficDataset::column_domains() {
+        domains.declare(col, values);
+    }
+    let mut catalog = Catalog::new();
+    dataset.register_slice(&mut catalog, 600..1_200);
+    let qo = PpQueryOptimizer::new(pp_catalog, domains, QoConfig::default());
+    let q1 = traf20_queries()
+        .into_iter()
+        .find(|q| q.id == 1)
+        .expect("Q1");
+    let plan = q1.nop_plan(&dataset);
+    let optimized = qo.optimize(&plan, &catalog).expect("optimize");
+    let model = CostModel::default();
+
+    let mut meter = CostMeter::new();
+    let clean = execute(&plan, &catalog, &mut meter, &model).expect("clean run");
+    println!(
+        "fault-free NoP run:        {:4} rows, {:7.1}s cluster time",
+        clean.len(),
+        meter.cluster_seconds()
+    );
+
+    // Act 1 — a flaky UDF, recovered by retries.
+    let faulted = FaultPlan::new(0x5EED)
+        .inject("VehTypeClassifier", FaultSpec::transient(0.20))
+        .apply(&plan);
+    let mut meter = CostMeter::new();
+    let mut session = ExecSession::new(ResilienceConfig::default().with_retry(RetryPolicy {
+        max_retries: 8,
+        ..Default::default()
+    }));
+    let out =
+        execute_with(&faulted, &catalog, &mut meter, &model, &mut session).expect("recovered run");
+    let udf = session.report();
+    let udf = udf.op("Process[VehTypeClassifier]").expect("udf stats");
+    println!(
+        "20% transient UDF faults:  {:4} rows, {:7.1}s cluster time  ({} failures, {} retries, identical: {})",
+        out.len(),
+        meter.cluster_seconds(),
+        udf.failures,
+        udf.retries,
+        out.len() == clean.len()
+    );
+
+    // Act 2 — a hard-failed PP: fail-open + circuit breaker.
+    let mut meter = CostMeter::new();
+    let mut session = ExecSession::default();
+    let out =
+        execute_with(&optimized.plan, &catalog, &mut meter, &model, &mut session).expect("pp run");
+    let report = session.report();
+    let pp_op = report
+        .ops
+        .iter()
+        .find(|o| o.op.contains("PP["))
+        .expect("pp op")
+        .op
+        .clone();
+    println!(
+        "healthy PP plan:           {:4} rows, {:7.1}s cluster time  (filter: {pp_op})",
+        out.len(),
+        meter.cluster_seconds()
+    );
+
+    let broken = FaultPlan::new(0x0BAD)
+        .inject(&pp_op, FaultSpec::transient(1.0))
+        .apply(&optimized.plan);
+    let mut meter = CostMeter::new();
+    let mut session = ExecSession::new(
+        ResilienceConfig::default()
+            .with_retry(RetryPolicy::none())
+            .with_breaker_threshold(3),
+    );
+    let out =
+        execute_with(&broken, &catalog, &mut meter, &model, &mut session).expect("fail-open run");
+    let report = session.report();
+    let pp = report.op(&pp_op).expect("pp stats");
+    println!(
+        "hard-failed PP:            {:4} rows, {:7.1}s cluster time  (breaker tripped: {}, short-circuited: {}, matches NoP: {})",
+        out.len(),
+        meter.cluster_seconds(),
+        pp.breaker_tripped,
+        pp.short_circuited,
+        out.len() == clean.len()
+    );
+
+    // Act 3 — the monitor quarantines the PP; replanning excludes it.
+    let monitor = RuntimeMonitor::new();
+    monitor.observe_query(&report);
+    println!("quarantined PPs:           {:?}", monitor.broken());
+    let replanned = qo
+        .optimize_with_monitor(&plan, &catalog, Some(&monitor))
+        .expect("replan");
+    match replanned.report.chosen {
+        Some(c) => println!("replanned with:            {}", c.expr),
+        None => println!("replanned with:            no PP (degraded to the original plan)"),
+    }
+}

@@ -32,7 +32,11 @@ fn main() {
     ] {
         let outcome = run_cascade(
             &stream,
-            &CascadeConfig { filter, target_accuracy: 0.99, ..Default::default() },
+            &CascadeConfig {
+                filter,
+                target_accuracy: 0.99,
+                ..Default::default()
+            },
         )
         .expect("cascade");
         println!("\n{label}:");

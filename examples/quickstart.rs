@@ -67,9 +67,15 @@ fn main() {
     // 3. Harvest labeled blobs by running the UDF once (Fig. 3b's outer
     //    loop), then train a PP for the clause `label = cat`.
     let clause = Clause::new("label", CompareOp::Eq, "cat");
-    let labeled = harvest_labels(&catalog, "images", "image", &query, std::slice::from_ref(&clause))
-        .expect("harvest")
-        .remove(0);
+    let labeled = harvest_labels(
+        &catalog,
+        "images",
+        "image",
+        &query,
+        std::slice::from_ref(&clause),
+    )
+    .expect("harvest")
+    .remove(0);
     let trainer = PpTrainer::new(TrainerConfig {
         cost_per_row: Some(0.001), // 1 ms per blob — 50× cheaper than the UDF
         ..Default::default()
@@ -88,7 +94,10 @@ fn main() {
     let qo = PpQueryOptimizer::new(
         pp_catalog,
         Domains::new(),
-        QoConfig { accuracy_target: 0.95, ..Default::default() },
+        QoConfig {
+            accuracy_target: 0.95,
+            ..Default::default()
+        },
     );
     let optimized = qo.optimize(&query, &catalog).expect("optimize");
     println!("optimized plan:\n{}", optimized.plan.explain());

@@ -11,9 +11,9 @@
 //! assemble a combination for the complex predicate `vehType = SUV AND
 //! vehColor = red` — a predicate no single PP was trained for.
 
+use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
 use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
 use probabilistic_predicates::core::wrangle::Domains;
-use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
 use probabilistic_predicates::engine::cost::CostModel;
 use probabilistic_predicates::engine::predicate::{CompareOp, Predicate};
@@ -69,7 +69,10 @@ fn main() {
     let qo = PpQueryOptimizer::new(
         pp_catalog,
         domains,
-        QoConfig { accuracy_target: 0.95, ..Default::default() },
+        QoConfig {
+            accuracy_target: 0.95,
+            ..Default::default()
+        },
     );
     let optimized = qo.optimize(&query, &catalog).expect("optimize");
     println!(
@@ -93,7 +96,11 @@ fn main() {
     let mut m1 = CostMeter::new();
     let fast = execute(&optimized.plan, &catalog, &mut m1, &model).expect("accelerated");
 
-    println!("\nred SUVs found: {} (baseline {})", fast.len(), baseline.len());
+    println!(
+        "\nred SUVs found: {} (baseline {})",
+        fast.len(),
+        baseline.len()
+    );
     println!(
         "cluster time:   {:.1}s → {:.1}s  ({:.1}x speed-up)",
         m0.cluster_seconds(),

@@ -43,19 +43,21 @@ fn run_once() -> (usize, f64, String) {
     let qo = PpQueryOptimizer::new(
         pp_catalog,
         domains,
-        QoConfig { accuracy_target: 0.95, ..Default::default() },
+        QoConfig {
+            accuracy_target: 0.95,
+            ..Default::default()
+        },
     );
-    let q = traf20_queries().into_iter().find(|q| q.id == 11).expect("Q11");
+    let q = traf20_queries()
+        .into_iter()
+        .find(|q| q.id == 11)
+        .expect("Q11");
     let plan = q.nop_plan(&dataset);
     let optimized = qo.optimize(&plan, &catalog).expect("optimize");
     let mut meter = CostMeter::new();
-    let out = execute(&optimized.plan, &catalog, &mut meter, &CostModel::default())
-        .expect("execute");
-    let chosen = optimized
-        .report
-        .chosen
-        .map(|c| c.expr)
-        .unwrap_or_default();
+    let out =
+        execute(&optimized.plan, &catalog, &mut meter, &CostModel::default()).expect("execute");
+    let chosen = optimized.report.chosen.map(|c| c.expr).unwrap_or_default();
     (out.len(), meter.cluster_seconds(), chosen)
 }
 
@@ -87,7 +89,10 @@ fn pipelines_are_seed_stable() {
     let set = corpus.labeled(0);
     let (train, val, _) = set.split(0.6, 0.2, 1).expect("split");
     let approach = Approach {
-        reducer: ReducerSpec::Pca { k: 8, fit_sample: 200 },
+        reducer: ReducerSpec::Pca {
+            k: 8,
+            fit_sample: 200,
+        },
         model: ModelSpec::Svm(SvmParams::default()),
     };
     let p1 = Pipeline::train(&approach, &train, &val, 2).expect("train");

@@ -43,7 +43,9 @@ fn build_world(accuracy: f64) -> World {
         .iter()
         .map(|c| dataset.labeled_for_clause_range(c, 0..1_500))
         .collect();
-    let pp_catalog = trainer.train_catalog(&clauses, &labeled).expect("train corpus");
+    let pp_catalog = trainer
+        .train_catalog(&clauses, &labeled)
+        .expect("train corpus");
     let mut domains = Domains::new();
     for (col, values) in TrafficDataset::column_domains() {
         domains.declare(col, values);
@@ -53,9 +55,16 @@ fn build_world(accuracy: f64) -> World {
     let qo = PpQueryOptimizer::new(
         pp_catalog,
         domains,
-        QoConfig { accuracy_target: accuracy, ..Default::default() },
+        QoConfig {
+            accuracy_target: accuracy,
+            ..Default::default()
+        },
     );
-    World { dataset, catalog, qo }
+    World {
+        dataset,
+        catalog,
+        qo,
+    }
 }
 
 fn row_key(row: &Row) -> i64 {
@@ -90,7 +99,11 @@ fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
         // the baseline output is large enough to measure).
         if baseline.len() >= 50 {
             let acc = fast.len() as f64 / baseline.len() as f64;
-            assert!(acc >= 0.80, "Q{}: accuracy {acc} too far below target", q.id);
+            assert!(
+                acc >= 0.80,
+                "Q{}: accuracy {acc} too far below target",
+                q.id
+            );
         }
         // Cost must never exceed the baseline when a PP was injected.
         if optimized.report.chosen.is_some() {
@@ -106,7 +119,10 @@ fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
             }
         }
     }
-    assert!(improved >= 12, "only {improved}/20 queries sped up substantially");
+    assert!(
+        improved >= 12,
+        "only {improved}/20 queries sped up substantially"
+    );
 }
 
 #[test]
@@ -130,7 +146,10 @@ fn accuracy_target_one_keeps_validation_guarantee() {
 #[test]
 fn optimizer_reports_are_complete() {
     let world = build_world(0.95);
-    let q = traf20_queries().into_iter().find(|q| q.id == 16).expect("Q16");
+    let q = traf20_queries()
+        .into_iter()
+        .find(|q| q.id == 16)
+        .expect("Q16");
     let plan = q.nop_plan(&world.dataset);
     let optimized = world.qo.optimize(&plan, &world.catalog).expect("optimize");
     let report = &optimized.report;

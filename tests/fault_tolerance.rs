@@ -1,0 +1,308 @@
+//! Fault-tolerance integration tests: seeded fault injection against the
+//! full stack (dataset → trained PPs → query optimizer → resilient
+//! executor). Three guarantees are exercised end to end:
+//!
+//! (a) transient UDF failures recovered by retries leave query results
+//!     byte-identical to a fault-free run,
+//! (b) a hard-failed PP filter degrades fail-open, trips its circuit
+//!     breaker, and the query returns exactly the PP-free (NoP) plan's
+//!     results; the runtime monitor then quarantines the PP so replanning
+//!     excludes it,
+//! (c) the whole fault harness is deterministic: the same seed reproduces
+//!     identical outputs, identical resilience reports, and identical
+//!     cost-meter charges.
+
+use std::sync::OnceLock;
+
+use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
+use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
+use probabilistic_predicates::core::wrangle::Domains;
+use probabilistic_predicates::core::RuntimeMonitor;
+use probabilistic_predicates::data::traf20::traf20_queries;
+use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
+use probabilistic_predicates::engine::cost::CostModel;
+use probabilistic_predicates::engine::{
+    execute, execute_with, Catalog, CostMeter, ExecSession, FaultPlan, FaultSpec, LogicalPlan,
+    ResilienceConfig, RetryPolicy, Rowset,
+};
+use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
+use probabilistic_predicates::ml::reduction::ReducerSpec;
+use probabilistic_predicates::ml::svm::SvmParams;
+
+/// Everything the tests share: the expensive part is PP training, so it is
+/// built once per process.
+struct Fixture {
+    catalog: Catalog,
+    qo: PpQueryOptimizer,
+    /// Q1 (`vehType = SUV`): scan → VehTypeClassifier → select.
+    nop_plan: LogicalPlan,
+    /// Q1 with the PP injected above the scan.
+    pp_plan: LogicalPlan,
+    /// Display name of the injected PP filter operator.
+    pp_op: String,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = TrafficDataset::generate(TrafficConfig {
+            n_frames: 1_200,
+            seed: 0xFA17,
+            ..Default::default()
+        });
+        let trainer = PpTrainer::new(TrainerConfig {
+            approach_override: Some(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Svm(SvmParams::default()),
+            }),
+            cost_per_row: Some(0.0025),
+            ..Default::default()
+        });
+        let clauses = TrafficDataset::pp_corpus_clauses();
+        let labeled: Vec<_> = clauses
+            .iter()
+            .map(|c| dataset.labeled_for_clause_range(c, 0..600))
+            .collect();
+        let pp_catalog = trainer.train_catalog(&clauses, &labeled).expect("train");
+        let mut domains = Domains::new();
+        for (col, values) in TrafficDataset::column_domains() {
+            domains.declare(col, values);
+        }
+        let mut catalog = Catalog::new();
+        dataset.register_slice(&mut catalog, 600..1_200);
+        let qo = PpQueryOptimizer::new(pp_catalog, domains, QoConfig::default());
+        let q1 = traf20_queries()
+            .into_iter()
+            .find(|q| q.id == 1)
+            .expect("Q1");
+        let nop_plan = q1.nop_plan(&dataset);
+        let optimized = qo.optimize(&nop_plan, &catalog).expect("optimize");
+        assert!(optimized.report.chosen.is_some(), "Q1 must get a PP");
+        // Recover the PP filter's operator name from a fault-free run.
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::default();
+        execute_with(
+            &optimized.plan,
+            &catalog,
+            &mut meter,
+            &CostModel::default(),
+            &mut session,
+        )
+        .expect("pp plan executes");
+        let pp_op = session
+            .report()
+            .ops
+            .iter()
+            .find(|o| o.op.contains("PP["))
+            .expect("PP filter op present")
+            .op
+            .clone();
+        Fixture {
+            catalog,
+            qo,
+            nop_plan,
+            pp_plan: optimized.plan,
+            pp_op,
+        }
+    })
+}
+
+/// Byte-comparable digest of a result set.
+fn digest(out: &Rowset) -> String {
+    format!("{:?}", out.rows())
+}
+
+/// Extracts the `PP[...]` leaf keys named in a PP expression string.
+fn pp_keys(expr: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut rest = expr;
+    while let Some(start) = rest.find("PP[") {
+        let tail = &rest[start + 3..];
+        let Some(end) = tail.find(']') else { break };
+        keys.push(tail[..end].to_string());
+        rest = &tail[end + 1..];
+    }
+    keys
+}
+
+fn run_plain(plan: &LogicalPlan) -> (Rowset, CostMeter) {
+    let f = fixture();
+    let mut meter = CostMeter::new();
+    let out = execute(plan, &f.catalog, &mut meter, &CostModel::default()).expect("execute");
+    (out, meter)
+}
+
+fn run_resilient(plan: &LogicalPlan, config: ResilienceConfig) -> (Rowset, CostMeter, ExecSession) {
+    let f = fixture();
+    let mut meter = CostMeter::new();
+    let mut session = ExecSession::new(config);
+    let out = execute_with(
+        plan,
+        &f.catalog,
+        &mut meter,
+        &CostModel::default(),
+        &mut session,
+    )
+    .expect("resilient execute");
+    (out, meter, session)
+}
+
+/// (a) 20% transient failures on the vehicle-type UDF, recovered by
+/// retries: results are byte-identical to the fault-free run, and the
+/// recovery overhead is visible in the cost meter.
+#[test]
+fn transient_udf_failures_recover_to_identical_results() {
+    let f = fixture();
+    let (baseline, base_meter) = run_plain(&f.nop_plan);
+
+    let faulted = FaultPlan::new(0xAB5_EED)
+        .inject("VehTypeClassifier", FaultSpec::transient(0.20))
+        .apply(&f.nop_plan);
+    let config = ResilienceConfig::default().with_retry(RetryPolicy {
+        max_retries: 8,
+        ..Default::default()
+    });
+    let (out, meter, session) = run_resilient(&faulted, config);
+
+    assert_eq!(
+        digest(&out),
+        digest(&baseline),
+        "results must be byte-identical"
+    );
+    let report = session.report();
+    let udf = report
+        .op("Process[VehTypeClassifier]")
+        .expect("UDF op tracked");
+    assert!(udf.failures > 0, "fault injection must have fired: {udf:?}");
+    assert_eq!(
+        udf.retries, udf.failures,
+        "every transient failure is retried"
+    );
+    assert!(udf.extra_seconds > 0.0, "backoff must be charged");
+    assert!(
+        meter.cluster_seconds() > base_meter.cluster_seconds(),
+        "retries cost cluster time: {} vs {}",
+        meter.cluster_seconds(),
+        base_meter.cluster_seconds()
+    );
+}
+
+/// (b) A PP that hard-fails on every row: the filter degrades fail-open
+/// (every row passes), its breaker trips and short-circuits the remaining
+/// calls, and the query's results equal the PP-free plan's. Feeding the
+/// report to the runtime monitor quarantines the PP, so replanning
+/// degrades to the original plan.
+#[test]
+fn hard_failed_pp_fails_open_and_planner_quarantines_it() {
+    let f = fixture();
+    let (nop_out, _) = run_plain(&f.nop_plan);
+
+    let faulted = FaultPlan::new(0x0BAD)
+        .inject(&f.pp_op, FaultSpec::transient(1.0))
+        .apply(&f.pp_plan);
+    let config = ResilienceConfig::default()
+        .with_retry(RetryPolicy::none())
+        .with_breaker_threshold(3);
+    let (out, _, session) = run_resilient(&faulted, config);
+
+    assert_eq!(
+        digest(&out),
+        digest(&nop_out),
+        "fail-open PP must reproduce the NoP plan's results exactly"
+    );
+    let report = session.report();
+    let pp = report.op(&f.pp_op).expect("PP op tracked");
+    assert!(pp.breaker_tripped, "breaker must trip: {pp:?}");
+    assert_eq!(pp.calls, 3, "breaker threshold bounds the attempts");
+    assert!(pp.short_circuited > 0, "remaining rows skip the broken PP");
+    assert_eq!(
+        pp.failed_open,
+        pp.failures + pp.short_circuited,
+        "every failure degrades fail-open"
+    );
+
+    // The monitor quarantines the PP; replanning never re-injects it.
+    // Other catalog entries (e.g. the negated-clause PP) may still be
+    // eligible — as each fails in turn and is quarantined, planning
+    // degrades all the way to the PP-free plan.
+    let monitor = RuntimeMonitor::new();
+    monitor.observe_query(&report);
+    assert!(
+        monitor.is_broken("vehType = SUV"),
+        "broken: {:?}",
+        monitor.broken()
+    );
+    let mut rounds = 0;
+    loop {
+        let replanned =
+            f.qo.optimize_with_monitor(&f.nop_plan, &f.catalog, Some(&monitor))
+                .expect("replan");
+        match &replanned.report.chosen {
+            None => {
+                assert_eq!(replanned.plan.explain(), f.nop_plan.explain());
+                break;
+            }
+            Some(chosen) => {
+                assert!(
+                    !chosen.expr.contains("PP[vehType = SUV]"),
+                    "quarantined PP re-injected: {}",
+                    chosen.expr
+                );
+                for key in pp_keys(&chosen.expr) {
+                    monitor.mark_broken(&key);
+                }
+            }
+        }
+        rounds += 1;
+        assert!(rounds < 10, "planner never degraded to the PP-free plan");
+    }
+
+    // Restoring the original PP re-enables injection.
+    monitor.restore("vehType = SUV");
+    let restored =
+        f.qo.optimize_with_monitor(&f.nop_plan, &f.catalog, Some(&monitor))
+            .expect("replan after restore");
+    assert!(restored.report.chosen.is_some());
+}
+
+/// (c) Same seed ⇒ identical outputs, identical resilience reports, and
+/// identical cost-meter charges — the harness is fully deterministic.
+#[test]
+fn same_seed_reproduces_outputs_and_charges() {
+    let f = fixture();
+    let spec = FaultSpec::transient(0.15).with_timeouts(0.05, 2.0);
+    let run = |seed: u64| {
+        let faulted = FaultPlan::new(seed)
+            .inject("VehTypeClassifier", spec)
+            .inject(&f.pp_op, spec)
+            .apply(&f.pp_plan);
+        let config = ResilienceConfig::default().with_retry(RetryPolicy {
+            max_retries: 8,
+            ..Default::default()
+        });
+        let (out, meter, session) = run_resilient(&faulted, config);
+        (digest(&out), out.len(), meter, session.report())
+    };
+    let (out_a, len_a, meter_a, report_a) = run(0x5EED);
+    let (out_b, _, meter_b, report_b) = run(0x5EED);
+    assert_eq!(out_a, out_b, "outputs must be identical for the same seed");
+    assert_eq!(report_a, report_b, "resilience reports must be identical");
+    assert_eq!(
+        meter_a.entries(),
+        meter_b.entries(),
+        "charges must be identical"
+    );
+    assert!(report_a.total_failures() > 0, "faults must actually fire");
+
+    // Fault recovery is also *safe*: UDF faults are fully recovered, and PP
+    // faults only fail open (the PP's own false negatives may reappear), so
+    // the result count is bracketed by the clean PP run and the NoP run.
+    let (clean, _) = run_plain(&f.pp_plan);
+    let (nop_out, _) = run_plain(&f.nop_plan);
+    assert!(
+        len_a >= clean.len() && len_a <= nop_out.len(),
+        "fault-open results must sit between PP ({}) and NoP ({}): got {len_a}",
+        clean.len(),
+        nop_out.len()
+    );
+}

@@ -4,14 +4,22 @@
 //! calibration/combination machinery must keep its monotonicity
 //! guarantees through the full stack.
 
+use std::collections::BTreeSet;
+
 use probabilistic_predicates::core::implication::implies;
+use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
 use probabilistic_predicates::core::rewrite::{rewrite, RewriteConfig};
 use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
 use probabilistic_predicates::core::wrangle::Domains;
 use probabilistic_predicates::core::PpCatalog;
+use probabilistic_predicates::data::traf20::traf20_queries;
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
+use probabilistic_predicates::engine::cost::CostModel;
 use probabilistic_predicates::engine::predicate::{CompareOp, Predicate};
-use probabilistic_predicates::engine::Value;
+use probabilistic_predicates::engine::{
+    execute, execute_with, Catalog, CostMeter, ExecSession, FaultPlan, FaultSpec, LogicalPlan,
+    Rowset, Value,
+};
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
@@ -50,15 +58,12 @@ fn domains() -> Domains {
 /// Strategy over random predicates in the TRAF column vocabulary.
 fn arb_clause() -> impl Strategy<Value = Predicate> {
     prop_oneof![
-        proptest::sample::select(vec!["sedan", "SUV", "truck", "van"]).prop_map(|t| {
-            Predicate::clause("vehType", CompareOp::Eq, t)
-        }),
-        proptest::sample::select(vec!["red", "black", "white", "silver", "other"]).prop_map(|c| {
-            Predicate::clause("vehColor", CompareOp::Eq, c)
-        }),
-        proptest::sample::select(vec!["sedan", "SUV", "truck", "van"]).prop_map(|t| {
-            Predicate::clause("vehType", CompareOp::Ne, t)
-        }),
+        proptest::sample::select(vec!["sedan", "SUV", "truck", "van"])
+            .prop_map(|t| { Predicate::clause("vehType", CompareOp::Eq, t) }),
+        proptest::sample::select(vec!["red", "black", "white", "silver", "other"])
+            .prop_map(|c| { Predicate::clause("vehColor", CompareOp::Eq, c) }),
+        proptest::sample::select(vec!["sedan", "SUV", "truck", "van"])
+            .prop_map(|t| { Predicate::clause("vehType", CompareOp::Ne, t) }),
         (30.0f64..75.0).prop_map(|v| Predicate::clause("speed", CompareOp::Gt, v)),
         (30.0f64..75.0).prop_map(|v| Predicate::clause("speed", CompareOp::Lt, v)),
     ]
@@ -116,6 +121,122 @@ fn unknown_columns_produce_no_candidates() {
     let outcome = rewrite(&pred, &catalog, &domains(), &RewriteConfig::default());
     assert!(outcome.candidates.is_empty());
     assert_eq!(outcome.feasible_count, 0);
+}
+
+/// Fixture for the fault-injection invariant: a PP-optimized plan plus the
+/// frame IDs returned by its fault-free run and by the PP-free plan.
+struct FaultFixture {
+    catalog: Catalog,
+    pp_plan: LogicalPlan,
+    pp_op: String,
+    clean_ids: BTreeSet<i64>,
+    nop_ids: BTreeSet<i64>,
+}
+
+fn frame_ids(out: &Rowset) -> BTreeSet<i64> {
+    out.rows()
+        .iter()
+        .map(|r| {
+            r.get_named(out.schema(), "frameID")
+                .and_then(Value::as_int)
+                .expect("frameID column")
+        })
+        .collect()
+}
+
+fn fault_fixture() -> &'static FaultFixture {
+    static FIXTURE: std::sync::OnceLock<FaultFixture> = std::sync::OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = TrafficDataset::generate(TrafficConfig {
+            n_frames: 1_000,
+            seed: 0x5E2,
+            ..Default::default()
+        });
+        let trainer = PpTrainer::new(TrainerConfig {
+            approach_override: Some(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Svm(SvmParams::default()),
+            }),
+            cost_per_row: Some(0.0025),
+            ..Default::default()
+        });
+        let clauses = TrafficDataset::pp_corpus_clauses();
+        let labeled: Vec<_> = clauses
+            .iter()
+            .map(|c| dataset.labeled_for_clause_range(c, 0..500))
+            .collect();
+        let pp_catalog = trainer.train_catalog(&clauses, &labeled).expect("train");
+        let mut catalog = Catalog::new();
+        dataset.register_slice(&mut catalog, 500..1_000);
+        let qo = PpQueryOptimizer::new(pp_catalog, domains(), QoConfig::default());
+        let q1 = traf20_queries()
+            .into_iter()
+            .find(|q| q.id == 1)
+            .expect("Q1");
+        let nop_plan = q1.nop_plan(&dataset);
+        let optimized = qo.optimize(&nop_plan, &catalog).expect("optimize");
+        assert!(optimized.report.chosen.is_some(), "Q1 must get a PP");
+        let model = CostModel::default();
+        let mut meter = CostMeter::new();
+        let nop_out = execute(&nop_plan, &catalog, &mut meter, &model).expect("nop");
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::default();
+        let clean_out = execute_with(&optimized.plan, &catalog, &mut meter, &model, &mut session)
+            .expect("clean pp run");
+        let pp_op = session
+            .report()
+            .ops
+            .iter()
+            .find(|o| o.op.contains("PP["))
+            .expect("PP filter op")
+            .op
+            .clone();
+        FaultFixture {
+            catalog,
+            pp_plan: optimized.plan,
+            pp_op,
+            clean_ids: frame_ids(&clean_out),
+            nop_ids: frame_ids(&nop_out),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Safe-degradation invariant: seeded faults on the PP filter never
+    /// cause extra false negatives. Whatever the seed and fault mix, the
+    /// faulted run returns a superset of the fault-free PP run (fail-open
+    /// only ever *passes* rows) and a subset of the PP-free plan (the
+    /// exact select downstream still gates every row).
+    #[test]
+    fn seeded_pp_faults_never_add_false_negatives(
+        seed in 0u64..u64::MAX,
+        transient in 0.0f64..0.5,
+        timeout in 0.0f64..0.2,
+        corrupt in 0.0f64..0.2,
+        poison in 0.0f64..0.1,
+    ) {
+        let f = fault_fixture();
+        let spec = FaultSpec::transient(transient)
+            .with_timeouts(timeout, 1.0)
+            .with_corrupt(corrupt)
+            .with_poison(poison);
+        let faulted = FaultPlan::new(seed).inject(&f.pp_op, spec).apply(&f.pp_plan);
+        let mut meter = CostMeter::new();
+        let mut session = ExecSession::default();
+        let out = execute_with(&faulted, &f.catalog, &mut meter, &CostModel::default(), &mut session)
+            .expect("faulted run must not abort: PP filters degrade fail-open");
+        let ids = frame_ids(&out);
+        prop_assert!(
+            ids.is_superset(&f.clean_ids),
+            "faults dropped rows the fault-free PP run kept (seed {seed})"
+        );
+        prop_assert!(
+            ids.is_subset(&f.nop_ids),
+            "faults let ineligible rows through the exact select (seed {seed})"
+        );
+    }
 }
 
 #[test]

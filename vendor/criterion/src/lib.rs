@@ -1,0 +1,214 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! benchmark groups, `bench_function`, `iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is a simple mean over `sample_size` wall-clock samples (no
+//! outlier analysis, no HTML reports). Like upstream, benches compiled
+//! under `cargo test` parse `--test` style harness arguments and run
+//! nothing, so the workspace test suite stays fast.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Hints how expensive batch setup is. Accepted for API compatibility;
+/// batching here always reruns setup per sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Whether to actually run timed benches (false under `cargo test`).
+    run_benches: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes bench binaries with `--test`; in that mode
+        // upstream criterion runs each bench zero times. Mirror that.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            run_benches: !test_mode,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.into(), sample_size, &mut f);
+        self
+    }
+
+    fn run_one<F>(&self, id: &str, sample_size: usize, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.run_benches {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        };
+        f(&mut bencher);
+        let n = bencher.samples.len().max(1);
+        let mean = bencher.samples.iter().sum::<f64>() / n as f64;
+        println!("bench {id}: {:.3} µs/iter (n={n})", mean * 1e6);
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the group's sample count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup time
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Declares a group function running the listed benches.
+#[macro_export]
+macro_rules! criterion_group {
+    ( $group:ident, $( $bench:path ),+ $(,)? ) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ( $( $group:path ),+ $(,)? ) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            run_benches: true,
+            default_sample_size: 3,
+        };
+        let mut ran = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn group_overrides_sample_size() {
+        let mut c = Criterion {
+            run_benches: true,
+            default_sample_size: 3,
+        };
+        let mut ran = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("counted", |b| {
+            b.iter_batched(|| 1, |x| ran += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(ran, 5);
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of proptest it uses: the [`proptest!`] macro, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_recursive`,
+//! numeric-range and collection strategies, `sample::select`,
+//! `prop_oneof!`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream: generation is a plain deterministic random
+//! walk seeded from the test name (no shrinking, no persisted failure
+//! files). A failing case panics with the case's seed so it can be
+//! reproduced by rerunning the test binary.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Case execution: configuration, error type, deterministic runner.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The generator handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Runner configuration (subset of upstream's).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministically runs a property over `config.cases` cases.
+    pub struct TestRunner {
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        /// A runner with the given configuration.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config }
+        }
+
+        /// Runs `property` once per case with an RNG derived from
+        /// `(name, case index)`; panics on the first failing case.
+        pub fn run_named<F>(&mut self, name: &str, property: F)
+        where
+            F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let seed = derive_case_seed(name, case);
+                let mut rng = TestRng::seed_from_u64(seed);
+                if let Err(e) = property(&mut rng) {
+                    panic!(
+                        "proptest property '{name}' failed at case {case} (seed {seed:#x}): {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    fn derive_case_seed(name: &str, case: u32) -> u64 {
+        // FNV-1a over the name, mixed with the case index.
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            acc ^= u64::from(*b);
+            acc = acc.wrapping_mul(0x100_0000_01b3);
+        }
+        acc ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy over `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy choosing uniformly among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "sample::select of empty options");
+        Select { options }
+    }
+
+    /// See [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Common imports for property tests.
+
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Strategy choosing uniformly among the listed strategies (all must share
+/// one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over random bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_named(stringify!($name), |__proptest_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                )+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, n in 1u32..=9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((1..=9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0i64..10, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| (0..10).contains(&e)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(
+            tag in prop_oneof![
+                crate::sample::select(vec!["a", "b"]).prop_map(str::to_string),
+                (0u32..5).prop_map(|n| n.to_string()),
+            ],
+        ) {
+            prop_assert!(!tag.is_empty());
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        impl Tree {
+            fn depth(&self) -> usize {
+                match self {
+                    Tree::Leaf(n) => (*n == u32::MAX) as usize, // reads the payload; always 0 here
+                    Tree::Node(children) => 1 + children.iter().map(Tree::depth).max().unwrap_or(0),
+                }
+            }
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 8, 3, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::ProptestConfig::with_cases(128),
+        );
+        runner.run_named("recursive_strategies_terminate", |rng| {
+            let t = crate::strategy::Strategy::generate(&strat, rng);
+            prop_assert!(t.depth() <= 3);
+            Ok(())
+        });
+    }
+}
