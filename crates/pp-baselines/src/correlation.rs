@@ -1,4 +1,4 @@
-//! The correlation-based early filter of Joglekar et al. [27].
+//! The correlation-based early filter of Joglekar et al. \[27\].
 //!
 //! "One recent work observes that if existing column(s) in the data are
 //! correlated with user-defined predicates, then a function over those

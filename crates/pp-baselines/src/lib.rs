@@ -1,13 +1,13 @@
 //! The comparator systems of the paper's evaluation (§8).
 //!
 //! * [`sortp`] — SortP: optimal ordering of predicates and their
-//!   generating UDFs (Deshpande et al. [17], built on Babu et al. [7]);
+//!   generating UDFs (Deshpande et al. \[17\], built on Babu et al. \[7\]);
 //!   lowers resource usage a little but "serializing the predicates (and
 //!   UDFs) leads to longer critical paths".
 //! * [`correlation`] — the input-column correlation filter of Joglekar et
-//!   al. [27]: drops blobs early based on per-dimension pass statistics;
+//!   al. \[27\]: drops blobs early based on per-dimension pass statistics;
 //!   works on sparse text, fails on dense ML blobs (Table 6).
-//! * [`noscope`] — a NoScope-like cascade (Kang et al. [29], Appendix B):
+//! * [`noscope`] — a NoScope-like cascade (Kang et al. \[29\], Appendix B):
 //!   masked sampler → absolute/relative background subtraction →
 //!   dual-threshold early filter → reference detector.
 //!

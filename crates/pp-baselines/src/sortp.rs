@@ -1,12 +1,12 @@
 //! SortP: rank-ordered execution of predicates and their generating UDFs
-//! (Deshpande et al. [17] / Babu et al. [7], as configured in §8.2).
+//! (Deshpande et al. \[17\] / Babu et al. \[7\], as configured in §8.2).
 //!
 //! The query predicate is decomposed into CNF groups; each group needs
 //! some subset of the ML UDFs. Groups are ordered by the classic rank
 //! `cost / drop-rate`: a group that is cheap to materialize and drops many
 //! rows runs first, so later (expensive) UDFs see fewer rows. Unlike PPs,
 //! every surviving row still pays every UDF eventually — SortP "still
-//! require[s] predicate columns to be available on the inputs", which is
+//! require\[s\] predicate columns to be available on the inputs", which is
 //! why its speed-ups are modest (average 1.2× in Figure 10).
 
 use std::collections::BTreeSet;
@@ -105,8 +105,8 @@ mod tests {
     use super::*;
     use pp_data::traf20::traf20_queries;
     use pp_data::traffic::TrafficConfig;
-    use pp_engine::cost::CostModel;
-    use pp_engine::{execute, Catalog, CostMeter};
+    use pp_engine::exec::ExecutionContext;
+    use pp_engine::Catalog;
 
     fn setup() -> (TrafficDataset, Catalog) {
         let d = TrafficDataset::generate(TrafficConfig {
@@ -121,12 +121,10 @@ mod tests {
     #[test]
     fn sortp_matches_nop_results_on_all_queries() {
         let (d, cat) = setup();
-        let model = CostModel::default();
+        let mut ctx = ExecutionContext::new(&cat);
         for q in traf20_queries() {
-            let mut m1 = CostMeter::new();
-            let nop = execute(&q.nop_plan(&d), &cat, &mut m1, &model).unwrap();
-            let mut m2 = CostMeter::new();
-            let sorted = execute(&sortp_plan(&d, &q, 200), &cat, &mut m2, &model).unwrap();
+            let nop = ctx.run(&q.nop_plan(&d)).unwrap();
+            let sorted = ctx.run(&sortp_plan(&d, &q, 200)).unwrap();
             assert_eq!(nop.len(), sorted.len(), "Q{}", q.id);
         }
     }
@@ -134,15 +132,15 @@ mod tests {
     #[test]
     fn sortp_never_costs_more_than_nop_on_multi_udf_queries() {
         let (d, cat) = setup();
-        let model = CostModel::default();
+        let mut ctx = ExecutionContext::new(&cat);
         for q in traf20_queries() {
             if q.columns().len() < 2 {
                 continue;
             }
-            let mut m1 = CostMeter::new();
-            execute(&q.nop_plan(&d), &cat, &mut m1, &model).unwrap();
-            let mut m2 = CostMeter::new();
-            execute(&sortp_plan(&d, &q, 200), &cat, &mut m2, &model).unwrap();
+            ctx.run(&q.nop_plan(&d)).unwrap();
+            let m1 = ctx.meter().clone();
+            ctx.run(&sortp_plan(&d, &q, 200)).unwrap();
+            let m2 = ctx.meter().clone();
             assert!(
                 m2.cluster_seconds() <= m1.cluster_seconds() * 1.001,
                 "Q{}: sortp {} vs nop {}",
@@ -156,17 +154,16 @@ mod tests {
     #[test]
     fn sortp_improves_some_query() {
         let (d, cat) = setup();
-        let model = CostModel::default();
+        let mut ctx = ExecutionContext::new(&cat);
         let mut improved = 0usize;
         for q in traf20_queries() {
             if q.columns().len() < 2 {
                 continue;
             }
-            let mut m1 = CostMeter::new();
-            execute(&q.nop_plan(&d), &cat, &mut m1, &model).unwrap();
-            let mut m2 = CostMeter::new();
-            execute(&sortp_plan(&d, &q, 200), &cat, &mut m2, &model).unwrap();
-            if m2.cluster_seconds() < 0.95 * m1.cluster_seconds() {
+            ctx.run(&q.nop_plan(&d)).unwrap();
+            let nop_secs = ctx.meter().cluster_seconds();
+            ctx.run(&sortp_plan(&d, &q, 200)).unwrap();
+            if ctx.meter().cluster_seconds() < 0.95 * nop_secs {
                 improved += 1;
             }
         }

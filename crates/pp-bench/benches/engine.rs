@@ -7,9 +7,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use pp_data::traf20::traf20_queries;
 use pp_data::traffic::{TrafficConfig, TrafficDataset};
-use pp_engine::cost::CostModel;
+use pp_engine::exec::ExecutionContext;
 use pp_engine::udf::ClosureFilter;
-use pp_engine::{execute, Catalog, CostMeter, LogicalPlan};
+use pp_engine::{Catalog, LogicalPlan};
 
 fn setup(n: usize) -> (TrafficDataset, Catalog) {
     let d = TrafficDataset::generate(TrafficConfig {
@@ -25,22 +25,14 @@ fn bench_operators(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(20);
     let (d, cat) = setup(2_000);
-    let model = CostModel::default();
+    let mut ctx = ExecutionContext::new(&cat);
 
     let scan = LogicalPlan::scan("traffic");
-    g.bench_function("scan_2000", |b| {
-        b.iter(|| {
-            let mut m = CostMeter::new();
-            execute(&scan, &cat, &mut m, &model).expect("scan")
-        })
-    });
+    g.bench_function("scan_2000", |b| b.iter(|| ctx.run(&scan).expect("scan")));
 
     let process = LogicalPlan::scan("traffic").process(d.udf("vehType").expect("udf"));
     g.bench_function("scan_process_2000", |b| {
-        b.iter(|| {
-            let mut m = CostMeter::new();
-            execute(&process, &cat, &mut m, &model).expect("process")
-        })
+        b.iter(|| ctx.run(&process).expect("process"))
     });
 
     let filter_plan = LogicalPlan::scan("traffic").filter(Arc::new(ClosureFilter::new(
@@ -52,10 +44,7 @@ fn bench_operators(c: &mut Criterion) {
         },
     )));
     g.bench_function("scan_filter_2000", |b| {
-        b.iter(|| {
-            let mut m = CostMeter::new();
-            execute(&filter_plan, &cat, &mut m, &model).expect("filter")
-        })
+        b.iter(|| ctx.run(&filter_plan).expect("filter"))
     });
     g.finish();
 }
@@ -64,16 +53,13 @@ fn bench_traf_queries(c: &mut Criterion) {
     let mut g = c.benchmark_group("traf20_nop_plan");
     g.sample_size(10);
     let (d, cat) = setup(2_000);
-    let model = CostModel::default();
+    let mut ctx = ExecutionContext::new(&cat);
     let queries = traf20_queries();
     for id in [1u32, 7, 16] {
         let q = queries.iter().find(|q| q.id == id).expect("known id");
         let plan = q.nop_plan(&d);
         g.bench_function(format!("q{id}"), |b| {
-            b.iter(|| {
-                let mut m = CostMeter::new();
-                execute(&plan, &cat, &mut m, &model).expect("query")
-            })
+            b.iter(|| ctx.run(&plan).expect("query"))
         });
     }
     g.finish();

@@ -12,7 +12,7 @@ use pp_core::pp::ProbabilisticPredicate;
 use pp_core::rewrite::{rewrite, RewriteConfig};
 use pp_core::wrangle::Domains;
 use pp_core::PpExpr;
-use pp_engine::predicate::{CompareOp, Predicate};
+use pp_engine::predicate::{Clause, CompareOp, Predicate};
 use pp_ml::dataset::{LabeledSet, Sample};
 use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
 use pp_ml::reduction::ReducerSpec;
@@ -54,29 +54,44 @@ fn traf_catalog() -> PpCatalog {
         cat.insert(quick_pp(pred, seed));
     };
     for t in ["sedan", "SUV", "truck", "van"] {
-        add(&mut cat, Predicate::clause("t", CompareOp::Eq, t));
-        add(&mut cat, Predicate::clause("t", CompareOp::Ne, t));
+        add(
+            &mut cat,
+            Predicate::from(Clause::new("t", CompareOp::Eq, t)),
+        );
+        add(
+            &mut cat,
+            Predicate::from(Clause::new("t", CompareOp::Ne, t)),
+        );
     }
     for v in [40.0, 50.0, 60.0] {
-        add(&mut cat, Predicate::clause("s", CompareOp::Ge, v));
+        add(
+            &mut cat,
+            Predicate::from(Clause::new("s", CompareOp::Ge, v)),
+        );
     }
     for v in [65.0, 70.0] {
-        add(&mut cat, Predicate::clause("s", CompareOp::Le, v));
+        add(
+            &mut cat,
+            Predicate::from(Clause::new("s", CompareOp::Le, v)),
+        );
     }
     for c in ["red", "black", "white", "silver", "other"] {
-        add(&mut cat, Predicate::clause("c", CompareOp::Eq, c));
+        add(
+            &mut cat,
+            Predicate::from(Clause::new("c", CompareOp::Eq, c)),
+        );
     }
     cat
 }
 
 fn complex_predicate() -> Predicate {
     Predicate::And(vec![
-        Predicate::clause("s", CompareOp::Gt, 60.0),
-        Predicate::clause("s", CompareOp::Lt, 65.0),
-        Predicate::clause("c", CompareOp::Eq, "white"),
+        Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+        Predicate::from(Clause::new("s", CompareOp::Lt, 65.0)),
+        Predicate::from(Clause::new("c", CompareOp::Eq, "white")),
         Predicate::or(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         ),
     ])
 }
@@ -145,11 +160,14 @@ fn bench_ordering(c: &mut Criterion) {
 }
 
 fn bench_pp_inference(c: &mut Criterion) {
-    let pp = Arc::new(quick_pp(Predicate::clause("t", CompareOp::Eq, "SUV"), 99));
+    let pp = Arc::new(quick_pp(
+        Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+        99,
+    ));
     let expr = PpExpr::And(vec![
         PpExpr::leaf(pp.clone()),
         PpExpr::leaf(Arc::new(quick_pp(
-            Predicate::clause("c", CompareOp::Eq, "red"),
+            Predicate::from(Clause::new("c", CompareOp::Eq, "red")),
             100,
         ))),
     ]);

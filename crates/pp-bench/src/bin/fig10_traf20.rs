@@ -14,8 +14,7 @@
 use pp_bench::setup::traffic_setup;
 use pp_bench::table::{f2, speedup, Table};
 use pp_data::traf20::traf20_queries;
-use pp_engine::cost::CostModel;
-use pp_engine::{execute, CostMeter};
+use pp_engine::exec::ExecutionContext;
 
 fn main() {
     let setup = traffic_setup(6_000, 1_500, 0xF16);
@@ -25,7 +24,9 @@ fn main() {
         setup.train_frames,
         setup.train_seconds
     );
-    let model = CostModel::default();
+    let mut ctx = ExecutionContext::builder(&setup.catalog)
+        .parallelism(4)
+        .build();
     let queries = traf20_queries();
     let targets = [0.95, 0.98, 1.0];
 
@@ -42,20 +43,16 @@ fn main() {
 
     for q in &queries {
         let nop_plan = q.nop_plan(&setup.dataset);
-        let mut nop_meter = CostMeter::new();
-        let nop_out =
-            execute(&nop_plan, &setup.catalog, &mut nop_meter, &model).expect("NoP execution");
-        let nop_cost = nop_meter.cluster_seconds();
+        let nop_out = ctx.run(&nop_plan).expect("NoP execution");
+        let nop_cost = ctx.meter().cluster_seconds();
         let input_rows = setup.catalog.table("traffic").expect("registered").len();
         let selectivity = nop_out.len() as f64 / input_rows as f64;
 
         // SortP.
         let sortp_plan = pp_baselines::sortp::sortp_plan(&setup.dataset, q, 500);
-        let mut sortp_meter = CostMeter::new();
-        let sortp_out = execute(&sortp_plan, &setup.catalog, &mut sortp_meter, &model)
-            .expect("SortP execution");
+        let sortp_out = ctx.run(&sortp_plan).expect("SortP execution");
         assert_eq!(sortp_out.len(), nop_out.len(), "SortP must be exact");
-        let sortp_speedup = nop_cost / sortp_meter.cluster_seconds();
+        let sortp_speedup = nop_cost / ctx.meter().cluster_seconds();
         sortp_speedups.push(sortp_speedup);
 
         // PP at each accuracy target.
@@ -64,16 +61,14 @@ fn main() {
         for (ti, &target) in targets.iter().enumerate() {
             let qo = setup.optimizer(target);
             let optimized = qo.optimize(&nop_plan, &setup.catalog).expect("QO");
-            let mut meter = CostMeter::new();
-            let out =
-                execute(&optimized.plan, &setup.catalog, &mut meter, &model).expect("PP execution");
+            let out = ctx.run(&optimized.plan).expect("PP execution");
             // No false positives: PP output ⊆ NoP output.
             assert!(
                 out.len() <= nop_out.len(),
                 "Q{}: PP produced extra rows",
                 q.id
             );
-            pp[ti] = nop_cost / meter.cluster_seconds();
+            pp[ti] = nop_cost / ctx.meter().cluster_seconds();
             acc[ti] = if nop_out.is_empty() {
                 1.0
             } else {

@@ -1,0 +1,179 @@
+//! Wall-clock scaling of the partitioned executor: one DNN-scored PP
+//! filter over a 120K-row synthetic blob table, run through
+//! [`ExecutionContext`] at increasing parallelism.
+//!
+//! The per-row work is a real forward pass through a small MLP (the §5.3
+//! PP classifier), so the workload is CPU-bound the way PP inference is.
+//! The determinism contract says every parallelism setting must return the
+//! same rows in the same order — this binary asserts that, then reports
+//! the wall-clock speed-up of K ∈ {2, 4, 8} workers over serial.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pp_bench::table::{f2, secs, Table};
+use pp_engine::exec::ExecutionContext;
+use pp_engine::row::RowBatch;
+use pp_engine::udf::RowFilter;
+use pp_engine::{Catalog, Column, DataType, LogicalPlan, Row, Rowset, Schema, Value};
+use pp_linalg::Features;
+use pp_ml::dataset::{LabeledSet, Sample};
+use pp_ml::dnn::DnnParams;
+use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
+use pp_ml::reduction::ReducerSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIM: usize = 24;
+const N_ROWS: usize = 120_000;
+const ACCURACY: f64 = 0.95;
+
+/// A PP filter scoring the blob column with a trained DNN pipeline.
+struct DnnPpFilter {
+    pp: Pipeline,
+}
+
+impl RowFilter for DnnPpFilter {
+    fn name(&self) -> &str {
+        "PP[dnn]"
+    }
+
+    fn cost_per_row(&self) -> f64 {
+        1e-3
+    }
+
+    fn passes(&self, row: &Row, schema: &Schema) -> pp_engine::Result<bool> {
+        let blob = row.get_named(schema, "blob")?.as_blob()?;
+        self.pp
+            .passes(blob, ACCURACY)
+            .map_err(|e| pp_engine::EngineError::Udf(format!("pp filter: {e}")))
+    }
+
+    fn passes_batch(&self, batch: &RowBatch<'_>) -> Vec<pp_engine::Result<bool>> {
+        let schema = batch.schema();
+        let blobs: Vec<pp_engine::Result<&Features>> = batch
+            .rows()
+            .iter()
+            .map(|row| {
+                row.get_named(schema, "blob")
+                    .and_then(|v| v.as_blob())
+                    .map(|b| b.as_ref())
+            })
+            .collect();
+        let ok: Vec<&Features> = blobs
+            .iter()
+            .filter_map(|b| b.as_ref().ok().copied())
+            .collect();
+        match self.pp.passes_batch(&ok, ACCURACY) {
+            Ok(decisions) => {
+                let mut it = decisions.into_iter();
+                blobs
+                    .into_iter()
+                    .map(|b| b.map(|_| it.next().expect("one decision per ok blob")))
+                    .collect()
+            }
+            Err(e) => blobs
+                .into_iter()
+                .map(|b| {
+                    b.and_then(|_| Err(pp_engine::EngineError::Udf(format!("pp filter: {e}"))))
+                })
+                .collect(),
+        }
+    }
+}
+
+fn blob(rng: &mut StdRng, positive: bool) -> Vec<f64> {
+    let shift = if positive { 1.2 } else { -1.2 };
+    (0..DIM)
+        .map(|d| if d % 3 == 0 { shift } else { 0.0 } + rng.gen_range(-1.0..1.0))
+        .collect()
+}
+
+fn main() {
+    // Train a small DNN PP on a labeled sample of the same distribution.
+    let mut rng = StdRng::seed_from_u64(0x5CA1E);
+    let labeled = LabeledSet::new(
+        (0..3_000)
+            .map(|_| {
+                let pos = rng.gen_bool(0.25);
+                Sample::new(blob(&mut rng, pos), pos)
+            })
+            .collect(),
+    )
+    .expect("labeled set");
+    let (train, val, _) = labeled.split(0.7, 0.3, 1).expect("split");
+    let pp = Pipeline::train(
+        &Approach {
+            reducer: ReducerSpec::Identity,
+            model: ModelSpec::Dnn(DnnParams::default()),
+        },
+        &train,
+        &val,
+        2,
+    )
+    .expect("train DNN PP");
+
+    // The 120K-row query input.
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("blob", DataType::Blob),
+    ])
+    .expect("schema");
+    let rows: Vec<Row> = (0..N_ROWS as i64)
+        .map(|i| {
+            let pos = rng.gen_bool(0.25);
+            Row::new(vec![
+                Value::Int(i),
+                Value::blob(Features::Dense(blob(&mut rng, pos))),
+            ])
+        })
+        .collect();
+    let mut catalog = Catalog::new();
+    catalog.register("blobs", Rowset::new(schema, rows).expect("rows"));
+    let plan = LogicalPlan::scan("blobs").filter(Arc::new(DnnPpFilter { pp }));
+
+    let ids = |out: &Rowset| -> Vec<i64> {
+        out.rows()
+            .iter()
+            .map(|r| r.get(0).as_int().expect("id column"))
+            .collect()
+    };
+
+    let mut table = Table::new(format!(
+        "Partitioned executor scaling — DNN PP filter over {N_ROWS} blobs"
+    ))
+    .headers(["workers", "wall clock", "speed-up", "rows", "identical"]);
+    let mut serial = None;
+    let mut best_speedup = 0.0f64;
+    for k in [1usize, 2, 4, 8] {
+        let mut ctx = ExecutionContext::builder(&catalog).parallelism(k).build();
+        let started = Instant::now();
+        let out = ctx.run(&plan).expect("run");
+        let wall = started.elapsed().as_secs_f64();
+        let (serial_wall, serial_ids, serial_meter) =
+            serial.get_or_insert_with(|| (wall, ids(&out), ctx.meter().cluster_seconds()));
+        let identical = ids(&out) == *serial_ids
+            && (ctx.meter().cluster_seconds() - *serial_meter).abs() < 1e-12;
+        assert!(identical, "parallelism {k} diverged from serial execution");
+        let speedup = *serial_wall / wall;
+        best_speedup = best_speedup.max(speedup);
+        table.row([
+            k.to_string(),
+            secs(wall),
+            format!("{}x", f2(speedup)),
+            out.len().to_string(),
+            identical.to_string(),
+        ]);
+    }
+    table.print();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host cores: {cores}");
+    if cores >= 2 {
+        assert!(
+            best_speedup > 1.2,
+            "expected some parallel speed-up on a {cores}-core host, best was {best_speedup:.2}x"
+        );
+        println!("best speed-up: {best_speedup:.2}x — partitioned execution pays off");
+    }
+}

@@ -1,8 +1,8 @@
 //! Table 6: empirical reduction rates — PPs vs. the correlation filter of
-//! Joglekar et al. [27], with and without PCA pre-projection.
+//! Joglekar et al. \[27\], with and without PCA pre-projection.
 //!
 //! Paper shape: the baseline "can filter some of the sparse LSHTC inputs
-//! ... [but] does not work for dense machine learning blobs"; PPs deliver
+//! ... \[but\] does not work for dense machine learning blobs"; PPs deliver
 //! 2.3×–19× larger effective speed-ups.
 
 use pp_baselines::correlation::{CorrelationConfig, CorrelationFilter};

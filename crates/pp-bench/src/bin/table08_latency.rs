@@ -9,13 +9,11 @@
 use pp_bench::setup::traffic_setup;
 use pp_bench::table::{f2, Table};
 use pp_data::traf20::traf20_queries;
-use pp_engine::cost::CostModel;
-use pp_engine::{execute, CostMeter};
+use pp_engine::exec::ExecutionContext;
 
 fn main() {
     let scales = [2_000usize, 4_000, 6_000];
     let train_frames = 1_500;
-    let model = CostModel::default();
     let queries = traf20_queries();
 
     // One shared PP corpus (trained once, as in the online setting) built
@@ -25,20 +23,21 @@ fn main() {
     for &scale in &scales {
         let setup = traffic_setup(train_frames + scale, train_frames, 0xF18);
         let qo = setup.optimizer(0.95);
+        let mut ctx = ExecutionContext::builder(&setup.catalog)
+            .parallelism(4)
+            .build();
         let mut nop_total = 0.0;
         let mut pp_total = 0.0;
         for q in &queries {
             let nop_plan = q.nop_plan(&setup.dataset);
-            let mut m0 = CostMeter::new();
-            execute(&nop_plan, &setup.catalog, &mut m0, &model).expect("NoP execution");
-            nop_total += m0.metrics(&model).latency_seconds;
+            ctx.run(&nop_plan).expect("NoP execution");
+            nop_total += ctx.metrics().expect("metrics").latency_seconds;
 
             let optimized = qo.optimize(&nop_plan, &setup.catalog).expect("QO");
-            let mut m1 = CostMeter::new();
-            execute(&optimized.plan, &setup.catalog, &mut m1, &model).expect("PP execution");
+            ctx.run(&optimized.plan).expect("PP execution");
             // PP latency includes the optimizer's planning time and the
             // (amortized) PP-corpus training overhead.
-            pp_total += m1.metrics(&model).latency_seconds
+            pp_total += ctx.metrics().expect("metrics").latency_seconds
                 + optimized.report.optimize_seconds
                 + setup.train_seconds / queries.len() as f64;
         }

@@ -10,13 +10,14 @@
 use pp_bench::setup::traffic_setup;
 use pp_bench::table::{f2, secs, Table};
 use pp_data::traf20::traf20_queries;
-use pp_engine::cost::CostModel;
-use pp_engine::{execute, CostMeter};
+use pp_engine::exec::ExecutionContext;
 
 fn main() {
     let setup = traffic_setup(6_000, 1_500, 0xF19);
     let qo = setup.optimizer(0.95);
-    let model = CostModel::default();
+    let mut ctx = ExecutionContext::builder(&setup.catalog)
+        .parallelism(4)
+        .build();
     let queries = traf20_queries();
     let detail_ids = [4u32, 8, 20];
 
@@ -32,11 +33,10 @@ fn main() {
     let mut rows: Vec<(u32, RowOut)> = Vec::new();
     for q in &queries {
         let nop_plan = q.nop_plan(&setup.dataset);
-        let mut m0 = CostMeter::new();
-        let nop_out = execute(&nop_plan, &setup.catalog, &mut m0, &model).expect("NoP");
+        let nop_out = ctx.run(&nop_plan).expect("NoP");
+        let nop_cost = ctx.meter().cluster_seconds();
         let optimized = qo.optimize(&nop_plan, &setup.catalog).expect("QO");
-        let mut m1 = CostMeter::new();
-        execute(&optimized.plan, &setup.catalog, &mut m1, &model).expect("PP plan");
+        ctx.run(&optimized.plan).expect("PP plan");
         let n_pps = optimized
             .report
             .chosen
@@ -59,7 +59,7 @@ fn main() {
                     .map_or(0.0, |c| c.estimate.cost),
                 sub_udf: optimized.report.udf_cost_per_blob,
                 selectivity: nop_out.len() as f64 / input_rows as f64,
-                reduction: 1.0 - m1.cluster_seconds() / m0.cluster_seconds(),
+                reduction: 1.0 - ctx.meter().cluster_seconds() / nop_cost,
                 optimize_s: optimized.report.optimize_seconds,
             },
         ));

@@ -13,11 +13,11 @@ use pp_bench::table::{f3, Table};
 use pp_core::alloc::{allocate, AccuracyGrid};
 use pp_core::combine::plan_cost_per_blob;
 use pp_core::rewrite::{rewrite, RewriteConfig};
-use pp_engine::predicate::{CompareOp, Predicate};
+use pp_engine::predicate::{Clause, CompareOp, Predicate};
 
 fn example_predicates() -> Vec<(&'static str, Predicate)> {
     fn c(col: &str, op: CompareOp, v: impl Into<pp_engine::Value>) -> Predicate {
-        Predicate::clause(col, op, v)
+        Predicate::from(Clause::new(col, op, v))
     }
     vec![
         (

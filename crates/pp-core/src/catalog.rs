@@ -115,12 +115,12 @@ mod tests {
     #[test]
     fn insert_and_exact_lookup() {
         let mut cat = PpCatalog::new();
-        let p = Predicate::clause("t", CompareOp::Eq, "SUV");
+        let p = Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"));
         cat.insert(pp_for(p.clone(), 1));
         assert_eq!(cat.len(), 1);
         assert!(cat.get(&p).is_some());
         assert!(cat
-            .get(&Predicate::clause("t", CompareOp::Eq, "van"))
+            .get(&Predicate::from(Clause::new("t", CompareOp::Eq, "van")))
             .is_none());
         // Replacement keeps a single entry.
         cat.insert(pp_for(p.clone(), 2));
@@ -130,10 +130,22 @@ mod tests {
     #[test]
     fn implied_lookup_finds_relaxations() {
         let mut cat = PpCatalog::new();
-        cat.insert(pp_for(Predicate::clause("s", CompareOp::Gt, 50.0), 1));
-        cat.insert(pp_for(Predicate::clause("s", CompareOp::Gt, 60.0), 2));
-        cat.insert(pp_for(Predicate::clause("s", CompareOp::Lt, 70.0), 3));
-        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "SUV"), 4));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("s", CompareOp::Gt, 50.0)),
+            1,
+        ));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+            2,
+        ));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("s", CompareOp::Lt, 70.0)),
+            3,
+        ));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            4,
+        ));
         // The clause s > 65 implies both s > 50 and s > 60 PPs.
         let c = Clause::new("s", CompareOp::Gt, 65.0);
         let found = cat.implied_by_clause(&c);
@@ -146,17 +158,23 @@ mod tests {
     #[test]
     fn implied_by_predicate_handles_conjunctions() {
         let mut cat = PpCatalog::new();
-        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "SUV"), 1));
-        cat.insert(pp_for(Predicate::clause("c", CompareOp::Eq, "red"), 2));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            1,
+        ));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("c", CompareOp::Eq, "red")),
+            2,
+        ));
         let pred = Predicate::and(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("c", CompareOp::Eq, "red"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("c", CompareOp::Eq, "red")),
         );
         assert_eq!(cat.implied_by(&pred).len(), 2);
         // A disjunction implies neither leaf PP.
         let disj = Predicate::or(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("c", CompareOp::Eq, "red"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("c", CompareOp::Eq, "red")),
         );
         assert!(cat.implied_by(&disj).is_empty());
     }
@@ -164,8 +182,14 @@ mod tests {
     #[test]
     fn retain_drops() {
         let mut cat = PpCatalog::new();
-        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "SUV"), 1));
-        cat.insert(pp_for(Predicate::clause("t", CompareOp::Eq, "van"), 2));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            1,
+        ));
+        cat.insert(pp_for(
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
+            2,
+        ));
         cat.retain(|pp| pp.key().contains("SUV"));
         assert_eq!(cat.len(), 1);
     }

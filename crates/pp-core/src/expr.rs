@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use pp_engine::row::RowBatch;
 use pp_engine::udf::RowFilter;
 use pp_engine::{Predicate, Row, Schema};
 use pp_linalg::Features;
@@ -156,6 +157,50 @@ impl PpExpr {
     fn skip_leaves(&self, next_leaf: &mut usize) {
         *next_leaf += self.leaf_count();
     }
+
+    /// [`passes_rec`][Self::passes_rec] against pre-computed per-leaf
+    /// classifier scores (pre-order indexed like the assignment). The walk
+    /// is identical — same short-circuiting, same leaf numbering, and
+    /// threshold lookups only for leaves actually evaluated — so decisions
+    /// and errors match the per-blob path bit for bit; only the expensive
+    /// scoring is hoisted out.
+    fn passes_cached(
+        &self,
+        scores: &[f64],
+        assignment: &Assignment,
+        next_leaf: &mut usize,
+    ) -> Result<bool> {
+        match self {
+            PpExpr::Leaf(pp) => {
+                let a = assignment.accuracy(*next_leaf)?;
+                let score = scores[*next_leaf];
+                *next_leaf += 1;
+                Ok(score >= pp.pipeline().calibration().threshold(a)?)
+            }
+            PpExpr::And(es) => {
+                let mut verdict = true;
+                for e in es {
+                    if verdict {
+                        verdict = e.passes_cached(scores, assignment, next_leaf)?;
+                    } else {
+                        e.skip_leaves(next_leaf);
+                    }
+                }
+                Ok(verdict)
+            }
+            PpExpr::Or(es) => {
+                let mut verdict = false;
+                for e in es {
+                    if !verdict {
+                        verdict = e.passes_cached(scores, assignment, next_leaf)?;
+                    } else {
+                        e.skip_leaves(next_leaf);
+                    }
+                }
+                Ok(verdict)
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for PpExpr {
@@ -287,6 +332,53 @@ impl RowFilter for PpExprFilter {
             .passes(blob, &self.planned.assignment)
             .map_err(|e| pp_engine::EngineError::Udf(format!("pp filter: {e}")))
     }
+
+    /// Vectorized evaluation: every leaf classifier scores the whole batch
+    /// at once ([`Pipeline::score_batch`](pp_ml::Pipeline::score_batch)),
+    /// then each row replays the expression walk against its cached
+    /// scores. Decisions, row order, and per-row errors are bit-identical
+    /// to calling [`passes`][RowFilter::passes] per row; the batch trades
+    /// per-row short-circuit savings for amortized scoring.
+    fn passes_batch(&self, batch: &RowBatch<'_>) -> Vec<pp_engine::Result<bool>> {
+        let schema = batch.schema();
+        let blobs: Vec<pp_engine::Result<&Features>> = batch
+            .rows()
+            .iter()
+            .map(|row| {
+                row.get_named(schema, &self.blob_column)
+                    .and_then(|v| v.as_blob())
+                    .map(|b| b.as_ref())
+            })
+            .collect();
+        let ok_blobs: Vec<&Features> = blobs
+            .iter()
+            .filter_map(|b| b.as_ref().ok().copied())
+            .collect();
+        let leaf_scores: Vec<Vec<f64>> = self
+            .planned
+            .expr
+            .leaves()
+            .iter()
+            .map(|pp| pp.pipeline().score_batch(&ok_blobs))
+            .collect();
+        let mut pos = 0usize;
+        let mut row_scores = vec![0.0; leaf_scores.len()];
+        blobs
+            .into_iter()
+            .map(|blob| {
+                blob?;
+                for (s, leaf) in row_scores.iter_mut().zip(&leaf_scores) {
+                    *s = leaf[pos];
+                }
+                pos += 1;
+                let mut next_leaf = 0usize;
+                self.planned
+                    .expr
+                    .passes_cached(&row_scores, &self.planned.assignment, &mut next_leaf)
+                    .map_err(|e| pp_engine::EngineError::Udf(format!("pp filter: {e}")))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +469,52 @@ mod tests {
         assert!(!filter.passes(&neg, &schema).unwrap());
         assert!(filter.cost_per_row() > 0.0);
         assert!(filter.name().starts_with("PP"));
+    }
+
+    #[test]
+    fn batch_filter_matches_per_row_path() {
+        use pp_engine::{Column, DataType, Row, Schema, Value};
+        let expr = PpExpr::And(vec![leaf(1), PpExpr::Or(vec![leaf(2), leaf(3)])]);
+        let planned = PlannedPpExpr::uniform(expr, 0.95).unwrap();
+        let filter = planned.into_filter("blob");
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("blob", DataType::Blob),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..32)
+            .map(|i| {
+                let x = (i as f64) * 0.3 - 4.0;
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::blob(Features::Dense(vec![x, 0.5 - 0.1 * x])),
+                ])
+            })
+            .collect();
+        let batch = RowBatch::new(&schema, &rows, 0);
+        let batched = filter.passes_batch(&batch);
+        assert_eq!(batched.len(), rows.len());
+        for (row, b) in rows.iter().zip(batched) {
+            assert_eq!(filter.passes(row, &schema).unwrap(), b.unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_filter_reports_per_row_errors() {
+        use pp_engine::{Column, DataType, Row, Schema, Value};
+        let planned = PlannedPpExpr::uniform(leaf(1), 0.95).unwrap();
+        let filter = planned.into_filter("blob");
+        let schema = Schema::new(vec![Column::new("blob", DataType::Blob)]).unwrap();
+        let rows = vec![
+            Row::new(vec![Value::blob(Features::Dense(vec![2.5, 0.0]))]),
+            Row::new(vec![Value::Int(7)]), // wrong type: this row errors
+            Row::new(vec![Value::blob(Features::Dense(vec![-2.5, 0.0]))]),
+        ];
+        let batch = RowBatch::new(&schema, &rows, 0);
+        let out = filter.passes_batch(&batch);
+        assert!(out[0].as_ref().is_ok_and(|&b| b));
+        assert!(out[1].is_err());
+        assert!(out[2].as_ref().is_ok_and(|&b| !b));
     }
 
     #[test]

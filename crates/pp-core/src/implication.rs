@@ -153,23 +153,32 @@ mod tests {
     fn conjunction_implies_its_parts() {
         // p ∧ rest ⇒ p  (rule R1's justification)
         let p = Predicate::and(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("c", CompareOp::Eq, "red"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("c", CompareOp::Eq, "red")),
         );
-        assert!(implies(&p, &Predicate::clause("t", CompareOp::Eq, "SUV")));
-        assert!(implies(&p, &Predicate::clause("c", CompareOp::Eq, "red")));
-        assert!(!implies(&p, &Predicate::clause("c", CompareOp::Eq, "blue")));
+        assert!(implies(
+            &p,
+            &Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"))
+        ));
+        assert!(implies(
+            &p,
+            &Predicate::from(Clause::new("c", CompareOp::Eq, "red"))
+        ));
+        assert!(!implies(
+            &p,
+            &Predicate::from(Clause::new("c", CompareOp::Eq, "blue"))
+        ));
     }
 
     #[test]
     fn disjunction_is_implied_by_parts_and_by_itself() {
         let p_or_q = Predicate::or(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         );
         // p ⇒ p ∨ q
         assert!(implies(
-            &Predicate::clause("t", CompareOp::Eq, "SUV"),
+            &Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
             &p_or_q
         ));
         // p ∨ q ⇒ p ∨ q  (the R3 pattern: the whole OR maps into the OR)
@@ -177,17 +186,17 @@ mod tests {
         // p ∨ q does NOT imply p.
         assert!(!implies(
             &p_or_q,
-            &Predicate::clause("t", CompareOp::Eq, "SUV")
+            &Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"))
         ));
     }
 
     #[test]
     fn paper_table3_example() {
         // 𝒫 = (p ∨ q) ∧ ¬r ∧ rest
-        let p = Predicate::clause("t", CompareOp::Eq, "SUV");
-        let q = Predicate::clause("t", CompareOp::Eq, "van");
-        let not_r = Predicate::not(Predicate::clause("c", CompareOp::Eq, "red"));
-        let rest = Predicate::clause("s", CompareOp::Gt, 60.0);
+        let p = Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"));
+        let q = Predicate::from(Clause::new("t", CompareOp::Eq, "van"));
+        let not_r = Predicate::not(Predicate::from(Clause::new("c", CompareOp::Eq, "red")));
+        let rest = Predicate::from(Clause::new("s", CompareOp::Gt, 60.0));
         let pred = Predicate::And(vec![
             Predicate::or(p.clone(), q.clone()),
             not_r.clone(),
@@ -198,14 +207,14 @@ mod tests {
         // 𝒫 ⇒ ¬r  (i.e. c != red)
         assert!(implies(
             &pred,
-            &Predicate::clause("c", CompareOp::Ne, "red")
+            &Predicate::from(Clause::new("c", CompareOp::Ne, "red"))
         ));
         // 𝒫 ⇒ (p ∨ q) ∧ ¬r
         assert!(implies(
             &pred,
             &Predicate::and(
                 Predicate::or(p.clone(), q.clone()),
-                Predicate::clause("c", CompareOp::Ne, "red")
+                Predicate::from(Clause::new("c", CompareOp::Ne, "red"))
             )
         ));
         // 𝒫 does not imply p alone.
@@ -216,12 +225,12 @@ mod tests {
     fn relaxed_comparisons_are_implied() {
         // s > 60 ∧ s < 65 ⇒ s > 50 ∧ s < 70 (the wrangler's relaxation).
         let p = Predicate::and(
-            Predicate::clause("s", CompareOp::Gt, 60.0),
-            Predicate::clause("s", CompareOp::Lt, 65.0),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("s", CompareOp::Lt, 65.0)),
         );
         let relaxed = Predicate::and(
-            Predicate::clause("s", CompareOp::Gt, 50.0),
-            Predicate::clause("s", CompareOp::Lt, 70.0),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 50.0)),
+            Predicate::from(Clause::new("s", CompareOp::Lt, 70.0)),
         );
         assert!(implies(&p, &relaxed));
         assert!(!implies(&relaxed, &p));
@@ -230,13 +239,16 @@ mod tests {
     #[test]
     fn negation_normalizes_before_checking() {
         // ¬(t = SUV) ⇒ t != SUV.
-        let p = Predicate::not(Predicate::clause("t", CompareOp::Eq, "SUV"));
-        assert!(implies(&p, &Predicate::clause("t", CompareOp::Ne, "SUV")));
+        let p = Predicate::not(Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")));
+        assert!(implies(
+            &p,
+            &Predicate::from(Clause::new("t", CompareOp::Ne, "SUV"))
+        ));
     }
 
     #[test]
     fn constants() {
-        let c = Predicate::clause("t", CompareOp::Eq, "SUV");
+        let c = Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"));
         assert!(implies(&c, &Predicate::True));
         assert!(!implies(&c, &Predicate::False));
         assert!(implies(&Predicate::False, &c));
@@ -247,8 +259,8 @@ mod tests {
         // x > 3 ∨ x < 5 is a tautology but the checker won't prove
         // True ⇒ it; it must simply return false (sound, incomplete).
         let tautology = Predicate::or(
-            Predicate::clause("x", CompareOp::Gt, 3.0),
-            Predicate::clause("x", CompareOp::Lt, 5.0),
+            Predicate::from(Clause::new("x", CompareOp::Gt, 3.0)),
+            Predicate::from(Clause::new("x", CompareOp::Lt, 5.0)),
         );
         assert!(!implies(&Predicate::True, &tautology));
     }

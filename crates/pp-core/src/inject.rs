@@ -389,7 +389,11 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("video")
             .process(veh_proc())
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )));
         let found = pushable_predicates(&plan, &cat).unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].table, "video");
@@ -409,7 +413,7 @@ mod tests {
                     to: "t".into(),
                 },
             ])
-            .select(Predicate::clause("t", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")));
         let found = pushable_predicates(&plan, &cat).unwrap();
         assert_eq!(found.len(), 1);
         // The predicate is re-expressed in the trained column name.
@@ -429,7 +433,7 @@ mod tests {
                     alias: "n".into(),
                 }],
             )
-            .select(Predicate::clause("n", CompareOp::Gt, 2i64));
+            .select(Predicate::from(Clause::new("n", CompareOp::Gt, 2i64)));
         let found = pushable_predicates(&plan, &cat).unwrap();
         assert!(found.is_empty());
     }
@@ -439,7 +443,11 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("video")
             .process(veh_proc())
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"))
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )))
             .aggregate(
                 vec!["vehType".into()],
                 vec![pp_engine::logical::AggExpr {
@@ -467,7 +475,11 @@ mod tests {
             left_key: "frameID".into(),
             right_key: "fid".into(),
         }
-        .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+        .select(Predicate::from(Clause::new(
+            "vehType",
+            CompareOp::Eq,
+            "SUV",
+        )));
         let found = pushable_predicates(&plan, &cat).unwrap();
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].table, "video");
@@ -478,7 +490,11 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("video")
             .process(veh_proc())
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )));
         let filter: Arc<dyn RowFilter> =
             Arc::new(ClosureFilter::new("PP[test]", 0.01, |_, _| Ok(true)));
         let injected = inject_above_scan(&plan, "video", filter).unwrap();
@@ -510,7 +526,11 @@ mod tests {
                 7.5,
                 |_, _| Ok(vec![Value::str("red")]),
             )))
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )));
         assert!((udf_cost_per_blob(&plan) - 12.5).abs() < 1e-12);
     }
 }

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pp_engine::logical::LogicalPlan;
+use pp_engine::logical::{LogicalPlan, OpParallelism};
 use pp_engine::predicate::Predicate;
 use pp_engine::Catalog;
 
@@ -101,6 +101,10 @@ pub struct PlanReport {
     pub udf_cost_per_blob: f64,
     /// Wall-clock optimization time in seconds (Table 9 reports 80–100ms).
     pub optimize_seconds: f64,
+    /// Per-operator parallelizability of the emitted plan, in cost-meter
+    /// charge order — which stages of the (possibly PP-injected) plan a
+    /// partitioned executor may fan out across row partitions.
+    pub partitionability: Vec<OpParallelism>,
 }
 
 impl PlanReport {
@@ -172,6 +176,7 @@ impl PpQueryOptimizer {
                 plan: plan.clone(),
                 report: PlanReport {
                     optimize_seconds: started.elapsed().as_secs_f64(),
+                    partitionability: plan.partitionability(),
                     ..Default::default()
                 },
             });
@@ -264,6 +269,7 @@ impl PpQueryOptimizer {
             out_plan = inject_above_scan(&out_plan, &table, filter)?;
         }
         report.optimize_seconds = started.elapsed().as_secs_f64();
+        report.partitionability = out_plan.partitionability();
         Ok(OptimizedQuery {
             plan: out_plan,
             report,
@@ -335,7 +341,7 @@ mod tests {
     use crate::pp::tests::trained_pp;
     use crate::pp::ProbabilisticPredicate;
     use pp_engine::udf::ClosureProcessor;
-    use pp_engine::{Column, CompareOp, DataType, Row, Rowset, Schema, Value};
+    use pp_engine::{Clause, Column, CompareOp, DataType, Row, Rowset, Schema, Value};
     use pp_linalg::Features;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -378,7 +384,11 @@ mod tests {
         ));
         let plan = LogicalPlan::scan("video")
             .process(udf)
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )));
         Ok((cat, plan))
     }
 
@@ -387,7 +397,7 @@ mod tests {
         let mut cat = PpCatalog::new();
         let base = trained_pp(0.3, 7, 0.01);
         cat.insert(ProbabilisticPredicate::new(
-            Predicate::clause("vehType", CompareOp::Eq, "SUV"),
+            Predicate::from(Clause::new("vehType", CompareOp::Eq, "SUV")),
             base.pipeline().clone(),
             0.01,
         )?);
@@ -401,17 +411,16 @@ mod tests {
         let optimized = qo.optimize(&plan, &cat)?;
         assert!(optimized.report.chosen.is_some(), "{:?}", optimized.report);
 
-        let model = pp_engine::cost::CostModel::default();
-        let mut m0 = pp_engine::CostMeter::new();
-        let baseline = pp_engine::execute(&plan, &cat, &mut m0, &model)?;
-        let mut m1 = pp_engine::CostMeter::new();
-        let with_pp = pp_engine::execute(&optimized.plan, &cat, &mut m1, &model)?;
+        let mut ctx = pp_engine::exec::ExecutionContext::new(&cat);
+        let baseline = ctx.run(&plan)?;
+        let baseline_secs = ctx.meter().cluster_seconds();
+        let with_pp = ctx.run(&optimized.plan)?;
 
         // No false positives: every output row of the PP plan is an
         // output of the original plan, and cost strictly improves.
         assert!(with_pp.len() <= baseline.len());
         assert!(with_pp.len() as f64 >= 0.85 * baseline.len() as f64);
-        assert!(m1.cluster_seconds() < m0.cluster_seconds());
+        assert!(ctx.meter().cluster_seconds() < baseline_secs);
         Ok(())
     }
 
@@ -443,6 +452,27 @@ mod tests {
     }
 
     #[test]
+    fn report_annotates_partitionability_of_emitted_plan() -> Result<()> {
+        let (cat, plan) = setup(300, 9)?;
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat)?;
+        assert!(optimized.report.chosen.is_some());
+        let ann = &optimized.report.partitionability;
+        assert_eq!(ann, &optimized.plan.partitionability());
+        // The injected PP filter shows up as a partitionable stage.
+        assert!(
+            ann.iter()
+                .any(|op| op.op.starts_with("PP") && op.partitionable),
+            "{ann:?}"
+        );
+        // The PP-free path annotates the original plan instead.
+        let bare = PpQueryOptimizer::new(PpCatalog::new(), Domains::new(), QoConfig::default())
+            .optimize(&plan, &cat)?;
+        assert_eq!(bare.report.partitionability, plan.partitionability());
+        Ok(())
+    }
+
+    #[test]
     fn expensive_pp_not_injected_when_udf_is_cheap() -> Result<()> {
         let (cat, _) = setup(100, 4)?;
         // A UDF costing less than the PP itself.
@@ -454,7 +484,11 @@ mod tests {
         ));
         let plan = LogicalPlan::scan("video")
             .process(udf)
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )));
         let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
         let optimized = qo.optimize(&plan, &cat)?;
         assert!(
@@ -473,7 +507,7 @@ mod tests {
         let mut ppcat = pp_catalog()?;
         let base = trained_pp(0.3, 8, 0.01);
         ppcat.insert(ProbabilisticPredicate::new(
-            Predicate::clause("vehType", CompareOp::Ne, "sedan"),
+            Predicate::from(Clause::new("vehType", CompareOp::Ne, "sedan")),
             base.pipeline().clone(),
             0.01,
         )?);

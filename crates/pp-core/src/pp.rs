@@ -114,7 +114,7 @@ impl ProbabilisticPredicate {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use pp_engine::CompareOp;
+    use pp_engine::{Clause, CompareOp};
     use pp_ml::dataset::{LabeledSet, Sample};
     use pp_ml::pipeline::{Approach, ModelSpec};
     use pp_ml::reduction::ReducerSpec;
@@ -143,8 +143,12 @@ pub(crate) mod tests {
             model: ModelSpec::Svm(SvmParams::default()),
         };
         let pipeline = Pipeline::train(&approach, &train, &val, seed).unwrap();
-        ProbabilisticPredicate::new(Predicate::clause("t", CompareOp::Eq, "SUV"), pipeline, cost)
-            .unwrap()
+        ProbabilisticPredicate::new(
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            pipeline,
+            cost,
+        )
+        .unwrap()
     }
 
     #[test]

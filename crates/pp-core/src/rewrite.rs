@@ -416,14 +416,26 @@ mod tests {
             cat.insert(ProbabilisticPredicate::new(pred, base.pipeline().clone(), 0.001).unwrap());
         };
         for t in ["sedan", "SUV", "truck", "van"] {
-            add(&mut cat, Predicate::clause("t", CompareOp::Eq, t));
-            add(&mut cat, Predicate::clause("t", CompareOp::Ne, t));
+            add(
+                &mut cat,
+                Predicate::from(Clause::new("t", CompareOp::Eq, t)),
+            );
+            add(
+                &mut cat,
+                Predicate::from(Clause::new("t", CompareOp::Ne, t)),
+            );
         }
         for v in [40.0, 50.0, 60.0] {
-            add(&mut cat, Predicate::clause("s", CompareOp::Ge, v));
+            add(
+                &mut cat,
+                Predicate::from(Clause::new("s", CompareOp::Ge, v)),
+            );
         }
         for v in [65.0, 70.0] {
-            add(&mut cat, Predicate::clause("s", CompareOp::Le, v));
+            add(
+                &mut cat,
+                Predicate::from(Clause::new("s", CompareOp::Le, v)),
+            );
         }
         cat
     }
@@ -446,8 +458,8 @@ mod tests {
     fn disjunction_gets_or_and_negation_covers() {
         // t ∈ {SUV, van}: the paper's first Table 10 row.
         let pred = Predicate::or(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         );
         let cat = traf_catalog();
         let out = rewrite(&pred, &cat, &domains(), &RewriteConfig::default());
@@ -478,8 +490,8 @@ mod tests {
     fn range_check_conjoins_boundary_pps() {
         // s > 60 ∧ s < 65: the paper's second Table 10 row.
         let pred = Predicate::and(
-            Predicate::clause("s", CompareOp::Gt, 60.0),
-            Predicate::clause("s", CompareOp::Lt, 65.0),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("s", CompareOp::Lt, 65.0)),
         );
         let cat = traf_catalog();
         let out = rewrite(&pred, &cat, &domains(), &RewriteConfig::default());
@@ -512,23 +524,23 @@ mod tests {
         let base = trained_pp(0.3, 99, 0.001);
         cat.insert(
             ProbabilisticPredicate::new(
-                Predicate::clause("c", CompareOp::Eq, "white"),
+                Predicate::from(Clause::new("c", CompareOp::Eq, "white")),
                 base.pipeline().clone(),
                 0.001,
             )
             .unwrap(),
         );
         let two_clause = Predicate::and(
-            Predicate::clause("s", CompareOp::Gt, 60.0),
-            Predicate::clause("s", CompareOp::Lt, 65.0),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("s", CompareOp::Lt, 65.0)),
         );
         let four_clause = Predicate::And(vec![
-            Predicate::clause("s", CompareOp::Gt, 60.0),
-            Predicate::clause("s", CompareOp::Lt, 65.0),
-            Predicate::clause("c", CompareOp::Eq, "white"),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("s", CompareOp::Lt, 65.0)),
+            Predicate::from(Clause::new("c", CompareOp::Eq, "white")),
             Predicate::or(
-                Predicate::clause("t", CompareOp::Eq, "SUV"),
-                Predicate::clause("t", CompareOp::Eq, "van"),
+                Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+                Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
             ),
         ]);
         let cfg = RewriteConfig::default();
@@ -552,8 +564,8 @@ mod tests {
         // Table 10's bottom half: drop half the PPs; plans shrink, but the
         // disjunction stays covered through inequality PPs.
         let pred = Predicate::or(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         );
         let full = traf_catalog();
         let mut halved = traf_catalog();
@@ -571,7 +583,7 @@ mod tests {
 
     #[test]
     fn no_catalog_no_candidates() {
-        let pred = Predicate::clause("t", CompareOp::Eq, "SUV");
+        let pred = Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"));
         let cat = PpCatalog::new();
         let out = rewrite(&pred, &cat, &domains(), &RewriteConfig::default());
         assert!(out.candidates.is_empty());
@@ -581,11 +593,11 @@ mod tests {
     #[test]
     fn budget_k_limits_leaf_count() {
         let pred = Predicate::And(vec![
-            Predicate::clause("s", CompareOp::Gt, 60.0),
-            Predicate::clause("s", CompareOp::Lt, 65.0),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("s", CompareOp::Lt, 65.0)),
             Predicate::or(
-                Predicate::clause("t", CompareOp::Eq, "SUV"),
-                Predicate::clause("t", CompareOp::Eq, "van"),
+                Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+                Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
             ),
         ]);
         let cat = traf_catalog();

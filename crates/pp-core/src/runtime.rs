@@ -11,7 +11,7 @@
 //!
 //! This module generalizes that fix into a [`RuntimeMonitor`] which also
 //! watches execution health: feeding it the executor's
-//! [`ExecReport`](pp_engine::resilience::ExecReport) after each query lets
+//! [`ExecReport`] after each query lets
 //! it mark PPs *broken* — ones whose filters keep failing or whose circuit
 //! breakers tripped — so the planner stops injecting them. A broken PP
 //! degrades the query to its no-PP plan: slower, never wrong.

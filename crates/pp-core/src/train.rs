@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use pp_engine::logical::LogicalPlan;
 use pp_engine::predicate::{Clause, Predicate};
-use pp_engine::{Catalog, CostMeter, DataType, EngineError};
+use pp_engine::{Catalog, DataType, EngineError};
 use pp_ml::dataset::{LabeledSet, Sample};
 use pp_ml::pipeline::{Approach, Pipeline};
 use pp_ml::select::{select_model, SelectionConfig};
@@ -49,13 +49,7 @@ pub fn harvest_labels(
     }
     // Run the materializing plan (costs irrelevant here — training time is
     // accounted separately).
-    let mut meter = CostMeter::new();
-    let out = pp_engine::execute(
-        materialize_plan,
-        catalog,
-        &mut meter,
-        &pp_engine::cost::CostModel::default(),
-    )?;
+    let out = pp_engine::exec::ExecutionContext::new(catalog).run(materialize_plan)?;
     let out_schema = out.schema().clone();
     let out_blob_idx = out_schema.index_of(blob_column)?;
 

@@ -145,7 +145,7 @@ impl<'a> Wrangler<'a> {
         Some(Predicate::Or(
             domain
                 .iter()
-                .map(|v| Predicate::clause(column, CompareOp::Eq, v.clone()))
+                .map(|v| Predicate::from(Clause::new(column, CompareOp::Eq, v.clone())))
                 .collect(),
         ))
     }
@@ -186,13 +186,13 @@ mod tests {
     fn ne_expands_when_equalities_covered() {
         // Paper A.2: "type != SUV ⇒ type = truck ∨ type = car".
         let cat = catalog_with(&[
-            Predicate::clause("t", CompareOp::Eq, "sedan"),
-            Predicate::clause("t", CompareOp::Eq, "truck"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "sedan")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "truck")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         ]);
         let domains = veh_domains();
         let w = Wrangler::new(&domains, &cat);
-        let out = w.wrangle(&Predicate::clause("t", CompareOp::Ne, "SUV"));
+        let out = w.wrangle(&Predicate::from(Clause::new("t", CompareOp::Ne, "SUV")));
         match out {
             Predicate::Or(parts) => assert_eq!(parts.len(), 3),
             other => panic!("expected Or, got {other}"),
@@ -201,10 +201,10 @@ mod tests {
 
     #[test]
     fn ne_kept_when_directly_covered() {
-        let cat = catalog_with(&[Predicate::clause("t", CompareOp::Ne, "SUV")]);
+        let cat = catalog_with(&[Predicate::from(Clause::new("t", CompareOp::Ne, "SUV"))]);
         let domains = veh_domains();
         let w = Wrangler::new(&domains, &cat);
-        let c = Predicate::clause("t", CompareOp::Ne, "SUV");
+        let c = Predicate::from(Clause::new("t", CompareOp::Ne, "SUV"));
         assert_eq!(w.wrangle(&c), c);
     }
 
@@ -212,12 +212,12 @@ mod tests {
     fn ne_kept_when_coverage_incomplete() {
         // Missing PP for t = van: the expansion would not be fully covered.
         let cat = catalog_with(&[
-            Predicate::clause("t", CompareOp::Eq, "sedan"),
-            Predicate::clause("t", CompareOp::Eq, "truck"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "sedan")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "truck")),
         ]);
         let domains = veh_domains();
         let w = Wrangler::new(&domains, &cat);
-        let c = Predicate::clause("t", CompareOp::Ne, "SUV");
+        let c = Predicate::from(Clause::new("t", CompareOp::Ne, "SUV"));
         assert_eq!(w.wrangle(&c), c);
     }
 
@@ -234,11 +234,11 @@ mod tests {
             ],
         );
         let cat = catalog_with(&[
-            Predicate::clause("s", CompareOp::Eq, 60i64),
-            Predicate::clause("s", CompareOp::Eq, 70i64),
+            Predicate::from(Clause::new("s", CompareOp::Eq, 60i64)),
+            Predicate::from(Clause::new("s", CompareOp::Eq, 70i64)),
         ]);
         let w = Wrangler::new(&domains, &cat);
-        let out = w.wrangle(&Predicate::clause("s", CompareOp::Gt, 55i64));
+        let out = w.wrangle(&Predicate::from(Clause::new("s", CompareOp::Gt, 55i64)));
         match out {
             Predicate::Or(parts) => assert_eq!(parts.len(), 2),
             other => panic!("expected Or, got {other}"),
@@ -249,17 +249,17 @@ mod tests {
     fn negation_normalized_then_expanded() {
         // NOT (t = SUV) normalizes to t != SUV, which then expands.
         let cat = catalog_with(&[
-            Predicate::clause("t", CompareOp::Eq, "sedan"),
-            Predicate::clause("t", CompareOp::Eq, "truck"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "sedan")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "truck")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         ]);
         let domains = veh_domains();
         let w = Wrangler::new(&domains, &cat);
-        let out = w.wrangle(&Predicate::not(Predicate::clause(
+        let out = w.wrangle(&Predicate::not(Predicate::from(Clause::new(
             "t",
             CompareOp::Eq,
             "SUV",
-        )));
+        ))));
         assert!(matches!(out, Predicate::Or(_)));
     }
 
@@ -280,13 +280,13 @@ mod tests {
     fn wrangling_preserves_semantics() {
         use pp_engine::{Column, DataType, Row, Schema};
         let cat = catalog_with(&[
-            Predicate::clause("t", CompareOp::Eq, "sedan"),
-            Predicate::clause("t", CompareOp::Eq, "truck"),
-            Predicate::clause("t", CompareOp::Eq, "van"),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "sedan")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "truck")),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
         ]);
         let domains = veh_domains();
         let w = Wrangler::new(&domains, &cat);
-        let pred = Predicate::clause("t", CompareOp::Ne, "SUV");
+        let pred = Predicate::from(Clause::new("t", CompareOp::Ne, "SUV"));
         let wrangled = w.wrangle(&pred);
         let schema = Schema::new(vec![Column::new("t", DataType::Str)]).unwrap();
         for v in ["sedan", "SUV", "truck", "van"] {

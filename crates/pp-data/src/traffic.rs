@@ -385,8 +385,8 @@ impl TrafficDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_engine::cost::CostModel;
-    use pp_engine::{execute, CostMeter, LogicalPlan, Predicate};
+    use pp_engine::exec::ExecutionContext;
+    use pp_engine::{LogicalPlan, Predicate};
 
     fn small() -> TrafficDataset {
         TrafficDataset::generate(TrafficConfig {
@@ -422,8 +422,8 @@ mod tests {
         let plan = LogicalPlan::scan("traffic")
             .process(d.udf("vehType").unwrap())
             .process(d.udf("speed").unwrap());
-        let mut meter = CostMeter::new();
-        let out = execute(&plan, &cat, &mut meter, &CostModel::default()).unwrap();
+        let mut ctx = ExecutionContext::new(&cat);
+        let out = ctx.run(&plan).unwrap();
         assert_eq!(out.len(), d.len());
         let schema = out.schema().clone();
         for row in out.rows() {
@@ -434,7 +434,7 @@ mod tests {
             assert_eq!(s, d.truth(frame).speed);
         }
         // UDF costs were charged.
-        let secs = meter.cluster_seconds();
+        let secs = ctx.meter().cluster_seconds();
         let expect = d.len() as f64 * (0.025 + 0.030);
         assert!((secs - expect).abs() / expect < 0.01, "secs={secs}");
     }
@@ -448,8 +448,7 @@ mod tests {
         let plan = LogicalPlan::scan("traffic")
             .process(d.udf("vehType").unwrap())
             .select(Predicate::Clause(clause.clone()));
-        let mut meter = CostMeter::new();
-        let out = execute(&plan, &cat, &mut meter, &CostModel::default()).unwrap();
+        let out = ExecutionContext::new(&cat).run(&plan).unwrap();
         let truth_count = (0..d.len()).filter(|&i| d.clause_truth(&clause, i)).count();
         assert_eq!(out.len(), truth_count);
     }

@@ -1,0 +1,308 @@
+//! The unified execution API: [`ExecutionContext`] bundles everything a
+//! query run needs — catalog, cost model, resilience policy, optional
+//! fault injection, and parallelism — behind one builder, replacing the
+//! five-argument free functions (`execute` / `execute_with` /
+//! hand-threaded `ExecSession`s).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pp_engine::exec::ExecutionContext;
+//! use pp_engine::row::{Row, Rowset};
+//! use pp_engine::schema::{Column, DataType, Schema};
+//! use pp_engine::value::Value;
+//! use pp_engine::{Catalog, LogicalPlan};
+//!
+//! let schema = Schema::new(vec![Column::new("id", DataType::Int)]).unwrap();
+//! let rows = (0..8).map(|i| Row::new(vec![Value::Int(i)])).collect();
+//! let mut catalog = Catalog::new();
+//! catalog.register("t", Rowset::new(schema, rows).unwrap());
+//!
+//! let mut ctx = ExecutionContext::builder(&catalog).parallelism(4).build();
+//! let out = ctx.run(&LogicalPlan::scan("t")).unwrap();
+//! assert_eq!(out.len(), 8);
+//! assert!(ctx.metrics().is_some());
+//! ```
+//!
+//! # Determinism contract
+//!
+//! For a fixed plan, catalog, resilience config, and fault seed, `run`
+//! returns byte-identical results, row order, resilience reports, and
+//! cost-meter charges for **every** `parallelism` setting — workers only
+//! *probe* rows (pure retry loops keyed off row identity), while all
+//! stateful accounting is replayed sequentially in global row order. See
+//! the [`physical`](crate::physical) module docs for how.
+
+use crate::catalog::Catalog;
+use crate::cost::{CostMeter, CostModel, QueryMetrics};
+use crate::fault::FaultPlan;
+use crate::logical::LogicalPlan;
+use crate::physical::{execute_partitioned, ExecOptions};
+use crate::resilience::{ExecReport, ExecSession, ResilienceConfig};
+use crate::row::Rowset;
+use crate::Result;
+
+/// Builder for [`ExecutionContext`]. Created by
+/// [`ExecutionContext::builder`]; every knob is optional and defaults to
+/// the serial, fault-free configuration the free functions used.
+#[derive(Debug)]
+pub struct ExecutionContextBuilder<'a> {
+    catalog: &'a Catalog,
+    model: CostModel,
+    resilience: ResilienceConfig,
+    fault_plan: Option<FaultPlan>,
+    parallelism: usize,
+    batch_size: usize,
+}
+
+impl<'a> ExecutionContextBuilder<'a> {
+    /// Sets the cost model used for operator charging and derived metrics.
+    pub fn cost_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the resilience policy (retries, timeouts, breakers, fail-open).
+    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+        self.resilience = config;
+        self
+    }
+
+    /// Installs a seeded fault-injection plan applied to every plan passed
+    /// to [`ExecutionContext::run`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the number of worker threads for row-parallel operators
+    /// (clamped to at least 1; 1 means fully serial, the default).
+    pub fn parallelism(mut self, k: usize) -> Self {
+        self.parallelism = k.max(1);
+        self
+    }
+
+    /// Sets the number of rows per batch handed to batch-capable UDFs
+    /// (clamped to at least 1; defaults to 256).
+    pub fn batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = rows.max(1);
+        self
+    }
+
+    /// Finalizes the context.
+    pub fn build(self) -> ExecutionContext<'a> {
+        ExecutionContext {
+            catalog: self.catalog,
+            model: self.model,
+            session: ExecSession::new(self.resilience),
+            fault_plan: self.fault_plan,
+            opts: ExecOptions {
+                parallelism: self.parallelism,
+                batch_size: self.batch_size,
+            },
+            meter: CostMeter::new(),
+            metrics: None,
+        }
+    }
+}
+
+/// A configured query-execution environment: catalog + cost model +
+/// resilience session + optional fault plan + parallelism, with the cost
+/// meter and derived [`QueryMetrics`] of the most recent run.
+///
+/// The context is stateful across runs the way a long-lived cluster
+/// service is: circuit breakers and resilience counters persist from one
+/// [`run`][Self::run] to the next (inspect them via
+/// [`report`][Self::report], clear a breaker with
+/// [`reset_breaker`][Self::reset_breaker]). The cost meter, by contrast,
+/// is reset at the start of every run so [`meter`][Self::meter] and
+/// [`metrics`][Self::metrics] always describe the latest query.
+#[derive(Debug)]
+pub struct ExecutionContext<'a> {
+    catalog: &'a Catalog,
+    model: CostModel,
+    session: ExecSession,
+    fault_plan: Option<FaultPlan>,
+    opts: ExecOptions,
+    meter: CostMeter,
+    metrics: Option<QueryMetrics>,
+}
+
+impl<'a> ExecutionContext<'a> {
+    /// Starts building a context over `catalog` with serial, fault-free
+    /// defaults.
+    pub fn builder(catalog: &'a Catalog) -> ExecutionContextBuilder<'a> {
+        ExecutionContextBuilder {
+            catalog,
+            model: CostModel::default(),
+            resilience: ResilienceConfig::default(),
+            fault_plan: None,
+            parallelism: 1,
+            batch_size: ExecOptions::default().batch_size,
+        }
+    }
+
+    /// A context over `catalog` with all defaults (equivalent to
+    /// `ExecutionContext::builder(catalog).build()`).
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self::builder(catalog).build()
+    }
+
+    /// Executes `plan`, applying the installed fault plan (if any),
+    /// charging the (reset) cost meter, and — on success — refreshing
+    /// [`metrics`][Self::metrics].
+    pub fn run(&mut self, plan: &LogicalPlan) -> Result<Rowset> {
+        self.meter = CostMeter::new();
+        self.metrics = None;
+        let faulted;
+        let plan = match &self.fault_plan {
+            Some(fp) => {
+                faulted = fp.apply(plan);
+                &faulted
+            }
+            None => plan,
+        };
+        let out = execute_partitioned(
+            plan,
+            self.catalog,
+            &mut self.meter,
+            &self.model,
+            &mut self.session,
+            self.opts,
+        )?;
+        self.metrics = Some(self.meter.metrics(&self.model));
+        Ok(out)
+    }
+
+    /// The catalog this context executes against.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// The cost model used for charging and metric derivation.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Worker threads used for row-parallel operators.
+    pub fn parallelism(&self) -> usize {
+        self.opts.parallelism
+    }
+
+    /// Rows per batch handed to batch-capable UDFs.
+    pub fn batch_size(&self) -> usize {
+        self.opts.batch_size
+    }
+
+    /// The cost meter of the most recent [`run`][Self::run] (empty before
+    /// the first run).
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// Derived cluster-seconds / latency metrics of the most recent
+    /// *successful* [`run`][Self::run], or `None` before one.
+    pub fn metrics(&self) -> Option<&QueryMetrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Resilience counters accumulated across all runs of this context.
+    pub fn report(&self) -> ExecReport {
+        self.session.report()
+    }
+
+    /// Whether `op`'s circuit breaker is currently open.
+    pub fn breaker_open(&self, op: &str) -> bool {
+        self.session.breaker_open(op)
+    }
+
+    /// Manually closes one operator's circuit breaker (e.g. after
+    /// redeploying a fixed UDF).
+    pub fn reset_breaker(&mut self, op: &str) {
+        self.session.reset_breaker(op);
+    }
+
+    /// The underlying resilience session, for advanced inspection.
+    pub fn session(&self) -> &ExecSession {
+        &self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSpec;
+    use crate::resilience::RetryPolicy;
+    use crate::row::Row;
+    use crate::schema::{Column, DataType, Schema};
+    use crate::udf::ClosureFilter;
+    use crate::value::Value;
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![Column::new("id", DataType::Int)]).unwrap();
+        let rows = (0..64).map(|i| Row::new(vec![Value::Int(i)])).collect();
+        let mut c = Catalog::new();
+        c.register("t", Rowset::new(schema, rows).unwrap());
+        c
+    }
+
+    fn even_filter() -> Arc<ClosureFilter> {
+        Arc::new(ClosureFilter::new("PP[even]", 0.01, |row, _| {
+            Ok(row.get(0).as_int()? % 2 == 0)
+        }))
+    }
+
+    #[test]
+    fn run_resets_meter_and_sets_metrics() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").filter(even_filter());
+        let mut ctx = ExecutionContext::new(&cat);
+        assert!(ctx.metrics().is_none());
+        let out = ctx.run(&plan).unwrap();
+        assert_eq!(out.len(), 32);
+        let first = ctx.meter().cluster_seconds();
+        assert!(first > 0.0);
+        assert!(ctx.metrics().is_some());
+        // A second run re-meters from zero instead of accumulating.
+        ctx.run(&plan).unwrap();
+        assert!((ctx.meter().cluster_seconds() - first).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_context_matches_serial() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").filter(even_filter());
+        let mut serial = ExecutionContext::builder(&cat).build();
+        let mut parallel = ExecutionContext::builder(&cat)
+            .parallelism(4)
+            .batch_size(8)
+            .build();
+        let a = serial.run(&plan).unwrap();
+        let b = parallel.run(&plan).unwrap();
+        assert_eq!(format!("{:?}", a.rows()), format!("{:?}", b.rows()));
+        assert_eq!(serial.meter().entries(), parallel.meter().entries());
+        assert_eq!(serial.report(), parallel.report());
+    }
+
+    #[test]
+    fn fault_plan_applies_on_every_run() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").filter(even_filter());
+        let mut ctx = ExecutionContext::builder(&cat)
+            .resilience(ResilienceConfig::default().with_retry(RetryPolicy::none()))
+            .fault_plan(FaultPlan::new(7).inject("PP[even]", FaultSpec::transient(1.0)))
+            .build();
+        // Dead filter fails open on every row: nothing is dropped.
+        let out = ctx.run(&plan).unwrap();
+        assert_eq!(out.len(), 64);
+        let report = ctx.report();
+        let pp = report.op("PP[even]").expect("PP tracked");
+        assert!(pp.failures > 0);
+        assert_eq!(pp.failed_open, 64);
+        // Breakers persist across runs: the second run short-circuits.
+        assert!(ctx.breaker_open("PP[even]"));
+        ctx.run(&plan).unwrap();
+        ctx.reset_breaker("PP[even]");
+        assert!(!ctx.breaker_open("PP[even]"));
+    }
+}

@@ -2,11 +2,14 @@
 //!
 //! A [`FaultPlan`] rewrites a logical plan, wrapping named processors and
 //! row filters in shims that fail at configured rates. Failure decisions
-//! are pure functions of `(seed, operator, attempt index)` — or of the row
-//! contents, for poison rows — so a faulted run is exactly reproducible:
-//! same seed, same plan, same failures, same retries, same charges. That
-//! determinism is what makes resilience testable: the integration suite
-//! asserts byte-identical outputs across repeated faulted runs.
+//! are pure functions of `(seed, operator, row fingerprint, attempt
+//! ordinal)` — keyed off the *row's content*, never off arrival order — so
+//! a faulted run is exactly reproducible: same seed, same plan, same
+//! failures, same retries, same charges, **regardless of how many worker
+//! threads the partitioned executor uses or in what order partitions
+//! finish**. That determinism is what makes resilience testable: the
+//! integration suite asserts byte-identical outputs across repeated
+//! faulted runs and across serial vs. parallel execution.
 //!
 //! Failure modes, applied per attempt in cumulative-probability bands:
 //!
@@ -22,7 +25,7 @@
 //!   attempt, so the same rows fail on every attempt:
 //!   [`EngineError::PoisonedRow`] is not retryable.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 use std::sync::Arc;
 
 use pp_linalg::rng::{derive_seed, hash2};
@@ -236,6 +239,34 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+thread_local! {
+    /// The 0-based attempt ordinal of the UDF call currently being made on
+    /// this thread. The resilience layer sets it around each attempt (0 for
+    /// the first call on a row, 1 for the first retry, ...) so fault shims
+    /// can key their decisions off `(row, attempt)` instead of a global
+    /// call counter — the property that keeps fault injection independent
+    /// of execution order and thread count.
+    static ATTEMPT_ORDINAL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the per-row attempt ordinal set to `ordinal`, restoring
+/// the previous value afterwards. Used by the resilience layer around every
+/// UDF attempt.
+pub(crate) fn with_attempt_ordinal<R>(ordinal: u64, f: impl FnOnce() -> R) -> R {
+    ATTEMPT_ORDINAL.with(|c| {
+        let prev = c.replace(ordinal);
+        let out = f();
+        c.set(prev);
+        out
+    })
+}
+
+/// The attempt ordinal for the UDF call in progress (0 outside a resilient
+/// retry loop, i.e. for direct shim calls).
+fn attempt_ordinal() -> u64 {
+    ATTEMPT_ORDINAL.with(Cell::get)
+}
+
 /// Which fault (if any) an attempt draws from its decision stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Drawn {
@@ -245,8 +276,13 @@ enum Drawn {
     Corrupt,
 }
 
-fn draw(spec: &FaultSpec, seed: u64, attempt: u64) -> Drawn {
-    let u = unit(hash2(seed, attempt));
+/// Draws the fault (if any) for one attempt on one row. The decision is a
+/// pure function of `(seed, row fingerprint, attempt ordinal)`: row
+/// identity — not arrival order — selects the decision stream, and the
+/// attempt ordinal walks it, so retries draw fresh decisions while
+/// repeated runs (serial or partitioned) reproduce the same faults.
+fn draw(spec: &FaultSpec, seed: u64, row: &Row, attempt: u64) -> Drawn {
+    let u = unit(hash2(hash2(seed, row_fingerprint(row)), attempt));
     if u < spec.transient_rate {
         Drawn::Transient
     } else if u < spec.transient_rate + spec.timeout_rate {
@@ -288,22 +324,21 @@ fn poisoned(spec: &FaultSpec, seed: u64, row: &Row) -> bool {
 }
 
 /// A [`Processor`] shim injecting seeded faults around an inner processor.
+///
+/// The shim is stateless: every decision is a pure function of the seed,
+/// the row's content fingerprint, and the attempt ordinal supplied by the
+/// resilience layer, so it can be shared across the partitioned executor's
+/// worker threads without losing reproducibility.
 pub struct FaultyProcessor {
     inner: Arc<dyn Processor>,
     spec: FaultSpec,
     seed: u64,
-    attempts: AtomicU64,
 }
 
 impl FaultyProcessor {
     /// Wraps `inner`, drawing fault decisions from `seed`.
     pub fn new(inner: Arc<dyn Processor>, spec: FaultSpec, seed: u64) -> Self {
-        FaultyProcessor {
-            inner,
-            spec,
-            seed,
-            attempts: AtomicU64::new(0),
-        }
+        FaultyProcessor { inner, spec, seed }
     }
 }
 
@@ -333,8 +368,7 @@ impl Processor for FaultyProcessor {
                 self.name()
             )));
         }
-        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
-        match draw(&self.spec, self.seed, attempt) {
+        match draw(&self.spec, self.seed, row, attempt_ordinal()) {
             Drawn::Transient => Err(EngineError::Transient(format!(
                 "{}: injected worker failure",
                 self.name()
@@ -372,22 +406,21 @@ impl Processor for FaultyProcessor {
 }
 
 /// A [`RowFilter`] shim injecting seeded faults around an inner filter.
+///
+/// Stateless like [`FaultyProcessor`]: decisions key off the row
+/// fingerprint and attempt ordinal, never off call order. The shim
+/// deliberately does **not** override the batch entry point, so faulted
+/// filters always take the per-row path and every row draws its own fault.
 pub struct FaultyFilter {
     inner: Arc<dyn RowFilter>,
     spec: FaultSpec,
     seed: u64,
-    attempts: AtomicU64,
 }
 
 impl FaultyFilter {
     /// Wraps `inner`, drawing fault decisions from `seed`.
     pub fn new(inner: Arc<dyn RowFilter>, spec: FaultSpec, seed: u64) -> Self {
-        FaultyFilter {
-            inner,
-            spec,
-            seed,
-            attempts: AtomicU64::new(0),
-        }
+        FaultyFilter { inner, spec, seed }
     }
 }
 
@@ -417,8 +450,7 @@ impl RowFilter for FaultyFilter {
                 self.name()
             )));
         }
-        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed);
-        match draw(&self.spec, self.seed, attempt) {
+        match draw(&self.spec, self.seed, row, attempt_ordinal()) {
             Drawn::Transient => Err(EngineError::Transient(format!(
                 "{}: injected worker failure",
                 self.name()

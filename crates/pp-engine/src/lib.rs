@@ -23,6 +23,7 @@
 
 pub mod catalog;
 pub mod cost;
+pub mod exec;
 pub mod fault;
 pub mod logical;
 pub mod physical;
@@ -36,8 +37,10 @@ pub mod value;
 
 pub use catalog::Catalog;
 pub use cost::{CostMeter, QueryMetrics};
+pub use exec::{ExecutionContext, ExecutionContextBuilder};
 pub use fault::{FaultPlan, FaultSpec};
-pub use logical::LogicalPlan;
+pub use logical::{LogicalPlan, OpParallelism};
+#[allow(deprecated)]
 pub use physical::{execute, execute_with};
 pub use predicate::{Clause, CompareOp, Predicate};
 pub use resilience::{ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy};
@@ -48,6 +51,7 @@ pub use value::Value;
 
 /// Errors produced by the query engine.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     /// A referenced table does not exist in the catalog.
     UnknownTable(String),
@@ -138,7 +142,14 @@ impl std::fmt::Display for EngineError {
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience alias for results in this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -154,6 +154,26 @@ impl std::fmt::Debug for LogicalPlan {
     }
 }
 
+/// Whether one plan operator can be evaluated over row partitions by the
+/// partitioned executor (see [`physical`](crate::physical)).
+///
+/// Row-independent operators (`Scan`, `Filter`, `Process`, `Select`,
+/// `Project`) decide each output row from one input row, so they split
+/// across row partitions with byte-identical results; the executor drives
+/// the UDF-bearing ones (`Filter`, `Process`, `Select`) over its worker
+/// pool. Group-based operators (`Join`, `Aggregate`, `Reduce`, `Combine`)
+/// need all rows of a group together and stay serial. Planners surface
+/// this annotation so callers can see how much of a chosen plan will
+/// actually scale with `parallelism`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpParallelism {
+    /// Operator display name, matching the executor's meter labels.
+    pub op: String,
+    /// True when the operator evaluates rows independently of one
+    /// another, making it safe to split over row partitions.
+    pub partitionable: bool,
+}
+
 impl LogicalPlan {
     /// Scan constructor.
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
@@ -298,6 +318,92 @@ impl LogicalPlan {
         }
     }
 
+    /// Per-operator partitionability annotations, in bottom-up execution
+    /// order (the order operators charge the cost meter). Operator names
+    /// match the executor's meter labels.
+    pub fn partitionability(&self) -> Vec<OpParallelism> {
+        let mut out = Vec::new();
+        self.partitionability_into(&mut out);
+        out
+    }
+
+    fn partitionability_into(&self, out: &mut Vec<OpParallelism>) {
+        let entry = match self {
+            LogicalPlan::Scan { table } => OpParallelism {
+                op: format!("Scan[{table}]"),
+                partitionable: true,
+            },
+            LogicalPlan::Process { input, processor } => {
+                input.partitionability_into(out);
+                OpParallelism {
+                    op: format!("Process[{}]", processor.name()),
+                    partitionable: true,
+                }
+            }
+            LogicalPlan::Select { input, predicate } => {
+                input.partitionability_into(out);
+                OpParallelism {
+                    op: format!("Select[{predicate}]"),
+                    partitionable: true,
+                }
+            }
+            LogicalPlan::Filter { input, filter } => {
+                input.partitionability_into(out);
+                OpParallelism {
+                    op: filter.name().to_string(),
+                    partitionable: true,
+                }
+            }
+            LogicalPlan::Project { input, .. } => {
+                input.partitionability_into(out);
+                OpParallelism {
+                    op: "Project".to_string(),
+                    partitionable: true,
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                left.partitionability_into(out);
+                right.partitionability_into(out);
+                OpParallelism {
+                    op: format!("Join[{left_key} = {right_key}]"),
+                    partitionable: false,
+                }
+            }
+            LogicalPlan::Aggregate { input, .. } => {
+                input.partitionability_into(out);
+                OpParallelism {
+                    op: "Aggregate".to_string(),
+                    partitionable: false,
+                }
+            }
+            LogicalPlan::Reduce { input, reducer } => {
+                input.partitionability_into(out);
+                OpParallelism {
+                    op: format!("Reduce[{}]", reducer.name()),
+                    partitionable: false,
+                }
+            }
+            LogicalPlan::Combine {
+                left,
+                right,
+                combiner,
+            } => {
+                left.partitionability_into(out);
+                right.partitionability_into(out);
+                OpParallelism {
+                    op: format!("Combine[{}]", combiner.name()),
+                    partitionable: false,
+                }
+            }
+        };
+        out.push(entry);
+    }
+
     /// An indented, EXPLAIN-style rendering of the plan.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -380,7 +486,7 @@ impl LogicalPlan {
 mod tests {
     use super::*;
     use crate::catalog::Catalog;
-    use crate::predicate::{CompareOp, Predicate};
+    use crate::predicate::{Clause, CompareOp, Predicate};
     use crate::row::{Row, Rowset};
     use crate::udf::ClosureProcessor;
     use crate::value::Value;
@@ -414,7 +520,11 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("video")
             .process(veh_type_proc())
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"))
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )))
             .project(vec![
                 ProjectItem::Keep("frameID".into()),
                 ProjectItem::Rename {
@@ -431,8 +541,11 @@ mod tests {
     #[test]
     fn select_on_missing_column_fails() {
         let cat = catalog();
-        let plan =
-            LogicalPlan::scan("video").select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+        let plan = LogicalPlan::scan("video").select(Predicate::from(Clause::new(
+            "vehType",
+            CompareOp::Eq,
+            "SUV",
+        )));
         assert!(plan.output_schema(&cat).is_err());
     }
 
@@ -492,7 +605,11 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("video")
             .process(veh_type_proc())
-            .select(Predicate::clause("vehType", CompareOp::Eq, "SUV"));
+            .select(Predicate::from(Clause::new(
+                "vehType",
+                CompareOp::Eq,
+                "SUV",
+            )));
         let text = plan.explain();
         assert!(text.contains("Select"));
         assert!(text.contains("Process[VehType"));

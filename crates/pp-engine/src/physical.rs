@@ -1,5 +1,6 @@
 //! The executor: materialized, bottom-up evaluation of logical plans with
-//! cost metering and fault-tolerant UDF dispatch.
+//! cost metering, fault-tolerant UDF dispatch, and partitioned
+//! batch-at-a-time evaluation of row-parallel operators.
 //!
 //! Corpora in this reproduction are in-memory, so operators materialize
 //! their outputs (no volcano iterators); the interesting quantity is the
@@ -8,6 +9,23 @@
 //! which equals the classic `rows_in × cost_per_row` on a fault-free run —
 //! plus any retry backoff and timeout stalls accrued by the
 //! [`ExecSession`].
+//!
+//! # Partitioned execution
+//!
+//! Row-parallel operators — `Filter`, `Process`, and `Select` — split
+//! their input into K contiguous row partitions and *probe* them across a
+//! `std::thread` worker pool, one [`RowBatch`] at a time (so batch-capable
+//! UDFs can vectorize, e.g. PP model scoring). Probing runs the full
+//! retry loop per row but touches no shared state; the main thread then
+//! *consumes* the probe outcomes sequentially in global row order, which
+//! replays circuit-breaker evolution, fail-open decisions, resilience
+//! counters, and cost charges exactly as a serial run would. Injected
+//! faults key off row identity and attempt ordinal (see
+//! [`fault`](crate::fault)), so results, row order, reports, and charges
+//! are byte-identical to serial execution for every seed and every K.
+//! Group-based operators (`Join`, `Aggregate`, `Reduce`, `Combine`) and
+//! `Scan`/`Project` stay serial; see
+//! [`LogicalPlan::partitionability`](crate::logical::LogicalPlan::partitionability).
 //!
 //! Failure semantics, per operator kind:
 //!
@@ -25,12 +43,92 @@ use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel};
 use crate::logical::{AggFunc, LogicalPlan};
 use crate::resilience::ExecSession;
-use crate::row::{Row, Rowset};
+use crate::row::{Row, RowBatch, Rowset};
 use crate::value::{Key, Value};
 use crate::{EngineError, Result};
 
+/// Tuning knobs for the partitioned executor, carried through the plan
+/// recursion. Constructed by [`ExecutionContext`](crate::exec::ExecutionContext).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecOptions {
+    /// Worker threads for row-parallel operators (1 = inline/serial).
+    pub parallelism: usize,
+    /// Rows per [`RowBatch`] handed to batch-capable UDFs.
+    pub batch_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            parallelism: 1,
+            batch_size: 256,
+        }
+    }
+}
+
+/// Contiguous, balanced partition bounds: `len` rows into at most `k`
+/// non-empty `(start, end)` ranges, earlier partitions taking the
+/// remainder rows.
+fn partition_bounds(len: usize, k: usize) -> Vec<(usize, usize)> {
+    let k = k.clamp(1, len.max(1));
+    let base = len / k;
+    let rem = len % k;
+    let mut bounds = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let size = base + usize::from(i < rem);
+        if size == 0 {
+            break;
+        }
+        bounds.push((start, start + size));
+        start += size;
+    }
+    bounds
+}
+
+/// Runs `work` over `rows` split into batches of at most
+/// `opts.batch_size`, fanning contiguous partitions across a scoped
+/// worker pool when `opts.parallelism > 1`. `work` receives each batch
+/// slice plus the global index of its first row and must return one
+/// output per input row; outputs are reassembled in global row order.
+fn run_partitioned<T, F>(rows: &[Row], opts: ExecOptions, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[Row], usize) -> Vec<T> + Sync,
+{
+    let batched = |slice: &[Row], base: usize| -> Vec<T> {
+        let step = opts.batch_size.max(1);
+        let mut out = Vec::with_capacity(slice.len());
+        let mut start = 0;
+        while start < slice.len() {
+            let end = (start + step).min(slice.len());
+            out.extend(work(&slice[start..end], base + start));
+            start = end;
+        }
+        out
+    };
+    if opts.parallelism <= 1 || rows.len() < 2 {
+        return batched(rows, 0);
+    }
+    let bounds = partition_bounds(rows.len(), opts.parallelism);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .iter()
+            .map(|&(start, end)| {
+                let batched = &batched;
+                scope.spawn(move || batched(&rows[start..end], start))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    })
+}
+
 /// Executes a plan against a catalog, charging costs to the meter, under a
 /// fresh default [`ExecSession`] (retries on, fail-open filters on).
+#[deprecated(note = "use `ExecutionContext::builder(catalog).build()` and `run(plan)` instead")]
 pub fn execute(
     plan: &LogicalPlan,
     catalog: &Catalog,
@@ -38,18 +136,41 @@ pub fn execute(
     model: &CostModel,
 ) -> Result<Rowset> {
     let mut session = ExecSession::default();
-    execute_with(plan, catalog, meter, model, &mut session)
+    execute_partitioned(
+        plan,
+        catalog,
+        meter,
+        model,
+        &mut session,
+        ExecOptions::default(),
+    )
 }
 
 /// Executes a plan under a caller-supplied [`ExecSession`], so circuit
 /// breakers, retry budgets, and resilience counters persist across queries
 /// and can be inspected afterwards via [`ExecSession::report`].
+#[deprecated(
+    note = "use `ExecutionContext::builder(catalog).resilience(..).build()` and `run(plan)` instead"
+)]
 pub fn execute_with(
     plan: &LogicalPlan,
     catalog: &Catalog,
     meter: &mut CostMeter,
     model: &CostModel,
     session: &mut ExecSession,
+) -> Result<Rowset> {
+    execute_partitioned(plan, catalog, meter, model, session, ExecOptions::default())
+}
+
+/// The partitioned executor behind both [`ExecutionContext`](crate::exec::ExecutionContext)
+/// and the deprecated free functions.
+pub(crate) fn execute_partitioned(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    meter: &mut CostMeter,
+    model: &CostModel,
+    session: &mut ExecSession,
+    opts: ExecOptions,
 ) -> Result<Rowset> {
     match plan {
         LogicalPlan::Scan { table } => {
@@ -63,22 +184,46 @@ pub fn execute_with(
             Ok((**t).clone())
         }
         LogicalPlan::Process { input, processor } => {
-            let in_rows = execute_with(input, catalog, meter, model, session)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_schema = in_rows.schema().clone();
             let out_schema = in_rows.schema().extend(processor.output_columns())?;
             let op = format!("Process[{}]", processor.name());
             let validate = session.config().validate_outputs;
+            let config = *session.config();
+            // Probe phase: batch-evaluate first attempts (vectorizable),
+            // retry failed rows individually. Pure — no session state.
+            let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+                let batch = RowBatch::new(&in_schema, rows, offset);
+                let firsts =
+                    crate::fault::with_attempt_ordinal(0, || processor.process_batch(&batch));
+                debug_assert_eq!(firsts.len(), rows.len());
+                firsts
+                    .into_iter()
+                    .zip(rows)
+                    .map(|(first, row)| {
+                        let first = first.and_then(|groups| {
+                            if validate {
+                                validate_cells(&groups, processor.name())?;
+                            }
+                            Ok(groups)
+                        });
+                        config.resume_probe(&op, first, || {
+                            let groups = processor.process(row, &in_schema)?;
+                            if validate {
+                                validate_cells(&groups, processor.name())?;
+                            }
+                            Ok(groups)
+                        })
+                    })
+                    .collect()
+            });
+            // Consume phase: fold outcomes into the session in row order.
             let mut out = Rowset::empty(out_schema);
             let mut attempts: u64 = 0;
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
-            for row in in_rows.rows() {
-                let inv = session.invoke(&op, || {
-                    let groups = processor.process(row, in_rows.schema())?;
-                    if validate {
-                        validate_cells(&groups, processor.name())?;
-                    }
-                    Ok(groups)
-                });
+            for (row, probe) in in_rows.rows().iter().zip(probes) {
+                let inv = session.consume(&op, probe);
                 attempts += u64::from(inv.attempts);
                 extra_seconds += inv.extra_seconds;
                 match inv.result {
@@ -107,12 +252,19 @@ pub fn execute_with(
             }
         }
         LogicalPlan::Select { input, predicate } => {
-            let in_rows = execute_with(input, catalog, meter, model, session)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
+            let verdicts = run_partitioned(in_rows.rows(), opts, |rows, _offset| {
+                rows.iter()
+                    .map(|row| predicate.eval(row, &schema))
+                    .collect()
+            });
             let mut out = Rowset::empty(schema.clone());
-            for row in in_rows.into_rows() {
-                if predicate.eval(&row, &schema)? {
+            for (row, verdict) in in_rows.into_rows().into_iter().zip(verdicts) {
+                // An eval error propagates before the operator charges,
+                // matching the serial executor.
+                if verdict? {
                     out.push(row)?;
                 }
             }
@@ -125,17 +277,36 @@ pub fn execute_with(
             Ok(out)
         }
         LogicalPlan::Filter { input, filter } => {
-            let in_rows = execute_with(input, catalog, meter, model, session)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
             let op = filter.name().to_string();
             let fail_open = session.config().fail_open_filters && filter.fail_open();
+            let config = *session.config();
+            // Probe phase: batch first attempts, per-row retries, no
+            // session state. If the breaker is (or becomes) open, the
+            // consume phase discards the affected probes, so charges stay
+            // identical to a serial run that never made those calls.
+            let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+                let batch = RowBatch::new(&schema, rows, offset);
+                let firsts = crate::fault::with_attempt_ordinal(0, || filter.passes_batch(&batch));
+                debug_assert_eq!(firsts.len(), rows.len());
+                firsts
+                    .into_iter()
+                    .zip(rows)
+                    .map(|(first, row)| {
+                        config.resume_probe(&op, first, || filter.passes(row, &schema))
+                    })
+                    .collect()
+            });
+            // Consume phase: row-order fold drives breaker + fail-open
+            // exactly as serial execution would.
             let mut out = Rowset::empty(schema.clone());
             let mut attempts: u64 = 0;
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
-            for row in in_rows.into_rows() {
-                let inv = session.invoke(&op, || filter.passes(&row, &schema));
+            for (row, probe) in in_rows.into_rows().into_iter().zip(probes) {
+                let inv = session.consume(&op, probe);
                 attempts += u64::from(inv.attempts);
                 extra_seconds += inv.extra_seconds;
                 let keep = match inv.result {
@@ -168,7 +339,7 @@ pub fn execute_with(
             }
         }
         LogicalPlan::Project { input, items } => {
-            let in_rows = execute_with(input, catalog, meter, model, session)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
             let out_schema = plan_project_schema(&in_rows, items)?;
             let indices: Vec<usize> = items
                 .iter()
@@ -190,8 +361,8 @@ pub fn execute_with(
             left_key,
             right_key,
         } => {
-            let l = execute_with(left, catalog, meter, model, session)?;
-            let r = execute_with(right, catalog, meter, model, session)?;
+            let l = execute_partitioned(left, catalog, meter, model, session, opts)?;
+            let r = execute_partitioned(right, catalog, meter, model, session, opts)?;
             let lk = l.schema().index_of(left_key)?;
             let rk = r.schema().index_of(right_key)?;
             // Build on the (primary-key) right side.
@@ -235,7 +406,7 @@ pub fn execute_with(
             group_by,
             aggs,
         } => {
-            let in_rows = execute_with(input, catalog, meter, model, session)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
             let out_schema = plan.output_schema(catalog)?;
             let key_idx: Vec<usize> = group_by
                 .iter()
@@ -284,7 +455,7 @@ pub fn execute_with(
             Ok(out)
         }
         LogicalPlan::Reduce { input, reducer } => {
-            let in_rows = execute_with(input, catalog, meter, model, session)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
             let out_schema = crate::schema::Schema::new(reducer.output_columns().to_vec())?;
             let op = format!("Reduce[{}]", reducer.name());
             let key_idx: Vec<usize> = reducer
@@ -346,8 +517,8 @@ pub fn execute_with(
             right,
             combiner,
         } => {
-            let l = execute_with(left, catalog, meter, model, session)?;
-            let r = execute_with(right, catalog, meter, model, session)?;
+            let l = execute_partitioned(left, catalog, meter, model, session, opts)?;
+            let r = execute_partitioned(right, catalog, meter, model, session, opts)?;
             let lk = l.schema().index_of(combiner.left_key())?;
             let rk = r.schema().index_of(combiner.right_key())?;
             let op = format!("Combine[{}]", combiner.name());
@@ -493,7 +664,7 @@ mod tests {
     use super::*;
     use crate::cost::OpStats;
     use crate::logical::{AggExpr, ProjectItem};
-    use crate::predicate::{CompareOp, Predicate};
+    use crate::predicate::{Clause, CompareOp, Predicate};
     use crate::resilience::{ResilienceConfig, RetryPolicy};
     use crate::schema::{Column, DataType, Schema};
     use crate::udf::{ClosureFilter, ClosureProcessor, ClosureReducer};
@@ -520,8 +691,25 @@ mod tests {
 
     fn run(plan: &LogicalPlan, cat: &Catalog) -> Result<(Rowset, CostMeter)> {
         let mut meter = CostMeter::new();
-        let out = execute(plan, cat, &mut meter, &CostModel::default())?;
+        let mut session = ExecSession::default();
+        let out = run_with(plan, cat, &mut meter, &mut session)?;
         Ok((out, meter))
+    }
+
+    fn run_with(
+        plan: &LogicalPlan,
+        cat: &Catalog,
+        meter: &mut CostMeter,
+        session: &mut ExecSession,
+    ) -> Result<Rowset> {
+        execute_partitioned(
+            plan,
+            cat,
+            meter,
+            &CostModel::default(),
+            session,
+            ExecOptions::default(),
+        )
     }
 
     fn find_op<'a>(meter: &'a CostMeter, prefix: &str) -> Result<&'a OpStats> {
@@ -569,8 +757,11 @@ mod tests {
     #[test]
     fn select_filters_rows() -> Result<()> {
         let cat = catalog()?;
-        let plan =
-            LogicalPlan::scan("frames").select(Predicate::clause("cam", CompareOp::Eq, "C1"));
+        let plan = LogicalPlan::scan("frames").select(Predicate::from(Clause::new(
+            "cam",
+            CompareOp::Eq,
+            "C1",
+        )));
         let (out, _) = run(&plan, &cat)?;
         assert_eq!(out.len(), 5);
         Ok(())
@@ -743,23 +934,25 @@ mod tests {
                 alias: "n".into(),
             }],
         );
-        let mut meter = CostMeter::new();
         assert!(matches!(
-            execute(&plan, &cat, &mut meter, &CostModel::default()),
+            run(&plan, &cat),
             Err(EngineError::UnhashableKey(_))
         ));
         Ok(())
     }
 
-    /// A filter that fails its first `fail_first` calls with a transient
-    /// error, then behaves (keeps even ids).
+    /// A filter that fails row id 0's first `fail_first` attempts with a
+    /// transient error, then behaves (keeps even ids). Keying the flake off
+    /// the row — not off call order — keeps the behavior identical under
+    /// any partitioning.
     fn flaky_filter(fail_first: u64) -> Arc<dyn crate::udf::RowFilter> {
-        let count = AtomicU64::new(0);
+        let row0_attempts = AtomicU64::new(0);
         Arc::new(ClosureFilter::new("PP[flaky]", 0.1, move |row, _| {
-            if count.fetch_add(1, Ordering::Relaxed) < fail_first {
+            let id = row.get(0).as_int()?;
+            if id == 0 && row0_attempts.fetch_add(1, Ordering::Relaxed) < fail_first {
                 Err(EngineError::Transient("worker lost".into()))
             } else {
-                Ok(row.get(0).as_int()? % 2 == 0)
+                Ok(id % 2 == 0)
             }
         }))
     }
@@ -770,7 +963,7 @@ mod tests {
         let plan = LogicalPlan::scan("frames").filter(flaky_filter(2));
         let mut meter = CostMeter::new();
         let mut session = ExecSession::default();
-        let out = execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session)?;
+        let out = run_with(&plan, &cat, &mut meter, &mut session)?;
         // Retries hid the failures entirely: same rows as a healthy run.
         assert_eq!(out.len(), 5);
         let pp = find_op(&meter, "PP[flaky]")?;
@@ -803,7 +996,7 @@ mod tests {
                 .with_retry(RetryPolicy::none())
                 .with_breaker_threshold(3),
         );
-        let out = execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session)?;
+        let out = run_with(&plan, &cat, &mut meter, &mut session)?;
         // Fail-open: every row passes despite the filter being dead.
         assert_eq!(out.len(), 10);
         assert!(session.breaker_open("PP[dead]"));
@@ -845,7 +1038,7 @@ mod tests {
         let mut meter = CostMeter::new();
         let mut session =
             ExecSession::new(ResilienceConfig::default().with_retry(RetryPolicy::none()));
-        let err = match execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session) {
+        let err = match run_with(&plan, &cat, &mut meter, &mut session) {
             Err(e) => e,
             Ok(_) => return Err(EngineError::InvalidPlan("expected failure".into())),
         };
@@ -865,7 +1058,7 @@ mod tests {
         let plan = LogicalPlan::scan("frames").process(broken);
         let mut meter = CostMeter::new();
         let mut session = ExecSession::default();
-        let err = match execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session) {
+        let err = match run_with(&plan, &cat, &mut meter, &mut session) {
             Err(e) => e,
             Ok(_) => return Err(EngineError::InvalidPlan("expected failure".into())),
         };
@@ -899,7 +1092,7 @@ mod tests {
                 .with_validate_outputs(true)
                 .with_retry(RetryPolicy::none()),
         );
-        let result = execute_with(&plan, &cat, &mut meter, &CostModel::default(), &mut session);
+        let result = run_with(&plan, &cat, &mut meter, &mut session);
         assert!(matches!(result, Err(EngineError::CorruptOutput(_))));
         Ok(())
     }

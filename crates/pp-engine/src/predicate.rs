@@ -161,6 +161,14 @@ pub enum Predicate {
 /// clauses.
 pub type Cnf = Vec<Vec<Clause>>;
 
+impl From<Clause> for Predicate {
+    /// The canonical way to lift a [`Clause`] into a [`Predicate`]:
+    /// `Predicate::from(Clause::new("vehType", CompareOp::Eq, "SUV"))`.
+    fn from(clause: Clause) -> Self {
+        Predicate::Clause(clause)
+    }
+}
+
 impl Predicate {
     /// Convenience: conjunction of two predicates.
     pub fn and(a: Predicate, b: Predicate) -> Predicate {
@@ -179,6 +187,7 @@ impl Predicate {
     }
 
     /// Convenience: a clause predicate.
+    #[deprecated(note = "use `Predicate::from(Clause::new(column, op, value))` instead")]
     pub fn clause(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Predicate {
         Predicate::Clause(Clause::new(column, op, value))
     }
@@ -466,8 +475,8 @@ mod tests {
         let sch = schema();
         // t = SUV AND s > 60
         let p = Predicate::and(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("s", CompareOp::Gt, 60.0),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
         );
         assert!(p.eval(&row("SUV", 65.0), &sch).unwrap());
         assert!(!p.eval(&row("SUV", 50.0), &sch).unwrap());
@@ -480,8 +489,8 @@ mod tests {
     fn nnf_pushes_negations() {
         // NOT (a AND NOT b) => NOT a OR b
         let p = Predicate::not(Predicate::and(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::not(Predicate::clause("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::not(Predicate::from(Clause::new("s", CompareOp::Gt, 60.0))),
         ));
         let nnf = p.to_nnf();
         // Must contain no Not nodes.
@@ -502,7 +511,7 @@ mod tests {
 
     #[test]
     fn simplify_flattens_and_short_circuits() {
-        let c = Predicate::clause("t", CompareOp::Eq, "SUV");
+        let c = Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"));
         let p = Predicate::And(vec![
             Predicate::True,
             Predicate::And(vec![c.clone(), Predicate::True]),
@@ -538,8 +547,8 @@ mod tests {
         let mut ors = Vec::new();
         for i in 0..8 {
             ors.push(Predicate::and(
-                Predicate::clause("s", CompareOp::Gt, i as f64),
-                Predicate::clause("s", CompareOp::Lt, (i + 10) as f64),
+                Predicate::from(Clause::new("s", CompareOp::Gt, i as f64)),
+                Predicate::from(Clause::new("s", CompareOp::Lt, (i + 10) as f64)),
             ));
         }
         let p = Predicate::Or(ors);
@@ -552,10 +561,10 @@ mod tests {
         let sch = schema();
         let p = Predicate::or(
             Predicate::and(
-                Predicate::clause("t", CompareOp::Eq, "SUV"),
-                Predicate::clause("s", CompareOp::Gt, 60.0),
+                Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+                Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
             ),
-            Predicate::not(Predicate::clause("t", CompareOp::Eq, "van")),
+            Predicate::not(Predicate::from(Clause::new("t", CompareOp::Eq, "van"))),
         );
         let cnf = p.to_cnf(64).unwrap();
         let rows = [
@@ -577,8 +586,8 @@ mod tests {
     #[test]
     fn clauses_collects_all() {
         let p = Predicate::or(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::not(Predicate::clause("s", CompareOp::Gt, 60.0)),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::not(Predicate::from(Clause::new("s", CompareOp::Gt, 60.0))),
         );
         let cs = p.clauses();
         assert_eq!(cs.len(), 2);
@@ -589,8 +598,8 @@ mod tests {
     #[test]
     fn columns_collected() {
         let p = Predicate::and(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("s", CompareOp::Gt, 60.0),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
         );
         let cols = p.columns();
         assert!(cols.contains("t") && cols.contains("s"));
@@ -600,8 +609,8 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let p = Predicate::and(
-            Predicate::clause("t", CompareOp::Eq, "SUV"),
-            Predicate::clause("s", CompareOp::Gt, 60.0),
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("s", CompareOp::Gt, 60.0)),
         );
         assert_eq!(p.to_string(), "(t = SUV) AND (s > 60)");
     }

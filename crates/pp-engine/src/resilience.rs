@@ -123,6 +123,95 @@ impl ResilienceConfig {
         self.validate_outputs = on;
         self
     }
+
+    /// Runs the full retry loop for one UDF call *without* touching any
+    /// session state — no circuit breakers, no counters. This is the
+    /// worker-thread half of the resilient invocation: the partitioned
+    /// executor probes rows in parallel, then folds the outcomes into the
+    /// session sequentially via [`ExecSession::consume`] so breaker
+    /// evolution and charges match serial execution exactly.
+    ///
+    /// Every attempt runs with the fault layer's attempt ordinal set to
+    /// `attempt − 1`, so injected faults key off `(seed, row, attempt)`
+    /// and reproduce identically regardless of scheduling.
+    pub fn probe<T>(&self, op: &str, mut call: impl FnMut() -> Result<T>) -> ProbeOutcome<T> {
+        let first = crate::fault::with_attempt_ordinal(0, &mut call);
+        self.resume_probe(op, first, call)
+    }
+
+    /// Continues the retry loop when the first attempt has already been
+    /// made (e.g. as part of a batch evaluation): `first` is attempt 1's
+    /// outcome, and `call` is invoked for retries only, each with the
+    /// fault attempt ordinal advanced.
+    pub fn resume_probe<T>(
+        &self,
+        op: &str,
+        first: Result<T>,
+        mut call: impl FnMut() -> Result<T>,
+    ) -> ProbeOutcome<T> {
+        let retry = self.retry;
+        let timeout_budget = self.udf_timeout_secs;
+        let mut attempts: u32 = 1;
+        let mut failures: u64 = 0;
+        let mut retries: u64 = 0;
+        let mut timeouts: u64 = 0;
+        let mut extra_seconds = 0.0;
+        let mut outcome = first;
+
+        loop {
+            match outcome {
+                Ok(value) => {
+                    return ProbeOutcome {
+                        result: Ok(value),
+                        attempts,
+                        failures,
+                        retries,
+                        timeouts,
+                        extra_seconds,
+                    };
+                }
+                Err(err) => {
+                    failures += 1;
+                    if let EngineError::Timeout {
+                        stalled_seconds, ..
+                    } = &err
+                    {
+                        timeouts += 1;
+                        // The stalled attempt burned cluster time until the
+                        // deadline cancelled it.
+                        extra_seconds += stalled_seconds.min(timeout_budget);
+                    }
+                    let retries_used = attempts - 1;
+                    if err.is_retryable() && retries_used < retry.max_retries {
+                        let next_retry = retries_used + 1;
+                        retries += 1;
+                        extra_seconds += retry.backoff_secs(next_retry);
+                        attempts += 1;
+                        outcome =
+                            crate::fault::with_attempt_ordinal(u64::from(attempts - 1), &mut call);
+                        continue;
+                    }
+                    let result = if attempts > 1 {
+                        Err(EngineError::RetriesExhausted {
+                            op: op.to_string(),
+                            attempts,
+                            last: Box::new(err),
+                        })
+                    } else {
+                        Err(err)
+                    };
+                    return ProbeOutcome {
+                        result,
+                        attempts,
+                        failures,
+                        retries,
+                        timeouts,
+                        extra_seconds,
+                    };
+                }
+            }
+        }
+    }
 }
 
 /// Per-operator resilience counters, reported after execution.
@@ -177,6 +266,30 @@ impl ExecReport {
             _ => 0.0,
         }
     }
+}
+
+/// The session-independent outcome of one UDF retry loop, produced by
+/// [`ResilienceConfig::probe`] / [`ResilienceConfig::resume_probe`].
+///
+/// A probe is safe to compute on any worker thread; the counters it
+/// carries are folded into the owning [`ExecSession`] — in deterministic
+/// row order — by [`ExecSession::consume`].
+#[derive(Debug)]
+pub struct ProbeOutcome<T> {
+    /// The terminal result (already wrapped in
+    /// [`EngineError::RetriesExhausted`] when more than one attempt was
+    /// made and all failed).
+    pub result: Result<T>,
+    /// UDF executions performed (first call + retries).
+    pub attempts: u32,
+    /// Attempts that returned an error.
+    pub failures: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// Attempts cancelled by the timeout budget.
+    pub timeouts: u64,
+    /// Simulated seconds of backoff + stall overhead.
+    pub extra_seconds: f64,
 }
 
 /// The outcome of one resilient UDF invocation.
@@ -266,11 +379,16 @@ impl ExecSession {
         self.stat(op).failed_open += 1;
     }
 
-    /// Runs one UDF call under the session's retry / timeout / breaker
-    /// policy. The caller charges `attempts × cost_per_row +
-    /// extra_seconds` to the cost meter and decides how to handle a
-    /// terminal error (processors propagate, filters may fail open).
-    pub fn invoke<T>(&mut self, op: &str, mut call: impl FnMut() -> Result<T>) -> Invocation<T> {
+    /// Folds a worker-side [`ProbeOutcome`] into the session: breaker
+    /// check, counter accounting, and breaker evolution, exactly as if
+    /// the probe's retry loop had run inline via [`invoke`][Self::invoke].
+    ///
+    /// If `op`'s breaker is open when the probe is consumed, the probe is
+    /// *discarded* — no calls, failures, or overhead are recorded — and a
+    /// [`EngineError::BreakerOpen`] short-circuit is returned, because a
+    /// serial executor would never have made those calls. This is what
+    /// keeps parallel charges byte-identical to serial ones.
+    pub fn consume<T>(&mut self, op: &str, probe: ProbeOutcome<T>) -> Invocation<T> {
         if self.breaker_open(op) {
             let st = self.stat(op);
             st.short_circuited += 1;
@@ -280,77 +398,59 @@ impl ExecSession {
                 extra_seconds: 0.0,
             };
         }
-
-        let retry = self.config.retry;
-        let timeout_budget = self.config.udf_timeout_secs;
         let breaker_threshold = self.config.breaker_threshold;
-        let mut attempts: u32 = 0;
-        let mut extra_seconds = 0.0;
+        let st = self.stat(op);
+        st.calls += u64::from(probe.attempts);
+        st.failures += probe.failures;
+        st.retries += probe.retries;
+        st.timeouts += probe.timeouts;
+        st.extra_seconds += probe.extra_seconds;
 
-        loop {
-            attempts += 1;
-            let outcome = call();
-            let st = self.stat(op);
-            st.calls += 1;
-
-            match outcome {
-                Ok(value) => {
-                    self.breakers
-                        .entry(op.to_string())
-                        .or_default()
-                        .consecutive_failures = 0;
-                    return Invocation {
-                        result: Ok(value),
-                        attempts,
-                        extra_seconds,
-                    };
+        match probe.result {
+            Ok(value) => {
+                self.breakers
+                    .entry(op.to_string())
+                    .or_default()
+                    .consecutive_failures = 0;
+                Invocation {
+                    result: Ok(value),
+                    attempts: probe.attempts,
+                    extra_seconds: probe.extra_seconds,
                 }
-                Err(err) => {
-                    st.failures += 1;
-                    if let EngineError::Timeout {
-                        stalled_seconds, ..
-                    } = &err
-                    {
-                        st.timeouts += 1;
-                        // The stalled attempt burned cluster time until the
-                        // deadline cancelled it.
-                        let stalled = stalled_seconds.min(timeout_budget);
-                        st.extra_seconds += stalled;
-                        extra_seconds += stalled;
-                    }
-                    let retries_used = attempts - 1;
-                    if err.is_retryable() && retries_used < retry.max_retries {
-                        let next_retry = retries_used + 1;
-                        st.retries += 1;
-                        let backoff = retry.backoff_secs(next_retry);
-                        st.extra_seconds += backoff;
-                        extra_seconds += backoff;
-                        continue;
-                    }
-                    // Terminal failure: count toward the breaker.
-                    let breaker = self.breakers.entry(op.to_string()).or_default();
-                    breaker.consecutive_failures += 1;
-                    if breaker_threshold > 0 && breaker.consecutive_failures >= breaker_threshold {
-                        breaker.open = true;
-                        self.stat(op).breaker_tripped = true;
-                    }
-                    let result = if attempts > 1 {
-                        Err(EngineError::RetriesExhausted {
-                            op: op.to_string(),
-                            attempts,
-                            last: Box::new(err),
-                        })
-                    } else {
-                        Err(err)
-                    };
-                    return Invocation {
-                        result,
-                        attempts,
-                        extra_seconds,
-                    };
+            }
+            Err(err) => {
+                // Terminal failure: count toward the breaker.
+                let breaker = self.breakers.entry(op.to_string()).or_default();
+                breaker.consecutive_failures += 1;
+                if breaker_threshold > 0 && breaker.consecutive_failures >= breaker_threshold {
+                    breaker.open = true;
+                    self.stat(op).breaker_tripped = true;
+                }
+                Invocation {
+                    result: Err(err),
+                    attempts: probe.attempts,
+                    extra_seconds: probe.extra_seconds,
                 }
             }
         }
+    }
+
+    /// Runs one UDF call under the session's retry / timeout / breaker
+    /// policy. The caller charges `attempts × cost_per_row +
+    /// extra_seconds` to the cost meter and decides how to handle a
+    /// terminal error (processors propagate, filters may fail open).
+    pub fn invoke<T>(&mut self, op: &str, call: impl FnMut() -> Result<T>) -> Invocation<T> {
+        if self.breaker_open(op) {
+            let st = self.stat(op);
+            st.short_circuited += 1;
+            return Invocation {
+                result: Err(EngineError::BreakerOpen { op: op.to_string() }),
+                attempts: 0,
+                extra_seconds: 0.0,
+            };
+        }
+        let probe = self.config.probe(op, call);
+        self.consume(op, probe)
     }
 }
 

@@ -52,7 +52,7 @@ pub fn estimate_selectivity(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predicate::CompareOp;
+    use crate::predicate::{Clause, CompareOp};
     use crate::row::Row;
     use crate::schema::{Column, DataType, Schema};
     use crate::value::Value;
@@ -71,14 +71,14 @@ mod tests {
     #[test]
     fn exact_on_small_tables() {
         let t = table(100);
-        let p = Predicate::clause("x", CompareOp::Lt, 25i64);
+        let p = Predicate::from(Clause::new("x", CompareOp::Lt, 25i64));
         assert!((estimate_selectivity(&p, &t, 1000, 0).unwrap() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn sampled_on_large_tables() {
         let t = table(10_000);
-        let p = Predicate::clause("x", CompareOp::Lt, 5_000i64);
+        let p = Predicate::from(Clause::new("x", CompareOp::Lt, 5_000i64));
         let est = estimate_selectivity(&p, &t, 500, 7).unwrap();
         assert!((est - 0.5).abs() < 0.1, "est={est}");
     }
@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let t = table(10_000);
-        let p = Predicate::clause("x", CompareOp::Lt, 3_000i64);
+        let p = Predicate::from(Clause::new("x", CompareOp::Lt, 3_000i64));
         let a = estimate_selectivity(&p, &t, 200, 42).unwrap();
         let b = estimate_selectivity(&p, &t, 200, 42).unwrap();
         assert_eq!(a, b);

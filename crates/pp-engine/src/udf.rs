@@ -16,7 +16,7 @@
 
 use std::sync::Arc;
 
-use crate::row::Row;
+use crate::row::{Row, RowBatch};
 use crate::schema::{Column, Schema};
 use crate::value::Value;
 use crate::{EngineError, Result};
@@ -34,6 +34,20 @@ pub trait Processor: Send + Sync {
     /// Returning an empty vec drops the row (e.g. a detector finding no
     /// vehicles).
     fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>>;
+    /// Processes a whole batch, returning one per-row outcome per input
+    /// row (`results.len() == batch.len()`). Each outcome counts as that
+    /// row's *first attempt*; the executor retries failed rows
+    /// individually. The default loops over [`process`][Self::process];
+    /// override to amortize per-call work across the batch. Overrides must
+    /// be row-independent: row `i`'s outcome may not depend on which other
+    /// rows share the batch.
+    fn process_batch(&self, batch: &RowBatch<'_>) -> Vec<Result<Vec<Vec<Value>>>> {
+        batch
+            .rows()
+            .iter()
+            .map(|row| self.process(row, batch.schema()))
+            .collect()
+    }
 }
 
 /// A reducer UDF: consumes a group of related rows, emits aggregated rows.
@@ -81,6 +95,20 @@ pub trait RowFilter: Send + Sync {
     fn cost_per_row(&self) -> f64;
     /// Whether the row survives the filter.
     fn passes(&self, row: &Row, schema: &Schema) -> Result<bool>;
+    /// Evaluates a whole batch, returning one verdict per input row
+    /// (`results.len() == batch.len()`). Each verdict counts as that row's
+    /// *first attempt*; the executor retries failed rows individually. The
+    /// default loops over [`passes`][Self::passes]; override to amortize
+    /// per-call work (PP filters score all blobs through the model in one
+    /// vectorized pass). Overrides must be row-independent: row `i`'s
+    /// verdict may not depend on which other rows share the batch.
+    fn passes_batch(&self, batch: &RowBatch<'_>) -> Vec<Result<bool>> {
+        batch
+            .rows()
+            .iter()
+            .map(|row| self.passes(row, batch.schema()))
+            .collect()
+    }
     /// Whether the executor may degrade this filter to pass-through when
     /// it fails (see [`resilience`](crate::resilience)). Defaults to true:
     /// PP-style filters are best-effort data reduction, so letting a row

@@ -217,21 +217,55 @@ impl Dnn {
             .map(|l| l.w.rows() * l.w.cols() + l.b.len())
             .sum()
     }
+
+    /// Forward pass over a dense input, ping-ponging between two caller
+    /// scratch buffers so batch scoring allocates nothing per row. The
+    /// per-unit arithmetic matches [`Layer::forward`] exactly (same dot,
+    /// same order), so results are bit-identical to [`ScoreModel::score`].
+    fn score_dense_into(&self, x: &[f64], cur: &mut Vec<f64>, next: &mut Vec<f64>) -> f64 {
+        cur.clear();
+        cur.extend_from_slice(x);
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            next.clear();
+            for r in 0..layer.w.rows() {
+                let mut z = pp_linalg::dense::dot(layer.w.row(r), cur) + layer.b[r];
+                if li != last {
+                    z = z.max(0.0); // ReLU
+                }
+                next.push(z);
+            }
+            std::mem::swap(cur, next);
+        }
+        cur[0]
+    }
 }
 
 impl ScoreModel for Dnn {
     fn score(&self, x: &Features) -> f64 {
-        let mut act = x.to_dense();
-        for (li, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.forward(&act);
-            if li != self.layers.len() - 1 {
-                for v in &mut z {
-                    *v = v.max(0.0);
+        let (mut cur, mut next) = (Vec::new(), Vec::new());
+        self.score_dense_into(&x.to_dense(), &mut cur, &mut next)
+    }
+
+    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        let (mut cur, mut next) = (Vec::new(), Vec::new());
+        let mut dense: Vec<f64> = Vec::new();
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let input: &[f64] = match x.as_dense() {
+                Some(d) => d,
+                None => {
+                    dense.clear();
+                    dense.resize(x.dim(), 0.0);
+                    for (i, v) in x.iter_nonzero() {
+                        dense[i as usize] = v;
+                    }
+                    &dense
                 }
-            }
-            act = z;
+            };
+            out.push(self.score_dense_into(input, &mut cur, &mut next));
         }
-        act[0]
+        out
     }
 }
 

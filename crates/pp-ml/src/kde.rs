@@ -118,19 +118,44 @@ impl Kde {
             .sum();
         max_term + sum.ln() - (tree.len() as f64).ln()
     }
+
+    /// The density-ratio score over an already-densified vector.
+    fn score_dense(&self, dense: &[f64]) -> f64 {
+        let lp = self.log_density(&self.pos_tree, dense);
+        let ln = self.log_density(&self.neg_tree, dense);
+        // Floor densities so that a blob far from everything scores 0
+        // instead of NaN.
+        const FLOOR: f64 = -700.0;
+        lp.max(FLOOR) - ln.max(FLOOR)
+    }
 }
 
 impl ScoreModel for Kde {
     /// `log d₊(x) − log d₋(x)`; positive means "more like the passing
     /// class" (Eq. 5 in log space).
     fn score(&self, x: &Features) -> f64 {
-        let dense = x.to_dense();
-        let lp = self.log_density(&self.pos_tree, &dense);
-        let ln = self.log_density(&self.neg_tree, &dense);
-        // Floor densities so that a blob far from everything scores 0
-        // instead of NaN.
-        const FLOOR: f64 = -700.0;
-        lp.max(FLOOR) - ln.max(FLOOR)
+        self.score_dense(&x.to_dense())
+    }
+
+    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        // Reuse one densification scratch buffer across the batch.
+        let mut scratch: Vec<f64> = Vec::new();
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let dense: &[f64] = match x.as_dense() {
+                Some(d) => d,
+                None => {
+                    scratch.clear();
+                    scratch.resize(x.dim(), 0.0);
+                    for (i, v) in x.iter_nonzero() {
+                        scratch[i as usize] = v;
+                    }
+                    &scratch
+                }
+            };
+            out.push(self.score_dense(dense));
+        }
+        out
     }
 }
 

@@ -23,6 +23,16 @@ use crate::{MlError, Result};
 pub trait ScoreModel {
     /// Scores one feature vector; higher means "more likely to pass".
     fn score(&self, x: &Features) -> f64;
+
+    /// Scores a batch of feature vectors.
+    ///
+    /// Semantically equivalent to calling [`score`][Self::score] on each
+    /// element; implementations may override it to amortize per-call work
+    /// (scratch buffers, hoisted lookups) but must return bit-identical
+    /// scores in input order.
+    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        xs.iter().map(|x| self.score(x)).collect()
+    }
 }
 
 /// Which classifier to train, with its hyper-parameters.
@@ -97,6 +107,21 @@ impl ScoreModel for Model {
             Model::Kde(m) => m.score(x),
             Model::Dnn(m) => m.score(x),
             Model::Negated(m) => -m.score(x),
+        }
+    }
+
+    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        match self {
+            Model::Svm(m) => m.score_batch(xs),
+            Model::Kde(m) => m.score_batch(xs),
+            Model::Dnn(m) => m.score_batch(xs),
+            Model::Negated(m) => {
+                let mut scores = m.score_batch(xs);
+                for s in &mut scores {
+                    *s = -*s;
+                }
+                scores
+            }
         }
     }
 }
@@ -174,6 +199,22 @@ impl Pipeline {
     /// Decision at accuracy target `a` (Eq. 2): pass iff `f(ψ(x)) ≥ th(a]`.
     pub fn passes(&self, x: &Features, a: f64) -> Result<bool> {
         Ok(self.score(x) >= self.calibration.threshold(a)?)
+    }
+
+    /// Scores a batch of raw blobs; bit-identical to per-blob
+    /// [`score`][Self::score] in input order, but lets the underlying
+    /// model reuse scratch buffers across blobs.
+    pub fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        let reduced: Vec<Features> = xs.iter().map(|x| self.reducer.apply(x)).collect();
+        let refs: Vec<&Features> = reduced.iter().collect();
+        self.model.score_batch(&refs)
+    }
+
+    /// Batch decision at accuracy target `a`: the threshold is resolved
+    /// once and compared against [`score_batch`][Self::score_batch].
+    pub fn passes_batch(&self, xs: &[&Features], a: f64) -> Result<Vec<bool>> {
+        let th = self.calibration.threshold(a)?;
+        Ok(self.score_batch(xs).into_iter().map(|s| s >= th).collect())
     }
 
     /// The calibration table.
@@ -297,6 +338,38 @@ mod tests {
         let s = pp.calibration().selectivity();
         let sn = neg.calibration().selectivity();
         assert!((s + sn - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_scoring_matches_serial_for_every_model() {
+        let data = blob_set(400, 11);
+        let (train, val, test) = data.split(0.6, 0.2, 12).unwrap();
+        let approaches = [
+            svm_approach(),
+            Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Kde(KdeParams::default()),
+            },
+            Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Dnn(DnnParams::default()),
+            },
+        ];
+        for approach in &approaches {
+            let pp = Pipeline::train(approach, &train, &val, 13).unwrap();
+            let neg = pp.negated(&val).unwrap();
+            let xs: Vec<&Features> = test.iter().map(|s| &s.features).collect();
+            for pipeline in [&pp, &neg] {
+                let batch = pipeline.score_batch(&xs);
+                for (x, b) in xs.iter().zip(&batch) {
+                    assert_eq!(pipeline.score(x), *b, "{}", pipeline.approach_name());
+                }
+                let decisions = pipeline.passes_batch(&xs, 0.95).unwrap();
+                for (x, d) in xs.iter().zip(&decisions) {
+                    assert_eq!(pipeline.passes(x, 0.95).unwrap(), *d);
+                }
+            }
+        }
     }
 
     #[test]

@@ -147,6 +147,16 @@ impl ScoreModel for LinearSvm {
         debug_assert_eq!(x.dim(), self.weights.len(), "svm score: dimension mismatch");
         x.dot(&self.weights) + self.bias
     }
+
+    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        let (w, b) = (self.weights.as_slice(), self.bias);
+        xs.iter()
+            .map(|x| {
+                debug_assert_eq!(x.dim(), w.len(), "svm score: dimension mismatch");
+                x.dot(w) + b
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

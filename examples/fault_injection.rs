@@ -16,20 +16,9 @@
 //! 3. the runtime monitor quarantines the broken PP, so replanning leaves
 //!    it out.
 
-use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
-use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
-use probabilistic_predicates::core::wrangle::Domains;
-use probabilistic_predicates::core::RuntimeMonitor;
 use probabilistic_predicates::data::traf20::traf20_queries;
-use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
-use probabilistic_predicates::engine::{
-    execute, execute_with, Catalog, CostMeter, ExecSession, FaultPlan, FaultSpec, ResilienceConfig,
-    RetryPolicy,
-};
-use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
-use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
+use probabilistic_predicates::prelude::*;
 
 fn main() {
     // Setup: traffic stream, trained PP corpus, and query Q1 (vehType=SUV).
@@ -65,45 +54,43 @@ fn main() {
         .expect("Q1");
     let plan = q1.nop_plan(&dataset);
     let optimized = qo.optimize(&plan, &catalog).expect("optimize");
-    let model = CostModel::default();
 
-    let mut meter = CostMeter::new();
-    let clean = execute(&plan, &catalog, &mut meter, &model).expect("clean run");
+    let mut ctx = ExecutionContext::new(&catalog);
+    let clean = ctx.run(&plan).expect("clean run");
     println!(
         "fault-free NoP run:        {:4} rows, {:7.1}s cluster time",
         clean.len(),
-        meter.cluster_seconds()
+        ctx.meter().cluster_seconds()
     );
 
-    // Act 1 — a flaky UDF, recovered by retries.
-    let faulted = FaultPlan::new(0x5EED)
-        .inject("VehTypeClassifier", FaultSpec::transient(0.20))
-        .apply(&plan);
-    let mut meter = CostMeter::new();
-    let mut session = ExecSession::new(ResilienceConfig::default().with_retry(RetryPolicy {
-        max_retries: 8,
-        ..Default::default()
-    }));
-    let out =
-        execute_with(&faulted, &catalog, &mut meter, &model, &mut session).expect("recovered run");
-    let udf = session.report();
-    let udf = udf.op("Process[VehTypeClassifier]").expect("udf stats");
+    // Act 1 — a flaky UDF, recovered by retries. The fault plan rides in
+    // the context and is applied to every plan it runs; results (and
+    // charges) are identical at any parallelism.
+    let mut flaky = ExecutionContext::builder(&catalog)
+        .resilience(ResilienceConfig::default().with_retry(RetryPolicy {
+            max_retries: 8,
+            ..Default::default()
+        }))
+        .fault_plan(FaultPlan::new(0x5EED).inject("VehTypeClassifier", FaultSpec::transient(0.20)))
+        .parallelism(4)
+        .build();
+    let out = flaky.run(&plan).expect("recovered run");
+    let report = flaky.report();
+    let udf = report.op("Process[VehTypeClassifier]").expect("udf stats");
     println!(
         "20% transient UDF faults:  {:4} rows, {:7.1}s cluster time  ({} failures, {} retries, identical: {})",
         out.len(),
-        meter.cluster_seconds(),
+        flaky.meter().cluster_seconds(),
         udf.failures,
         udf.retries,
         out.len() == clean.len()
     );
 
     // Act 2 — a hard-failed PP: fail-open + circuit breaker.
-    let mut meter = CostMeter::new();
-    let mut session = ExecSession::default();
-    let out =
-        execute_with(&optimized.plan, &catalog, &mut meter, &model, &mut session).expect("pp run");
-    let report = session.report();
-    let pp_op = report
+    let mut healthy = ExecutionContext::new(&catalog);
+    let out = healthy.run(&optimized.plan).expect("pp run");
+    let pp_op = healthy
+        .report()
         .ops
         .iter()
         .find(|o| o.op.contains("PP["))
@@ -113,26 +100,24 @@ fn main() {
     println!(
         "healthy PP plan:           {:4} rows, {:7.1}s cluster time  (filter: {pp_op})",
         out.len(),
-        meter.cluster_seconds()
+        healthy.meter().cluster_seconds()
     );
 
-    let broken = FaultPlan::new(0x0BAD)
-        .inject(&pp_op, FaultSpec::transient(1.0))
-        .apply(&optimized.plan);
-    let mut meter = CostMeter::new();
-    let mut session = ExecSession::new(
-        ResilienceConfig::default()
-            .with_retry(RetryPolicy::none())
-            .with_breaker_threshold(3),
-    );
-    let out =
-        execute_with(&broken, &catalog, &mut meter, &model, &mut session).expect("fail-open run");
-    let report = session.report();
+    let mut broken = ExecutionContext::builder(&catalog)
+        .resilience(
+            ResilienceConfig::default()
+                .with_retry(RetryPolicy::none())
+                .with_breaker_threshold(3),
+        )
+        .fault_plan(FaultPlan::new(0x0BAD).inject(&pp_op, FaultSpec::transient(1.0)))
+        .build();
+    let out = broken.run(&optimized.plan).expect("fail-open run");
+    let report = broken.report();
     let pp = report.op(&pp_op).expect("pp stats");
     println!(
         "hard-failed PP:            {:4} rows, {:7.1}s cluster time  (breaker tripped: {}, short-circuited: {}, matches NoP: {})",
         out.len(),
-        meter.cluster_seconds(),
+        broken.meter().cluster_seconds(),
         pp.breaker_tripped,
         pp.short_circuited,
         out.len() == clean.len()

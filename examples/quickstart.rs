@@ -12,16 +12,8 @@
 
 use std::sync::Arc;
 
-use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
-use probabilistic_predicates::core::train::{harvest_labels, PpTrainer, TrainerConfig};
-use probabilistic_predicates::core::wrangle::Domains;
-use probabilistic_predicates::engine::cost::CostModel;
-use probabilistic_predicates::engine::predicate::{Clause, CompareOp, Predicate};
-use probabilistic_predicates::engine::udf::ClosureProcessor;
-use probabilistic_predicates::engine::{
-    execute, Catalog, Column, CostMeter, DataType, LogicalPlan, Row, Rowset, Schema, Value,
-};
-use probabilistic_predicates::linalg::Features;
+use probabilistic_predicates::core::train::harvest_labels;
+use probabilistic_predicates::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,7 +53,7 @@ fn main() {
     ));
     let query = LogicalPlan::scan("images")
         .process(classifier)
-        .select(Predicate::clause("label", CompareOp::Eq, "cat"));
+        .select(Predicate::from(Clause::new("label", CompareOp::Eq, "cat")));
     println!("original plan:\n{}", query.explain());
 
     // 3. Harvest labeled blobs by running the UDF once (Fig. 3b's outer
@@ -80,7 +72,7 @@ fn main() {
         cost_per_row: Some(0.001), // 1 ms per blob — 50× cheaper than the UDF
         ..Default::default()
     });
-    let mut pp_catalog = probabilistic_predicates::core::PpCatalog::new();
+    let mut pp_catalog = PpCatalog::new();
     for pp in trainer.train_clause(&clause, &labeled).expect("train") {
         println!(
             "trained {} — reduction at a=0.95: {:.2}",
@@ -102,22 +94,27 @@ fn main() {
     let optimized = qo.optimize(&query, &catalog).expect("optimize");
     println!("optimized plan:\n{}", optimized.plan.explain());
 
-    let model = CostModel::default();
-    let mut m0 = CostMeter::new();
-    let baseline = execute(&query, &catalog, &mut m0, &model).expect("baseline");
-    let mut m1 = CostMeter::new();
-    let accelerated = execute(&optimized.plan, &catalog, &mut m1, &model).expect("accelerated");
+    // One context per plan run: the builder bundles catalog, cost model,
+    // and parallelism; `run` meters each query from zero.
+    let mut ctx = ExecutionContext::builder(&catalog)
+        .cost_model(CostModel::default())
+        .parallelism(4)
+        .build();
+    let baseline = ctx.run(&query).expect("baseline");
+    let baseline_secs = ctx.meter().cluster_seconds();
+    let accelerated = ctx.run(&optimized.plan).expect("accelerated");
+    let accelerated_secs = ctx.meter().cluster_seconds();
 
     println!(
         "baseline: {} rows, {:.1}s cluster time",
         baseline.len(),
-        m0.cluster_seconds()
+        baseline_secs
     );
     println!(
         "with PP:  {} rows, {:.1}s cluster time  →  {:.1}x speed-up, accuracy {:.2}",
         accelerated.len(),
-        m1.cluster_seconds(),
-        m0.cluster_seconds() / m1.cluster_seconds(),
+        accelerated_secs,
+        baseline_secs / accelerated_secs,
         accelerated.len() as f64 / baseline.len() as f64
     );
 }

@@ -11,16 +11,8 @@
 //! assemble a combination for the complex predicate `vehType = SUV AND
 //! vehColor = red` — a predicate no single PP was trained for.
 
-use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
-use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
-use probabilistic_predicates::core::wrangle::Domains;
-use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
-use probabilistic_predicates::engine::predicate::{CompareOp, Predicate};
-use probabilistic_predicates::engine::{execute, Catalog, CostMeter, LogicalPlan};
-use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
-use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
+use probabilistic_predicates::prelude::*;
 
 fn main() {
     // Generate 5 000 frames; train PPs on the first 1 500.
@@ -58,8 +50,8 @@ fn main() {
         .process(dataset.udf("vehType").expect("udf"))
         .process(dataset.udf("vehColor").expect("udf"))
         .select(Predicate::and(
-            Predicate::clause("vehType", CompareOp::Eq, "SUV"),
-            Predicate::clause("vehColor", CompareOp::Eq, "red"),
+            Predicate::from(Clause::new("vehType", CompareOp::Eq, "SUV")),
+            Predicate::from(Clause::new("vehColor", CompareOp::Eq, "red")),
         ));
 
     let mut domains = Domains::new();
@@ -90,11 +82,12 @@ fn main() {
             .unwrap_or_else(|| "none".into()),
     );
 
-    let model = CostModel::default();
-    let mut m0 = CostMeter::new();
-    let baseline = execute(&query, &catalog, &mut m0, &model).expect("baseline");
-    let mut m1 = CostMeter::new();
-    let fast = execute(&optimized.plan, &catalog, &mut m1, &model).expect("accelerated");
+    // Run both plans through one partitioned context; the meter resets per
+    // run, so snapshot what each query charged.
+    let mut ctx = ExecutionContext::builder(&catalog).parallelism(4).build();
+    let baseline = ctx.run(&query).expect("baseline");
+    let baseline_secs = ctx.meter().cluster_seconds();
+    let fast = ctx.run(&optimized.plan).expect("accelerated");
 
     println!(
         "\nred SUVs found: {} (baseline {})",
@@ -103,11 +96,11 @@ fn main() {
     );
     println!(
         "cluster time:   {:.1}s → {:.1}s  ({:.1}x speed-up)",
-        m0.cluster_seconds(),
-        m1.cluster_seconds(),
-        m0.cluster_seconds() / m1.cluster_seconds()
+        baseline_secs,
+        ctx.meter().cluster_seconds(),
+        baseline_secs / ctx.meter().cluster_seconds()
     );
-    for op in m1.entries() {
+    for op in ctx.meter().entries() {
         println!(
             "  {:55} in={:5} out={:5} {:8.2}s",
             op.op, op.rows_in, op.rows_out, op.seconds

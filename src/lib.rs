@@ -26,3 +26,34 @@ pub use pp_data as data;
 pub use pp_engine as engine;
 pub use pp_linalg as linalg;
 pub use pp_ml as ml;
+
+/// One-stop imports for the common workflow: build a catalog, train PPs,
+/// optimize a plan, and run it through an [`ExecutionContext`].
+///
+/// ```
+/// use probabilistic_predicates::prelude::*;
+/// ```
+///
+/// [`ExecutionContext`]: crate::engine::exec::ExecutionContext
+pub mod prelude {
+    pub use pp_core::planner::{PlanReport, PpQueryOptimizer, QoConfig};
+    pub use pp_core::runtime::RuntimeMonitor;
+    pub use pp_core::train::{PpTrainer, TrainerConfig};
+    pub use pp_core::wrangle::Domains;
+    pub use pp_core::PpCatalog;
+    pub use pp_data::traffic::{TrafficConfig, TrafficDataset};
+    pub use pp_engine::cost::{CostMeter, CostModel, QueryMetrics};
+    pub use pp_engine::exec::{ExecutionContext, ExecutionContextBuilder};
+    pub use pp_engine::fault::{FaultPlan, FaultSpec};
+    pub use pp_engine::logical::{LogicalPlan, OpParallelism};
+    pub use pp_engine::predicate::{Clause, CompareOp, Predicate};
+    pub use pp_engine::resilience::{ExecReport, ResilienceConfig, RetryPolicy};
+    pub use pp_engine::row::{Row, RowBatch, Rowset};
+    pub use pp_engine::schema::{Column, DataType, Schema};
+    pub use pp_engine::udf::{ClosureFilter, ClosureProcessor};
+    pub use pp_engine::value::Value;
+    pub use pp_engine::Catalog;
+    pub use pp_linalg::Features;
+    pub use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
+    pub use pp_ml::reduction::ReducerSpec;
+}

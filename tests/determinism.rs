@@ -8,8 +8,8 @@ use probabilistic_predicates::core::wrangle::Domains;
 use probabilistic_predicates::data::corpora::{coco_like, lshtc_like};
 use probabilistic_predicates::data::traf20::traf20_queries;
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
-use probabilistic_predicates::engine::{execute, Catalog, CostMeter};
+use probabilistic_predicates::engine::exec::ExecutionContext;
+use probabilistic_predicates::engine::Catalog;
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec, Pipeline};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
@@ -54,11 +54,10 @@ fn run_once() -> (usize, f64, String) {
         .expect("Q11");
     let plan = q.nop_plan(&dataset);
     let optimized = qo.optimize(&plan, &catalog).expect("optimize");
-    let mut meter = CostMeter::new();
-    let out =
-        execute(&optimized.plan, &catalog, &mut meter, &CostModel::default()).expect("execute");
+    let mut ctx = ExecutionContext::builder(&catalog).parallelism(4).build();
+    let out = ctx.run(&optimized.plan).expect("execute");
     let chosen = optimized.report.chosen.map(|c| c.expr).unwrap_or_default();
-    (out.len(), meter.cluster_seconds(), chosen)
+    (out.len(), ctx.meter().cluster_seconds(), chosen)
 }
 
 #[test]

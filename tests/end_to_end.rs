@@ -9,8 +9,8 @@ use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
 use probabilistic_predicates::core::wrangle::Domains;
 use probabilistic_predicates::data::traf20::traf20_queries;
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
-use probabilistic_predicates::engine::{execute, Catalog, CostMeter, Row};
+use probabilistic_predicates::engine::exec::ExecutionContext;
+use probabilistic_predicates::engine::{Catalog, Row};
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
@@ -74,15 +74,17 @@ fn row_key(row: &Row) -> i64 {
 #[test]
 fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
     let world = build_world(0.95);
-    let model = CostModel::default();
+    let mut ctx = ExecutionContext::builder(&world.catalog)
+        .parallelism(4)
+        .build();
     let mut improved = 0usize;
     for q in traf20_queries() {
         let plan = q.nop_plan(&world.dataset);
-        let mut m0 = CostMeter::new();
-        let baseline = execute(&plan, &world.catalog, &mut m0, &model).expect("baseline");
+        let baseline = ctx.run(&plan).expect("baseline");
+        let baseline_secs = ctx.meter().cluster_seconds();
         let optimized = world.qo.optimize(&plan, &world.catalog).expect("optimize");
-        let mut m1 = CostMeter::new();
-        let fast = execute(&optimized.plan, &world.catalog, &mut m1, &model).expect("pp plan");
+        let fast = ctx.run(&optimized.plan).expect("pp plan");
+        let pp_secs = ctx.meter().cluster_seconds();
 
         // No false positives: the PP output is a subset of the baseline.
         let base_keys: std::collections::HashSet<i64> =
@@ -108,13 +110,11 @@ fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
         // Cost must never exceed the baseline when a PP was injected.
         if optimized.report.chosen.is_some() {
             assert!(
-                m1.cluster_seconds() <= m0.cluster_seconds() * 1.001,
-                "Q{}: PP plan cost {} exceeds baseline {}",
+                pp_secs <= baseline_secs * 1.001,
+                "Q{}: PP plan cost {pp_secs} exceeds baseline {baseline_secs}",
                 q.id,
-                m1.cluster_seconds(),
-                m0.cluster_seconds()
             );
-            if m1.cluster_seconds() < 0.8 * m0.cluster_seconds() {
+            if pp_secs < 0.8 * baseline_secs {
                 improved += 1;
             }
         }
@@ -128,14 +128,14 @@ fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
 #[test]
 fn accuracy_target_one_keeps_validation_guarantee() {
     let world = build_world(1.0);
-    let model = CostModel::default();
+    let mut ctx = ExecutionContext::builder(&world.catalog)
+        .parallelism(4)
+        .build();
     for q in traf20_queries().into_iter().filter(|q| q.id % 4 == 0) {
         let plan = q.nop_plan(&world.dataset);
-        let mut m0 = CostMeter::new();
-        let baseline = execute(&plan, &world.catalog, &mut m0, &model).expect("baseline");
+        let baseline = ctx.run(&plan).expect("baseline");
         let optimized = world.qo.optimize(&plan, &world.catalog).expect("optimize");
-        let mut m1 = CostMeter::new();
-        let fast = execute(&optimized.plan, &world.catalog, &mut m1, &model).expect("pp plan");
+        let fast = ctx.run(&optimized.plan).expect("pp plan");
         if baseline.len() >= 50 {
             let acc = fast.len() as f64 / baseline.len() as f64;
             assert!(acc >= 0.9, "Q{}: accuracy {acc} at target 1.0", q.id);

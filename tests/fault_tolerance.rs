@@ -20,10 +20,10 @@ use probabilistic_predicates::core::wrangle::Domains;
 use probabilistic_predicates::core::RuntimeMonitor;
 use probabilistic_predicates::data::traf20::traf20_queries;
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
+use probabilistic_predicates::engine::exec::ExecutionContext;
+use probabilistic_predicates::engine::resilience::ExecReport;
 use probabilistic_predicates::engine::{
-    execute, execute_with, Catalog, CostMeter, ExecSession, FaultPlan, FaultSpec, LogicalPlan,
-    ResilienceConfig, RetryPolicy, Rowset,
+    Catalog, CostMeter, FaultPlan, FaultSpec, LogicalPlan, ResilienceConfig, RetryPolicy, Rowset,
 };
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
@@ -79,17 +79,9 @@ fn fixture() -> &'static Fixture {
         let optimized = qo.optimize(&nop_plan, &catalog).expect("optimize");
         assert!(optimized.report.chosen.is_some(), "Q1 must get a PP");
         // Recover the PP filter's operator name from a fault-free run.
-        let mut meter = CostMeter::new();
-        let mut session = ExecSession::default();
-        execute_with(
-            &optimized.plan,
-            &catalog,
-            &mut meter,
-            &CostModel::default(),
-            &mut session,
-        )
-        .expect("pp plan executes");
-        let pp_op = session
+        let mut ctx = ExecutionContext::new(&catalog);
+        ctx.run(&optimized.plan).expect("pp plan executes");
+        let pp_op = ctx
             .report()
             .ops
             .iter()
@@ -127,24 +119,22 @@ fn pp_keys(expr: &str) -> Vec<String> {
 
 fn run_plain(plan: &LogicalPlan) -> (Rowset, CostMeter) {
     let f = fixture();
-    let mut meter = CostMeter::new();
-    let out = execute(plan, &f.catalog, &mut meter, &CostModel::default()).expect("execute");
+    let mut ctx = ExecutionContext::new(&f.catalog);
+    let out = ctx.run(plan).expect("execute");
+    let meter = ctx.meter().clone();
     (out, meter)
 }
 
-fn run_resilient(plan: &LogicalPlan, config: ResilienceConfig) -> (Rowset, CostMeter, ExecSession) {
+fn run_resilient(plan: &LogicalPlan, config: ResilienceConfig) -> (Rowset, CostMeter, ExecReport) {
     let f = fixture();
-    let mut meter = CostMeter::new();
-    let mut session = ExecSession::new(config);
-    let out = execute_with(
-        plan,
-        &f.catalog,
-        &mut meter,
-        &CostModel::default(),
-        &mut session,
-    )
-    .expect("resilient execute");
-    (out, meter, session)
+    let mut ctx = ExecutionContext::builder(&f.catalog)
+        .resilience(config)
+        .parallelism(4)
+        .build();
+    let out = ctx.run(plan).expect("resilient execute");
+    let meter = ctx.meter().clone();
+    let report = ctx.report();
+    (out, meter, report)
 }
 
 /// (a) 20% transient failures on the vehicle-type UDF, recovered by
@@ -162,14 +152,13 @@ fn transient_udf_failures_recover_to_identical_results() {
         max_retries: 8,
         ..Default::default()
     });
-    let (out, meter, session) = run_resilient(&faulted, config);
+    let (out, meter, report) = run_resilient(&faulted, config);
 
     assert_eq!(
         digest(&out),
         digest(&baseline),
         "results must be byte-identical"
     );
-    let report = session.report();
     let udf = report
         .op("Process[VehTypeClassifier]")
         .expect("UDF op tracked");
@@ -203,14 +192,13 @@ fn hard_failed_pp_fails_open_and_planner_quarantines_it() {
     let config = ResilienceConfig::default()
         .with_retry(RetryPolicy::none())
         .with_breaker_threshold(3);
-    let (out, _, session) = run_resilient(&faulted, config);
+    let (out, _, report) = run_resilient(&faulted, config);
 
     assert_eq!(
         digest(&out),
         digest(&nop_out),
         "fail-open PP must reproduce the NoP plan's results exactly"
     );
-    let report = session.report();
     let pp = report.op(&f.pp_op).expect("PP op tracked");
     assert!(pp.breaker_tripped, "breaker must trip: {pp:?}");
     assert_eq!(pp.calls, 3, "breaker threshold bounds the attempts");
@@ -280,8 +268,8 @@ fn same_seed_reproduces_outputs_and_charges() {
             max_retries: 8,
             ..Default::default()
         });
-        let (out, meter, session) = run_resilient(&faulted, config);
-        (digest(&out), out.len(), meter, session.report())
+        let (out, meter, report) = run_resilient(&faulted, config);
+        (digest(&out), out.len(), meter, report)
     };
     let (out_a, len_a, meter_a, report_a) = run(0x5EED);
     let (out_b, _, meter_b, report_b) = run(0x5EED);

@@ -14,12 +14,9 @@ use probabilistic_predicates::core::wrangle::Domains;
 use probabilistic_predicates::core::PpCatalog;
 use probabilistic_predicates::data::traf20::traf20_queries;
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
-use probabilistic_predicates::engine::predicate::{CompareOp, Predicate};
-use probabilistic_predicates::engine::{
-    execute, execute_with, Catalog, CostMeter, ExecSession, FaultPlan, FaultSpec, LogicalPlan,
-    Rowset, Value,
-};
+use probabilistic_predicates::engine::exec::ExecutionContext;
+use probabilistic_predicates::engine::predicate::{Clause, CompareOp, Predicate};
+use probabilistic_predicates::engine::{Catalog, FaultPlan, FaultSpec, LogicalPlan, Rowset, Value};
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
@@ -59,13 +56,13 @@ fn domains() -> Domains {
 fn arb_clause() -> impl Strategy<Value = Predicate> {
     prop_oneof![
         proptest::sample::select(vec!["sedan", "SUV", "truck", "van"])
-            .prop_map(|t| { Predicate::clause("vehType", CompareOp::Eq, t) }),
+            .prop_map(|t| { Predicate::from(Clause::new("vehType", CompareOp::Eq, t)) }),
         proptest::sample::select(vec!["red", "black", "white", "silver", "other"])
-            .prop_map(|c| { Predicate::clause("vehColor", CompareOp::Eq, c) }),
+            .prop_map(|c| { Predicate::from(Clause::new("vehColor", CompareOp::Eq, c)) }),
         proptest::sample::select(vec!["sedan", "SUV", "truck", "van"])
-            .prop_map(|t| { Predicate::clause("vehType", CompareOp::Ne, t) }),
-        (30.0f64..75.0).prop_map(|v| Predicate::clause("speed", CompareOp::Gt, v)),
-        (30.0f64..75.0).prop_map(|v| Predicate::clause("speed", CompareOp::Lt, v)),
+            .prop_map(|t| { Predicate::from(Clause::new("vehType", CompareOp::Ne, t)) }),
+        (30.0f64..75.0).prop_map(|v| Predicate::from(Clause::new("speed", CompareOp::Gt, v))),
+        (30.0f64..75.0).prop_map(|v| Predicate::from(Clause::new("speed", CompareOp::Lt, v))),
     ]
 }
 
@@ -106,7 +103,7 @@ fn wrangled_inequality_finds_candidates() {
     let catalog = traf_pp_catalog();
     // `vehColor != white` should match the trained negation PP directly
     // AND yield an expanded disjunction of equality PPs.
-    let pred = Predicate::clause("vehColor", CompareOp::Ne, "white");
+    let pred = Predicate::from(Clause::new("vehColor", CompareOp::Ne, "white"));
     let outcome = rewrite(&pred, &catalog, &domains(), &RewriteConfig::default());
     assert!(!outcome.candidates.is_empty());
     for cand in &outcome.candidates {
@@ -117,7 +114,7 @@ fn wrangled_inequality_finds_candidates() {
 #[test]
 fn unknown_columns_produce_no_candidates() {
     let catalog = traf_pp_catalog();
-    let pred = Predicate::clause("weather", CompareOp::Eq, Value::str("rain"));
+    let pred = Predicate::from(Clause::new("weather", CompareOp::Eq, Value::str("rain")));
     let outcome = rewrite(&pred, &catalog, &domains(), &RewriteConfig::default());
     assert!(outcome.candidates.is_empty());
     assert_eq!(outcome.feasible_count, 0);
@@ -176,14 +173,10 @@ fn fault_fixture() -> &'static FaultFixture {
         let nop_plan = q1.nop_plan(&dataset);
         let optimized = qo.optimize(&nop_plan, &catalog).expect("optimize");
         assert!(optimized.report.chosen.is_some(), "Q1 must get a PP");
-        let model = CostModel::default();
-        let mut meter = CostMeter::new();
-        let nop_out = execute(&nop_plan, &catalog, &mut meter, &model).expect("nop");
-        let mut meter = CostMeter::new();
-        let mut session = ExecSession::default();
-        let clean_out = execute_with(&optimized.plan, &catalog, &mut meter, &model, &mut session)
-            .expect("clean pp run");
-        let pp_op = session
+        let mut ctx = ExecutionContext::new(&catalog);
+        let nop_out = ctx.run(&nop_plan).expect("nop");
+        let clean_out = ctx.run(&optimized.plan).expect("clean pp run");
+        let pp_op = ctx
             .report()
             .ops
             .iter()
@@ -216,16 +209,20 @@ proptest! {
         timeout in 0.0f64..0.2,
         corrupt in 0.0f64..0.2,
         poison in 0.0f64..0.1,
+        parallelism in 1usize..=8,
+        batch_size in 1usize..=64,
     ) {
         let f = fault_fixture();
         let spec = FaultSpec::transient(transient)
             .with_timeouts(timeout, 1.0)
             .with_corrupt(corrupt)
             .with_poison(poison);
-        let faulted = FaultPlan::new(seed).inject(&f.pp_op, spec).apply(&f.pp_plan);
-        let mut meter = CostMeter::new();
-        let mut session = ExecSession::default();
-        let out = execute_with(&faulted, &f.catalog, &mut meter, &CostModel::default(), &mut session)
+        let mut ctx = ExecutionContext::builder(&f.catalog)
+            .fault_plan(FaultPlan::new(seed).inject(&f.pp_op, spec))
+            .parallelism(parallelism)
+            .batch_size(batch_size)
+            .build();
+        let out = ctx.run(&f.pp_plan)
             .expect("faulted run must not abort: PP filters degrade fail-open");
         let ids = frame_ids(&out);
         prop_assert!(
@@ -243,10 +240,18 @@ proptest! {
 fn negated_pp_catalog_entries_behave_inversely() {
     let catalog = traf_pp_catalog();
     let pos = catalog
-        .get(&Predicate::clause("vehType", CompareOp::Eq, "SUV"))
+        .get(&Predicate::from(Clause::new(
+            "vehType",
+            CompareOp::Eq,
+            "SUV",
+        )))
         .expect("PP for vehType = SUV");
     let neg = catalog
-        .get(&Predicate::clause("vehType", CompareOp::Ne, "SUV"))
+        .get(&Predicate::from(Clause::new(
+            "vehType",
+            CompareOp::Ne,
+            "SUV",
+        )))
         .expect("PP for vehType != SUV");
     // Scores are exact negations (§5.6's sign flip).
     let dataset = TrafficDataset::generate(TrafficConfig {
