@@ -1,0 +1,186 @@
+//! Telemetry report: per-operator observability for the TRAF-20 workload.
+//!
+//! Runs a PP-optimized TRAF-20 query twice — once clean, once under a
+//! seeded fault plan aimed at its probabilistic predicates — and renders
+//! the per-operator span table from the [`TelemetrySnapshot`]: rows in /
+//! out, reduction, simulated p50/p99 latency, retries, and injected
+//! faults. The faulted snapshot is then fed to the runtime monitor so the
+//! drift and quarantine diagnostics are shown end to end.
+//!
+//! [`TelemetrySnapshot`]: pp_engine::TelemetrySnapshot
+
+use std::collections::BTreeMap;
+
+use pp_bench::setup::traffic_setup;
+use pp_bench::table::{f2, Table};
+use pp_core::RuntimeMonitor;
+use pp_data::traf20::traf20_queries;
+use pp_engine::exec::ExecutionContext;
+use pp_engine::{EventKind, FaultPlan, FaultSpec, TelemetrySnapshot};
+
+/// Milliseconds with two decimals, for simulated per-row latencies.
+fn ms(seconds: f64) -> String {
+    format!("{:.2}ms", seconds * 1e3)
+}
+
+/// Operator names can be long; keep the table narrow.
+fn clip(op: &str, width: usize) -> String {
+    if op.len() <= width {
+        op.to_string()
+    } else {
+        format!("{}…", &op[..width - 1])
+    }
+}
+
+fn span_table(title: &str, snap: &TelemetrySnapshot) -> Table {
+    let mut faults_by_op: BTreeMap<&str, u64> = BTreeMap::new();
+    for f in &snap.injected_faults {
+        *faults_by_op.entry(f.op.as_str()).or_default() += 1;
+    }
+    let mut table = Table::new(title).headers([
+        "op", "operator", "rows in", "rows out", "filtered", "failed", "reduce", "p50", "p99",
+        "retries", "faults",
+    ]);
+    for span in &snap.spans {
+        table.row([
+            format!("#{}", span.op_id.0),
+            clip(&span.op, 28),
+            span.rows_in.to_string(),
+            span.rows_out.to_string(),
+            span.rows_filtered.to_string(),
+            span.rows_failed.to_string(),
+            f2(span.reduction()),
+            ms(span.latency.p50()),
+            ms(span.latency.p99()),
+            span.retries.to_string(),
+            faults_by_op
+                .get(span.op.as_str())
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+        ]);
+    }
+    table
+}
+
+fn event_summary(snap: &TelemetrySnapshot) -> String {
+    let mut by_kind: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in &snap.events {
+        *by_kind.entry(e.kind.name()).or_default() += e.count;
+    }
+    if by_kind.is_empty() {
+        return "none".to_string();
+    }
+    by_kind
+        .iter()
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    let setup = traffic_setup(2_000, 500, 0xF16);
+    let queries = traf20_queries();
+    let q = &queries[0];
+    let nop_plan = q.nop_plan(&setup.dataset);
+    let optimized = setup
+        .optimizer(0.95)
+        .optimize(&nop_plan, &setup.catalog)
+        .expect("QO")
+        .plan;
+
+    // Clean run: discover the PP operators the optimizer injected.
+    let mut ctx = ExecutionContext::builder(&setup.catalog)
+        .parallelism(4)
+        .build();
+    ctx.run(&optimized).expect("clean execution");
+    let clean = ctx.telemetry().expect("telemetry snapshot").clone();
+    let pp_ops: Vec<String> = clean
+        .spans
+        .iter()
+        .filter(|s| s.op.starts_with("PP["))
+        .map(|s| s.op.clone())
+        .collect();
+    assert!(!pp_ops.is_empty(), "optimized plan should carry PP filters");
+
+    // Faulted run: transient faults + occasional timeouts on every PP.
+    let mut fault_plan = FaultPlan::new(0xBAD5EED);
+    for op in &pp_ops {
+        fault_plan = fault_plan.inject(op, FaultSpec::transient(0.08).with_timeouts(0.02, 90.0));
+    }
+    let mut faulted_ctx = ExecutionContext::builder(&setup.catalog)
+        .parallelism(4)
+        .fault_plan(fault_plan)
+        .build();
+    faulted_ctx.run(&optimized).expect("faulted execution");
+    let faulted = faulted_ctx.telemetry().expect("telemetry snapshot").clone();
+
+    println!(
+        "TRAF-20 Q{} ({}), PP plan @ accuracy 0.95, parallelism 4\n",
+        q.id, q.kind
+    );
+    span_table("Clean run — per-operator spans", &clean).print();
+    println!("events: {}\n", event_summary(&clean));
+    span_table(
+        "Faulted run — transient 8% + timeout 2% on every PP",
+        &faulted,
+    )
+    .print();
+    println!("events: {}", event_summary(&faulted));
+    println!(
+        "injected faults: {}  retries: {}  conservation violations: {}\n",
+        faulted.injected_fault_count(),
+        faulted.total_retries(),
+        faulted.conservation_violations().len(),
+    );
+    assert!(
+        faulted.injected_fault_count() > 0 && faulted.total_retries() > 0,
+        "the seeded fault plan should fire and force retries"
+    );
+    assert!(
+        clean.conservation_violations().is_empty() && faulted.conservation_violations().is_empty(),
+        "row conservation must hold in both runs"
+    );
+    let timeouts = faulted
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::Timeout)
+        .map(|e| e.count)
+        .sum::<u64>();
+    println!("timeout events: {timeouts}");
+
+    // Feed both snapshots to the runtime monitor: two observations per PP
+    // give it a selectivity baseline, so drift becomes reportable.
+    let monitor = RuntimeMonitor::new();
+    monitor.observe_telemetry(&clean);
+    monitor.observe_telemetry(&faulted);
+    let mut drift_table = Table::new("Runtime monitor — per-PP drift after both runs").headers([
+        "pp",
+        "observations",
+        "drift",
+        "fault calls",
+        "fault rate",
+        "quarantined",
+    ]);
+    for op in &pp_ops {
+        let key = op
+            .strip_prefix("PP[")
+            .and_then(|s| s.strip_suffix(']'))
+            .unwrap_or(op);
+        let stats = monitor.fault_stats(key);
+        drift_table.row([
+            clip(key, 28),
+            monitor.selectivity_history(key).len().to_string(),
+            monitor
+                .drift(key)
+                .map_or_else(|| "-".to_string(), |d| format!("{d:.4}")),
+            stats.calls.to_string(),
+            f2(stats.rate()),
+            match monitor.why_broken(key) {
+                Some(reason) => format!("{reason:?}"),
+                None => "no".to_string(),
+            },
+        ]);
+    }
+    drift_table.print();
+}

@@ -45,7 +45,7 @@ pub use catalog::PpCatalog;
 pub use expr::PpExpr;
 pub use planner::{PpQueryOptimizer, QoConfig};
 pub use pp::ProbabilisticPredicate;
-pub use runtime::{MonitorConfig, RuntimeMonitor};
+pub use runtime::{MonitorConfig, QuarantineReason, RuntimeMonitor};
 
 /// Errors produced by the PP core.
 #[derive(Debug)]

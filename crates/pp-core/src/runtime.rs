@@ -21,6 +21,7 @@ use std::collections::{HashMap, HashSet};
 use parking_lot::RwLock;
 
 use pp_engine::resilience::ExecReport;
+use pp_engine::telemetry::TelemetrySnapshot;
 
 /// One runtime observation of a PP expression's behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +84,25 @@ impl MonitorConfig {
     }
 }
 
+/// Why a PP was quarantined — kept so operators can ask "why is this PP
+/// not being used?" instead of reverse-engineering the broken set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Its observed failure rate crossed
+    /// [`fault_rate_threshold`](MonitorConfig::fault_rate_threshold) at
+    /// these cumulative counters.
+    FaultRate {
+        /// Filter calls recorded when the threshold was crossed.
+        calls: u64,
+        /// Failures recorded when the threshold was crossed.
+        failures: u64,
+    },
+    /// Its operator's circuit breaker tripped during a query.
+    BreakerTripped,
+    /// Quarantined explicitly via [`RuntimeMonitor::mark_broken`].
+    Manual,
+}
+
 /// Cumulative fault counters for one PP key.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
@@ -121,6 +141,8 @@ struct Inner {
     flagged: HashMap<String, bool>,
     faults: HashMap<String, FaultStats>,
     broken: HashSet<String>,
+    reasons: HashMap<String, QuarantineReason>,
+    selectivity: HashMap<String, Vec<f64>>,
 }
 
 impl RuntimeMonitor {
@@ -196,12 +218,32 @@ impl RuntimeMonitor {
         if stats.calls >= self.config.min_calls && stats.rate() >= self.config.fault_rate_threshold
         {
             inner.broken.insert(pp_key.to_string());
+            inner
+                .reasons
+                .entry(pp_key.to_string())
+                .or_insert(QuarantineReason::FaultRate {
+                    calls: stats.calls,
+                    failures: stats.failures,
+                });
         }
     }
 
-    /// Explicitly quarantines a PP (e.g. its circuit breaker tripped).
+    /// Explicitly quarantines a PP (e.g. after an out-of-band incident).
     pub fn mark_broken(&self, pp_key: &str) {
-        self.inner.write().broken.insert(pp_key.to_string());
+        self.mark_broken_for(pp_key, QuarantineReason::Manual);
+    }
+
+    fn mark_broken_for(&self, pp_key: &str, reason: QuarantineReason) {
+        let mut inner = self.inner.write();
+        inner.broken.insert(pp_key.to_string());
+        // The first recorded cause wins: it is the reason the PP *became*
+        // quarantined.
+        inner.reasons.entry(pp_key.to_string()).or_insert(reason);
+    }
+
+    /// Why `pp_key` is quarantined, or `None` if it is not.
+    pub fn why_broken(&self, pp_key: &str) -> Option<QuarantineReason> {
+        self.inner.read().reasons.get(pp_key).copied()
     }
 
     /// Whether the PP is quarantined; the planner excludes broken PPs from
@@ -228,11 +270,50 @@ impl RuntimeMonitor {
     }
 
     /// Restores a quarantined PP and resets its fault counters (e.g. after
-    /// redeploying a fixed model).
+    /// redeploying a fixed model). The selectivity history is kept — it
+    /// describes the model's statistical behavior, not its health.
     pub fn restore(&self, pp_key: &str) {
         let mut inner = self.inner.write();
         inner.broken.remove(pp_key);
         inner.faults.remove(pp_key);
+        inner.reasons.remove(pp_key);
+    }
+
+    /// Appends one observed data reduction for a PP key (the telemetry
+    /// span's [`reduction`](pp_engine::telemetry::OperatorSpan::reduction)).
+    pub fn observe_selectivity(&self, pp_key: &str, observed_reduction: f64) {
+        self.inner
+            .write()
+            .selectivity
+            .entry(pp_key.to_string())
+            .or_default()
+            .push(observed_reduction);
+    }
+
+    /// All observed reductions recorded for a PP key, in query order.
+    pub fn selectivity_history(&self, pp_key: &str) -> Vec<f64> {
+        self.inner
+            .read()
+            .selectivity
+            .get(pp_key)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Selectivity drift: absolute gap between the latest observed
+    /// reduction and the mean of all earlier ones. `None` until a PP has
+    /// at least two observations. A large drift means the training-time
+    /// reduction estimate no longer describes live data — the signal the
+    /// paper's runtime fix (Appendix A.5) keys off.
+    pub fn drift(&self, pp_key: &str) -> Option<f64> {
+        let inner = self.inner.read();
+        let history = inner.selectivity.get(pp_key)?;
+        let (latest, earlier) = history.split_last()?;
+        if earlier.is_empty() {
+            return None;
+        }
+        let mean = earlier.iter().sum::<f64>() / earlier.len() as f64;
+        Some((latest - mean).abs())
     }
 
     /// Digests an executor report: every `PP[...]` operator's calls and
@@ -249,7 +330,33 @@ impl RuntimeMonitor {
             for key in &keys {
                 self.record_faults(key, op.calls, op.failures);
                 if op.breaker_tripped {
-                    self.mark_broken(key);
+                    self.mark_broken_for(key, QuarantineReason::BreakerTripped);
+                }
+            }
+        }
+    }
+
+    /// Digests one run's [`TelemetrySnapshot`]: like
+    /// [`observe_query`][Self::observe_query] it attributes every
+    /// `PP[...]` span's attempts/failures to its PP keys and quarantines
+    /// on breaker trips, but it additionally records each PP span's
+    /// *observed data reduction* into the selectivity history, turning
+    /// runtime telemetry into [`drift`][Self::drift] signal. Spans that
+    /// aborted (nonzero `rows_failed`) skip the selectivity sample — their
+    /// reduction is truncated, not observed.
+    pub fn observe_telemetry(&self, snapshot: &TelemetrySnapshot) {
+        for span in &snapshot.spans {
+            let keys = extract_pp_keys(&span.op);
+            if keys.is_empty() {
+                continue;
+            }
+            for key in &keys {
+                self.record_faults(key, span.attempts, span.failures);
+                if span.breaker_tripped {
+                    self.mark_broken_for(key, QuarantineReason::BreakerTripped);
+                }
+                if span.rows_failed == 0 && span.rows_in > 0 {
+                    self.observe_selectivity(key, span.reduction());
                 }
             }
         }
@@ -431,6 +538,113 @@ mod tests {
         m.observe_query(&report);
         assert!(m.is_broken("t = SUV"));
         assert!(m.is_broken("c = red"));
+    }
+
+    use pp_engine::telemetry::OperatorSpan;
+
+    fn pp_span(op: &str, rows_in: u64, rows_emitted: u64, failures: u64) -> OperatorSpan {
+        use pp_engine::telemetry::{LatencyHistogram, OperatorId};
+        OperatorSpan {
+            op_id: OperatorId(0),
+            op: op.to_string(),
+            rows_in,
+            rows_out: rows_emitted,
+            rows_filtered: rows_in - rows_emitted,
+            rows_failed: 0,
+            rows_emitted,
+            attempts: rows_in,
+            retries: 0,
+            failures,
+            timeouts: 0,
+            failed_open: 0,
+            short_circuited: 0,
+            breaker_tripped: false,
+            seconds: 0.0,
+            latency: LatencyHistogram::new(),
+            wall_nanos: 0,
+        }
+    }
+
+    fn snapshot_of(spans: Vec<OperatorSpan>) -> TelemetrySnapshot {
+        use pp_engine::telemetry::QueryId;
+        TelemetrySnapshot {
+            query_id: QueryId(1),
+            spans,
+            events: Vec::new(),
+            events_dropped: 0,
+            injected_faults: Vec::new(),
+            metrics: Vec::new(),
+            error: None,
+            wall_nanos: 0,
+        }
+    }
+
+    #[test]
+    fn observe_telemetry_builds_selectivity_history_and_drift() {
+        let m = RuntimeMonitor::new();
+        // Stable reductions for a few queries, then a shifted one.
+        for _ in 0..3 {
+            m.observe_telemetry(&snapshot_of(vec![pp_span("PP[t = SUV]", 100, 40, 0)]));
+        }
+        assert_eq!(m.selectivity_history("t = SUV"), vec![0.6, 0.6, 0.6]);
+        assert!(m.drift("t = SUV").is_some_and(|d| d < 1e-12));
+        m.observe_telemetry(&snapshot_of(vec![pp_span("PP[t = SUV]", 100, 90, 0)]));
+        let drift = m.drift("t = SUV").expect("four observations");
+        assert!((drift - 0.5).abs() < 1e-12, "got {drift}");
+        // One observation is not enough for drift.
+        assert!(m.drift("unseen").is_none());
+        m.observe_selectivity("fresh", 0.5);
+        assert!(m.drift("fresh").is_none());
+    }
+
+    #[test]
+    fn observe_telemetry_skips_selectivity_of_aborted_spans() {
+        let m = RuntimeMonitor::new();
+        let mut span = pp_span("PP[t = SUV]", 100, 10, 90);
+        span.rows_failed = 90;
+        span.rows_filtered = 0;
+        m.observe_telemetry(&snapshot_of(vec![span]));
+        assert!(m.selectivity_history("t = SUV").is_empty());
+        // Fault counters still accumulate from the aborted span.
+        assert_eq!(m.fault_stats("t = SUV").failures, 90);
+    }
+
+    #[test]
+    fn quarantine_reasons_are_explainable() {
+        let m = RuntimeMonitor::with_config(
+            MonitorConfig::default()
+                .with_fault_rate_threshold(0.5)
+                .with_min_calls(10),
+        );
+        assert!(m.why_broken("t = SUV").is_none());
+        m.record_faults("t = SUV", 10, 8);
+        assert_eq!(
+            m.why_broken("t = SUV"),
+            Some(QuarantineReason::FaultRate {
+                calls: 10,
+                failures: 8
+            })
+        );
+        // The first cause sticks even if another arrives later.
+        m.mark_broken("t = SUV");
+        assert!(matches!(
+            m.why_broken("t = SUV"),
+            Some(QuarantineReason::FaultRate { .. })
+        ));
+        m.restore("t = SUV");
+        assert!(m.why_broken("t = SUV").is_none());
+
+        // No failures, so the fault-rate path stays quiet and the breaker
+        // transition is the first (and only) recorded cause.
+        let mut span = pp_span("PP[c = red]", 20, 20, 0);
+        span.breaker_tripped = true;
+        m.observe_telemetry(&snapshot_of(vec![span]));
+        assert_eq!(
+            m.why_broken("c = red"),
+            Some(QuarantineReason::BreakerTripped)
+        );
+        m.mark_broken("manual");
+        assert_eq!(m.why_broken("manual"), Some(QuarantineReason::Manual));
     }
 
     #[test]

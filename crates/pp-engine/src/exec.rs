@@ -32,13 +32,17 @@
 //! stateful accounting is replayed sequentially in global row order. See
 //! the [`physical`](crate::physical) module docs for how.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel, QueryMetrics};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultLog, FaultPlan};
 use crate::logical::LogicalPlan;
 use crate::physical::{execute_partitioned, ExecOptions};
 use crate::resilience::{ExecReport, ExecSession, ResilienceConfig};
 use crate::row::Rowset;
+use crate::telemetry::{EventKind, MetricsRegistry, QueryId, SpanCollector, TelemetrySnapshot};
 use crate::Result;
 
 /// Builder for [`ExecutionContext`]. Created by
@@ -90,17 +94,24 @@ impl<'a> ExecutionContextBuilder<'a> {
 
     /// Finalizes the context.
     pub fn build(self) -> ExecutionContext<'a> {
+        let fault_log = Arc::new(FaultLog::new());
         ExecutionContext {
             catalog: self.catalog,
             model: self.model,
             session: ExecSession::new(self.resilience),
-            fault_plan: self.fault_plan,
+            fault_plan: self
+                .fault_plan
+                .map(|fp| fp.with_log(Arc::clone(&fault_log))),
+            fault_log,
             opts: ExecOptions {
                 parallelism: self.parallelism,
                 batch_size: self.batch_size,
             },
             meter: CostMeter::new(),
             metrics: None,
+            registry: MetricsRegistry::new(),
+            telemetry: None,
+            runs: 0,
         }
     }
 }
@@ -122,9 +133,13 @@ pub struct ExecutionContext<'a> {
     model: CostModel,
     session: ExecSession,
     fault_plan: Option<FaultPlan>,
+    fault_log: Arc<FaultLog>,
     opts: ExecOptions,
     meter: CostMeter,
     metrics: Option<QueryMetrics>,
+    registry: MetricsRegistry,
+    telemetry: Option<TelemetrySnapshot>,
+    runs: u64,
 }
 
 impl<'a> ExecutionContext<'a> {
@@ -148,11 +163,22 @@ impl<'a> ExecutionContext<'a> {
     }
 
     /// Executes `plan`, applying the installed fault plan (if any),
-    /// charging the (reset) cost meter, and — on success — refreshing
-    /// [`metrics`][Self::metrics].
+    /// charging the (reset) cost meter, and refreshing
+    /// [`telemetry`][Self::telemetry]. On success it also refreshes
+    /// [`metrics`][Self::metrics]; on failure `metrics` stays `None` (no
+    /// stale metrics from a previous run) while the telemetry snapshot
+    /// records the error plus every span charged before the abort.
     pub fn run(&mut self, plan: &LogicalPlan) -> Result<Rowset> {
+        let start = Instant::now();
         self.meter = CostMeter::new();
         self.metrics = None;
+        self.telemetry = None;
+        self.runs += 1;
+        let query_id = QueryId(self.runs);
+        let mut tel = SpanCollector::new(
+            self.registry.counter("worker.rows_probed_total"),
+            self.registry.counter("worker.batches_total"),
+        );
         let faulted;
         let plan = match &self.fault_plan {
             Some(fp) => {
@@ -161,16 +187,73 @@ impl<'a> ExecutionContext<'a> {
             }
             None => plan,
         };
-        let out = execute_partitioned(
+        let result = execute_partitioned(
             plan,
             self.catalog,
             &mut self.meter,
             &self.model,
             &mut self.session,
             self.opts,
-        )?;
-        self.metrics = Some(self.meter.metrics(&self.model));
-        Ok(out)
+            &mut tel,
+        );
+        // Breaker transitions (trips during this run, plus any manual
+        // resets since the last run) become events, in the deterministic
+        // order the session recorded them.
+        for t in self.session.take_transitions() {
+            let kind = if t.opened {
+                EventKind::BreakerOpened
+            } else {
+                EventKind::BreakerReset
+            };
+            tel.push_event(&t.op, None, kind, 1);
+        }
+        let injected = self.fault_log.drain();
+        let wall = start.elapsed().as_nanos() as u64;
+
+        // Registry accounting (cumulative across runs; everything here is
+        // deterministic except the wall-clock gauge, which
+        // `zero_wall_clock` scrubs).
+        self.registry.counter("queries_total").inc();
+        if result.is_err() {
+            self.registry.counter("queries_failed_total").inc();
+        }
+        let spans = tel.spans();
+        let retries: u64 = spans.iter().map(|s| s.retries).sum();
+        let failures: u64 = spans.iter().map(|s| s.failures).sum();
+        let trips = spans.iter().filter(|s| s.breaker_tripped).count() as u64;
+        self.registry.counter("retries_total").add(retries);
+        self.registry.counter("failures_total").add(failures);
+        self.registry.counter("breaker_trips_total").add(trips);
+        self.registry
+            .counter("injected_faults_total")
+            .add(injected.len() as u64);
+        if let Ok(out) = &result {
+            self.registry
+                .counter("rows_emitted_total")
+                .add(out.len() as u64);
+        }
+        self.registry.gauge("last_run_wall_nanos").set(wall as f64);
+
+        let error = result.as_ref().err().map(|e| e.to_string());
+        self.telemetry = Some(tel.finish(
+            query_id,
+            injected,
+            self.registry.snapshot_samples(),
+            error,
+            wall,
+        ));
+        match result {
+            Ok(out) => {
+                self.metrics = Some(self.meter.metrics(&self.model));
+                Ok(out)
+            }
+            Err(e) => {
+                // Explicitly guarantee the no-stale-metrics contract on
+                // every error path.
+                self.metrics = None;
+                Err(e)
+            }
+        }
     }
 
     /// The catalog this context executes against.
@@ -224,6 +307,19 @@ impl<'a> ExecutionContext<'a> {
     /// The underlying resilience session, for advanced inspection.
     pub fn session(&self) -> &ExecSession {
         &self.session
+    }
+
+    /// The telemetry snapshot of the most recent [`run`][Self::run]
+    /// (successful or not), or `None` before the first run.
+    pub fn telemetry(&self) -> Option<&TelemetrySnapshot> {
+        self.telemetry.as_ref()
+    }
+
+    /// The context's metrics registry: named counters/gauges/histograms
+    /// accumulated across runs (including the scheduling-dependent
+    /// `worker.*` namespace that is excluded from snapshots).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
     }
 }
 
@@ -282,6 +378,42 @@ mod tests {
         assert_eq!(format!("{:?}", a.rows()), format!("{:?}", b.rows()));
         assert_eq!(serial.meter().entries(), parallel.meter().entries());
         assert_eq!(serial.report(), parallel.report());
+    }
+
+    #[test]
+    fn failed_run_clears_stale_metrics_and_records_error_telemetry() {
+        use crate::predicate::{Clause, CompareOp, Predicate};
+        let cat = catalog();
+        let good = LogicalPlan::scan("t").filter(even_filter());
+        // Selecting on a column the schema doesn't have fails the run.
+        let bad = LogicalPlan::scan("t").select(Predicate::from(Clause::new(
+            "missing",
+            CompareOp::Eq,
+            1i64,
+        )));
+        let mut ctx = ExecutionContext::new(&cat);
+        ctx.run(&good).unwrap();
+        assert!(ctx.metrics().is_some());
+        let err = ctx.run(&bad).unwrap_err();
+        assert!(matches!(err, crate::EngineError::UnknownColumn(_)));
+        // Regression: the previous run's metrics must not survive a failed
+        // run — callers polling `metrics()` would misattribute them.
+        assert!(
+            ctx.metrics().is_none(),
+            "stale metrics leaked through a failed run"
+        );
+        // The failure is still observable: the snapshot carries the error
+        // and whatever spans completed before it.
+        let snap = ctx.telemetry().expect("snapshot recorded on failure");
+        assert_eq!(snap.query_id, QueryId(2));
+        assert!(snap.error.as_deref().unwrap().contains("missing"));
+        assert!(snap.span("Scan[").is_some(), "the scan span was charged");
+        assert!(snap.span("Select[").is_none(), "no charge, no span");
+        // A later successful run recovers cleanly.
+        ctx.run(&good).unwrap();
+        assert!(ctx.metrics().is_some());
+        assert_eq!(ctx.telemetry().unwrap().query_id, QueryId(3));
+        assert!(ctx.telemetry().unwrap().error.is_none());
     }
 
     #[test]

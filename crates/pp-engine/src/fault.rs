@@ -26,7 +26,7 @@
 //!   [`EngineError::PoisonedRow`] is not retryable.
 
 use std::cell::Cell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use pp_linalg::rng::{derive_seed, hash2};
 
@@ -113,6 +113,93 @@ impl FaultSpec {
     }
 }
 
+/// The category of one injected fault, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A transient worker failure.
+    Transient,
+    /// A stalled call cancelled by the timeout budget.
+    Timeout,
+    /// Corrupt (NaN / garbage) output.
+    Corrupt,
+    /// A row that deterministically crashes the UDF.
+    Poison,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (used in the telemetry JSON export).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Poison => "poison",
+        }
+    }
+}
+
+/// One injected fault that actually fired, as recorded by a [`FaultLog`].
+///
+/// The key `(op, row_fingerprint, attempt, kind)` is a pure function of
+/// the fault seed and row content, so the *set* of recorded faults is
+/// identical at every parallelism and batch size; the telemetry snapshot
+/// sorts by that key to also make the *order* deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The operator the fault was injected into.
+    pub op: String,
+    /// Content fingerprint of the affected row.
+    pub row_fingerprint: u64,
+    /// 0-based attempt ordinal the fault fired on (always 0 for poison).
+    pub attempt: u64,
+    /// The failure mode drawn.
+    pub kind: FaultKind,
+}
+
+/// A concurrent log of injected faults, shared between an
+/// [`ExecutionContext`](crate::exec::ExecutionContext) and the fault shims
+/// its plan rewrites install. Worker threads append from the probe phase;
+/// the snapshot drains and sorts, so scheduling never leaks into
+/// telemetry.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    events: Mutex<Vec<InjectedFault>>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        FaultLog::default()
+    }
+
+    fn record(&self, op: &str, row_fingerprint: u64, attempt: u64, kind: FaultKind) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(InjectedFault {
+                op: op.to_string(),
+                row_fingerprint,
+                attempt,
+                kind,
+            });
+    }
+
+    /// Drains all recorded faults (unsorted).
+    pub fn drain(&self) -> Vec<InjectedFault> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Number of recorded faults.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A seeded set of fault injections, applied to a plan by operator name.
 ///
 /// ```
@@ -126,6 +213,7 @@ impl FaultSpec {
 pub struct FaultPlan {
     seed: u64,
     specs: Vec<(String, FaultSpec)>,
+    log: Option<Arc<FaultLog>>,
 }
 
 impl FaultPlan {
@@ -134,6 +222,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             specs: Vec::new(),
+            log: None,
         }
     }
 
@@ -141,6 +230,14 @@ impl FaultPlan {
     /// `udf_name`.
     pub fn inject(mut self, udf_name: impl Into<String>, spec: FaultSpec) -> Self {
         self.specs.push((udf_name.into(), spec));
+        self
+    }
+
+    /// Attaches a log that every installed shim records fired faults into.
+    /// [`ExecutionContext`](crate::exec::ExecutionContext) attaches one
+    /// automatically so fired faults surface in the telemetry snapshot.
+    pub fn with_log(mut self, log: Arc<FaultLog>) -> Self {
+        self.log = Some(log);
         self
     }
 
@@ -163,11 +260,15 @@ impl FaultPlan {
             },
             LogicalPlan::Process { input, processor } => {
                 let processor = match self.spec_for(processor.name()) {
-                    Some(spec) => Arc::new(FaultyProcessor::new(
-                        Arc::clone(processor),
-                        spec,
-                        derive_seed(self.seed, processor.name()),
-                    )) as Arc<dyn Processor>,
+                    Some(spec) => {
+                        let mut shim = FaultyProcessor::new(
+                            Arc::clone(processor),
+                            spec,
+                            derive_seed(self.seed, processor.name()),
+                        );
+                        shim.log = self.log.clone();
+                        Arc::new(shim) as Arc<dyn Processor>
+                    }
                     None => Arc::clone(processor),
                 };
                 LogicalPlan::Process {
@@ -177,11 +278,15 @@ impl FaultPlan {
             }
             LogicalPlan::Filter { input, filter } => {
                 let filter = match self.spec_for(filter.name()) {
-                    Some(spec) => Arc::new(FaultyFilter::new(
-                        Arc::clone(filter),
-                        spec,
-                        derive_seed(self.seed, filter.name()),
-                    )) as Arc<dyn RowFilter>,
+                    Some(spec) => {
+                        let mut shim = FaultyFilter::new(
+                            Arc::clone(filter),
+                            spec,
+                            derive_seed(self.seed, filter.name()),
+                        );
+                        shim.log = self.log.clone();
+                        Arc::new(shim) as Arc<dyn RowFilter>
+                    }
                     None => Arc::clone(filter),
                 };
                 LogicalPlan::Filter {
@@ -333,12 +438,26 @@ pub struct FaultyProcessor {
     inner: Arc<dyn Processor>,
     spec: FaultSpec,
     seed: u64,
+    log: Option<Arc<FaultLog>>,
 }
 
 impl FaultyProcessor {
     /// Wraps `inner`, drawing fault decisions from `seed`.
     pub fn new(inner: Arc<dyn Processor>, spec: FaultSpec, seed: u64) -> Self {
-        FaultyProcessor { inner, spec, seed }
+        FaultyProcessor {
+            inner,
+            spec,
+            seed,
+            log: None,
+        }
+    }
+}
+
+impl FaultyProcessor {
+    fn record(&self, row: &Row, attempt: u64, kind: FaultKind) {
+        if let Some(log) = &self.log {
+            log.record(self.name(), row_fingerprint(row), attempt, kind);
+        }
     }
 }
 
@@ -363,21 +482,30 @@ impl Processor for FaultyProcessor {
     }
     fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>> {
         if poisoned(&self.spec, self.seed, row) {
+            self.record(row, 0, FaultKind::Poison);
             return Err(EngineError::PoisonedRow(format!(
                 "{}: input row crashes the UDF",
                 self.name()
             )));
         }
-        match draw(&self.spec, self.seed, row, attempt_ordinal()) {
-            Drawn::Transient => Err(EngineError::Transient(format!(
-                "{}: injected worker failure",
-                self.name()
-            ))),
-            Drawn::Timeout => Err(EngineError::Timeout {
-                op: self.name().to_string(),
-                stalled_seconds: self.spec.stall_seconds,
-            }),
+        let attempt = attempt_ordinal();
+        match draw(&self.spec, self.seed, row, attempt) {
+            Drawn::Transient => {
+                self.record(row, attempt, FaultKind::Transient);
+                Err(EngineError::Transient(format!(
+                    "{}: injected worker failure",
+                    self.name()
+                )))
+            }
+            Drawn::Timeout => {
+                self.record(row, attempt, FaultKind::Timeout);
+                Err(EngineError::Timeout {
+                    op: self.name().to_string(),
+                    stalled_seconds: self.spec.stall_seconds,
+                })
+            }
             Drawn::Corrupt => {
+                self.record(row, attempt, FaultKind::Corrupt);
                 // Silent corruption: NaN out every float cell. Only output
                 // validation (ResilienceConfig::validate_outputs) catches it.
                 let mut rows = self.inner.process(row, schema)?;
@@ -415,12 +543,24 @@ pub struct FaultyFilter {
     inner: Arc<dyn RowFilter>,
     spec: FaultSpec,
     seed: u64,
+    log: Option<Arc<FaultLog>>,
 }
 
 impl FaultyFilter {
     /// Wraps `inner`, drawing fault decisions from `seed`.
     pub fn new(inner: Arc<dyn RowFilter>, spec: FaultSpec, seed: u64) -> Self {
-        FaultyFilter { inner, spec, seed }
+        FaultyFilter {
+            inner,
+            spec,
+            seed,
+            log: None,
+        }
+    }
+
+    fn record(&self, row: &Row, attempt: u64, kind: FaultKind) {
+        if let Some(log) = &self.log {
+            log.record(self.name(), row_fingerprint(row), attempt, kind);
+        }
     }
 }
 
@@ -445,28 +585,39 @@ impl RowFilter for FaultyFilter {
     }
     fn passes(&self, row: &Row, schema: &Schema) -> Result<bool> {
         if poisoned(&self.spec, self.seed, row) {
+            self.record(row, 0, FaultKind::Poison);
             return Err(EngineError::PoisonedRow(format!(
                 "{}: input row crashes the filter",
                 self.name()
             )));
         }
-        match draw(&self.spec, self.seed, row, attempt_ordinal()) {
-            Drawn::Transient => Err(EngineError::Transient(format!(
-                "{}: injected worker failure",
-                self.name()
-            ))),
-            Drawn::Timeout => Err(EngineError::Timeout {
-                op: self.name().to_string(),
-                stalled_seconds: self.spec.stall_seconds,
-            }),
+        let attempt = attempt_ordinal();
+        match draw(&self.spec, self.seed, row, attempt) {
+            Drawn::Transient => {
+                self.record(row, attempt, FaultKind::Transient);
+                Err(EngineError::Transient(format!(
+                    "{}: injected worker failure",
+                    self.name()
+                )))
+            }
+            Drawn::Timeout => {
+                self.record(row, attempt, FaultKind::Timeout);
+                Err(EngineError::Timeout {
+                    op: self.name().to_string(),
+                    stalled_seconds: self.spec.stall_seconds,
+                })
+            }
             // A filter's output is one bit; flipping it would *silently*
             // drop rows, which no validation could catch. Corruption is
             // surfaced as a detectable error instead, and fail-open keeps
             // the row.
-            Drawn::Corrupt => Err(EngineError::CorruptOutput(format!(
-                "{}: injected garbage score",
-                self.name()
-            ))),
+            Drawn::Corrupt => {
+                self.record(row, attempt, FaultKind::Corrupt);
+                Err(EngineError::CorruptOutput(format!(
+                    "{}: injected garbage score",
+                    self.name()
+                )))
+            }
             Drawn::None => self.inner.passes(row, schema),
         }
     }
@@ -586,6 +737,25 @@ mod tests {
             }
             other => panic!("expected timeout, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_log_records_fired_faults_with_attempt_ordinals() {
+        let log = Arc::new(FaultLog::new());
+        let mut p = FaultyProcessor::new(passthrough(), FaultSpec::transient(1.0), 42);
+        p.log = Some(Arc::clone(&log));
+        let s = schema();
+        let row = Row::new(vec![Value::Int(5)]);
+        let _ = p.process(&row, &s);
+        let _ = with_attempt_ordinal(1, || p.process(&row, &s));
+        assert_eq!(log.len(), 2);
+        let events = log.drain();
+        assert!(log.is_empty());
+        assert_eq!(events[0].kind, FaultKind::Transient);
+        assert_eq!(events[0].attempt, 0);
+        assert_eq!(events[1].attempt, 1);
+        assert_eq!(events[0].row_fingerprint, events[1].row_fingerprint);
+        assert_eq!(events[0].op, "P");
     }
 
     #[test]

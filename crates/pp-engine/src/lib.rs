@@ -32,20 +32,27 @@ pub mod resilience;
 pub mod row;
 pub mod schema;
 pub mod stats;
+pub mod telemetry;
 pub mod udf;
 pub mod value;
 
 pub use catalog::Catalog;
 pub use cost::{CostMeter, QueryMetrics};
 pub use exec::{ExecutionContext, ExecutionContextBuilder};
-pub use fault::{FaultPlan, FaultSpec};
+pub use fault::{FaultKind, FaultLog, FaultPlan, FaultSpec, InjectedFault};
 pub use logical::{LogicalPlan, OpParallelism};
 #[allow(deprecated)]
 pub use physical::{execute, execute_with};
 pub use predicate::{Clause, CompareOp, Predicate};
-pub use resilience::{ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy};
+pub use resilience::{
+    BreakerTransition, ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy,
+};
 pub use row::{Row, Rowset};
 pub use schema::{Column, DataType, Schema};
+pub use telemetry::{
+    EventKind, LatencyHistogram, MetricValue, MetricsRegistry, OperatorId, OperatorSpan, QueryId,
+    TelemetryEvent, TelemetrySnapshot,
+};
 pub use udf::{Processor, Reducer, RowFilter};
 pub use value::Value;
 

@@ -38,12 +38,14 @@
 //!   their errors are not maskable; after retries the error propagates.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel};
 use crate::logical::{AggFunc, LogicalPlan};
-use crate::resilience::ExecSession;
+use crate::resilience::{ExecSession, Invocation};
 use crate::row::{Row, RowBatch, Rowset};
+use crate::telemetry::{EventKind, OperatorSpan, SpanCollector};
 use crate::value::{Key, Value};
 use crate::{EngineError, Result};
 
@@ -143,6 +145,7 @@ pub fn execute(
         model,
         &mut session,
         ExecOptions::default(),
+        &mut SpanCollector::detached(),
     )
 }
 
@@ -159,11 +162,27 @@ pub fn execute_with(
     model: &CostModel,
     session: &mut ExecSession,
 ) -> Result<Rowset> {
-    execute_partitioned(plan, catalog, meter, model, session, ExecOptions::default())
+    execute_partitioned(
+        plan,
+        catalog,
+        meter,
+        model,
+        session,
+        ExecOptions::default(),
+        &mut SpanCollector::detached(),
+    )
 }
 
 /// The partitioned executor behind both [`ExecutionContext`](crate::exec::ExecutionContext)
 /// and the deprecated free functions.
+///
+/// Telemetry contract: every operator pushes exactly one [`OperatorSpan`]
+/// to `tel` at the moment it charges the cost meter, so span order equals
+/// charge order and [`OperatorId`](crate::telemetry::OperatorId)s are a
+/// pure function of the plan shape. Spans and events are recorded only on
+/// the main thread, in the deterministic consume phase; worker threads
+/// touch nothing but the registry-level `worker.*` counters.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_partitioned(
     plan: &LogicalPlan,
     catalog: &Catalog,
@@ -171,28 +190,38 @@ pub(crate) fn execute_partitioned(
     model: &CostModel,
     session: &mut ExecSession,
     opts: ExecOptions,
+    tel: &mut SpanCollector,
 ) -> Result<Rowset> {
     match plan {
         LogicalPlan::Scan { table } => {
+            let start = Instant::now();
             let t = catalog.table(table)?;
-            meter.charge(
-                format!("Scan[{table}]"),
-                t.len(),
-                t.len(),
-                t.len() as f64 * model.scan,
-            );
+            let op = format!("Scan[{table}]");
+            let seconds = t.len() as f64 * model.scan;
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), t.len());
+            span.rows_out = t.len() as u64;
+            span.rows_emitted = t.len() as u64;
+            span.seconds = seconds;
+            span.latency.record_n(model.scan, t.len() as u64);
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, t.len(), t.len(), seconds);
             Ok((**t).clone())
         }
         LogicalPlan::Process { input, processor } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let in_schema = in_rows.schema().clone();
             let out_schema = in_rows.schema().extend(processor.output_columns())?;
             let op = format!("Process[{}]", processor.name());
             let validate = session.config().validate_outputs;
             let config = *session.config();
+            let (wr, wb) = (tel.worker_rows.clone(), tel.worker_batches.clone());
             // Probe phase: batch-evaluate first attempts (vectorizable),
             // retry failed rows individually. Pure — no session state.
             let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+                wr.add(rows.len() as u64);
+                wb.inc();
                 let batch = RowBatch::new(&in_schema, rows, offset);
                 let firsts =
                     crate::fault::with_attempt_ordinal(0, || processor.process_batch(&batch));
@@ -218,16 +247,43 @@ pub(crate) fn execute_partitioned(
                     .collect()
             });
             // Consume phase: fold outcomes into the session in row order.
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), in_rows.len());
             let mut out = Rowset::empty(out_schema);
             let mut attempts: u64 = 0;
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
-            for (row, probe) in in_rows.rows().iter().zip(probes) {
+            for (idx, (row, probe)) in in_rows.rows().iter().zip(probes).enumerate() {
+                let row_idx = idx as u64;
+                let was_open = session.breaker_open(&op);
+                let (p_retries, p_failures, p_timeouts) =
+                    (probe.retries, probe.failures, probe.timeouts);
                 let inv = session.consume(&op, probe);
                 attempts += u64::from(inv.attempts);
                 extra_seconds += inv.extra_seconds;
+                if was_open {
+                    span.short_circuited += 1;
+                    tel.push_event(&op, Some(row_idx), EventKind::ShortCircuit, 1);
+                } else {
+                    span.attempts += u64::from(inv.attempts);
+                    span.retries += p_retries;
+                    span.failures += p_failures;
+                    span.timeouts += p_timeouts;
+                    if p_retries > 0 {
+                        tel.push_event(&op, Some(row_idx), EventKind::Retry, p_retries);
+                    }
+                    if p_timeouts > 0 {
+                        tel.push_event(&op, Some(row_idx), EventKind::Timeout, p_timeouts);
+                    }
+                    span.latency.record(
+                        f64::from(inv.attempts) * processor.cost_per_row() + inv.extra_seconds,
+                    );
+                    if session.breaker_open(&op) {
+                        span.breaker_tripped = true;
+                    }
+                }
                 match inv.result {
                     Ok(groups) => {
+                        span.rows_out += 1;
                         for cells in groups {
                             out.push(row.extended(cells))?;
                         }
@@ -240,22 +296,29 @@ pub(crate) fn execute_partitioned(
                     }
                 }
             }
-            meter.charge(
-                op,
-                in_rows.len(),
-                out.len(),
-                attempts as f64 * processor.cost_per_row() + extra_seconds,
-            );
+            let seconds = attempts as f64 * processor.cost_per_row() + extra_seconds;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            if failure.is_some() {
+                span.close_failed();
+            }
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, in_rows.len(), out.len(), seconds);
             match failure {
                 Some(e) => Err(e),
                 None => Ok(out),
             }
         }
         LogicalPlan::Select { input, predicate } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
+            let (wr, wb) = (tel.worker_rows.clone(), tel.worker_batches.clone());
             let verdicts = run_partitioned(in_rows.rows(), opts, |rows, _offset| {
+                wr.add(rows.len() as u64);
+                wb.inc();
                 rows.iter()
                     .map(|row| predicate.eval(row, &schema))
                     .collect()
@@ -263,31 +326,41 @@ pub(crate) fn execute_partitioned(
             let mut out = Rowset::empty(schema.clone());
             for (row, verdict) in in_rows.into_rows().into_iter().zip(verdicts) {
                 // An eval error propagates before the operator charges,
-                // matching the serial executor.
+                // matching the serial executor. No charge means no span:
+                // the operator never "ran" for accounting purposes.
                 if verdict? {
                     out.push(row)?;
                 }
             }
-            meter.charge(
-                format!("Select[{predicate}]"),
-                total,
-                out.len(),
-                total as f64 * model.select,
-            );
+            let op = format!("Select[{predicate}]");
+            let seconds = total as f64 * model.select;
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), total);
+            span.rows_out = out.len() as u64;
+            span.rows_filtered = (total - out.len()) as u64;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            span.latency.record_n(model.select, total as u64);
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, total, out.len(), seconds);
             Ok(out)
         }
         LogicalPlan::Filter { input, filter } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
             let op = filter.name().to_string();
             let fail_open = session.config().fail_open_filters && filter.fail_open();
             let config = *session.config();
+            let (wr, wb) = (tel.worker_rows.clone(), tel.worker_batches.clone());
             // Probe phase: batch first attempts, per-row retries, no
             // session state. If the breaker is (or becomes) open, the
             // consume phase discards the affected probes, so charges stay
             // identical to a serial run that never made those calls.
             let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+                wr.add(rows.len() as u64);
+                wb.inc();
                 let batch = RowBatch::new(&schema, rows, offset);
                 let firsts = crate::fault::with_attempt_ordinal(0, || filter.passes_batch(&batch));
                 debug_assert_eq!(firsts.len(), rows.len());
@@ -301,14 +374,40 @@ pub(crate) fn execute_partitioned(
             });
             // Consume phase: row-order fold drives breaker + fail-open
             // exactly as serial execution would.
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), total);
             let mut out = Rowset::empty(schema.clone());
             let mut attempts: u64 = 0;
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
-            for (row, probe) in in_rows.into_rows().into_iter().zip(probes) {
+            for (idx, (row, probe)) in in_rows.into_rows().into_iter().zip(probes).enumerate() {
+                let row_idx = idx as u64;
+                let was_open = session.breaker_open(&op);
+                let (p_retries, p_failures, p_timeouts) =
+                    (probe.retries, probe.failures, probe.timeouts);
                 let inv = session.consume(&op, probe);
                 attempts += u64::from(inv.attempts);
                 extra_seconds += inv.extra_seconds;
+                if was_open {
+                    span.short_circuited += 1;
+                    tel.push_event(&op, Some(row_idx), EventKind::ShortCircuit, 1);
+                } else {
+                    span.attempts += u64::from(inv.attempts);
+                    span.retries += p_retries;
+                    span.failures += p_failures;
+                    span.timeouts += p_timeouts;
+                    if p_retries > 0 {
+                        tel.push_event(&op, Some(row_idx), EventKind::Retry, p_retries);
+                    }
+                    if p_timeouts > 0 {
+                        tel.push_event(&op, Some(row_idx), EventKind::Timeout, p_timeouts);
+                    }
+                    span.latency.record(
+                        f64::from(inv.attempts) * filter.cost_per_row() + inv.extra_seconds,
+                    );
+                    if session.breaker_open(&op) {
+                        span.breaker_tripped = true;
+                    }
+                }
                 let keep = match inv.result {
                     Ok(b) => b,
                     Err(_) if fail_open => {
@@ -316,6 +415,8 @@ pub(crate) fn execute_partitioned(
                         // on failure the row passes. We lose speed-up on
                         // this row, never a result.
                         session.record_fail_open(&op);
+                        span.failed_open += 1;
+                        tel.push_event(&op, Some(row_idx), EventKind::FailOpen, 1);
                         true
                     }
                     Err(e) => {
@@ -324,22 +425,29 @@ pub(crate) fn execute_partitioned(
                     }
                 };
                 if keep {
+                    span.rows_out += 1;
                     out.push(row)?;
+                } else {
+                    span.rows_filtered += 1;
                 }
             }
-            meter.charge(
-                op,
-                total,
-                out.len(),
-                attempts as f64 * filter.cost_per_row() + extra_seconds,
-            );
+            let seconds = attempts as f64 * filter.cost_per_row() + extra_seconds;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            if failure.is_some() {
+                span.close_failed();
+            }
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, total, out.len(), seconds);
             match failure {
                 Some(e) => Err(e),
                 None => Ok(out),
             }
         }
         LogicalPlan::Project { input, items } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let out_schema = plan_project_schema(&in_rows, items)?;
             let indices: Vec<usize> = items
                 .iter()
@@ -352,7 +460,15 @@ pub(crate) fn execute_partitioned(
                     indices.iter().map(|&i| row.get(i).clone()).collect(),
                 ))?;
             }
-            meter.charge("Project", total, total, total as f64 * model.project);
+            let seconds = total as f64 * model.project;
+            let mut span = OperatorSpan::new(tel.next_op_id(), "Project", total);
+            span.rows_out = total as u64;
+            span.rows_emitted = total as u64;
+            span.seconds = seconds;
+            span.latency.record_n(model.project, total as u64);
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge("Project", total, total, seconds);
             Ok(out)
         }
         LogicalPlan::Join {
@@ -361,8 +477,9 @@ pub(crate) fn execute_partitioned(
             left_key,
             right_key,
         } => {
-            let l = execute_partitioned(left, catalog, meter, model, session, opts)?;
-            let r = execute_partitioned(right, catalog, meter, model, session, opts)?;
+            let l = execute_partitioned(left, catalog, meter, model, session, opts, tel)?;
+            let r = execute_partitioned(right, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let lk = l.schema().index_of(left_key)?;
             let rk = r.schema().index_of(right_key)?;
             // Build on the (primary-key) right side.
@@ -378,9 +495,11 @@ pub(crate) fn execute_partitioned(
             }
             let out_schema = crate::schema::Schema::new(out_cols)?;
             let mut out = Rowset::empty(out_schema);
+            let mut matched_left: u64 = 0;
             for lrow in l.rows() {
                 let key = lrow.get(lk).as_key()?;
                 if let Some(matches) = build.get(&key) {
+                    matched_left += 1;
                     for rrow in matches {
                         let mut cells = lrow.values().to_vec();
                         for (i, v) in rrow.values().iter().enumerate() {
@@ -393,12 +512,19 @@ pub(crate) fn execute_partitioned(
                 }
             }
             let rows_in = l.len() + r.len();
-            meter.charge(
-                format!("Join[{left_key} = {right_key}]"),
-                rows_in,
-                out.len(),
-                rows_in as f64 * model.join,
-            );
+            let op = format!("Join[{left_key} = {right_key}]");
+            let seconds = rows_in as f64 * model.join;
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), rows_in);
+            // Unmatched left rows are dropped by the join predicate —
+            // filtered, in conservation terms.
+            span.rows_out = matched_left + r.len() as u64;
+            span.rows_filtered = l.len() as u64 - matched_left;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            span.latency.record_n(model.join, rows_in as u64);
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, rows_in, out.len(), seconds);
             Ok(out)
         }
         LogicalPlan::Aggregate {
@@ -406,7 +532,8 @@ pub(crate) fn execute_partitioned(
             group_by,
             aggs,
         } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let out_schema = plan.output_schema(catalog)?;
             let key_idx: Vec<usize> = group_by
                 .iter()
@@ -446,16 +573,20 @@ pub(crate) fn execute_partitioned(
                 }
                 out.push(Row::new(cells))?;
             }
-            meter.charge(
-                "Aggregate",
-                in_rows.len(),
-                out.len(),
-                in_rows.len() as f64 * model.aggregate,
-            );
+            let seconds = in_rows.len() as f64 * model.aggregate;
+            let mut span = OperatorSpan::new(tel.next_op_id(), "Aggregate", in_rows.len());
+            span.rows_out = in_rows.len() as u64;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            span.latency.record_n(model.aggregate, in_rows.len() as u64);
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge("Aggregate", in_rows.len(), out.len(), seconds);
             Ok(out)
         }
         LogicalPlan::Reduce { input, reducer } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts)?;
+            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let out_schema = crate::schema::Schema::new(reducer.output_columns().to_vec())?;
             let op = format!("Reduce[{}]", reducer.name());
             let key_idx: Vec<usize> = reducer
@@ -476,6 +607,7 @@ pub(crate) fn execute_partitioned(
                 }
                 entry.push(row.clone());
             }
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), in_rows.len());
             let mut out = Rowset::empty(out_schema);
             // Reducers are charged per input row; a retried group re-pays
             // for each of its rows.
@@ -485,12 +617,21 @@ pub(crate) fn execute_partitioned(
             for key in &order {
                 let group = &groups[key];
                 let inv = session.invoke(&op, || reducer.reduce(group, in_rows.schema()));
+                record_group_invocation(
+                    tel,
+                    session,
+                    &mut span,
+                    &op,
+                    &inv,
+                    group.len() as f64 * reducer.cost_per_row(),
+                );
                 if inv.attempts > 1 {
                     retried_rows += (inv.attempts as usize - 1) * group.len();
                 }
                 extra_seconds += inv.extra_seconds;
                 match inv.result {
                     Ok(rows) => {
+                        span.rows_out += group.len() as u64;
                         for row in rows {
                             out.push(row)?;
                         }
@@ -501,12 +642,16 @@ pub(crate) fn execute_partitioned(
                     }
                 }
             }
-            meter.charge(
-                op,
-                in_rows.len(),
-                out.len(),
-                (in_rows.len() + retried_rows) as f64 * reducer.cost_per_row() + extra_seconds,
-            );
+            let seconds =
+                (in_rows.len() + retried_rows) as f64 * reducer.cost_per_row() + extra_seconds;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            if failure.is_some() {
+                span.close_failed();
+            }
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, in_rows.len(), out.len(), seconds);
             match failure {
                 Some(e) => Err(e),
                 None => Ok(out),
@@ -517,8 +662,9 @@ pub(crate) fn execute_partitioned(
             right,
             combiner,
         } => {
-            let l = execute_partitioned(left, catalog, meter, model, session, opts)?;
-            let r = execute_partitioned(right, catalog, meter, model, session, opts)?;
+            let l = execute_partitioned(left, catalog, meter, model, session, opts, tel)?;
+            let r = execute_partitioned(right, catalog, meter, model, session, opts, tel)?;
+            let start = Instant::now();
             let lk = l.schema().index_of(combiner.left_key())?;
             let rk = r.schema().index_of(combiner.right_key())?;
             let op = format!("Combine[{}]", combiner.name());
@@ -540,6 +686,8 @@ pub(crate) fn execute_partitioned(
                     .push(row.clone());
             }
             let out_schema = crate::schema::Schema::new(combiner.output_columns().to_vec())?;
+            let rows_in = l.len() + r.len();
+            let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), rows_in);
             let mut out = Rowset::empty(out_schema);
             let mut retried_rows: usize = 0;
             let mut extra_seconds = 0.0;
@@ -549,12 +697,21 @@ pub(crate) fn execute_partitioned(
                     let lg = &lgroups[key];
                     let inv =
                         session.invoke(&op, || combiner.combine(lg, rg, l.schema(), r.schema()));
+                    record_group_invocation(
+                        tel,
+                        session,
+                        &mut span,
+                        &op,
+                        &inv,
+                        (lg.len() + rg.len()) as f64 * combiner.cost_per_row(),
+                    );
                     if inv.attempts > 1 {
                         retried_rows += (inv.attempts as usize - 1) * (lg.len() + rg.len());
                     }
                     extra_seconds += inv.extra_seconds;
                     match inv.result {
                         Ok(rows) => {
+                            span.rows_out += (lg.len() + rg.len()) as u64;
                             for row in rows {
                                 out.push(row)?;
                             }
@@ -566,18 +723,62 @@ pub(crate) fn execute_partitioned(
                     }
                 }
             }
-            let rows_in = l.len() + r.len();
-            meter.charge(
-                op,
-                rows_in,
-                out.len(),
-                (rows_in + retried_rows) as f64 * combiner.cost_per_row() + extra_seconds,
-            );
+            let seconds = (rows_in + retried_rows) as f64 * combiner.cost_per_row() + extra_seconds;
+            span.rows_emitted = out.len() as u64;
+            span.seconds = seconds;
+            if failure.is_some() {
+                span.close_failed();
+            } else {
+                // Rows in unmatched groups never reached the combiner —
+                // dropped by the key predicate, i.e. filtered.
+                span.rows_filtered = span.rows_in - span.rows_out;
+            }
+            span.wall_nanos = start.elapsed().as_nanos() as u64;
+            tel.push_span(span);
+            meter.charge(op, rows_in, out.len(), seconds);
             match failure {
                 Some(e) => Err(e),
                 None => Ok(out),
             }
         }
+    }
+}
+
+/// Folds one group-operator [`Invocation`] (Reduce/Combine) into the
+/// operator's span and event stream. Group invocations run serially on the
+/// main thread, so recording here preserves the determinism contract.
+/// Timeouts are visible only through `extra_seconds` for group operators
+/// (the [`Invocation`] does not carry a per-kind breakdown).
+fn record_group_invocation<T>(
+    tel: &mut SpanCollector,
+    session: &ExecSession,
+    span: &mut OperatorSpan,
+    op: &str,
+    inv: &Invocation<T>,
+    cost_secs_per_attempt: f64,
+) {
+    if inv.attempts == 0 {
+        span.short_circuited += 1;
+        tel.push_event(op, None, EventKind::ShortCircuit, 1);
+        return;
+    }
+    span.attempts += u64::from(inv.attempts);
+    let retries = u64::from(inv.attempts - 1);
+    if retries > 0 {
+        span.retries += retries;
+        tel.push_event(op, None, EventKind::Retry, retries);
+    }
+    span.failures += match &inv.result {
+        Err(_) => u64::from(inv.attempts),
+        Ok(_) => retries,
+    };
+    span.latency
+        .record(f64::from(inv.attempts) * cost_secs_per_attempt + inv.extra_seconds);
+    // Reaching here means the breaker was closed when the call started
+    // (an open breaker short-circuits with 0 attempts), so an open
+    // breaker now means this invocation tripped it.
+    if inv.result.is_err() && session.breaker_open(op) {
+        span.breaker_tripped = true;
     }
 }
 
@@ -709,6 +910,7 @@ mod tests {
             &CostModel::default(),
             session,
             ExecOptions::default(),
+            &mut SpanCollector::detached(),
         )
     }
 

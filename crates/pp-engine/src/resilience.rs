@@ -309,6 +309,17 @@ struct BreakerState {
     open: bool,
 }
 
+/// One circuit-breaker state change, recorded by the session in the order
+/// it happened (deterministic: transitions only occur in the serial
+/// consume phase or via explicit [`ExecSession::reset_breaker`] calls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerTransition {
+    /// The operator whose breaker changed state.
+    pub op: String,
+    /// `true` when the breaker opened; `false` when it was reset.
+    pub opened: bool,
+}
+
 /// A stateful execution session: owns the config, per-operator circuit
 /// breakers, and resilience counters. One session can span many
 /// [`execute_with`](crate::physical::execute_with) calls, so breaker state
@@ -320,6 +331,7 @@ pub struct ExecSession {
     breakers: HashMap<String, BreakerState>,
     stats: HashMap<String, OpResilience>,
     touch_order: Vec<String>,
+    transitions: Vec<BreakerTransition>,
 }
 
 impl ExecSession {
@@ -346,8 +358,20 @@ impl ExecSession {
     pub fn reset_breaker(&mut self, op: &str) {
         if let Some(b) = self.breakers.get_mut(op) {
             b.consecutive_failures = 0;
-            b.open = false;
+            if b.open {
+                b.open = false;
+                self.transitions.push(BreakerTransition {
+                    op: op.to_string(),
+                    opened: false,
+                });
+            }
         }
+    }
+
+    /// Drains the breaker transitions recorded since the last call, in
+    /// the order they happened.
+    pub fn take_transitions(&mut self) -> Vec<BreakerTransition> {
+        std::mem::take(&mut self.transitions)
     }
 
     /// Snapshot of the per-operator counters, in first-touch order.
@@ -422,8 +446,15 @@ impl ExecSession {
                 // Terminal failure: count toward the breaker.
                 let breaker = self.breakers.entry(op.to_string()).or_default();
                 breaker.consecutive_failures += 1;
-                if breaker_threshold > 0 && breaker.consecutive_failures >= breaker_threshold {
+                if breaker_threshold > 0
+                    && breaker.consecutive_failures >= breaker_threshold
+                    && !breaker.open
+                {
                     breaker.open = true;
+                    self.transitions.push(BreakerTransition {
+                        op: op.to_string(),
+                        opened: true,
+                    });
                     self.stat(op).breaker_tripped = true;
                 }
                 Invocation {
@@ -579,6 +610,38 @@ mod tests {
         }
         // Failures never run consecutively, so the breaker stays closed.
         assert!(!s.breaker_open("op"));
+    }
+
+    #[test]
+    fn breaker_transitions_are_logged_once_per_state_change() {
+        let mut s = ExecSession::new(
+            ResilienceConfig::default()
+                .with_breaker_threshold(2)
+                .with_retry(RetryPolicy::none()),
+        );
+        for _ in 0..2 {
+            let _ = s.invoke("op", || Err::<u32, _>(EngineError::Transient("x".into())));
+        }
+        // Short-circuited calls must not re-log the open transition.
+        let _ = s.invoke("op", || Ok::<_, EngineError>(1));
+        s.reset_breaker("op");
+        // Resetting a closed breaker logs nothing.
+        s.reset_breaker("op");
+        let transitions = s.take_transitions();
+        assert_eq!(
+            transitions,
+            vec![
+                BreakerTransition {
+                    op: "op".into(),
+                    opened: true
+                },
+                BreakerTransition {
+                    op: "op".into(),
+                    opened: false
+                },
+            ]
+        );
+        assert!(s.take_transitions().is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use pp_ml as ml;
 /// [`ExecutionContext`]: crate::engine::exec::ExecutionContext
 pub mod prelude {
     pub use pp_core::planner::{PlanReport, PpQueryOptimizer, QoConfig};
-    pub use pp_core::runtime::RuntimeMonitor;
+    pub use pp_core::runtime::{QuarantineReason, RuntimeMonitor};
     pub use pp_core::train::{PpTrainer, TrainerConfig};
     pub use pp_core::wrangle::Domains;
     pub use pp_core::PpCatalog;
@@ -50,6 +50,9 @@ pub mod prelude {
     pub use pp_engine::resilience::{ExecReport, ResilienceConfig, RetryPolicy};
     pub use pp_engine::row::{Row, RowBatch, Rowset};
     pub use pp_engine::schema::{Column, DataType, Schema};
+    pub use pp_engine::telemetry::{
+        EventKind, MetricsRegistry, OperatorSpan, TelemetryEvent, TelemetrySnapshot,
+    };
     pub use pp_engine::udf::{ClosureFilter, ClosureProcessor};
     pub use pp_engine::value::Value;
     pub use pp_engine::Catalog;

@@ -233,6 +233,19 @@ proptest! {
             ids.is_subset(&f.nop_ids),
             "faults let ineligible rows through the exact select (seed {seed})"
         );
+        // Row-conservation invariant: every operator span accounts for every
+        // input row — passed, filtered, or failed — whatever the seed, fault
+        // mix, parallelism, and batch size.
+        let telemetry = ctx.telemetry().expect("snapshot after run");
+        for span in &telemetry.spans {
+            prop_assert!(
+                span.rows_in == span.rows_out + span.rows_filtered + span.rows_failed,
+                "span {} leaks rows (seed {})",
+                &span.op,
+                seed
+            );
+        }
+        prop_assert!(telemetry.conservation_violations().is_empty());
     }
 }
 
