@@ -1,0 +1,111 @@
+//! EXPLAIN ANALYZE report: plan-vs-actual calibration for TRAF-20.
+//!
+//! Runs a PP-optimized TRAF-20 query twice — once clean, once under a
+//! seeded fault plan aimed at its probabilistic predicates — and renders
+//! the annotated [`ExplainAnalyze`] tree for each run: predicted vs actual
+//! rows, reduction, and charged seconds per operator, with relative-error
+//! annotations. The clean snapshot is then emitted in both export formats
+//! (OpenMetrics text exposition and one JSONL record) to show the scrape
+//! surface, and both runs are fed to the runtime monitor to print the
+//! calibration report driving `needs_replan()`.
+//!
+//! [`ExplainAnalyze`]: pp_engine::ExplainAnalyze
+
+use pp_bench::setup::traffic_setup;
+use pp_core::RuntimeMonitor;
+use pp_data::traf20::traf20_queries;
+use pp_engine::exec::ExecutionContext;
+use pp_engine::export::openmetrics;
+use pp_engine::{ExplainAnalyze, FaultPlan, FaultSpec, TelemetrySnapshot};
+
+fn snapshot_of(ctx: &ExecutionContext) -> TelemetrySnapshot {
+    let mut snap = ctx.telemetry().expect("telemetry snapshot").clone();
+    snap.zero_wall_clock();
+    snap
+}
+
+fn main() {
+    let setup = traffic_setup(2_000, 500, 0xF16);
+    let queries = traf20_queries();
+    let q = &queries[0];
+    let nop_plan = q.nop_plan(&setup.dataset);
+    let optimized = setup
+        .optimizer(0.95)
+        .optimize(&nop_plan, &setup.catalog)
+        .expect("QO");
+    assert!(
+        !optimized.report.predictions.is_empty(),
+        "the QO must forecast the emitted plan"
+    );
+
+    // Clean run.
+    let mut ctx = ExecutionContext::builder(&setup.catalog)
+        .parallelism(4)
+        .build();
+    ctx.run(&optimized.plan).expect("clean execution");
+    let clean = snapshot_of(&ctx);
+    let pp_ops: Vec<String> = clean
+        .spans
+        .iter()
+        .filter(|s| s.op.starts_with("PP"))
+        .map(|s| s.op.clone())
+        .collect();
+    assert!(!pp_ops.is_empty(), "optimized plan should carry PP filters");
+
+    // Faulted run: transient faults + occasional timeouts on every PP.
+    let mut fault_plan = FaultPlan::new(0xBAD5EED);
+    for op in &pp_ops {
+        fault_plan = fault_plan.inject(op, FaultSpec::transient(0.08).with_timeouts(0.02, 90.0));
+    }
+    let mut faulted_ctx = ExecutionContext::builder(&setup.catalog)
+        .parallelism(4)
+        .fault_plan(fault_plan)
+        .build();
+    faulted_ctx.run(&optimized.plan).expect("faulted execution");
+    let faulted = snapshot_of(&faulted_ctx);
+
+    println!(
+        "TRAF-20 Q{} ({}), PP plan @ accuracy 0.95, parallelism 4\n",
+        q.id, q.kind
+    );
+
+    let clean_analyze =
+        ExplainAnalyze::analyze(&optimized.plan, &optimized.report.predictions, &clean)
+            .expect("clean join");
+    assert!(
+        clean_analyze.unjoined_nodes().is_empty() && clean_analyze.orphan_spans().is_empty(),
+        "a completed run joins every operator"
+    );
+    println!("-- clean run --");
+    print!("{}", clean_analyze.render());
+
+    let faulted_analyze =
+        ExplainAnalyze::analyze(&optimized.plan, &optimized.report.predictions, &faulted)
+            .expect("faulted join");
+    println!("\n-- faulted run (transient 8% + timeout 2% on every PP) --");
+    print!("{}", faulted_analyze.render());
+
+    // Export surfaces: OpenMetrics text exposition + one JSONL record.
+    println!("\n-- OpenMetrics exposition (clean run) --");
+    print!("{}", openmetrics(&clean));
+    println!("\n-- JSONL record (clean run) --");
+    println!("{}", clean.to_json());
+
+    // Calibration feedback: both runs observed, report printed.
+    let monitor = RuntimeMonitor::new();
+    monitor.observe_run(&optimized.report, &clean);
+    monitor.observe_run(&optimized.report, &faulted);
+    println!("\n-- calibration report after both runs --");
+    for entry in monitor.calibration_report().entries {
+        println!(
+            "{}: samples={} reduction bias={:+.4} mae={:.4} cost bias={:+.2e} drifted={}",
+            entry.key,
+            entry.summary.samples,
+            entry.summary.reduction_bias,
+            entry.summary.reduction_mae,
+            entry.summary.cost_bias,
+            entry.drifted,
+        );
+    }
+    println!("needs_replan: {}", monitor.needs_replan());
+}

@@ -22,12 +22,15 @@
 //! * [`inject`] — plan injection and the pushdown rules of Table 11 / A.4,
 //! * [`planner`] — the end-to-end QO extension of Fig. 3c,
 //! * [`runtime`] — the runtime monitor: the dependent-predicate fix of
-//!   Appendix A.5 plus fault-rate tracking that quarantines broken PPs.
+//!   Appendix A.5 plus fault-rate tracking that quarantines broken PPs,
+//! * [`calibration`] — predicted-vs-observed reduction/cost records per PP,
+//!   summarized into the drift signal that drives replanning.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod alloc;
+pub mod calibration;
 pub mod catalog;
 pub mod combine;
 pub mod expr;
@@ -41,6 +44,9 @@ pub mod runtime;
 pub mod train;
 pub mod wrangle;
 
+pub use calibration::{
+    CalibrationEntry, CalibrationRecord, CalibrationReport, CalibrationSummary, CalibrationTracker,
+};
 pub use catalog::PpCatalog;
 pub use expr::PpExpr;
 pub use planner::{PpQueryOptimizer, QoConfig};

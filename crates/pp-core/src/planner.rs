@@ -16,6 +16,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use pp_engine::cost::CostModel;
+use pp_engine::explain::{predict, OperatorPrediction, PredictionHints};
 use pp_engine::logical::{LogicalPlan, OpParallelism};
 use pp_engine::predicate::Predicate;
 use pp_engine::Catalog;
@@ -71,6 +73,11 @@ pub struct CandidateReport {
     pub estimate: Estimate,
     /// Estimated total plan cost per blob.
     pub plan_cost: f64,
+    /// Whether the accuracy budget could be allocated. Infeasible
+    /// candidates are recorded with a pass-through estimate for the audit
+    /// trail but never compete for the plan (and are excluded from
+    /// [`PlanReport::reduction_range`]).
+    pub feasible: bool,
 }
 
 /// The chosen injection for one blob table.
@@ -82,8 +89,27 @@ pub struct ChosenPlan {
     pub expr: String,
     /// Per-leaf accuracies.
     pub leaf_accuracies: Vec<f64>,
+    /// Canonical PP keys of the leaves, in execution order (parallel to
+    /// [`leaf_accuracies`](Self::leaf_accuracies)).
+    pub leaf_keys: Vec<String>,
+    /// Estimated per-leaf reductions at the allocated accuracies.
+    pub leaf_reductions: Vec<f64>,
     /// Estimated properties.
     pub estimate: Estimate,
+}
+
+impl ChosenPlan {
+    /// The display name of the injected filter operator — the key for
+    /// joining this plan to its telemetry span. Mirrors
+    /// [`PlannedPpExpr::into_filter`]'s naming: a single leaf displays as
+    /// `PP[key]` already; composites get a `PP` prefix.
+    pub fn filter_op(&self) -> String {
+        if self.expr.starts_with("PP[") {
+            self.expr.clone()
+        } else {
+            format!("PP{}", self.expr)
+        }
+    }
 }
 
 /// A report of what the optimizer saw and decided.
@@ -105,15 +131,21 @@ pub struct PlanReport {
     /// charge order — which stages of the (possibly PP-injected) plan a
     /// partitioned executor may fan out across row partitions.
     pub partitionability: Vec<OpParallelism>,
+    /// Per-operator cardinality/cost forecast for the emitted plan, in the
+    /// same charge order — the "plan" side of
+    /// [`ExplainAnalyze`](pp_engine::explain::ExplainAnalyze).
+    pub predictions: Vec<OperatorPrediction>,
 }
 
 impl PlanReport {
-    /// The range of estimated reductions across costed candidates
-    /// (Table 10's "Est. r" column).
+    /// The range of estimated reductions across *feasible* costed
+    /// candidates (Table 10's "Est. r" column). Infeasible candidates are
+    /// recorded with placeholder pass-through estimates and must not
+    /// deflate the range.
     pub fn reduction_range(&self) -> Option<(f64, f64)> {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        for c in &self.candidates {
+        for c in self.candidates.iter().filter(|c| c.feasible) {
             lo = lo.min(c.estimate.reduction);
             hi = hi.max(c.estimate.reduction);
         }
@@ -177,6 +209,8 @@ impl PpQueryOptimizer {
                 report: PlanReport {
                     optimize_seconds: started.elapsed().as_secs_f64(),
                     partitionability: plan.partitionability(),
+                    predictions: predict(plan, catalog, &CostModel::default(), &Default::default())
+                        .unwrap_or_default(),
                     ..Default::default()
                 },
             });
@@ -192,6 +226,7 @@ impl PpQueryOptimizer {
 
         let udf_cost = udf_cost_per_blob(plan);
         let mut out_plan = plan.clone();
+        let mut hints = PredictionHints::new();
         let mut report = PlanReport {
             udf_cost_per_blob: udf_cost,
             ..Default::default()
@@ -220,6 +255,10 @@ impl PpQueryOptimizer {
                 .filter(|c| {
                     monitor.is_none_or(|m| !c.leaves().iter().any(|pp| m.is_broken(&pp.key())))
                 })
+                .map(|c| match monitor {
+                    Some(m) => apply_corrections(c, m),
+                    None => c,
+                })
                 .collect();
             report.predicate = predicate.to_string();
             report.feasible_count = outcome.feasible_count;
@@ -238,7 +277,18 @@ impl PpQueryOptimizer {
                 };
                 let planned = match planned {
                     Ok(p) => p,
-                    Err(PpError::InfeasibleAccuracy(_)) => continue,
+                    Err(PpError::InfeasibleAccuracy(_)) => {
+                        // Record the candidate for the audit trail with a
+                        // pass-through estimate; it cannot win the plan.
+                        let passthrough = Estimate::passthrough();
+                        report.candidates.push(CandidateReport {
+                            expr: cand.to_string(),
+                            estimate: passthrough,
+                            plan_cost: plan_cost_per_blob(&passthrough, udf_cost),
+                            feasible: false,
+                        });
+                        continue;
+                    }
                     Err(e) => return Err(e),
                 };
                 let cost = plan_cost_per_blob(&planned.estimate, udf_cost);
@@ -246,6 +296,7 @@ impl PpQueryOptimizer {
                     expr: planned.expr.to_string(),
                     estimate: planned.estimate,
                     plan_cost: cost,
+                    feasible: true,
                 });
                 if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
                     best = Some((cost, planned));
@@ -259,21 +310,75 @@ impl PpQueryOptimizer {
             }
             // Order the PPs for execution, then inject.
             let planned = reorder(planned)?;
-            report.chosen = Some(ChosenPlan {
+            let accs = planned.assignment.accuracies().to_vec();
+            let mut leaf_keys = Vec::with_capacity(accs.len());
+            let mut leaf_reductions = Vec::with_capacity(accs.len());
+            for (pp, &a) in planned.expr.leaves().iter().zip(&accs) {
+                leaf_keys.push(pp.key());
+                leaf_reductions.push(pp.reduction(a)?);
+            }
+            let chosen = ChosenPlan {
                 table: table.clone(),
                 expr: planned.expr.to_string(),
-                leaf_accuracies: planned.assignment.accuracies().to_vec(),
+                leaf_accuracies: accs,
+                leaf_keys,
+                leaf_reductions,
                 estimate: planned.estimate,
-            });
+            };
+            // Cardinality hints for the prediction pass: the injected
+            // filter passes 1 − r of the scan, and of those survivors the
+            // exact Select keeps the σ·a truly-matching rows the PP
+            // retained (σ from the PP's validation selectivity).
+            hints = hints.with_ratio(chosen.filter_op(), 1.0 - chosen.estimate.reduction);
+            if let Some(pp) = self.pp_catalog.get(&predicate) {
+                let survivors = 1.0 - chosen.estimate.reduction;
+                if survivors > 1e-12 {
+                    let ratio = pp.observed_selectivity() * chosen.estimate.accuracy / survivors;
+                    hints = hints.with_ratio(format!("Select[{predicate}]"), ratio.clamp(0.0, 1.0));
+                }
+            }
+            report.chosen = Some(chosen);
             let filter = Arc::new(planned.into_filter(blob_column));
             out_plan = inject_above_scan(&out_plan, &table, filter)?;
         }
         report.optimize_seconds = started.elapsed().as_secs_f64();
         report.partitionability = out_plan.partitionability();
+        report.predictions =
+            predict(&out_plan, catalog, &CostModel::default(), &hints).unwrap_or_default();
         Ok(OptimizedQuery {
             plan: out_plan,
             report,
         })
+    }
+}
+
+/// Rebuilds an expression with each leaf's calibration correction applied:
+/// a leaf whose key has drifted past the monitor's threshold gets its
+/// reduction curve rescaled toward the observed mean
+/// ([`with_reduction_scale`](crate::pp::ProbabilisticPredicate::with_reduction_scale)),
+/// so allocation,
+/// costing, and ordering run on the *effective* selectivity. Filter
+/// verdicts are untouched — corrected plans return the same rows.
+fn apply_corrections(expr: PpExpr, monitor: &RuntimeMonitor) -> PpExpr {
+    match expr {
+        PpExpr::Leaf(pp) => match monitor.reduction_correction(&pp.key()) {
+            Some(s) if (s - 1.0).abs() > 1e-12 => {
+                PpExpr::Leaf(Arc::new(pp.with_reduction_scale(s)))
+            }
+            _ => PpExpr::Leaf(pp),
+        },
+        PpExpr::And(children) => PpExpr::And(
+            children
+                .into_iter()
+                .map(|c| apply_corrections(c, monitor))
+                .collect(),
+        ),
+        PpExpr::Or(children) => PpExpr::Or(
+            children
+                .into_iter()
+                .map(|c| apply_corrections(c, monitor))
+                .collect(),
+        ),
     }
 }
 
@@ -560,10 +665,126 @@ mod tests {
         let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
         let optimized = qo.optimize(&plan, &cat)?;
         assert!(!optimized.report.candidates.is_empty());
+        assert!(optimized.report.candidates.iter().all(|c| c.feasible));
         assert!(optimized.report.reduction_range().is_some());
         assert!(optimized.report.udf_cost_per_blob > 0.0);
         assert_eq!(optimized.report.predicate, "vehType = SUV");
         assert!(optimized.report.optimize_seconds >= 0.0);
+        Ok(())
+    }
+
+    #[test]
+    fn reduction_range_ignores_infeasible_candidates() {
+        let feasible = |r: f64| CandidateReport {
+            expr: "PP[a]".into(),
+            estimate: Estimate {
+                accuracy: 0.95,
+                reduction: r,
+                cost: 0.01,
+            },
+            plan_cost: 1.0,
+            feasible: true,
+        };
+        let mut report = PlanReport::default();
+        assert!(report.reduction_range().is_none());
+        // An infeasible candidate's placeholder pass-through estimate
+        // (reduction 0) must not deflate the range — or define it alone.
+        report.candidates.push(CandidateReport {
+            expr: "PP[b]".into(),
+            estimate: Estimate::passthrough(),
+            plan_cost: 5.0,
+            feasible: false,
+        });
+        assert!(report.reduction_range().is_none());
+        report.candidates.push(feasible(0.4));
+        report.candidates.push(feasible(0.7));
+        assert_eq!(report.reduction_range(), Some((0.4, 0.7)));
+    }
+
+    #[test]
+    fn report_predictions_cover_emitted_plan() -> Result<()> {
+        let (cat, plan) = setup(300, 10)?;
+        let qo = PpQueryOptimizer::new(pp_catalog()?, Domains::new(), QoConfig::default());
+        let optimized = qo.optimize(&plan, &cat)?;
+        let chosen = optimized.report.chosen.as_ref().expect("injects");
+        // One prediction per operator, in charge order, names matching.
+        let preds = &optimized.report.predictions;
+        assert_eq!(preds.len(), optimized.report.partitionability.len());
+        for (i, p) in preds.iter().enumerate() {
+            assert_eq!(p.op_id.0 as usize, i);
+            assert_eq!(p.op, optimized.report.partitionability[i].op);
+        }
+        // The injected filter's prediction carries the chosen reduction.
+        let pp_pred = preds
+            .iter()
+            .find(|p| p.op == chosen.filter_op())
+            .expect("filter predicted");
+        assert!((pp_pred.reduction() - chosen.estimate.reduction).abs() < 1e-9);
+        // Leaf bookkeeping is parallel to the accuracies.
+        assert_eq!(chosen.leaf_keys, vec!["vehType = SUV".to_string()]);
+        assert_eq!(chosen.leaf_reductions.len(), chosen.leaf_accuracies.len());
+        assert!(chosen.leaf_reductions[0] > 0.0);
+        // The PP-free path predicts the original plan.
+        let bare = PpQueryOptimizer::new(PpCatalog::new(), Domains::new(), QoConfig::default())
+            .optimize(&plan, &cat)?;
+        assert_eq!(bare.report.predictions.len(), plan.partitionability().len());
+        Ok(())
+    }
+
+    #[test]
+    fn calibration_drift_replans_with_identical_results() -> Result<()> {
+        let (cat, plan) = setup(400, 11)?;
+        // Two PPs sharing one trained pipeline: at accuracy 1.0 they make
+        // identical per-blob verdicts, so whichever expression the QO
+        // picks, the query returns the same rows. A mimics the query
+        // predicate cheaply; B mimics an implied predicate at higher cost.
+        let base = trained_pp(0.3, 7, 0.01);
+        let mut ppcat = PpCatalog::new();
+        ppcat.insert(ProbabilisticPredicate::new(
+            Predicate::from(Clause::new("vehType", CompareOp::Eq, "SUV")),
+            base.pipeline().clone(),
+            0.05,
+        )?);
+        ppcat.insert(ProbabilisticPredicate::new(
+            Predicate::from(Clause::new("vehType", CompareOp::Ne, "sedan")),
+            base.pipeline().clone(),
+            0.2,
+        )?);
+        let config = QoConfig {
+            accuracy_target: 1.0,
+            ..Default::default()
+        };
+        let qo = PpQueryOptimizer::new(ppcat, Domains::new(), config);
+        let monitor = RuntimeMonitor::new();
+        let first = qo.optimize_with_monitor(&plan, &cat, Some(&monitor))?;
+        let first_expr = first.report.chosen.as_ref().expect("injects").expr.clone();
+        let mut ctx = pp_engine::exec::ExecutionContext::new(&cat);
+        let first_rows = ctx.run(&first.plan)?;
+
+        // Runtime feedback: the cheap PP delivers almost no reduction.
+        for _ in 0..2 {
+            monitor.record_calibration(
+                "vehType = SUV",
+                crate::calibration::CalibrationRecord {
+                    predicted_reduction: 0.7,
+                    observed_reduction: 0.01,
+                    predicted_cost: 0.05,
+                    observed_cost: 0.05,
+                },
+            );
+        }
+        assert!(monitor.needs_replan());
+        let second = qo.optimize_with_monitor(&plan, &cat, Some(&monitor))?;
+        let chosen = second.report.chosen.as_ref().expect("still injects");
+        assert_ne!(first_expr, chosen.expr, "corrected plan must differ");
+        // The corrected leaf's scale shows in the report bookkeeping: its
+        // estimated reduction collapsed with the correction applied.
+        let second_rows = ctx.run(&second.plan)?;
+        assert_eq!(
+            format!("{first_rows:?}"),
+            format!("{second_rows:?}"),
+            "replanning must not change query results"
+        );
         Ok(())
     }
 }

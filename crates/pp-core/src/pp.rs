@@ -25,6 +25,10 @@ pub struct ProbabilisticPredicate {
     /// usually set explicitly by the workload so that the simulated cost
     /// model stays machine-independent.
     cost_per_row: f64,
+    /// Multiplicative calibration correction applied to the validation
+    /// reduction curve (1.0 = trust the curve). Set by the planner from
+    /// runtime feedback; affects estimates only, never filter verdicts.
+    reduction_scale: f64,
 }
 
 impl ProbabilisticPredicate {
@@ -38,6 +42,7 @@ impl ProbabilisticPredicate {
             predicate,
             pipeline: Arc::new(pipeline),
             cost_per_row,
+            reduction_scale: 1.0,
         })
     }
 
@@ -49,6 +54,7 @@ impl ProbabilisticPredicate {
             predicate,
             pipeline: Arc::new(pipeline),
             cost_per_row: cost,
+            reduction_scale: 1.0,
         }
     }
 
@@ -72,9 +78,36 @@ impl ProbabilisticPredicate {
         self.cost_per_row
     }
 
-    /// Predicted data reduction at accuracy `a` (validation estimate).
+    /// Predicted data reduction at accuracy `a`: the validation estimate
+    /// scaled by the calibration correction
+    /// ([`reduction_scale`][Self::reduction_scale]), clamped to `[0, 1]`.
     pub fn reduction(&self, a: f64) -> Result<f64> {
-        Ok(self.pipeline.reduction(a)?)
+        Ok((self.pipeline.reduction(a)? * self.reduction_scale).clamp(0.0, 1.0))
+    }
+
+    /// The calibration correction currently applied to the reduction curve
+    /// (1.0 = uncorrected).
+    pub fn reduction_scale(&self) -> f64 {
+        self.reduction_scale
+    }
+
+    /// A copy of this PP whose predicted reduction is rescaled by `scale`
+    /// (clamped to `[0, 20]`; non-finite values reset to 1.0).
+    ///
+    /// This is the calibration feedback hook: when the runtime monitor
+    /// observes a reduction persistently different from the estimate, the
+    /// planner rebuilds candidate leaves with the corrected scale so
+    /// allocation and ordering see the *effective* selectivity. Scoring
+    /// and thresholds are untouched — the filter's verdicts (and thus
+    /// query results) are identical to the uncorrected PP's.
+    pub fn with_reduction_scale(&self, scale: f64) -> Self {
+        let mut out = self.clone();
+        out.reduction_scale = if scale.is_finite() {
+            scale.clamp(0.0, 20.0)
+        } else {
+            1.0
+        };
+        out
     }
 
     /// The decision for one blob at accuracy `a` (Eq. 2): `true` keeps the
@@ -90,10 +123,11 @@ impl ProbabilisticPredicate {
 
     /// The intrinsic cost-to-reduction ratio `c / r(1]` used by the QO's
     /// greedy pruning (§6.1: "a smaller ratio of cost to data reduction ...
-    /// indicates better performance"). Returns `f64::INFINITY` when the PP
-    /// achieves no reduction at full accuracy.
+    /// indicates better performance"), honoring any calibration
+    /// correction. Returns `f64::INFINITY` when the PP achieves no
+    /// (corrected) reduction at full accuracy.
     pub fn efficiency_ratio(&self) -> f64 {
-        match self.pipeline.reduction(1.0) {
+        match self.reduction(1.0) {
             Ok(r) if r > 0.0 => self.cost_per_row / r,
             _ => f64::INFINITY,
         }
@@ -182,6 +216,31 @@ pub(crate) mod tests {
             ProbabilisticPredicate::new(pp.predicate.clone(), pipeline, -1.0),
             Err(PpError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn reduction_scale_corrects_estimates_not_verdicts() {
+        let pp = trained_pp(0.3, 6, 0.001);
+        let base = pp.reduction(0.95).unwrap();
+        assert_eq!(pp.reduction_scale(), 1.0);
+        let corrected = pp.with_reduction_scale(0.5);
+        assert_eq!(corrected.reduction_scale(), 0.5);
+        assert!((corrected.reduction(0.95).unwrap() - base * 0.5).abs() < 1e-12);
+        // Scale clamps: huge corrections cap the reduction at 1.0, negative
+        // and non-finite scales degrade safely.
+        assert!(pp.with_reduction_scale(100.0).reduction(1.0).unwrap() <= 1.0);
+        assert_eq!(pp.with_reduction_scale(-2.0).reduction_scale(), 0.0);
+        assert_eq!(pp.with_reduction_scale(f64::NAN).reduction_scale(), 1.0);
+        // Verdicts are untouched: same threshold, same decisions.
+        for x in [-2.5, -0.5, 0.5, 2.5] {
+            let blob = Features::Dense(vec![x, 0.0]);
+            assert_eq!(
+                pp.passes(&blob, 0.95).unwrap(),
+                corrected.passes(&blob, 0.95).unwrap()
+            );
+        }
+        // A lower effective reduction worsens the efficiency ratio.
+        assert!(corrected.efficiency_ratio() > pp.efficiency_ratio());
     }
 
     #[test]

@@ -23,6 +23,11 @@ use parking_lot::RwLock;
 use pp_engine::resilience::ExecReport;
 use pp_engine::telemetry::TelemetrySnapshot;
 
+use crate::calibration::{
+    CalibrationRecord, CalibrationReport, CalibrationSummary, CalibrationTracker,
+};
+use crate::planner::PlanReport;
+
 /// One runtime observation of a PP expression's behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Observation {
@@ -52,6 +57,12 @@ pub struct MonitorConfig {
     /// Minimum recorded calls before the fault rate is trusted; prevents a
     /// single unlucky call from quarantining a healthy PP.
     pub min_calls: u64,
+    /// Mean absolute reduction-calibration error above which a PP key is
+    /// considered drifted ([`RuntimeMonitor::needs_replan`] fires and the
+    /// planner applies a reduction correction).
+    pub calibration_error_threshold: f64,
+    /// Minimum calibration records for a key before its error is trusted.
+    pub calibration_min_samples: u64,
 }
 
 impl Default for MonitorConfig {
@@ -60,6 +71,8 @@ impl Default for MonitorConfig {
             deviation_threshold: 0.15,
             fault_rate_threshold: 0.5,
             min_calls: 10,
+            calibration_error_threshold: 0.15,
+            calibration_min_samples: 2,
         }
     }
 }
@@ -80,6 +93,18 @@ impl MonitorConfig {
     /// Sets the minimum calls before fault rates are trusted.
     pub fn with_min_calls(mut self, n: u64) -> Self {
         self.min_calls = n;
+        self
+    }
+
+    /// Sets the calibration reduction-MAE threshold.
+    pub fn with_calibration_error_threshold(mut self, t: f64) -> Self {
+        self.calibration_error_threshold = t;
+        self
+    }
+
+    /// Sets the minimum calibration samples before drift is trusted.
+    pub fn with_calibration_min_samples(mut self, n: u64) -> Self {
+        self.calibration_min_samples = n;
         self
     }
 }
@@ -143,6 +168,7 @@ struct Inner {
     broken: HashSet<String>,
     reasons: HashMap<String, QuarantineReason>,
     selectivity: HashMap<String, Vec<f64>>,
+    calibration: CalibrationTracker,
 }
 
 impl RuntimeMonitor {
@@ -360,6 +386,95 @@ impl RuntimeMonitor {
                 }
             }
         }
+    }
+
+    /// Appends one predicted-vs-observed calibration record for a PP key
+    /// (or composite expression display).
+    pub fn record_calibration(&self, key: &str, record: CalibrationRecord) {
+        self.inner.write().calibration.record(key, record);
+    }
+
+    /// The accumulated calibration summary for `key`, or `None` if never
+    /// recorded.
+    pub fn calibration_summary(&self, key: &str) -> Option<CalibrationSummary> {
+        self.inner.read().calibration.summary(key)
+    }
+
+    /// The calibration digest across every tracked key, flagging drifted
+    /// ones per this monitor's thresholds.
+    pub fn calibration_report(&self) -> CalibrationReport {
+        self.inner.read().calibration.report(
+            self.config.calibration_min_samples,
+            self.config.calibration_error_threshold,
+        )
+    }
+
+    /// Whether any tracked key's calibration drifted past the configured
+    /// threshold — the signal to re-run
+    /// [`optimize_with_monitor`](crate::planner::PpQueryOptimizer::optimize_with_monitor)
+    /// so corrections take effect.
+    pub fn needs_replan(&self) -> bool {
+        self.calibration_report().needs_replan()
+    }
+
+    /// The multiplicative reduction correction the planner should apply to
+    /// `key`'s estimate, or `None` while the key is within threshold (or
+    /// under-sampled). Only drifted keys are corrected so that noisy but
+    /// healthy PPs keep their validation curves.
+    pub fn reduction_correction(&self, key: &str) -> Option<f64> {
+        let summary = self.calibration_summary(key)?;
+        if summary.samples < self.config.calibration_min_samples
+            || summary.reduction_mae <= self.config.calibration_error_threshold
+        {
+            return None;
+        }
+        summary.correction_factor()
+    }
+
+    /// Joins one run's plan report with its telemetry: digests the
+    /// snapshot as [`observe_telemetry`][Self::observe_telemetry] does,
+    /// then locates the chosen PP filter's span (by its injected operator
+    /// name) and records a [`CalibrationRecord`] comparing the plan's
+    /// estimate against the span's observed reduction and per-blob cost.
+    /// Single-PP plans record under the leaf key (where
+    /// [`reduction_correction`][Self::reduction_correction] looks);
+    /// composites record under the expression display. The estimate is
+    /// also fed to [`observe`][Self::observe], so a dramatic miss triggers
+    /// Appendix A.5's dependent-predicate flag. Spans that aborted or saw
+    /// no rows are skipped — their reduction is truncated, not observed.
+    pub fn observe_run(&self, report: &PlanReport, snapshot: &TelemetrySnapshot) {
+        self.observe_telemetry(snapshot);
+        let Some(chosen) = &report.chosen else {
+            return;
+        };
+        let op = chosen.filter_op();
+        let Some(span) = snapshot.spans.iter().find(|s| s.op == op) else {
+            return;
+        };
+        if span.rows_in == 0 || span.rows_failed > 0 {
+            return;
+        }
+        let observed_reduction = span.reduction();
+        let key = match &chosen.leaf_keys[..] {
+            [only] => only.clone(),
+            _ => chosen.expr.clone(),
+        };
+        self.record_calibration(
+            &key,
+            CalibrationRecord {
+                predicted_reduction: chosen.estimate.reduction,
+                observed_reduction,
+                predicted_cost: chosen.estimate.cost,
+                observed_cost: span.seconds / span.rows_in as f64,
+            },
+        );
+        self.observe(
+            &report.predicate,
+            Observation {
+                estimated_reduction: chosen.estimate.reduction,
+                observed_reduction,
+            },
+        );
     }
 }
 
@@ -645,6 +760,107 @@ mod tests {
         );
         m.mark_broken("manual");
         assert_eq!(m.why_broken("manual"), Some(QuarantineReason::Manual));
+    }
+
+    fn report_with_chosen(expr: &str, leaf_keys: Vec<&str>, reduction: f64) -> PlanReport {
+        use crate::combine::Estimate;
+        use crate::planner::ChosenPlan;
+        PlanReport {
+            predicate: "t = SUV".into(),
+            chosen: Some(ChosenPlan {
+                table: "video".into(),
+                expr: expr.into(),
+                leaf_accuracies: vec![0.95; leaf_keys.len()],
+                leaf_keys: leaf_keys.into_iter().map(String::from).collect(),
+                leaf_reductions: vec![reduction],
+                estimate: Estimate {
+                    accuracy: 0.95,
+                    reduction,
+                    cost: 0.01,
+                },
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn observe_run_joins_filter_span_and_records_calibration() {
+        let m = RuntimeMonitor::new();
+        // Single-leaf plan: injected filter op is PP[t = SUV], key is leaf.
+        let report = report_with_chosen("PP[t = SUV]", vec!["t = SUV"], 0.6);
+        let mut span = pp_span("PP[t = SUV]", 100, 40, 0);
+        span.seconds = 1.2;
+        m.observe_run(&report, &snapshot_of(vec![span]));
+        let s = m.calibration_summary("t = SUV").expect("recorded");
+        assert_eq!(s.samples, 1);
+        assert!((s.mean_observed_reduction - 0.6).abs() < 1e-12);
+        assert!((s.cost_bias - 0.002).abs() < 1e-12); // 1.2/100 − 0.01
+                                                      // Accurate estimate: neither flagged nor drifted.
+        assert!(!m.is_flagged("t = SUV"));
+        assert!(!m.needs_replan());
+
+        // Composite plans record under the expression display.
+        let m = RuntimeMonitor::new();
+        let report = report_with_chosen("(PP[a] ∧ PP[b])", vec!["a", "b"], 0.6);
+        m.observe_run(
+            &report,
+            &snapshot_of(vec![pp_span("PP(PP[a] ∧ PP[b])", 100, 40, 0)]),
+        );
+        assert!(m.calibration_summary("(PP[a] ∧ PP[b])").is_some());
+        assert!(m.calibration_summary("a").is_none());
+    }
+
+    #[test]
+    fn observe_run_skips_missing_empty_or_aborted_spans() {
+        let m = RuntimeMonitor::new();
+        let report = report_with_chosen("PP[t = SUV]", vec!["t = SUV"], 0.6);
+        // No matching span (filter never ran).
+        m.observe_run(&report, &snapshot_of(vec![pp_span("Scan[video]", 9, 9, 0)]));
+        assert!(m.calibration_summary("t = SUV").is_none());
+        // Empty span.
+        m.observe_run(&report, &snapshot_of(vec![pp_span("PP[t = SUV]", 0, 0, 0)]));
+        assert!(m.calibration_summary("t = SUV").is_none());
+        // Aborted span: fault counters accumulate, calibration does not.
+        let mut span = pp_span("PP[t = SUV]", 100, 10, 5);
+        span.rows_failed = 5;
+        m.observe_run(&report, &snapshot_of(vec![span]));
+        assert!(m.calibration_summary("t = SUV").is_none());
+        assert_eq!(m.fault_stats("t = SUV").failures, 5);
+        // A PP-free report only digests telemetry.
+        m.observe_run(
+            &PlanReport::default(),
+            &snapshot_of(vec![pp_span("PP[t = SUV]", 100, 40, 0)]),
+        );
+        assert!(m.calibration_summary("t = SUV").is_none());
+    }
+
+    #[test]
+    fn drifted_calibration_triggers_replan_and_correction() {
+        let m = RuntimeMonitor::new(); // min_samples 2, threshold 0.15
+        let report = report_with_chosen("PP[t = SUV]", vec!["t = SUV"], 0.8);
+        // Observed reduction collapses to 0.1 against an 0.8 estimate.
+        m.observe_run(
+            &report,
+            &snapshot_of(vec![pp_span("PP[t = SUV]", 100, 90, 0)]),
+        );
+        // One sample: not yet trusted.
+        assert!(!m.needs_replan());
+        assert!(m.reduction_correction("t = SUV").is_none());
+        m.observe_run(
+            &report,
+            &snapshot_of(vec![pp_span("PP[t = SUV]", 100, 90, 0)]),
+        );
+        assert!(m.needs_replan());
+        let entry_drifted = m
+            .calibration_report()
+            .entry("t = SUV")
+            .is_some_and(|e| e.drifted);
+        assert!(entry_drifted);
+        let scale = m.reduction_correction("t = SUV").expect("drifted");
+        assert!((scale - 0.125).abs() < 1e-9, "got {scale}"); // 0.1 / 0.8
+                                                              // The dramatic miss also raised the A.5 dependency flag.
+        assert!(m.is_flagged("t = SUV"));
+        assert!(m.reduction_correction("unseen").is_none());
     }
 
     #[test]

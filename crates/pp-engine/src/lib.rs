@@ -24,6 +24,8 @@
 pub mod catalog;
 pub mod cost;
 pub mod exec;
+pub mod explain;
+pub mod export;
 pub mod fault;
 pub mod logical;
 pub mod physical;
@@ -39,6 +41,8 @@ pub mod value;
 pub use catalog::Catalog;
 pub use cost::{CostMeter, QueryMetrics};
 pub use exec::{ExecutionContext, ExecutionContextBuilder};
+pub use explain::{ExplainAnalyze, ExplainNode, OperatorPrediction, PredictionHints};
+pub use export::{Exporter, JsonlExporter, OpenMetricsExporter};
 pub use fault::{FaultKind, FaultLog, FaultPlan, FaultSpec, InjectedFault};
 pub use logical::{LogicalPlan, OpParallelism};
 #[allow(deprecated)]

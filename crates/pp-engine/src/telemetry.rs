@@ -113,11 +113,21 @@ impl LatencyHistogram {
     }
 
     /// The upper bound (in seconds) of the bucket containing the `q`
-    /// quantile (`0.0 ≤ q ≤ 1.0`), or 0.0 when empty.
+    /// quantile.
+    ///
+    /// Edge cases are total, never a panic or an out-of-range bucket:
+    ///
+    /// * an **empty histogram** returns `0.0` for every `q`;
+    /// * **`q <= 0.0`** clamps to rank 1 — the upper bound of the first
+    ///   non-empty bucket (the minimum recorded value's bucket);
+    /// * **`q >= 1.0`** clamps to rank `count` — the upper bound of the
+    ///   last non-empty bucket (the maximum's bucket);
+    /// * a **NaN** `q` is treated as `0.0`.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
+        let q = if q.is_nan() { 0.0 } else { q };
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -588,7 +598,7 @@ impl TelemetrySnapshot {
     }
 }
 
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -596,7 +606,7 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -801,6 +811,29 @@ mod tests {
         assert!(h.p99() >= 1e-6);
         assert!(h.quantile(1.0) >= 1.0);
         assert_eq!(LatencyHistogram::new().p99(), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases_are_total() {
+        // Empty: every q answers 0.0, out-of-range and NaN included.
+        let empty = LatencyHistogram::new();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+            assert_eq!(empty.quantile(q), 0.0, "empty histogram, q={q}");
+        }
+        let mut h = LatencyHistogram::new();
+        h.record_n(1e-6, 10); // first non-empty bucket
+        h.record_n(1.0, 1); // last non-empty bucket
+        let lo = h.quantile(1e-9); // smallest positive rank
+        let hi = h.quantile(1.0);
+        // q <= 0.0 clamps to rank 1: the minimum's bucket bound.
+        assert_eq!(h.quantile(0.0), lo);
+        assert_eq!(h.quantile(-3.5), lo);
+        assert!((1e-6..3e-6).contains(&lo), "lo={lo}");
+        // q >= 1.0 clamps to rank count: the maximum's bucket bound.
+        assert_eq!(h.quantile(7.0), hi);
+        assert!(hi >= 1.0, "hi={hi}");
+        // NaN behaves as q = 0.0, not a panic or bogus bucket.
+        assert_eq!(h.quantile(f64::NAN), lo);
     }
 
     #[test]

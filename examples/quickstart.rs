@@ -118,23 +118,18 @@ fn main() {
         accelerated.len() as f64 / baseline.len() as f64
     );
 
-    // 5. The context records a telemetry snapshot per run: one span per
-    //    operator, in cost-charge order, with row accounting and simulated
-    //    latency quantiles. (`cargo run --release -p pp-bench --bin
-    //    telemetry_report` renders the full table for TRAF-20.)
+    // 5. EXPLAIN ANALYZE: join the optimizer's per-operator forecasts
+    //    (carried in the plan report) against the telemetry snapshot of the
+    //    accelerated run — predicted vs actual rows, reduction, and charged
+    //    seconds per operator. (`cargo run --release -p pp-bench --bin
+    //    explain_report` renders the same tree for TRAF-20, plus the
+    //    OpenMetrics/JSONL export surfaces and the calibration report.)
     let telemetry = ctx.telemetry().expect("snapshot of the last run");
-    println!("\ntelemetry (accelerated plan):");
-    for span in &telemetry.spans {
-        println!(
-            "  #{} {:<24} in={:<5} out={:<5} filtered={:<5} reduction={:.2} p50={:.1}ms",
-            span.op_id.0,
-            span.op,
-            span.rows_in,
-            span.rows_out,
-            span.rows_filtered,
-            span.reduction(),
-            span.latency.p50() * 1e3,
-        );
-    }
     assert!(telemetry.conservation_violations().is_empty());
+    let analyze =
+        ExplainAnalyze::analyze(&optimized.plan, &optimized.report.predictions, telemetry)
+            .expect("plan/actual join");
+    assert!(analyze.orphan_spans().is_empty() && analyze.unjoined_nodes().is_empty());
+    println!("\nEXPLAIN ANALYZE (accelerated plan):");
+    print!("{}", analyze.render());
 }

@@ -36,7 +36,8 @@ pub use pp_ml as ml;
 ///
 /// [`ExecutionContext`]: crate::engine::exec::ExecutionContext
 pub mod prelude {
-    pub use pp_core::planner::{PlanReport, PpQueryOptimizer, QoConfig};
+    pub use pp_core::calibration::{CalibrationRecord, CalibrationReport, CalibrationSummary};
+    pub use pp_core::planner::{ChosenPlan, PlanReport, PpQueryOptimizer, QoConfig};
     pub use pp_core::runtime::{QuarantineReason, RuntimeMonitor};
     pub use pp_core::train::{PpTrainer, TrainerConfig};
     pub use pp_core::wrangle::Domains;
@@ -44,6 +45,8 @@ pub mod prelude {
     pub use pp_data::traffic::{TrafficConfig, TrafficDataset};
     pub use pp_engine::cost::{CostMeter, CostModel, QueryMetrics};
     pub use pp_engine::exec::{ExecutionContext, ExecutionContextBuilder};
+    pub use pp_engine::explain::{ExplainAnalyze, OperatorPrediction, PredictionHints};
+    pub use pp_engine::export::{Exporter, JsonlExporter, OpenMetricsExporter};
     pub use pp_engine::fault::{FaultPlan, FaultSpec};
     pub use pp_engine::logical::{LogicalPlan, OpParallelism};
     pub use pp_engine::predicate::{Clause, CompareOp, Predicate};
