@@ -1,0 +1,242 @@
+//! Closed-loop serving throughput on TRAF-20: QPS and latency quantiles
+//! of [`PpServer`] under 1–16 concurrent clients.
+//!
+//! Each client thread loops over the 20 benchmark queries round-robin,
+//! submitting one and blocking on its ticket (closed loop) until the
+//! per-configuration deadline expires. The cache is warmed with one pass
+//! over the workload before timing, so the steady state being measured is
+//! plan-cache hits + execution — the serving analogue of a recurring
+//! dashboard workload.
+//!
+//! ```text
+//! cargo run --release -p pp-bench --bin serve_throughput -- \
+//!     --parallelism 1,4,16 --seconds 3 --frames 4000
+//! ```
+//!
+//! The final `RESULT` lines are machine-parseable for CI smoke checks.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use pp_bench::setup::traffic_setup;
+use pp_bench::table::{f2, Table};
+use pp_data::traf20::traf20_queries;
+use pp_server::{PpServer, QueryRequest, ServerConfig, SourceRegistry, SourceSpec};
+
+struct Args {
+    parallelism: Vec<usize>,
+    seconds: f64,
+    frames: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        parallelism: vec![1, 4, 16],
+        seconds: 3.0,
+        frames: 4_000,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--parallelism" => {
+                args.parallelism = value
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("parallelism: usize list"))
+                    .collect();
+            }
+            "--seconds" => args.seconds = value.parse().expect("seconds: f64"),
+            "--frames" => args.frames = value.parse().expect("frames: usize"),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct RunStats {
+    completed: u64,
+    rejected: u64,
+    failed: u64,
+    elapsed: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cache_hits: u64,
+    cache_builds: u64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx]
+}
+
+fn run_closed_loop(server: &PpServer, clients: usize, duration: Duration) -> RunStats {
+    let queries = traf20_queries();
+    let completed = AtomicU64::new(0);
+    let rejected = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let next_query = AtomicUsize::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                while start.elapsed() < duration {
+                    let q = &queries[next_query.fetch_add(1, Ordering::Relaxed) % queries.len()];
+                    let req = QueryRequest::new("traffic", q.predicate.clone(), 0.95);
+                    let sent = Instant::now();
+                    match server.submit(req) {
+                        Ok(ticket) => {
+                            let resp = ticket.wait();
+                            if resp.outcome.success().is_some() {
+                                completed.fetch_add(1, Ordering::Relaxed);
+                                local.push(sent.elapsed().as_secs_f64());
+                            } else if resp.outcome.is_rejected() {
+                                rejected.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut lat = latencies.into_inner().unwrap_or_else(|e| e.into_inner());
+    lat.sort_by(f64::total_cmp);
+    let stats = server.cache_stats();
+    RunStats {
+        completed: completed.into_inner(),
+        rejected: rejected.into_inner(),
+        failed: failed.into_inner(),
+        elapsed,
+        p50_ms: quantile(&lat, 0.50) * 1e3,
+        p99_ms: quantile(&lat, 0.99) * 1e3,
+        cache_hits: stats.hits,
+        cache_builds: stats.builds,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let train = (args.frames / 4).max(200);
+    let setup = traffic_setup(args.frames, train, 0x5E42);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "serving {} eval frames, PP corpus of {} ({} training frames), {} hardware threads\n",
+        args.frames - train,
+        setup.pp_catalog.len(),
+        train,
+        cores
+    );
+    let mut sources = SourceRegistry::new();
+    let mut spec = SourceSpec::new("traffic");
+    for col in ["vehType", "vehColor", "speed", "fromI", "toI"] {
+        spec = spec.with_udf(col, setup.dataset.udf(col).expect("known column"));
+    }
+    sources.register("traffic", spec);
+
+    let mut table =
+        Table::new("Serving throughput — TRAF-20 closed loop, accuracy 0.95").headers([
+            "clients",
+            "QPS",
+            "p50 ms",
+            "p99 ms",
+            "completed",
+            "rejected",
+            "failed",
+            "cache hit%",
+        ]);
+    let mut results: Vec<(usize, RunStats)> = Vec::new();
+    for &clients in &args.parallelism {
+        let mut server = PpServer::new(
+            ServerConfig {
+                workers: clients,
+                ..Default::default()
+            },
+            setup.catalog.clone(),
+            sources.clone(),
+            setup.pp_catalog.clone(),
+            setup.domains.clone(),
+        );
+        // Warm the plan cache: one pass over the workload, untimed. The
+        // measured phase then runs at 100% plan-cache hits.
+        for q in traf20_queries() {
+            let ticket = server
+                .submit(QueryRequest::new("traffic", q.predicate.clone(), 0.95))
+                .expect("warmup admitted");
+            assert!(
+                ticket.wait().outcome.success().is_some(),
+                "warmup query failed"
+            );
+        }
+        let stats = run_closed_loop(&server, clients, Duration::from_secs_f64(args.seconds));
+        server.shutdown();
+        let qps = stats.completed as f64 / stats.elapsed;
+        let hit_pct =
+            100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_builds).max(1) as f64;
+        table.row([
+            clients.to_string(),
+            f2(qps),
+            f2(stats.p50_ms),
+            f2(stats.p99_ms),
+            stats.completed.to_string(),
+            stats.rejected.to_string(),
+            stats.failed.to_string(),
+            f2(hit_pct),
+        ]);
+        results.push((clients, stats));
+    }
+    table.print();
+    println!();
+
+    let mut baseline_qps = None;
+    for (clients, stats) in &results {
+        let qps = stats.completed as f64 / stats.elapsed;
+        let scaling = match baseline_qps {
+            None => {
+                baseline_qps = Some(qps);
+                1.0
+            }
+            Some(base) => qps / base,
+        };
+        println!(
+            "RESULT clients={clients} qps={qps:.2} p50_ms={:.3} p99_ms={:.3} \
+             completed={} rejected={} failed={} cache_hits={} scaling_vs_first={scaling:.2}",
+            stats.p50_ms,
+            stats.p99_ms,
+            stats.completed,
+            stats.rejected,
+            stats.failed,
+            stats.cache_hits,
+        );
+    }
+    let total: u64 = results.iter().map(|(_, s)| s.completed).sum();
+    let failed: u64 = results.iter().map(|(_, s)| s.failed).sum();
+    println!("RESULT total_completed={total} total_failed={failed} hardware_threads={cores}");
+    if cores == 1 {
+        println!("note: 1 hardware thread — QPS cannot scale with client count on this host");
+    }
+    if total == 0 {
+        eprintln!("no queries completed");
+        std::process::exit(1);
+    }
+}

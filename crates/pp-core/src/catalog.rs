@@ -6,8 +6,18 @@
 //! lookups the rewriter needs: exact match by predicate, and "all PPs whose
 //! predicate is implied by a given clause" for necessary-condition
 //! matching.
+//!
+//! For long-running serving (the `pp-server` crate), the catalog also comes
+//! in a **versioned** form: [`VersionedPpCatalog`] publishes immutable,
+//! epoch-stamped [`CatalogSnapshot`]s that readers pin with one atomic
+//! handle clone. Publishing a retrained corpus bumps the
+//! [`CatalogEpoch`] and swaps the snapshot without pausing in-flight
+//! readers — a query planned against epoch `n` keeps its `Arc` alive for
+//! as long as it needs, while new queries see epoch `n + 1`.
 
 use std::sync::Arc;
+
+use parking_lot::RwLock;
 
 use pp_engine::predicate::{Clause, Predicate};
 
@@ -101,6 +111,95 @@ impl PpCatalog {
     }
 }
 
+/// Monotonic version stamp of a published PP-catalog snapshot. Epoch 1 is
+/// the initial corpus; every [`VersionedPpCatalog::publish`] bumps it by
+/// one. Plan caches key on the epoch so entries from a superseded corpus
+/// can never serve a query planned against the current one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CatalogEpoch(pub u64);
+
+impl std::fmt::Display for CatalogEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An immutable, epoch-stamped view of the trained-PP corpus. Cheap to
+/// clone behind an `Arc`; holders keep planning against it even after a
+/// newer epoch is published.
+#[derive(Debug, Clone)]
+pub struct CatalogSnapshot {
+    epoch: CatalogEpoch,
+    pps: PpCatalog,
+}
+
+impl CatalogSnapshot {
+    /// The epoch this snapshot was published at.
+    pub fn epoch(&self) -> CatalogEpoch {
+        self.epoch
+    }
+
+    /// The PP corpus frozen into this snapshot.
+    pub fn pps(&self) -> &PpCatalog {
+        &self.pps
+    }
+}
+
+/// A hot-swappable, thread-safe handle over epoch-stamped PP-catalog
+/// snapshots.
+///
+/// Readers call [`snapshot`][Self::snapshot] to pin the current epoch (one
+/// `RwLock` read + one `Arc` clone); writers call
+/// [`publish`][Self::publish] to install a retrained corpus under the next
+/// epoch. Swaps never block or invalidate pinned snapshots, so a serving
+/// runtime can retrain PPs continuously without pausing in-flight queries.
+#[derive(Debug)]
+pub struct VersionedPpCatalog {
+    current: RwLock<Arc<CatalogSnapshot>>,
+}
+
+impl VersionedPpCatalog {
+    /// Publishes `initial` as epoch 1.
+    pub fn new(initial: PpCatalog) -> Self {
+        VersionedPpCatalog {
+            current: RwLock::new(Arc::new(CatalogSnapshot {
+                epoch: CatalogEpoch(1),
+                pps: initial,
+            })),
+        }
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> CatalogEpoch {
+        self.current.read().epoch
+    }
+
+    /// Pins the current snapshot.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically publishes `pps` under the next epoch and returns it.
+    pub fn publish(&self, pps: PpCatalog) -> CatalogEpoch {
+        let mut current = self.current.write();
+        let epoch = CatalogEpoch(current.epoch.0 + 1);
+        *current = Arc::new(CatalogSnapshot { epoch, pps });
+        epoch
+    }
+
+    /// Publishes a corpus derived from the current one (e.g. inserting a
+    /// freshly trained PP or dropping a retired one). The update closure
+    /// runs under the write lock, so concurrent `publish_with` calls
+    /// serialize and neither update is lost.
+    pub fn publish_with(&self, update: impl FnOnce(&PpCatalog) -> PpCatalog) -> CatalogEpoch {
+        let mut current = self.current.write();
+        let epoch = CatalogEpoch(current.epoch.0 + 1);
+        let pps = update(&current.pps);
+        *current = Arc::new(CatalogSnapshot { epoch, pps });
+        epoch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +276,70 @@ mod tests {
             Predicate::from(Clause::new("c", CompareOp::Eq, "red")),
         );
         assert!(cat.implied_by(&disj).is_empty());
+    }
+
+    #[test]
+    fn publish_bumps_epoch_without_invalidating_pinned_snapshots() {
+        let mut initial = PpCatalog::new();
+        initial.insert(pp_for(
+            Predicate::from(Clause::new("t", CompareOp::Eq, "SUV")),
+            1,
+        ));
+        let versioned = VersionedPpCatalog::new(initial);
+        assert_eq!(versioned.epoch(), CatalogEpoch(1));
+
+        let pinned = versioned.snapshot();
+        assert_eq!(pinned.epoch(), CatalogEpoch(1));
+        assert_eq!(pinned.pps().len(), 1);
+
+        let e2 = versioned.publish_with(|old| {
+            let mut next = old.clone();
+            next.insert(pp_for(
+                Predicate::from(Clause::new("t", CompareOp::Eq, "van")),
+                2,
+            ));
+            next
+        });
+        assert_eq!(e2, CatalogEpoch(2));
+        assert_eq!(versioned.epoch(), CatalogEpoch(2));
+        assert_eq!(versioned.snapshot().pps().len(), 2);
+        // The pinned snapshot still sees the old corpus.
+        assert_eq!(pinned.epoch(), CatalogEpoch(1));
+        assert_eq!(pinned.pps().len(), 1);
+
+        let e3 = versioned.publish(PpCatalog::new());
+        assert_eq!(e3, CatalogEpoch(3));
+        assert!(versioned.snapshot().pps().is_empty());
+    }
+
+    #[test]
+    fn concurrent_publish_with_serializes_updates() {
+        let versioned = std::sync::Arc::new(VersionedPpCatalog::new(PpCatalog::new()));
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let v = std::sync::Arc::clone(&versioned);
+                std::thread::spawn(move || {
+                    v.publish_with(|old| {
+                        let mut next = old.clone();
+                        next.insert(pp_for(
+                            Predicate::from(Clause::new("s", CompareOp::Gt, i as f64)),
+                            i + 1,
+                        ));
+                        next
+                    })
+                })
+            })
+            .collect();
+        let mut epochs: Vec<u64> = threads
+            .into_iter()
+            .map(|t| t.join().expect("publisher thread").0)
+            .collect();
+        epochs.sort_unstable();
+        // Every publish got a distinct consecutive epoch and no insert was
+        // lost to a racing writer.
+        assert_eq!(epochs, (2..=9).collect::<Vec<u64>>());
+        assert_eq!(versioned.epoch(), CatalogEpoch(9));
+        assert_eq!(versioned.snapshot().pps().len(), 8);
     }
 
     #[test]

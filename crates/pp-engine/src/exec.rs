@@ -1,8 +1,8 @@
 //! The unified execution API: [`ExecutionContext`] bundles everything a
 //! query run needs — catalog, cost model, resilience policy, optional
-//! fault injection, and parallelism — behind one builder, replacing the
-//! five-argument free functions (`execute` / `execute_with` /
-//! hand-threaded `ExecSession`s).
+//! fault injection, and parallelism — behind one builder. It is the only
+//! way to execute a plan; the historical five-argument free functions
+//! (`execute` / `execute_with`) have been removed.
 //!
 //! ```
 //! use std::sync::Arc;

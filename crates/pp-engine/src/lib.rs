@@ -45,8 +45,6 @@ pub use explain::{ExplainAnalyze, ExplainNode, OperatorPrediction, PredictionHin
 pub use export::{Exporter, JsonlExporter, OpenMetricsExporter};
 pub use fault::{FaultKind, FaultLog, FaultPlan, FaultSpec, InjectedFault};
 pub use logical::{LogicalPlan, OpParallelism};
-#[allow(deprecated)]
-pub use physical::{execute, execute_with};
 pub use predicate::{Clause, CompareOp, Predicate};
 pub use resilience::{
     BreakerTransition, ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy,

@@ -128,53 +128,7 @@ where
     })
 }
 
-/// Executes a plan against a catalog, charging costs to the meter, under a
-/// fresh default [`ExecSession`] (retries on, fail-open filters on).
-#[deprecated(note = "use `ExecutionContext::builder(catalog).build()` and `run(plan)` instead")]
-pub fn execute(
-    plan: &LogicalPlan,
-    catalog: &Catalog,
-    meter: &mut CostMeter,
-    model: &CostModel,
-) -> Result<Rowset> {
-    let mut session = ExecSession::default();
-    execute_partitioned(
-        plan,
-        catalog,
-        meter,
-        model,
-        &mut session,
-        ExecOptions::default(),
-        &mut SpanCollector::detached(),
-    )
-}
-
-/// Executes a plan under a caller-supplied [`ExecSession`], so circuit
-/// breakers, retry budgets, and resilience counters persist across queries
-/// and can be inspected afterwards via [`ExecSession::report`].
-#[deprecated(
-    note = "use `ExecutionContext::builder(catalog).resilience(..).build()` and `run(plan)` instead"
-)]
-pub fn execute_with(
-    plan: &LogicalPlan,
-    catalog: &Catalog,
-    meter: &mut CostMeter,
-    model: &CostModel,
-    session: &mut ExecSession,
-) -> Result<Rowset> {
-    execute_partitioned(
-        plan,
-        catalog,
-        meter,
-        model,
-        session,
-        ExecOptions::default(),
-        &mut SpanCollector::detached(),
-    )
-}
-
-/// The partitioned executor behind both [`ExecutionContext`](crate::exec::ExecutionContext)
-/// and the deprecated free functions.
+/// The partitioned executor behind [`ExecutionContext`](crate::exec::ExecutionContext).
 ///
 /// Telemetry contract: every operator pushes exactly one [`OperatorSpan`]
 /// to `tel` at the moment it charges the cost meter, so span order equals

@@ -186,12 +186,6 @@ impl Predicate {
         Predicate::Not(Box::new(p))
     }
 
-    /// Convenience: a clause predicate.
-    #[deprecated(note = "use `Predicate::from(Clause::new(column, op, value))` instead")]
-    pub fn clause(column: impl Into<String>, op: CompareOp, value: impl Into<Value>) -> Predicate {
-        Predicate::Clause(Clause::new(column, op, value))
-    }
-
     /// Evaluates against a row.
     pub fn eval(&self, row: &Row, schema: &Schema) -> Result<bool> {
         match self {

@@ -321,10 +321,10 @@ pub struct BreakerTransition {
 }
 
 /// A stateful execution session: owns the config, per-operator circuit
-/// breakers, and resilience counters. One session can span many
-/// [`execute_with`](crate::physical::execute_with) calls, so breaker state
-/// and fault history persist across queries, the way a long-running
-/// cluster service would track a misbehaving UDF.
+/// breakers, and resilience counters. One session spans every
+/// [`ExecutionContext::run`](crate::exec::ExecutionContext::run) of its
+/// context, so breaker state and fault history persist across queries, the
+/// way a long-running cluster service would track a misbehaving UDF.
 #[derive(Debug, Default)]
 pub struct ExecSession {
     config: ResilienceConfig,

@@ -245,6 +245,16 @@ impl SharedHistogram {
         h.count = self.count.load(Ordering::Relaxed);
         h
     }
+
+    /// Adds every bucket of an owned histogram into this shared one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (i, &c) in other.buckets.iter().enumerate() {
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+    }
 }
 
 /// One named sample exported from a [`MetricsRegistry`].
@@ -324,6 +334,39 @@ impl MetricsRegistry {
             .into_iter()
             .filter(|(name, _)| !name.starts_with("worker."))
             .collect()
+    }
+
+    /// Folds another registry into this one: counters are **summed**,
+    /// gauges take the **max** of the two values, and histograms are
+    /// **bucket-merged**. Names absent on either side are treated as
+    /// zero/empty, so merging is commutative over any starting registry:
+    /// folding a set of per-query registries into a service-level one
+    /// yields the same samples in any order.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        // Read `other` fully before touching `self` so merging a registry
+        // into itself (or concurrent cross-merges) cannot deadlock.
+        let counters: Vec<(String, u64)> = lock(&other.counters)
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect();
+        let gauges: Vec<(String, f64)> = lock(&other.gauges)
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect();
+        let histograms: Vec<(String, LatencyHistogram)> = lock(&other.histograms)
+            .iter()
+            .map(|(n, h)| (n.clone(), h.load()))
+            .collect();
+        for (name, v) in counters {
+            self.counter(&name).add(v);
+        }
+        for (name, v) in gauges {
+            let mine = self.gauge(&name);
+            mine.set(mine.get().max(v));
+        }
+        for (name, h) in histograms {
+            self.histogram(&name).merge(&h);
+        }
     }
 }
 
@@ -720,8 +763,8 @@ impl SpanCollector {
         }
     }
 
-    /// A collector detached from any registry (deprecated free-function
-    /// path).
+    /// A collector detached from any registry (test harness only).
+    #[cfg(test)]
     pub(crate) fn detached() -> Self {
         SpanCollector::new(Counter::default(), Counter::default())
     }
@@ -871,6 +914,63 @@ mod tests {
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].0, "queries_total");
         assert_eq!(r.samples().len(), 2);
+    }
+
+    fn sample_registry(queries: u64, wall: f64, latencies: &[f64]) -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter("queries_total").add(queries);
+        r.gauge("last_run_wall_nanos").set(wall);
+        for &l in latencies {
+            r.histogram("query_latency_seconds").record(l);
+        }
+        r
+    }
+
+    #[test]
+    fn merge_sums_counters_maxes_gauges_merges_histograms() {
+        let service = MetricsRegistry::new();
+        service.counter("queries_total").add(5);
+        service.gauge("last_run_wall_nanos").set(10.0);
+        let per_query = sample_registry(3, 25.0, &[1e-6, 1e-3]);
+        service.merge(&per_query);
+        assert_eq!(service.counter("queries_total").get(), 8);
+        assert_eq!(service.gauge("last_run_wall_nanos").get(), 25.0);
+        assert_eq!(service.histogram("query_latency_seconds").load().count(), 2);
+        // Names absent on one side materialize as zero/empty, not a panic.
+        let sparse = MetricsRegistry::new();
+        sparse.counter("rows_emitted_total").add(7);
+        service.merge(&sparse);
+        assert_eq!(service.counter("rows_emitted_total").get(), 7);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let r1 = sample_registry(3, 25.0, &[1e-6, 1e-3]);
+        r1.counter("retries_total").add(2);
+        let r2 = sample_registry(4, 11.0, &[1e-6]);
+        r2.gauge("queue_depth").set(9.0);
+
+        let ab = MetricsRegistry::new();
+        ab.merge(&r1);
+        ab.merge(&r2);
+        let ba = MetricsRegistry::new();
+        ba.merge(&r2);
+        ba.merge(&r1);
+
+        assert_eq!(ab.samples(), ba.samples());
+        assert_eq!(
+            ab.histogram("query_latency_seconds").load(),
+            ba.histogram("query_latency_seconds").load()
+        );
+    }
+
+    #[test]
+    fn merge_with_self_does_not_deadlock() {
+        let r = sample_registry(2, 5.0, &[1e-6]);
+        r.merge(&r);
+        assert_eq!(r.counter("queries_total").get(), 4);
+        assert_eq!(r.gauge("last_run_wall_nanos").get(), 5.0);
+        assert_eq!(r.histogram("query_latency_seconds").load().count(), 2);
     }
 
     #[test]

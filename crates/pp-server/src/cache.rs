@@ -1,0 +1,502 @@
+//! The plan cache: memoized optimizer output keyed by
+//! `(source, canonical predicate, accuracy bucket, catalog epoch)`.
+//!
+//! Table 9 puts PP query optimization at 80–100 ms per query — far too
+//! much to repeat for every arrival of a recurring query. The cache makes
+//! the second arrival free:
+//!
+//! * **Canonical keys.** The predicate is [`simplify`]-ed and rendered to
+//!   its display string, so syntactic variants of the same predicate share
+//!   an entry; the accuracy target is bucketed to 1/1000ths so `0.95` and
+//!   `0.9500001` share too.
+//! * **Epoch scoping.** The key embeds the [`CatalogEpoch`] pinned at
+//!   submit time. Publishing a retrained corpus bumps the epoch, so new
+//!   arrivals miss (and re-plan against the new corpus) while
+//!   [`invalidate_stale`][PlanCache::invalidate_stale] removes exactly the
+//!   superseded entries.
+//! * **Single-flight building.** Concurrent misses on one key elect one
+//!   builder; the rest block on a condvar and reuse its output — one
+//!   optimization, no dogpile. If the builder fails (or panics), a drop
+//!   guard returns the slot to vacant and wakes a waiter to retry, so an
+//!   error can never wedge the key or leave a partial entry behind.
+//! * **Atomic swap.** The maintenance loop replaces a stale plan with
+//!   [`swap`][PlanCache::swap]; readers see either the old or the new
+//!   `Arc<CachedPlan>`, never a torn state.
+//!
+//! [`simplify`]: pp_engine::predicate::Predicate::simplify
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use pp_core::catalog::CatalogEpoch;
+use pp_core::planner::PlanReport;
+use pp_engine::predicate::Predicate;
+use pp_engine::LogicalPlan;
+
+/// Cache key: everything that determines the optimizer's output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Data-source name.
+    pub source: String,
+    /// Canonical (simplified, display-form) predicate.
+    pub predicate: String,
+    /// Accuracy target in 1/1000ths (`(a * 1000).round()`).
+    pub accuracy_bucket: u32,
+    /// Catalog epoch the plan is valid for.
+    pub epoch: CatalogEpoch,
+}
+
+impl CacheKey {
+    /// Builds the canonical key for a request.
+    pub fn new(
+        source: &str,
+        predicate: &Predicate,
+        accuracy_target: f64,
+        epoch: CatalogEpoch,
+    ) -> Self {
+        CacheKey {
+            source: source.to_string(),
+            predicate: predicate.simplify().to_string(),
+            accuracy_bucket: (accuracy_target * 1000.0).round() as u32,
+            epoch,
+        }
+    }
+}
+
+/// One memoized optimizer output: the executable plan plus its report,
+/// and the inputs needed to *re*-optimize it (the maintenance loop
+/// rebuilds from these when calibration drift flags the plan's PPs).
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The (possibly PP-injected) executable plan.
+    pub plan: LogicalPlan,
+    /// What the optimizer considered and chose.
+    pub report: Arc<PlanReport>,
+    /// The original (un-canonicalized) predicate the plan answers.
+    pub predicate: Predicate,
+    /// The exact accuracy target the plan was optimized for.
+    pub accuracy_target: f64,
+}
+
+enum SlotState {
+    /// No plan and nobody building one.
+    Vacant,
+    /// One thread is optimizing; others wait on the condvar.
+    Building,
+    /// The memoized plan.
+    Ready(Arc<CachedPlan>),
+}
+
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// Resets a `Building` slot to `Vacant` and wakes waiters unless the
+/// builder reached `disarm()`. Covers both the error return and the
+/// builder panicking mid-optimization — either way the key must not stay
+/// wedged in `Building`.
+struct BuildGuard<'a> {
+    slot: &'a Slot,
+    armed: bool,
+}
+
+impl BuildGuard<'_> {
+    fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+            if matches!(*state, SlotState::Building) {
+                *state = SlotState::Vacant;
+            }
+            drop(state);
+            self.slot.cv.notify_all();
+        }
+    }
+}
+
+/// Hit/miss/build counters, cheap to copy out for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a ready entry.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Optimizations actually run (≤ misses: single-flight coalesces).
+    pub builds: u64,
+    /// Failed builds (optimizer error or panic).
+    pub build_failures: u64,
+    /// Entries removed by epoch invalidation.
+    pub invalidated: u64,
+    /// Entries atomically replaced by the maintenance loop.
+    pub swapped: u64,
+}
+
+/// The shared, thread-safe plan cache.
+pub struct PlanCache {
+    slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    build_failures: AtomicU64,
+    invalidated: AtomicU64,
+    swapped: AtomicU64,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            build_failures: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+            swapped: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self, key: &CacheKey) -> Arc<Slot> {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(slots.entry(key.clone()).or_insert_with(|| {
+            Arc::new(Slot {
+                state: Mutex::new(SlotState::Vacant),
+                cv: Condvar::new(),
+            })
+        }))
+    }
+
+    /// Returns the memoized plan for `key`, running `build` (at most once
+    /// across concurrent callers) on a miss. The boolean is `true` for a
+    /// hit. On build failure every waiter gets to retry (or fail) on its
+    /// own; the slot never stays `Building` and no partial entry is
+    /// inserted.
+    pub fn get_or_build<E>(
+        &self,
+        key: &CacheKey,
+        build: impl FnOnce() -> Result<CachedPlan, E>,
+    ) -> Result<(Arc<CachedPlan>, bool), E> {
+        let slot = self.slot(key);
+        let mut state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                SlotState::Ready(plan) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(plan), true));
+                }
+                SlotState::Building => {
+                    state = slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                SlotState::Vacant => {
+                    *state = SlotState::Building;
+                    drop(state);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.builds.fetch_add(1, Ordering::Relaxed);
+                    let guard = BuildGuard {
+                        slot: &slot,
+                        armed: true,
+                    };
+                    match build() {
+                        Ok(plan) => {
+                            let plan = Arc::new(plan);
+                            let mut state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                            *state = SlotState::Ready(Arc::clone(&plan));
+                            drop(state);
+                            guard.disarm();
+                            slot.cv.notify_all();
+                            return Ok((plan, false));
+                        }
+                        Err(e) => {
+                            self.build_failures.fetch_add(1, Ordering::Relaxed);
+                            drop(guard); // resets to Vacant, wakes a waiter
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The ready plan for `key`, if any (no build, no blocking on
+    /// in-flight builders).
+    pub fn peek(&self, key: &CacheKey) -> Option<Arc<CachedPlan>> {
+        let slot = {
+            let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            slots.get(key).cloned()?
+        };
+        let state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        match &*state {
+            SlotState::Ready(plan) => Some(Arc::clone(plan)),
+            _ => None,
+        }
+    }
+
+    /// Atomically replaces the plan under `key` (maintenance replan).
+    /// Returns `false` if the key has no ready entry to replace — a swap
+    /// never *inserts*, so it cannot race an invalidation into
+    /// resurrecting a stale epoch.
+    pub fn swap(&self, key: &CacheKey, plan: CachedPlan) -> bool {
+        let slot = {
+            let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            match slots.get(key) {
+                Some(s) => Arc::clone(s),
+                None => return false,
+            }
+        };
+        let mut state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        match &*state {
+            SlotState::Ready(_) => {
+                *state = SlotState::Ready(Arc::new(plan));
+                self.swapped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes every entry whose epoch predates `current`, returning how
+    /// many were dropped. Entries already at `current` (including ones
+    /// built concurrently with the publish) survive. In-flight builders
+    /// for stale keys finish into their (now unreachable-by-new-arrivals)
+    /// slots harmlessly: new arrivals carry the new epoch in their key.
+    pub fn invalidate_stale(&self, current: CatalogEpoch) -> usize {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let before = slots.len();
+        slots.retain(|key, _| key.epoch >= current);
+        let dropped = before - slots.len();
+        self.invalidated
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Keys of all ready entries (maintenance iterates these).
+    pub fn ready_keys(&self) -> Vec<CacheKey> {
+        let slots: Vec<(CacheKey, Arc<Slot>)> = {
+            let map = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter()
+                .map(|(k, s)| (k.clone(), Arc::clone(s)))
+                .collect()
+        };
+        slots
+            .into_iter()
+            .filter(|(_, slot)| {
+                let state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                matches!(&*state, SlotState::Ready(_))
+            })
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Number of entries (any state).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            build_failures: self.build_failures.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            swapped: self.swapped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    fn key(pred: &str, epoch: u64) -> CacheKey {
+        CacheKey {
+            source: "s".into(),
+            predicate: pred.into(),
+            accuracy_bucket: 950,
+            epoch: CatalogEpoch(epoch),
+        }
+    }
+
+    fn dummy_plan() -> CachedPlan {
+        CachedPlan {
+            plan: LogicalPlan::scan("t"),
+            report: Arc::new(PlanReport::default()),
+            predicate: Predicate::True,
+            accuracy_target: 0.95,
+        }
+    }
+
+    #[test]
+    fn canonical_key_merges_predicate_variants_and_buckets_accuracy() {
+        use pp_engine::predicate::{Clause, CompareOp};
+        let epoch = CatalogEpoch(1);
+        let p = Predicate::from(Clause::new("t", CompareOp::Eq, "SUV"));
+        // `p ∧ true` simplifies to `p`; near-identical accuracies share a
+        // bucket.
+        let a = CacheKey::new("s", &p, 0.95, epoch);
+        let b = CacheKey::new(
+            "s",
+            &Predicate::and(p.clone(), Predicate::True),
+            0.9500001,
+            epoch,
+        );
+        assert_eq!(a, b);
+        // A different accuracy bucket is a different key.
+        let c = CacheKey::new("s", &p, 0.9, epoch);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hit_returns_same_arc_and_counts() {
+        let cache = PlanCache::new();
+        let k = key("p", 1);
+        let (first, hit) = cache.get_or_build::<()>(&k, || Ok(dummy_plan())).unwrap();
+        assert!(!hit);
+        let (second, hit) = cache
+            .get_or_build::<()>(&k, || panic!("must not rebuild"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.builds), (1, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_misses_build_once() {
+        let cache = Arc::new(PlanCache::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (plan, _) = cache
+                        .get_or_build::<()>(&key("p", 1), || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so waiters actually
+                            // block on the condvar.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(dummy_plan())
+                        })
+                        .unwrap();
+                    plan
+                })
+            })
+            .collect();
+        let plans: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "dogpile: built twice");
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p));
+        }
+        assert_eq!(cache.stats().builds, 1);
+        assert_eq!(cache.stats().hits + cache.stats().misses, 8);
+    }
+
+    #[test]
+    fn failed_build_leaves_no_entry_and_allows_retry() {
+        let cache = PlanCache::new();
+        let k = key("p", 1);
+        let err = cache.get_or_build(&k, || Err("optimizer exploded"));
+        assert_eq!(err.unwrap_err(), "optimizer exploded");
+        assert!(cache.peek(&k).is_none(), "partial entry leaked");
+        assert_eq!(cache.stats().build_failures, 1);
+        // The key is not wedged: a retry succeeds.
+        let (_, hit) = cache.get_or_build::<()>(&k, || Ok(dummy_plan())).unwrap();
+        assert!(!hit);
+        assert!(cache.peek(&k).is_some());
+    }
+
+    #[test]
+    fn builder_panic_unwedges_waiters() {
+        let cache = Arc::new(PlanCache::new());
+        let k = key("p", 1);
+        let barrier = Arc::new(Barrier::new(2));
+        let panicker = {
+            let cache = Arc::clone(&cache);
+            let k = k.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let _ = cache.get_or_build::<()>(&k, || {
+                    barrier.wait(); // the waiter is about to pile on
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    panic!("builder died");
+                });
+            })
+        };
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let k = k.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                cache.get_or_build::<()>(&k, || Ok(dummy_plan())).unwrap()
+            })
+        };
+        assert!(panicker.join().is_err(), "builder must have panicked");
+        // The waiter either raced in first (hit=false via its own build) or
+        // was woken by the drop guard and rebuilt — it must not hang.
+        let (_plan, _hit) = waiter.join().unwrap();
+        assert!(cache.peek(&k).is_some());
+    }
+
+    #[test]
+    fn invalidate_drops_exactly_stale_epochs() {
+        let cache = PlanCache::new();
+        for (pred, epoch) in [("a", 1), ("b", 1), ("c", 2)] {
+            cache
+                .get_or_build::<()>(&key(pred, epoch), || Ok(dummy_plan()))
+                .unwrap();
+        }
+        assert_eq!(cache.len(), 3);
+        let dropped = cache.invalidate_stale(CatalogEpoch(2));
+        assert_eq!(dropped, 2);
+        assert!(cache.peek(&key("a", 1)).is_none());
+        assert!(cache.peek(&key("b", 1)).is_none());
+        assert!(cache.peek(&key("c", 2)).is_some(), "current epoch survives");
+        assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    #[test]
+    fn swap_replaces_ready_only() {
+        let cache = PlanCache::new();
+        let k = key("p", 1);
+        assert!(!cache.swap(&k, dummy_plan()), "swap must not insert");
+        let (original, _) = cache.get_or_build::<()>(&k, || Ok(dummy_plan())).unwrap();
+        assert!(cache.swap(&k, dummy_plan()));
+        let swapped = cache.peek(&k).unwrap();
+        assert!(!Arc::ptr_eq(&original, &swapped));
+        assert_eq!(cache.stats().swapped, 1);
+    }
+}

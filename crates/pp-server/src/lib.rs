@@ -1,0 +1,71 @@
+//! A long-running, thread-safe serving runtime for PP-accelerated
+//! inference queries.
+//!
+//! The paper's pipeline — train PPs, extend the query optimizer, execute
+//! the injected plan (§4–§6) — is batch-shaped: one query in, one plan
+//! out. Production clusters instead run *many* concurrent queries against
+//! a *changing* PP corpus. This crate closes that gap:
+//!
+//! * [`server::PpServer`] — accepts [`request::QueryRequest`]s (predicate +
+//!   accuracy target + data source) and executes them on a bounded worker
+//!   pool, many in flight at once,
+//! * [`cache::PlanCache`] — memoizes optimized plans keyed by
+//!   `(source, canonical predicate, accuracy bucket, catalog epoch)`, with
+//!   single-flight building (no dogpile) and hit/miss metrics,
+//! * [`pp_core::catalog::VersionedPpCatalog`] — epoch-stamped PP-corpus
+//!   snapshots, hot-swappable without pausing in-flight queries; an epoch
+//!   bump invalidates exactly the superseded cache entries,
+//! * [`admission`] — queue-depth limits and per-query predicted-cost
+//!   budgets; overload sheds gracefully with a typed
+//!   [`request::RejectReason`], never a panic,
+//! * [`maintenance`] — folds every run's telemetry into a shared
+//!   [`RuntimeMonitor`](pp_core::runtime::RuntimeMonitor) and, when
+//!   calibration drift flags a cached plan's PPs, re-optimizes off the hot
+//!   path and atomically swaps the cache entry.
+//!
+//! # Determinism
+//!
+//! Each query executes in a fresh
+//! [`ExecutionContext`](pp_engine::exec::ExecutionContext) against the
+//! catalog snapshot pinned at *submit* time, so a batch of requests
+//! returns byte-identical per-query results and telemetry (wall clock
+//! aside) whether the pool runs them serially or 16-wide — even when a
+//! new PP corpus is published mid-stream.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod admission;
+pub mod cache;
+pub mod maintenance;
+pub mod pool;
+pub mod request;
+pub mod server;
+pub mod source;
+
+pub use admission::AdmissionConfig;
+pub use cache::{CacheKey, CacheStats, CachedPlan, PlanCache};
+pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryTicket, RejectReason};
+pub use server::{PpServer, ServerConfig};
+pub use source::{SourceRegistry, SourceSpec};
+
+/// Errors produced by the serving runtime itself (planning and execution
+/// errors surface per query inside [`QueryOutcome`], not here).
+#[derive(Debug)]
+pub enum ServerError {
+    /// The request named a data source the registry does not know.
+    UnknownSource(String),
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownSource(s) => write!(f, "unknown data source: {s}"),
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}

@@ -1,0 +1,179 @@
+//! The background maintenance loop: calibration-driven replanning off the
+//! hot path.
+//!
+//! Every query run already folds its telemetry into the shared
+//! [`RuntimeMonitor`](pp_core::runtime::RuntimeMonitor) (see
+//! [`server`](crate::server)). A maintenance pass consumes that state:
+//! when [`needs_replan`](pp_core::runtime::RuntimeMonitor::needs_replan)
+//! fires, every *current-epoch* cached plan whose chosen PPs appear among
+//! the drifted calibration keys is re-optimized — with the monitor's
+//! reduction corrections applied — and the cache entry is atomically
+//! swapped. Queries racing the swap read either the old or the new plan;
+//! both answer the same predicate at the same accuracy target, so
+//! per-blob verdicts are unchanged (pinned by a test in
+//! `tests/serving.rs`).
+//!
+//! Passes run either on a background thread
+//! ([`ServerConfig::maintenance_interval`](crate::server::ServerConfig))
+//! or synchronously via
+//! [`PpServer::maintenance_now`](crate::server::PpServer::maintenance_now)
+//! — deterministic tests use the latter.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pp_core::catalog::CatalogEpoch;
+
+use crate::server::ServerInner;
+
+/// What one maintenance pass saw and did.
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// The epoch the pass ran against.
+    pub epoch: CatalogEpoch,
+    /// Whether the monitor's drift signal was up at pass start.
+    pub needs_replan: bool,
+    /// Calibration keys flagged as drifted.
+    pub drifted_keys: Vec<String>,
+    /// Current-epoch cache entries examined.
+    pub examined: usize,
+    /// Entries re-optimized and atomically swapped.
+    pub replanned: usize,
+}
+
+pub(crate) fn run_once(inner: &ServerInner) -> MaintenanceReport {
+    let calibration = inner.monitor.calibration_report();
+    let drifted: BTreeSet<String> = calibration
+        .entries
+        .iter()
+        .filter(|e| e.drifted)
+        .map(|e| e.key.clone())
+        .collect();
+    let needs_replan = !drifted.is_empty();
+    let snapshot = inner.pps.snapshot();
+    let epoch = snapshot.epoch();
+    let mut examined = 0usize;
+    let mut replanned = 0usize;
+    if needs_replan {
+        for key in inner.cache.ready_keys() {
+            // Stale-epoch entries are dead weight awaiting invalidation,
+            // not worth re-optimizing.
+            if key.epoch != epoch {
+                continue;
+            }
+            let Some(entry) = inner.cache.peek(&key) else {
+                continue;
+            };
+            examined += 1;
+            let uses_drifted = entry.report.chosen.as_ref().is_some_and(|c| {
+                c.leaf_keys.iter().any(|k| drifted.contains(k)) || drifted.contains(&c.expr)
+            });
+            if !uses_drifted {
+                continue;
+            }
+            // Re-optimize off the hot path: the monitor's corrections now
+            // apply, so the new plan reflects observed (not validation)
+            // reductions. Swap atomically; a failure keeps the old plan —
+            // a degraded-but-working plan beats no plan.
+            match inner.optimize(
+                &key.source,
+                &entry.predicate,
+                entry.accuracy_target,
+                &snapshot,
+            ) {
+                Ok(new_plan) => {
+                    if inner.cache.swap(&key, new_plan) {
+                        replanned += 1;
+                    }
+                }
+                Err(_) => {
+                    inner
+                        .metrics
+                        .counter("server.maintenance_replan_failures_total")
+                        .inc();
+                }
+            }
+        }
+    }
+    inner
+        .metrics
+        .counter("server.maintenance_passes_total")
+        .inc();
+    inner
+        .metrics
+        .counter("server.maintenance_replans_total")
+        .add(replanned as u64);
+    MaintenanceReport {
+        epoch,
+        needs_replan,
+        drifted_keys: drifted.into_iter().collect(),
+        examined,
+        replanned,
+    }
+}
+
+/// Handle to the background maintenance thread; stop it with
+/// [`stop`][MaintenanceHandle::stop] (the server does this on shutdown).
+#[derive(Debug)]
+pub struct MaintenanceHandle {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MaintenanceHandle {
+    /// Signals the loop to exit and joins it.
+    pub fn stop(mut self) {
+        self.signal();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn signal(&self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+    }
+}
+
+impl Drop for MaintenanceHandle {
+    fn drop(&mut self) {
+        self.signal();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+pub(crate) fn spawn(inner: Arc<ServerInner>, every: Duration) -> MaintenanceHandle {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let stop2 = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("pp-server-maintenance".into())
+        .spawn(move || {
+            let (lock, cv) = &*stop2;
+            let mut stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if *stopped {
+                    return;
+                }
+                let (guard, _timeout) = cv
+                    .wait_timeout(stopped, every)
+                    .unwrap_or_else(|e| e.into_inner());
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                run_once(&inner);
+                stopped = lock.lock().unwrap_or_else(|e| e.into_inner());
+            }
+        })
+        .expect("spawn maintenance thread");
+    MaintenanceHandle {
+        stop,
+        thread: Some(thread),
+    }
+}

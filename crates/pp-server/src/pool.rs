@@ -1,0 +1,194 @@
+//! A bounded worker pool with a deterministic FIFO queue.
+//!
+//! Jobs are boxed closures; workers pull in submission order. Shutdown is
+//! graceful: [`WorkerPool::shutdown`] stops intake, drains nothing (queued
+//! jobs still run), and joins every worker. A job that panics takes down
+//! neither its worker (the thread survives via `catch_unwind`) nor the
+//! pool.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct QueueState {
+    pending: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// A fixed-size pool of worker threads.
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutting_down: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("pp-server-worker-{i}"))
+                    .spawn(move || worker_loop(&queue))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { queue, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; returns `false` (job not queued) after shutdown.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+        if state.shutting_down {
+            return false;
+        }
+        state.pending.push_back(Box::new(job));
+        drop(state);
+        self.queue.cv.notify_one();
+        true
+    }
+
+    /// Jobs waiting for a worker (excludes running jobs).
+    pub fn queued(&self) -> usize {
+        self.queue
+            .jobs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pending
+            .len()
+    }
+
+    /// Stops intake, lets queued jobs finish, and joins every worker.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            if state.shutting_down {
+                return;
+            }
+            state.shutting_down = true;
+        }
+        self.queue.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut state = queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = state.pending.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state = queue.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // A panicking job must not kill the worker; the panic is contained
+        // and the caller (holding a QueryTicket) observes a disconnect.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let mut pool = WorkerPool::new(4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            assert!(pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_jobs_but_drains_queued_ones() {
+        let mut pool = WorkerPool::new(1);
+        let (tx, rx) = mpsc::channel();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        // Queued behind the blocked job.
+        let tx2 = tx.clone();
+        pool.submit(move || tx2.send(2).unwrap());
+        // Open the gate from another thread, then shut down.
+        let opener = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                let (lock, cv) = &*gate;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            })
+        };
+        pool.shutdown();
+        opener.join().unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 2, "queued job was dropped");
+        assert!(!pool.submit(|| {}), "post-shutdown submit accepted");
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_worker() {
+        let mut pool = WorkerPool::new(1);
+        pool.submit(|| panic!("job died"));
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move || tx.send(42).unwrap());
+        pool.shutdown();
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+}

@@ -1,0 +1,365 @@
+//! The serving runtime: submit queries, get tickets, await outcomes.
+//!
+//! [`PpServer`] owns the data catalog, the source registry, a
+//! [`VersionedPpCatalog`] of trained PPs, the shared
+//! [`RuntimeMonitor`], the [`PlanCache`], and a bounded worker pool. One
+//! query's life:
+//!
+//! 1. **Submit** (caller thread): admission's depth gate either issues a
+//!    permit or sheds with [`RejectReason::QueueFull`]; the current
+//!    catalog snapshot is pinned to the request; a ticket is returned.
+//! 2. **Plan** (worker thread): the plan cache answers with a memoized
+//!    plan or single-flights one optimization against the *pinned*
+//!    snapshot (corrections and quarantines from the shared monitor
+//!    apply).
+//! 3. **Admit, part 2**: the plan's predicted cluster-seconds are checked
+//!    against the per-query budget; too-expensive plans are shed before
+//!    any UDF runs.
+//! 4. **Execute**: a fresh [`ExecutionContext`] runs the plan — per-query
+//!    isolation is what makes concurrent and serial schedules
+//!    byte-identical.
+//! 5. **Fold**: the run's telemetry feeds the shared monitor (calibration,
+//!    drift, fault quarantine) and the per-query metrics registry is
+//!    merged into the server-wide one.
+//!
+//! Publishing a retrained corpus ([`publish_pps`][PpServer::publish_pps])
+//! bumps the epoch, invalidates exactly the superseded cache entries, and
+//! never pauses in-flight queries — they hold their pinned snapshots.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use pp_core::catalog::{CatalogEpoch, CatalogSnapshot, VersionedPpCatalog};
+use pp_core::planner::{PpQueryOptimizer, QoConfig};
+use pp_core::runtime::{MonitorConfig, RuntimeMonitor};
+use pp_core::wrangle::Domains;
+use pp_core::PpCatalog;
+use pp_engine::exec::ExecutionContext;
+use pp_engine::telemetry::MetricsRegistry;
+use pp_engine::Catalog;
+
+use crate::admission::{check_cost_budget, AdmissionConfig, DepthGate};
+use crate::cache::{CacheKey, CacheStats, CachedPlan, PlanCache};
+use crate::maintenance::{self, MaintenanceHandle, MaintenanceReport};
+use crate::pool::WorkerPool;
+use crate::request::{
+    QueryOutcome, QueryRequest, QueryResponse, QuerySuccess, QueryTicket, RejectReason,
+};
+use crate::source::SourceRegistry;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission-control knobs.
+    pub admission: AdmissionConfig,
+    /// Base optimizer configuration; `accuracy_target` is overridden per
+    /// request.
+    pub qo: QoConfig,
+    /// Runtime-monitor thresholds.
+    pub monitor: MonitorConfig,
+    /// Interval of the background maintenance loop; `None` (the default)
+    /// leaves maintenance to explicit
+    /// [`maintenance_now`][PpServer::maintenance_now] calls, which is
+    /// also what deterministic tests want.
+    pub maintenance_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            admission: AdmissionConfig::default(),
+            qo: QoConfig::default(),
+            monitor: MonitorConfig::default(),
+            maintenance_interval: None,
+        }
+    }
+}
+
+/// Everything workers and the maintenance loop share.
+pub(crate) struct ServerInner {
+    pub(crate) data: Catalog,
+    pub(crate) sources: SourceRegistry,
+    pub(crate) pps: VersionedPpCatalog,
+    pub(crate) domains: Domains,
+    pub(crate) monitor: Arc<RuntimeMonitor>,
+    pub(crate) cache: PlanCache,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) config: ServerConfig,
+    gate: Arc<DepthGate>,
+    next_id: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+impl ServerInner {
+    /// Optimizes `predicate` over `source` against a pinned snapshot,
+    /// honoring the shared monitor. Used by both the query path (cache
+    /// miss) and the maintenance replan.
+    pub(crate) fn optimize(
+        &self,
+        source: &str,
+        predicate: &pp_engine::predicate::Predicate,
+        accuracy_target: f64,
+        snapshot: &CatalogSnapshot,
+    ) -> Result<CachedPlan, pp_core::PpError> {
+        let spec = self
+            .sources
+            .get(source)
+            .expect("source validated at submit");
+        let nop = spec.nop_plan(predicate);
+        let qo = PpQueryOptimizer::new(
+            snapshot.pps().clone(),
+            self.domains.clone(),
+            QoConfig {
+                accuracy_target,
+                ..self.config.qo.clone()
+            },
+        );
+        let optimized = qo.optimize_with_monitor(&nop, &self.data, Some(&self.monitor))?;
+        Ok(CachedPlan {
+            plan: optimized.plan,
+            report: Arc::new(optimized.report),
+            predicate: predicate.clone(),
+            accuracy_target,
+        })
+    }
+}
+
+/// The long-running serving runtime. See the [module docs](self).
+pub struct PpServer {
+    inner: Arc<ServerInner>,
+    pool: WorkerPool,
+    maintenance: Option<MaintenanceHandle>,
+}
+
+impl std::fmt::Debug for PpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PpServer")
+            .field("workers", &self.pool.workers())
+            .field("epoch", &self.inner.pps.epoch())
+            .field("cache", &self.inner.cache.stats())
+            .finish()
+    }
+}
+
+impl PpServer {
+    /// Builds a server over owned data, sources, an initial PP corpus
+    /// (published as epoch 1), and column domains.
+    pub fn new(
+        config: ServerConfig,
+        data: Catalog,
+        sources: SourceRegistry,
+        initial_pps: PpCatalog,
+        domains: Domains,
+    ) -> Self {
+        let monitor = Arc::new(RuntimeMonitor::with_config(config.monitor));
+        let workers = config.workers;
+        let maintenance_interval = config.maintenance_interval;
+        let inner = Arc::new(ServerInner {
+            data,
+            sources,
+            pps: VersionedPpCatalog::new(initial_pps),
+            domains,
+            monitor,
+            cache: PlanCache::new(),
+            metrics: MetricsRegistry::new(),
+            config,
+            gate: Arc::new(DepthGate::new()),
+            next_id: AtomicU64::new(1),
+            shutting_down: AtomicBool::new(false),
+        });
+        let maintenance =
+            maintenance_interval.map(|every| maintenance::spawn(Arc::clone(&inner), every));
+        PpServer {
+            inner,
+            pool: WorkerPool::new(workers),
+            maintenance,
+        }
+    }
+
+    /// Submits a query. Synchronous shedding (queue depth, unknown
+    /// source, shutdown) comes back as `Err`; everything after admission
+    /// — including the plan-cost rejection — arrives through the ticket.
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, RejectReason> {
+        if self.inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(RejectReason::ShuttingDown);
+        }
+        if self.inner.sources.get(&request.source).is_none() {
+            self.inner.metrics.counter("server.rejected_total").inc();
+            return Err(RejectReason::UnknownSource(request.source));
+        }
+        let permit = match self
+            .inner
+            .gate
+            .try_acquire(self.inner.config.admission.max_queue_depth)
+        {
+            Ok(p) => p,
+            Err(reason) => {
+                self.inner.metrics.counter("server.rejected_total").inc();
+                return Err(reason);
+            }
+        };
+        // Pin the catalog snapshot *now*: whatever corpus is current at
+        // submit time is the corpus this query plans against, regardless
+        // of when a worker picks it up or what gets published meanwhile.
+        let snapshot = self.inner.pps.snapshot();
+        let request_id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        let inner = Arc::clone(&self.inner);
+        let queued = self.pool.submit(move || {
+            let outcome = {
+                let _permit = permit; // released on every exit path, panic included
+                run_query(&inner, &request, &snapshot)
+            };
+            // The permit is gone *before* the response is visible, so a
+            // caller unblocked by `wait()` observes the slot as free.
+            let _ = tx.send(QueryResponse {
+                request_id,
+                outcome,
+            });
+        });
+        if !queued {
+            return Err(RejectReason::ShuttingDown);
+        }
+        Ok(QueryTicket { request_id, rx })
+    }
+
+    /// Publishes a retrained PP corpus under the next epoch, invalidating
+    /// exactly the cache entries planned against superseded epochs.
+    /// In-flight queries keep their pinned snapshots.
+    pub fn publish_pps(&self, pps: PpCatalog) -> CatalogEpoch {
+        let epoch = self.inner.pps.publish(pps);
+        self.inner.cache.invalidate_stale(epoch);
+        self.inner.metrics.counter("server.epoch_bumps_total").inc();
+        epoch
+    }
+
+    /// The currently published catalog epoch.
+    pub fn epoch(&self) -> CatalogEpoch {
+        self.inner.pps.epoch()
+    }
+
+    /// The shared runtime monitor (calibration, drift, quarantine state).
+    pub fn monitor(&self) -> &Arc<RuntimeMonitor> {
+        &self.inner.monitor
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Server-wide metrics: per-query registries merged after every run,
+    /// plus the `server.*` counters the submit/reject paths bump.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
+    }
+
+    /// Queued + running queries.
+    pub fn in_flight(&self) -> usize {
+        self.inner.gate.depth()
+    }
+
+    /// Runs one maintenance pass synchronously: folds nothing new (that
+    /// happens per query) but checks calibration drift and re-optimizes /
+    /// swaps every cached plan whose PPs drifted. Deterministic tests call
+    /// this instead of configuring a background interval.
+    pub fn maintenance_now(&self) -> MaintenanceReport {
+        maintenance::run_once(&self.inner)
+    }
+
+    /// Stops intake, drains queued queries, joins workers, and stops the
+    /// background maintenance loop. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(m) = self.maintenance.take() {
+            m.stop();
+        }
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for PpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The worker-side query path: plan (via cache) → cost-admit → execute →
+/// fold telemetry. Never panics on query-shaped failures; every error is
+/// an outcome.
+fn run_query(
+    inner: &ServerInner,
+    request: &QueryRequest,
+    snapshot: &CatalogSnapshot,
+) -> QueryOutcome {
+    let key = CacheKey::new(
+        &request.source,
+        &request.predicate,
+        request.accuracy_target,
+        snapshot.epoch(),
+    );
+    let built = inner.cache.get_or_build(&key, || {
+        inner.optimize(
+            &request.source,
+            &request.predicate,
+            request.accuracy_target,
+            snapshot,
+        )
+    });
+    let (cached, cache_hit) = match built {
+        Ok(pair) => pair,
+        Err(e) => {
+            inner.metrics.counter("server.failed_total").inc();
+            return QueryOutcome::Failed(e.to_string());
+        }
+    };
+    if cache_hit {
+        inner.metrics.counter("server.cache_hits_total").inc();
+    }
+    if let Err(reason) = check_cost_budget(&inner.config.admission, &cached.report) {
+        inner.metrics.counter("server.rejected_total").inc();
+        return QueryOutcome::Rejected(reason);
+    }
+
+    let mut builder = ExecutionContext::builder(&inner.data);
+    if let Some(fp) = &request.fault_plan {
+        builder = builder.fault_plan(fp.clone());
+    }
+    if let Some(rc) = &request.resilience {
+        builder = builder.resilience(*rc);
+    }
+    let mut ctx = builder.build();
+    let result = ctx.run(&cached.plan);
+    // Fold this run into the shared state regardless of outcome: service
+    // metrics always, calibration only for clean runs (observe_run skips
+    // failed spans itself, but a failed *query* has no meaningful
+    // reduction to calibrate on).
+    inner.metrics.merge(ctx.registry());
+    let telemetry = ctx.telemetry().cloned();
+    match result {
+        Ok(rows) => {
+            let telemetry = telemetry.expect("successful run always has telemetry");
+            inner.monitor.observe_run(&cached.report, &telemetry);
+            inner.metrics.counter("server.completed_total").inc();
+            QueryOutcome::Complete(Box::new(QuerySuccess {
+                rows,
+                epoch: snapshot.epoch(),
+                cache_hit,
+                report: Arc::clone(&cached.report),
+                telemetry,
+            }))
+        }
+        Err(e) => {
+            if let Some(t) = &telemetry {
+                // Fault rates still count toward quarantine decisions.
+                inner.monitor.observe_telemetry(t);
+            }
+            inner.metrics.counter("server.failed_total").inc();
+            QueryOutcome::Failed(e.to_string())
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`data`] — synthetic datasets and workloads mirroring the paper's case
 //!   studies (§7), including the TRAF-20 benchmark,
 //! * [`baselines`] — the comparator systems of §8 (NoP, SortP, the
-//!   correlation filter of Joglekar et al., a NoScope-like cascade).
+//!   correlation filter of Joglekar et al., a NoScope-like cascade),
+//! * [`server`] — a concurrent serving runtime: plan cache, versioned PP
+//!   catalog with epoch-stamped snapshots, admission control, and
+//!   drift-triggered background replanning.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -26,6 +29,7 @@ pub use pp_data as data;
 pub use pp_engine as engine;
 pub use pp_linalg as linalg;
 pub use pp_ml as ml;
+pub use pp_server as server;
 
 /// One-stop imports for the common workflow: build a catalog, train PPs,
 /// optimize a plan, and run it through an [`ExecutionContext`].
@@ -41,7 +45,7 @@ pub mod prelude {
     pub use pp_core::runtime::{QuarantineReason, RuntimeMonitor};
     pub use pp_core::train::{PpTrainer, TrainerConfig};
     pub use pp_core::wrangle::Domains;
-    pub use pp_core::PpCatalog;
+    pub use pp_core::{CatalogEpoch, PpCatalog, VersionedPpCatalog};
     pub use pp_data::traffic::{TrafficConfig, TrafficDataset};
     pub use pp_engine::cost::{CostMeter, CostModel, QueryMetrics};
     pub use pp_engine::exec::{ExecutionContext, ExecutionContextBuilder};
@@ -62,4 +66,8 @@ pub mod prelude {
     pub use pp_linalg::Features;
     pub use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
     pub use pp_ml::reduction::ReducerSpec;
+    pub use pp_server::{
+        AdmissionConfig, PlanCache, PpServer, QueryOutcome, QueryRequest, RejectReason,
+        ServerConfig, SourceRegistry, SourceSpec,
+    };
 }

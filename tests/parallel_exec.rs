@@ -2,8 +2,7 @@
 //! fault seed, [`ExecutionContext::run`] must return byte-identical
 //! results, identical cost-meter charges, and identical resilience reports
 //! at *every* parallelism and batch size — with and without injected
-//! faults. Also pins the deprecated free-function wrappers to the
-//! `ExecutionContext` path they now delegate to.
+//! faults.
 
 use std::sync::OnceLock;
 
@@ -12,10 +11,9 @@ use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
 use probabilistic_predicates::core::wrangle::Domains;
 use probabilistic_predicates::data::traf20::traf20_queries;
 use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
-use probabilistic_predicates::engine::cost::CostModel;
 use probabilistic_predicates::engine::exec::ExecutionContext;
 use probabilistic_predicates::engine::{
-    Catalog, CostMeter, FaultPlan, FaultSpec, LogicalPlan, ResilienceConfig, RetryPolicy, Rowset,
+    Catalog, FaultPlan, FaultSpec, LogicalPlan, ResilienceConfig, RetryPolicy, Rowset,
 };
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
@@ -170,24 +168,15 @@ fn parallel_fault_injection_matches_serial() {
     }
 }
 
-/// (c) The deprecated free functions are thin wrappers: `execute` produces
-/// exactly what a default `ExecutionContext` produces.
+/// (c) Two independent default contexts agree run-for-run: the execution
+/// path has no hidden per-context state that could skew results.
 #[test]
-fn deprecated_wrappers_match_execution_context() {
+fn independent_contexts_agree() {
     let f = fixture();
-    let mut ctx = ExecutionContext::new(&f.catalog);
-    let via_ctx = ctx.run(&f.pp_plan).expect("context run");
-
-    let mut meter = CostMeter::new();
-    #[allow(deprecated)]
-    let via_free = probabilistic_predicates::engine::execute(
-        &f.pp_plan,
-        &f.catalog,
-        &mut meter,
-        &CostModel::default(),
-    )
-    .expect("deprecated execute");
-
-    assert_eq!(digest(&via_free), digest(&via_ctx));
-    assert_eq!(meter.entries(), ctx.meter().entries());
+    let mut a = ExecutionContext::new(&f.catalog);
+    let mut b = ExecutionContext::new(&f.catalog);
+    let out_a = a.run(&f.pp_plan).expect("context a run");
+    let out_b = b.run(&f.pp_plan).expect("context b run");
+    assert_eq!(digest(&out_a), digest(&out_b));
+    assert_eq!(a.meter().entries(), b.meter().entries());
 }
