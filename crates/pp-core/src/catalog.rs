@@ -15,9 +15,9 @@
 //! readers — a query planned against epoch `n` keeps its `Arc` alive for
 //! as long as it needs, while new queries see epoch `n + 1`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use pp_engine::predicate::{Clause, Predicate};
 
@@ -156,16 +156,22 @@ impl CatalogSnapshot {
 #[derive(Debug)]
 pub struct VersionedPpCatalog {
     current: RwLock<Arc<CatalogSnapshot>>,
+    /// Weak handles to every published snapshot, for garbage
+    /// observability: a stale epoch whose `Weak` still upgrades is pinned
+    /// by some in-flight reader.
+    history: Mutex<Vec<(CatalogEpoch, Weak<CatalogSnapshot>)>>,
 }
 
 impl VersionedPpCatalog {
     /// Publishes `initial` as epoch 1.
     pub fn new(initial: PpCatalog) -> Self {
+        let first = Arc::new(CatalogSnapshot {
+            epoch: CatalogEpoch(1),
+            pps: initial,
+        });
         VersionedPpCatalog {
-            current: RwLock::new(Arc::new(CatalogSnapshot {
-                epoch: CatalogEpoch(1),
-                pps: initial,
-            })),
+            history: Mutex::new(vec![(CatalogEpoch(1), Arc::downgrade(&first))]),
+            current: RwLock::new(first),
         }
     }
 
@@ -183,7 +189,9 @@ impl VersionedPpCatalog {
     pub fn publish(&self, pps: PpCatalog) -> CatalogEpoch {
         let mut current = self.current.write();
         let epoch = CatalogEpoch(current.epoch.0 + 1);
-        *current = Arc::new(CatalogSnapshot { epoch, pps });
+        let next = Arc::new(CatalogSnapshot { epoch, pps });
+        self.history.lock().push((epoch, Arc::downgrade(&next)));
+        *current = next;
         epoch
     }
 
@@ -195,9 +203,57 @@ impl VersionedPpCatalog {
         let mut current = self.current.write();
         let epoch = CatalogEpoch(current.epoch.0 + 1);
         let pps = update(&current.pps);
-        *current = Arc::new(CatalogSnapshot { epoch, pps });
+        let next = Arc::new(CatalogSnapshot { epoch, pps });
+        self.history.lock().push((epoch, Arc::downgrade(&next)));
+        *current = next;
         epoch
     }
+
+    /// Per-epoch pin counts of every snapshot still alive, oldest epoch
+    /// first. The catalog's own reference to the current epoch is
+    /// excluded, so `pinned` counts *external* holders only — a stale
+    /// epoch with `pinned > 0` is garbage some in-flight query keeps
+    /// alive; dead epochs are pruned from the history as a side effect.
+    pub fn pinned_snapshots(&self) -> Vec<SnapshotGarbage> {
+        let current_epoch = self.epoch();
+        let mut history = self.history.lock();
+        history.retain(|(_, weak)| weak.strong_count() > 0);
+        history
+            .iter()
+            .map(|(epoch, weak)| {
+                let mut pinned = weak.strong_count();
+                if *epoch == current_epoch {
+                    pinned = pinned.saturating_sub(1);
+                }
+                SnapshotGarbage {
+                    epoch: *epoch,
+                    pinned,
+                }
+            })
+            .collect()
+    }
+
+    /// The oldest epoch still pinned by an external holder, if any.
+    /// `current_epoch − oldest` is the "snapshot garbage age" a publish
+    /// storm drives up.
+    pub fn oldest_pinned_epoch(&self) -> Option<CatalogEpoch> {
+        self.pinned_snapshots()
+            .into_iter()
+            .filter(|g| g.pinned > 0)
+            .map(|g| g.epoch)
+            .min()
+    }
+}
+
+/// Liveness of one published epoch's snapshot (see
+/// [`VersionedPpCatalog::pinned_snapshots`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotGarbage {
+    /// The epoch the snapshot was published at.
+    pub epoch: CatalogEpoch,
+    /// External `Arc` holders keeping it alive (the catalog's own
+    /// reference to the current epoch is excluded).
+    pub pinned: usize,
 }
 
 #[cfg(test)]
@@ -340,6 +396,32 @@ mod tests {
         assert_eq!(epochs, (2..=9).collect::<Vec<u64>>());
         assert_eq!(versioned.epoch(), CatalogEpoch(9));
         assert_eq!(versioned.snapshot().pps().len(), 8);
+    }
+
+    #[test]
+    fn pinned_snapshot_garbage_is_observable() {
+        let versioned = VersionedPpCatalog::new(PpCatalog::new());
+        let pinned = versioned.snapshot(); // external pin on epoch 1
+        versioned.publish(PpCatalog::new()); // epoch 2, dies unpinned
+        versioned.publish(PpCatalog::new()); // epoch 3, current
+        let garbage = versioned.pinned_snapshots();
+        assert!(garbage
+            .iter()
+            .any(|g| g.epoch == CatalogEpoch(1) && g.pinned == 1));
+        assert!(
+            !garbage.iter().any(|g| g.epoch == CatalogEpoch(2)),
+            "unpinned stale epoch must be pruned"
+        );
+        assert!(garbage
+            .iter()
+            .any(|g| g.epoch == CatalogEpoch(3) && g.pinned == 0));
+        assert_eq!(versioned.oldest_pinned_epoch(), Some(CatalogEpoch(1)));
+        drop(pinned);
+        assert!(versioned
+            .pinned_snapshots()
+            .iter()
+            .all(|g| g.epoch == CatalogEpoch(3)));
+        assert_eq!(versioned.oldest_pinned_epoch(), None);
     }
 
     #[test]

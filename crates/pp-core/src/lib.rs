@@ -47,7 +47,7 @@ pub mod wrangle;
 pub use calibration::{
     CalibrationEntry, CalibrationRecord, CalibrationReport, CalibrationSummary, CalibrationTracker,
 };
-pub use catalog::{CatalogEpoch, CatalogSnapshot, PpCatalog, VersionedPpCatalog};
+pub use catalog::{CatalogEpoch, CatalogSnapshot, PpCatalog, SnapshotGarbage, VersionedPpCatalog};
 pub use expr::PpExpr;
 pub use planner::{PpQueryOptimizer, QoConfig};
 pub use pp::ProbabilisticPredicate;

@@ -1,0 +1,232 @@
+//! Cooperative cancellation and wall-clock deadlines for query execution.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between the party
+//! running a query and the parties that may want it stopped: the caller
+//! (explicit cancel), the server's drain path, a watchdog that noticed a
+//! worker panic, or the token itself once its optional deadline passes.
+//! The executor polls the token at batch boundaries (row-parallel
+//! operators) and group boundaries (Reduce/Combine), so a cancelled query
+//! stops within one batch of work, charges the [`CostMeter`] for exactly
+//! the work it consumed, and surfaces as [`EngineError::Cancelled`].
+//!
+//! Cancellation is *cooperative*: nothing is torn down mid-row, no state
+//! is poisoned, and — critically — a token that never fires changes
+//! nothing. Non-cancelled queries remain byte-identical to serial
+//! execution at every parallelism × batch-size setting, because the only
+//! new behavior on the hot path is an atomic load that reads "live".
+//!
+//! The first cancellation wins: once a token is cancelled (or its
+//! deadline latches), later `cancel` calls are ignored and
+//! [`reason`][CancelToken::reason] is stable forever.
+//!
+//! [`CostMeter`]: crate::cost::CostMeter
+//! [`EngineError::Cancelled`]: crate::EngineError::Cancelled
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::EngineError;
+
+/// Why a query was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The caller explicitly cancelled via its handle.
+    Requested,
+    /// The query's wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The server is draining and cancelled in-flight work at its
+    /// drain timeout.
+    Drain,
+    /// The worker thread running the query panicked; the token is fired
+    /// so any parallel sub-work stops too.
+    WorkerPanic,
+}
+
+impl CancelReason {
+    /// Stable lowercase name (for metrics labels and logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            CancelReason::Requested => "requested",
+            CancelReason::DeadlineExceeded => "deadline_exceeded",
+            CancelReason::Drain => "drain",
+            CancelReason::WorkerPanic => "worker_panic",
+        }
+    }
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const LIVE: u8 = 0;
+
+fn encode(reason: CancelReason) -> u8 {
+    match reason {
+        CancelReason::Requested => 1,
+        CancelReason::DeadlineExceeded => 2,
+        CancelReason::Drain => 3,
+        CancelReason::WorkerPanic => 4,
+    }
+}
+
+fn decode(state: u8) -> Option<CancelReason> {
+    match state {
+        1 => Some(CancelReason::Requested),
+        2 => Some(CancelReason::DeadlineExceeded),
+        3 => Some(CancelReason::Drain),
+        4 => Some(CancelReason::WorkerPanic),
+        _ => None,
+    }
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    state: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional wall-clock deadline.
+///
+/// Clones share state; firing any clone fires them all. See the
+/// [module docs](self) for the polling contract.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline; it only fires on an explicit
+    /// [`cancel`][Self::cancel].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                state: AtomicU8::new(LIVE),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A live token that self-cancels with
+    /// [`CancelReason::DeadlineExceeded`] once `timeout` has elapsed from
+    /// now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                state: AtomicU8::new(LIVE),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// Fires the token with `reason`. The first cancellation wins;
+    /// returns `true` if this call was the one that fired it.
+    pub fn cancel(&self, reason: CancelReason) -> bool {
+        self.inner
+            .state
+            .compare_exchange(LIVE, encode(reason), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The reason the token fired, or `None` while it is live. An
+    /// expired deadline latches [`CancelReason::DeadlineExceeded`] on
+    /// first observation, so the reason never changes once returned.
+    pub fn reason(&self) -> Option<CancelReason> {
+        let state = self.inner.state.load(Ordering::Acquire);
+        if let Some(reason) = decode(state) {
+            return Some(reason);
+        }
+        if let Some(deadline) = self.inner.deadline {
+            if Instant::now() >= deadline {
+                let _ = self.inner.state.compare_exchange(
+                    LIVE,
+                    encode(CancelReason::DeadlineExceeded),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                // A racing explicit cancel may have won; report whatever
+                // latched.
+                return decode(self.inner.state.load(Ordering::Acquire));
+            }
+        }
+        None
+    }
+
+    /// Whether the token has fired (explicitly or via its deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.reason().is_some()
+    }
+
+    /// The executor's poll: `Ok(())` while live,
+    /// [`EngineError::Cancelled`] once fired.
+    pub fn check(&self) -> crate::Result<()> {
+        match self.reason() {
+            None => Ok(()),
+            Some(reason) => Err(EngineError::Cancelled { reason }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.reason().is_none());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn first_cancel_wins_and_clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(t.cancel(CancelReason::Requested));
+        assert!(!c.cancel(CancelReason::Drain), "second cancel must lose");
+        assert_eq!(c.reason(), Some(CancelReason::Requested));
+        match c.check() {
+            Err(EngineError::Cancelled { reason }) => {
+                assert_eq!(reason, CancelReason::Requested);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_latches_deadline_exceeded() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        // Already expired: first observation latches the reason.
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+        // Latched: an explicit cancel afterwards cannot change it.
+        assert!(!t.cancel(CancelReason::Requested));
+        assert_eq!(t.reason(), Some(CancelReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.cancel(CancelReason::Requested));
+        assert_eq!(t.reason(), Some(CancelReason::Requested));
+    }
+
+    #[test]
+    fn cancelled_error_is_not_retryable() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Drain);
+        let err = t.check().unwrap_err();
+        assert!(!err.is_retryable());
+        assert!(err.to_string().contains("drain"), "{err}");
+    }
+}

@@ -35,6 +35,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::cancel::CancelToken;
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel, QueryMetrics};
 use crate::fault::{FaultLog, FaultPlan};
@@ -56,6 +57,7 @@ pub struct ExecutionContextBuilder<'a> {
     fault_plan: Option<FaultPlan>,
     parallelism: usize,
     batch_size: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> ExecutionContextBuilder<'a> {
@@ -92,6 +94,17 @@ impl<'a> ExecutionContextBuilder<'a> {
         self
     }
 
+    /// Installs a cooperative [`CancelToken`] polled at batch and group
+    /// boundaries of every [`ExecutionContext::run`]. A fired token stops
+    /// the run with [`EngineError::Cancelled`](crate::EngineError::Cancelled),
+    /// charging the cost meter for exactly the work consumed; a token
+    /// that never fires changes nothing (the default is a token nobody
+    /// can fire).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Finalizes the context.
     pub fn build(self) -> ExecutionContext<'a> {
         let fault_log = Arc::new(FaultLog::new());
@@ -112,6 +125,7 @@ impl<'a> ExecutionContextBuilder<'a> {
             registry: MetricsRegistry::new(),
             telemetry: None,
             runs: 0,
+            cancel: self.cancel.unwrap_or_default(),
         }
     }
 }
@@ -140,6 +154,7 @@ pub struct ExecutionContext<'a> {
     registry: MetricsRegistry,
     telemetry: Option<TelemetrySnapshot>,
     runs: u64,
+    cancel: CancelToken,
 }
 
 impl<'a> ExecutionContext<'a> {
@@ -153,6 +168,7 @@ impl<'a> ExecutionContext<'a> {
             fault_plan: None,
             parallelism: 1,
             batch_size: ExecOptions::default().batch_size,
+            cancel: None,
         }
     }
 
@@ -195,6 +211,7 @@ impl<'a> ExecutionContext<'a> {
             &mut self.session,
             self.opts,
             &mut tel,
+            &self.cancel,
         );
         // Breaker transitions (trips during this run, plus any manual
         // resets since the last run) become events, in the deterministic
@@ -315,6 +332,12 @@ impl<'a> ExecutionContext<'a> {
         self.telemetry.as_ref()
     }
 
+    /// The cancellation token this context polls during runs (a default,
+    /// never-fired token unless one was installed at build time).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
     /// The context's metrics registry: named counters/gauges/histograms
     /// accumulated across runs (including the scheduling-dependent
     /// `worker.*` namespace that is excluded from snapshots).
@@ -414,6 +437,81 @@ mod tests {
         assert!(ctx.metrics().is_some());
         assert_eq!(ctx.telemetry().unwrap().query_id, QueryId(3));
         assert!(ctx.telemetry().unwrap().error.is_none());
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_run_before_any_charge() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").filter(even_filter());
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Requested);
+        let mut ctx = ExecutionContext::builder(&cat).cancel_token(token).build();
+        let err = ctx.run(&plan).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EngineError::Cancelled {
+                reason: CancelReason::Requested
+            }
+        ));
+        assert!(ctx.metrics().is_none());
+        assert!(ctx.meter().entries().is_empty(), "nothing ran, no charge");
+        let snap = ctx.telemetry().expect("cancelled run records telemetry");
+        assert!(snap.error.as_deref().unwrap().contains("cancelled"));
+    }
+
+    #[test]
+    fn mid_run_cancellation_keeps_completed_operator_charges() {
+        use crate::cancel::{CancelReason, CancelToken};
+        let cat = catalog();
+        let token = CancelToken::new();
+        let tok = token.clone();
+        let trip = Arc::new(ClosureFilter::new("PP[trip]", 0.01, move |row, _| {
+            if row.get(0).as_int()? == 32 {
+                tok.cancel(CancelReason::Requested);
+            }
+            Ok(true)
+        }));
+        let plan = LogicalPlan::scan("t").filter(trip);
+        let mut ctx = ExecutionContext::builder(&cat)
+            .batch_size(8)
+            .cancel_token(token)
+            .build();
+        let err = ctx.run(&plan).unwrap_err();
+        assert!(matches!(err, crate::EngineError::Cancelled { .. }));
+        // The scan completed before the token fired, so its charge stands
+        // — partial-work accounting, not a rollback.
+        assert!(ctx
+            .meter()
+            .entries()
+            .iter()
+            .any(|e| e.op.starts_with("Scan")));
+        assert!(ctx.metrics().is_none());
+    }
+
+    #[test]
+    fn unfired_token_keeps_every_schedule_byte_identical() {
+        use crate::cancel::CancelToken;
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t").filter(even_filter());
+        let mut plain = ExecutionContext::builder(&cat).build();
+        let baseline = plain.run(&plan).unwrap();
+        for k in [1usize, 2, 4, 8] {
+            for b in [1usize, 7, 64] {
+                let mut ctx = ExecutionContext::builder(&cat)
+                    .parallelism(k)
+                    .batch_size(b)
+                    .cancel_token(CancelToken::new())
+                    .build();
+                let out = ctx.run(&plan).unwrap();
+                assert_eq!(
+                    format!("{:?}", baseline.rows()),
+                    format!("{:?}", out.rows()),
+                    "K={k} batch={b}"
+                );
+                assert_eq!(plain.meter().entries(), ctx.meter().entries());
+            }
+        }
     }
 
     #[test]

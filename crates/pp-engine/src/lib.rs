@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod cancel;
 pub mod catalog;
 pub mod cost;
 pub mod exec;
@@ -38,6 +39,7 @@ pub mod telemetry;
 pub mod udf;
 pub mod value;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use catalog::Catalog;
 pub use cost::{CostMeter, QueryMetrics};
 pub use exec::{ExecutionContext, ExecutionContextBuilder};
@@ -97,6 +99,13 @@ pub enum EngineError {
         /// The operator whose breaker is open.
         op: String,
     },
+    /// The query's cancellation token fired (explicit cancel, deadline,
+    /// drain, or worker panic); partial work up to the last batch
+    /// boundary was charged to the cost meter.
+    Cancelled {
+        /// Why the token fired.
+        reason: crate::cancel::CancelReason,
+    },
     /// A UDF call kept failing after all configured retries.
     RetriesExhausted {
         /// The operator that failed.
@@ -144,6 +153,7 @@ impl std::fmt::Display for EngineError {
             EngineError::CorruptOutput(m) => write!(f, "corrupt output: {m}"),
             EngineError::PoisonedRow(m) => write!(f, "poisoned row: {m}"),
             EngineError::BreakerOpen { op } => write!(f, "circuit breaker open for {op}"),
+            EngineError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
             EngineError::RetriesExhausted { op, attempts, last } => {
                 write!(f, "{op} failed after {attempts} attempts: {last}")
             }

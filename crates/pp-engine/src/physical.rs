@@ -40,6 +40,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use crate::cancel::CancelToken;
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel};
 use crate::logical::{AggFunc, LogicalPlan};
@@ -93,21 +94,26 @@ fn partition_bounds(len: usize, k: usize) -> Vec<(usize, usize)> {
 /// worker pool when `opts.parallelism > 1`. `work` receives each batch
 /// slice plus the global index of its first row and must return one
 /// output per input row; outputs are reassembled in global row order.
-fn run_partitioned<T, F>(rows: &[Row], opts: ExecOptions, work: F) -> Vec<T>
+///
+/// A batch may return `Err` (only cancellation does today); the earliest
+/// erroring partition's error wins and the probe results are discarded —
+/// nothing was consumed, so nothing is charged, matching how an open
+/// breaker discards unconsumed probes.
+fn run_partitioned<T, F>(rows: &[Row], opts: ExecOptions, work: F) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(&[Row], usize) -> Vec<T> + Sync,
+    F: Fn(&[Row], usize) -> Result<Vec<T>> + Sync,
 {
-    let batched = |slice: &[Row], base: usize| -> Vec<T> {
+    let batched = |slice: &[Row], base: usize| -> Result<Vec<T>> {
         let step = opts.batch_size.max(1);
         let mut out = Vec::with_capacity(slice.len());
         let mut start = 0;
         while start < slice.len() {
             let end = (start + step).min(slice.len());
-            out.extend(work(&slice[start..end], base + start));
+            out.extend(work(&slice[start..end], base + start)?);
             start = end;
         }
-        out
+        Ok(out)
     };
     if opts.parallelism <= 1 || rows.len() < 2 {
         return batched(rows, 0);
@@ -121,10 +127,11 @@ where
                 scope.spawn(move || batched(&rows[start..end], start))
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("executor worker panicked"))
-            .collect()
+        let mut out = Vec::with_capacity(rows.len());
+        for h in handles {
+            out.extend(h.join().expect("executor worker panicked")?);
+        }
+        Ok(out)
     })
 }
 
@@ -136,6 +143,15 @@ where
 /// pure function of the plan shape. Spans and events are recorded only on
 /// the main thread, in the deterministic consume phase; worker threads
 /// touch nothing but the registry-level `worker.*` counters.
+///
+/// Cancellation contract: `cancel` is polled on operator entry, at the
+/// start of every probe batch, at batch boundaries of the Filter/Process
+/// consume loops, and before every Reduce/Combine group. A consume-loop
+/// cancellation charges the work consumed so far (the span closes failed
+/// and pushes a [`EventKind::Cancelled`] event); a probe-phase or entry
+/// cancellation charges nothing for the operator, because none of its
+/// work was consumed. A token that never fires leaves every byte of
+/// output, charge, and telemetry unchanged.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute_partitioned(
     plan: &LogicalPlan,
@@ -145,7 +161,9 @@ pub(crate) fn execute_partitioned(
     session: &mut ExecSession,
     opts: ExecOptions,
     tel: &mut SpanCollector,
+    cancel: &CancelToken,
 ) -> Result<Rowset> {
+    cancel.check()?;
     match plan {
         LogicalPlan::Scan { table } => {
             let start = Instant::now();
@@ -163,7 +181,8 @@ pub(crate) fn execute_partitioned(
             Ok((**t).clone())
         }
         LogicalPlan::Process { input, processor } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let in_rows =
+                execute_partitioned(input, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let in_schema = in_rows.schema().clone();
             let out_schema = in_rows.schema().extend(processor.output_columns())?;
@@ -174,13 +193,14 @@ pub(crate) fn execute_partitioned(
             // Probe phase: batch-evaluate first attempts (vectorizable),
             // retry failed rows individually. Pure — no session state.
             let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+                cancel.check()?;
                 wr.add(rows.len() as u64);
                 wb.inc();
                 let batch = RowBatch::new(&in_schema, rows, offset);
                 let firsts =
                     crate::fault::with_attempt_ordinal(0, || processor.process_batch(&batch));
                 debug_assert_eq!(firsts.len(), rows.len());
-                firsts
+                Ok(firsts
                     .into_iter()
                     .zip(rows)
                     .map(|(first, row)| {
@@ -198,8 +218,8 @@ pub(crate) fn execute_partitioned(
                             Ok(groups)
                         })
                     })
-                    .collect()
-            });
+                    .collect())
+            })?;
             // Consume phase: fold outcomes into the session in row order.
             let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), in_rows.len());
             let mut out = Rowset::empty(out_schema);
@@ -208,6 +228,13 @@ pub(crate) fn execute_partitioned(
             let mut failure: Option<EngineError> = None;
             for (idx, (row, probe)) in in_rows.rows().iter().zip(probes).enumerate() {
                 let row_idx = idx as u64;
+                if idx % opts.batch_size.max(1) == 0 {
+                    if let Err(e) = cancel.check() {
+                        tel.push_event(&op, Some(row_idx), EventKind::Cancelled, 1);
+                        failure = Some(e);
+                        break;
+                    }
+                }
                 let was_open = session.breaker_open(&op);
                 let (p_retries, p_failures, p_timeouts) =
                     (probe.retries, probe.failures, probe.timeouts);
@@ -265,18 +292,21 @@ pub(crate) fn execute_partitioned(
             }
         }
         LogicalPlan::Select { input, predicate } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let in_rows =
+                execute_partitioned(input, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
             let (wr, wb) = (tel.worker_rows.clone(), tel.worker_batches.clone());
             let verdicts = run_partitioned(in_rows.rows(), opts, |rows, _offset| {
+                cancel.check()?;
                 wr.add(rows.len() as u64);
                 wb.inc();
-                rows.iter()
+                Ok(rows
+                    .iter()
                     .map(|row| predicate.eval(row, &schema))
-                    .collect()
-            });
+                    .collect())
+            })?;
             let mut out = Rowset::empty(schema.clone());
             for (row, verdict) in in_rows.into_rows().into_iter().zip(verdicts) {
                 // An eval error propagates before the operator charges,
@@ -300,7 +330,8 @@ pub(crate) fn execute_partitioned(
             Ok(out)
         }
         LogicalPlan::Filter { input, filter } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let in_rows =
+                execute_partitioned(input, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
@@ -313,19 +344,20 @@ pub(crate) fn execute_partitioned(
             // consume phase discards the affected probes, so charges stay
             // identical to a serial run that never made those calls.
             let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+                cancel.check()?;
                 wr.add(rows.len() as u64);
                 wb.inc();
                 let batch = RowBatch::new(&schema, rows, offset);
                 let firsts = crate::fault::with_attempt_ordinal(0, || filter.passes_batch(&batch));
                 debug_assert_eq!(firsts.len(), rows.len());
-                firsts
+                Ok(firsts
                     .into_iter()
                     .zip(rows)
                     .map(|(first, row)| {
                         config.resume_probe(&op, first, || filter.passes(row, &schema))
                     })
-                    .collect()
-            });
+                    .collect())
+            })?;
             // Consume phase: row-order fold drives breaker + fail-open
             // exactly as serial execution would.
             let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), total);
@@ -335,6 +367,13 @@ pub(crate) fn execute_partitioned(
             let mut failure: Option<EngineError> = None;
             for (idx, (row, probe)) in in_rows.into_rows().into_iter().zip(probes).enumerate() {
                 let row_idx = idx as u64;
+                if idx % opts.batch_size.max(1) == 0 {
+                    if let Err(e) = cancel.check() {
+                        tel.push_event(&op, Some(row_idx), EventKind::Cancelled, 1);
+                        failure = Some(e);
+                        break;
+                    }
+                }
                 let was_open = session.breaker_open(&op);
                 let (p_retries, p_failures, p_timeouts) =
                     (probe.retries, probe.failures, probe.timeouts);
@@ -400,7 +439,8 @@ pub(crate) fn execute_partitioned(
             }
         }
         LogicalPlan::Project { input, items } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let in_rows =
+                execute_partitioned(input, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let out_schema = plan_project_schema(&in_rows, items)?;
             let indices: Vec<usize> = items
@@ -431,8 +471,8 @@ pub(crate) fn execute_partitioned(
             left_key,
             right_key,
         } => {
-            let l = execute_partitioned(left, catalog, meter, model, session, opts, tel)?;
-            let r = execute_partitioned(right, catalog, meter, model, session, opts, tel)?;
+            let l = execute_partitioned(left, catalog, meter, model, session, opts, tel, cancel)?;
+            let r = execute_partitioned(right, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let lk = l.schema().index_of(left_key)?;
             let rk = r.schema().index_of(right_key)?;
@@ -486,7 +526,8 @@ pub(crate) fn execute_partitioned(
             group_by,
             aggs,
         } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let in_rows =
+                execute_partitioned(input, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let out_schema = plan.output_schema(catalog)?;
             let key_idx: Vec<usize> = group_by
@@ -539,7 +580,8 @@ pub(crate) fn execute_partitioned(
             Ok(out)
         }
         LogicalPlan::Reduce { input, reducer } => {
-            let in_rows = execute_partitioned(input, catalog, meter, model, session, opts, tel)?;
+            let in_rows =
+                execute_partitioned(input, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let out_schema = crate::schema::Schema::new(reducer.output_columns().to_vec())?;
             let op = format!("Reduce[{}]", reducer.name());
@@ -569,6 +611,11 @@ pub(crate) fn execute_partitioned(
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
             for key in &order {
+                if let Err(e) = cancel.check() {
+                    tel.push_event(&op, None, EventKind::Cancelled, 1);
+                    failure = Some(e);
+                    break;
+                }
                 let group = &groups[key];
                 let inv = session.invoke(&op, || reducer.reduce(group, in_rows.schema()));
                 record_group_invocation(
@@ -616,8 +663,8 @@ pub(crate) fn execute_partitioned(
             right,
             combiner,
         } => {
-            let l = execute_partitioned(left, catalog, meter, model, session, opts, tel)?;
-            let r = execute_partitioned(right, catalog, meter, model, session, opts, tel)?;
+            let l = execute_partitioned(left, catalog, meter, model, session, opts, tel, cancel)?;
+            let r = execute_partitioned(right, catalog, meter, model, session, opts, tel, cancel)?;
             let start = Instant::now();
             let lk = l.schema().index_of(combiner.left_key())?;
             let rk = r.schema().index_of(combiner.right_key())?;
@@ -647,6 +694,11 @@ pub(crate) fn execute_partitioned(
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
             for key in &order {
+                if let Err(e) = cancel.check() {
+                    tel.push_event(&op, None, EventKind::Cancelled, 1);
+                    failure = Some(e);
+                    break;
+                }
                 if let Some(rg) = rgroups.get(key) {
                     let lg = &lgroups[key];
                     let inv =
@@ -865,6 +917,7 @@ mod tests {
             session,
             ExecOptions::default(),
             &mut SpanCollector::detached(),
+            &CancelToken::new(),
         )
     }
 

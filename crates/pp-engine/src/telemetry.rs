@@ -386,6 +386,9 @@ pub enum EventKind {
     BreakerOpened,
     /// The operator's circuit breaker was manually closed.
     BreakerReset,
+    /// The query's cancellation token fired and the operator stopped at
+    /// a batch/group boundary.
+    Cancelled,
 }
 
 impl EventKind {
@@ -398,6 +401,7 @@ impl EventKind {
             EventKind::ShortCircuit => "short_circuit",
             EventKind::BreakerOpened => "breaker_opened",
             EventKind::BreakerReset => "breaker_reset",
+            EventKind::Cancelled => "cancelled",
         }
     }
 }

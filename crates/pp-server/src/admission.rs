@@ -16,7 +16,8 @@
 //!   [`RejectReason::CostBudgetExceeded`] *before* any UDF runs.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use pp_core::planner::PlanReport;
 use pp_engine::cost::CostMeter;
@@ -46,6 +47,10 @@ impl Default for AdmissionConfig {
 #[derive(Debug, Default)]
 pub struct DepthGate {
     depth: AtomicUsize,
+    /// Pairs with `idle_cv` so [`wait_idle`][DepthGate::wait_idle] can
+    /// sleep between permit releases without missing a wakeup.
+    idle: Mutex<()>,
+    idle_cv: Condvar,
 }
 
 impl DepthGate {
@@ -81,6 +86,32 @@ impl DepthGate {
             }
         }
     }
+
+    /// Blocks until the depth reaches zero or `timeout` elapses; returns
+    /// `true` when idle. The server's drain uses this to give in-flight
+    /// queries their grace period before firing cancellation tokens.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.depth() == 0 {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            // Short slices bound the wait even if a notification is
+            // somehow lost; permit drops notify under the lock, so in
+            // practice each release wakes the waiter immediately.
+            let slice = (deadline - now).min(Duration::from_millis(10));
+            let (g, _) = self
+                .idle_cv
+                .wait_timeout(guard, slice)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
 }
 
 /// One admitted query's slot in the depth gate. Releasing is the drop —
@@ -91,6 +122,10 @@ pub struct Permit(Arc<DepthGate>);
 impl Drop for Permit {
     fn drop(&mut self) {
         self.0.depth.fetch_sub(1, Ordering::SeqCst);
+        // Taking the mutex orders this release after any in-progress
+        // depth check in `wait_idle`, so the notification cannot be lost.
+        drop(self.0.idle.lock().unwrap_or_else(|e| e.into_inner()));
+        self.0.idle_cv.notify_all();
     }
 }
 

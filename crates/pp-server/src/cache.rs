@@ -22,6 +22,14 @@
 //! * **Atomic swap.** The maintenance loop replaces a stale plan with
 //!   [`swap`][PlanCache::swap]; readers see either the old or the new
 //!   `Arc<CachedPlan>`, never a torn state.
+//! * **Cost-weighted LRU eviction.** The cache is bounded by
+//!   [`CacheConfig::max_entries`]. When an insert pushes it over, the
+//!   ready entry with the lowest `predicted_cost / (age + 1)` score is
+//!   evicted: cheap-to-rebuild plans go first, and among equal costs the
+//!   least recently used goes first. The just-inserted entry and any
+//!   in-flight build are never victims, so single-flight and epoch
+//!   semantics are unchanged. Evictions are counted in
+//!   [`CacheStats::evicted`].
 //!
 //! [`simplify`]: pp_engine::predicate::Predicate::simplify
 
@@ -91,6 +99,11 @@ enum SlotState {
 struct Slot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Logical tick of the last `get_or_build` touch (hit or insert).
+    last_used: AtomicU64,
+    /// Predicted cluster-seconds of the cached plan, as `f64` bits —
+    /// the rebuild bill eviction weighs against recency.
+    predicted_cost: AtomicU64,
 }
 
 /// Resets a `Building` slot to `Vacant` and wakes waiters unless the
@@ -121,6 +134,20 @@ impl Drop for BuildGuard<'_> {
     }
 }
 
+/// Size/eviction knobs for the plan cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum ready entries. Beyond this, inserts evict the ready entry
+    /// with the lowest cost-weighted-recency score.
+    pub max_entries: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { max_entries: 1024 }
+    }
+}
+
 /// Hit/miss/build counters, cheap to copy out for reporting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -136,17 +163,23 @@ pub struct CacheStats {
     pub invalidated: u64,
     /// Entries atomically replaced by the maintenance loop.
     pub swapped: u64,
+    /// Entries removed by cost-weighted LRU capacity eviction.
+    pub evicted: u64,
 }
 
 /// The shared, thread-safe plan cache.
 pub struct PlanCache {
     slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    config: CacheConfig,
+    /// Monotonic logical clock; each touch gets the next tick.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     builds: AtomicU64,
     build_failures: AtomicU64,
     invalidated: AtomicU64,
     swapped: AtomicU64,
+    evicted: AtomicU64,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -164,16 +197,24 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with default capacity.
     pub fn new() -> Self {
+        Self::with_config(CacheConfig::default())
+    }
+
+    /// An empty cache bounded by `config`.
+    pub fn with_config(config: CacheConfig) -> Self {
         PlanCache {
             slots: Mutex::new(HashMap::new()),
+            config,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             builds: AtomicU64::new(0),
             build_failures: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
             swapped: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
         }
     }
 
@@ -183,8 +224,54 @@ impl PlanCache {
             Arc::new(Slot {
                 state: Mutex::new(SlotState::Vacant),
                 cv: Condvar::new(),
+                last_used: AtomicU64::new(0),
+                predicted_cost: AtomicU64::new(0),
             })
         }))
+    }
+
+    /// Stamps `slot` with the next logical tick.
+    fn touch(&self, slot: &Slot) {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Evicts lowest-score ready entries until at most
+    /// [`CacheConfig::max_entries`] remain. `keep` (the entry whose insert
+    /// triggered this) is never a victim, and neither is any slot whose
+    /// state lock is contended — a builder or reader mid-flight keeps its
+    /// slot. Score is `predicted_cost / (age + 1)`: cheap and stale loses.
+    fn evict_over_capacity(&self, keep: &CacheKey) {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            let now = self.tick.load(Ordering::Relaxed);
+            let mut ready = 0usize;
+            let mut victim: Option<(CacheKey, f64)> = None;
+            for (k, slot) in slots.iter() {
+                let Ok(state) = slot.state.try_lock() else {
+                    continue;
+                };
+                if !matches!(&*state, SlotState::Ready(_)) {
+                    continue;
+                }
+                ready += 1;
+                if k == keep {
+                    continue;
+                }
+                let cost = f64::from_bits(slot.predicted_cost.load(Ordering::Relaxed));
+                let age = now.saturating_sub(slot.last_used.load(Ordering::Relaxed)) as f64;
+                let score = cost / (age + 1.0);
+                if victim.as_ref().is_none_or(|(_, s)| score < *s) {
+                    victim = Some((k.clone(), score));
+                }
+            }
+            if ready <= self.config.max_entries {
+                return;
+            }
+            let Some((k, _)) = victim else { return };
+            slots.remove(&k);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Returns the memoized plan for `key`, running `build` (at most once
@@ -203,7 +290,10 @@ impl PlanCache {
             match &*state {
                 SlotState::Ready(plan) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok((Arc::clone(plan), true));
+                    let plan = Arc::clone(plan);
+                    drop(state);
+                    self.touch(&slot);
+                    return Ok((plan, true));
                 }
                 SlotState::Building => {
                     state = slot.cv.wait(state).unwrap_or_else(|e| e.into_inner());
@@ -220,11 +310,15 @@ impl PlanCache {
                     match build() {
                         Ok(plan) => {
                             let plan = Arc::new(plan);
+                            let cost = crate::admission::predicted_cluster_seconds(&plan.report);
+                            slot.predicted_cost.store(cost.to_bits(), Ordering::Relaxed);
                             let mut state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
                             *state = SlotState::Ready(Arc::clone(&plan));
                             drop(state);
                             guard.disarm();
                             slot.cv.notify_all();
+                            self.touch(&slot);
+                            self.evict_over_capacity(key);
                             return Ok((plan, false));
                         }
                         Err(e) => {
@@ -264,10 +358,12 @@ impl PlanCache {
                 None => return false,
             }
         };
+        let cost = crate::admission::predicted_cluster_seconds(&plan.report);
         let mut state = slot.state.lock().unwrap_or_else(|e| e.into_inner());
         match &*state {
             SlotState::Ready(_) => {
                 *state = SlotState::Ready(Arc::new(plan));
+                slot.predicted_cost.store(cost.to_bits(), Ordering::Relaxed);
                 self.swapped.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -327,6 +423,7 @@ impl PlanCache {
             build_failures: self.build_failures.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             swapped: self.swapped.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
         }
     }
 }
@@ -486,6 +583,71 @@ mod tests {
         assert!(cache.peek(&key("b", 1)).is_none());
         assert!(cache.peek(&key("c", 2)).is_some(), "current epoch survives");
         assert_eq!(cache.stats().invalidated, 2);
+    }
+
+    fn plan_costing(seconds: f64) -> CachedPlan {
+        use pp_engine::explain::OperatorPrediction;
+        use pp_engine::telemetry::OperatorId;
+        CachedPlan {
+            plan: LogicalPlan::scan("t"),
+            report: Arc::new(PlanReport {
+                predictions: vec![OperatorPrediction {
+                    op_id: OperatorId(0),
+                    op: "Udf[x]".into(),
+                    rows_in: 100.0,
+                    rows_out: 50.0,
+                    seconds,
+                }],
+                ..Default::default()
+            }),
+            predicate: Predicate::True,
+            accuracy_target: 0.95,
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_prefers_cheap_plans() {
+        let cache = PlanCache::with_config(CacheConfig { max_entries: 2 });
+        cache
+            .get_or_build::<()>(&key("expensive", 1), || Ok(plan_costing(10.0)))
+            .unwrap();
+        cache
+            .get_or_build::<()>(&key("cheap", 1), || Ok(plan_costing(0.1)))
+            .unwrap();
+        cache
+            .get_or_build::<()>(&key("mid", 1), || Ok(plan_costing(5.0)))
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert!(
+            cache.peek(&key("cheap", 1)).is_none(),
+            "cheapest-to-rebuild entry should be the victim"
+        );
+        assert!(cache.peek(&key("expensive", 1)).is_some());
+        assert!(cache.peek(&key("mid", 1)).is_some(), "fresh insert evicted");
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_breaks_cost_ties_by_recency() {
+        let cache = PlanCache::with_config(CacheConfig { max_entries: 2 });
+        cache
+            .get_or_build::<()>(&key("old-but-touched", 1), || Ok(plan_costing(1.0)))
+            .unwrap();
+        cache
+            .get_or_build::<()>(&key("stale", 1), || Ok(plan_costing(1.0)))
+            .unwrap();
+        // A hit refreshes recency, protecting the older entry.
+        let (_, hit) = cache
+            .get_or_build::<()>(&key("old-but-touched", 1), || panic!("must hit"))
+            .unwrap();
+        assert!(hit);
+        cache
+            .get_or_build::<()>(&key("new", 1), || Ok(plan_costing(1.0)))
+            .unwrap();
+        assert!(cache.peek(&key("stale", 1)).is_none(), "LRU should lose");
+        assert!(cache.peek(&key("old-but-touched", 1)).is_some());
+        assert!(cache.peek(&key("new", 1)).is_some());
+        assert_eq!(cache.stats().evicted, 1);
     }
 
     #[test]

@@ -21,7 +21,17 @@
 //! * [`maintenance`] — folds every run's telemetry into a shared
 //!   [`RuntimeMonitor`](pp_core::runtime::RuntimeMonitor) and, when
 //!   calibration drift flags a cached plan's PPs, re-optimizes off the hot
-//!   path and atomically swaps the cache entry.
+//!   path and atomically swaps the cache entry,
+//! * [`request`] / [`server`] — per-query deadlines and cooperative
+//!   cancellation (a [`CancelToken`](pp_engine::cancel::CancelToken)
+//!   polled at batch boundaries; partial work is billed), typed
+//!   [`QueryOutcome::Cancelled`](request::QueryOutcome#variant.Cancelled)
+//!   results, and a bounded graceful
+//!   [`drain`](server::PpServer::drain) that never loses a ticket,
+//! * [`chaos`] — seeded, replayable server-side fault injection (slow and
+//!   failing plan builds, worker panics) plus a harness composing them
+//!   with engine faults, cancels, publish storms, and admission pressure
+//!   while checking robustness invariants.
 //!
 //! # Determinism
 //!
@@ -37,6 +47,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod maintenance;
 pub mod pool;
 pub mod request;
@@ -44,9 +55,11 @@ pub mod server;
 pub mod source;
 
 pub use admission::AdmissionConfig;
-pub use cache::{CacheKey, CacheStats, CachedPlan, PlanCache};
+pub use cache::{CacheConfig, CacheKey, CacheStats, CachedPlan, PlanCache};
+pub use chaos::{rows_digest, run_chaos, ChaosConfig, ChaosReport, ServerFaults};
+pub use pool::DrainPolicy;
 pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryTicket, RejectReason};
-pub use server::{PpServer, ServerConfig};
+pub use server::{DrainReport, PpServer, ServerConfig};
 pub use source::{SourceRegistry, SourceSpec};
 
 /// Errors produced by the serving runtime itself (planning and execution

@@ -97,6 +97,28 @@ pub(crate) fn run_once(inner: &ServerInner) -> MaintenanceReport {
             }
         }
     }
+    // Snapshot-garbage gauges: superseded epochs kept alive by pinned
+    // snapshots are memory the server cannot reclaim. A stuck query (or a
+    // leaked snapshot) shows up as a nonzero stale count and a growing
+    // oldest-pinned age.
+    let garbage = inner.pps.pinned_snapshots();
+    let stale_pinned: usize = garbage
+        .iter()
+        .filter(|g| g.epoch != epoch)
+        .map(|g| g.pinned)
+        .sum();
+    inner
+        .metrics
+        .gauge("server.stale_snapshots_pinned")
+        .set(stale_pinned as f64);
+    let oldest_age = inner
+        .pps
+        .oldest_pinned_epoch()
+        .map_or(0, |oldest| epoch.0.saturating_sub(oldest.0));
+    inner
+        .metrics
+        .gauge("server.oldest_pinned_epoch_age")
+        .set(oldest_age as f64);
     inner
         .metrics
         .counter("server.maintenance_passes_total")

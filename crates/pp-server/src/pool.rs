@@ -1,8 +1,12 @@
 //! A bounded worker pool with a deterministic FIFO queue.
 //!
-//! Jobs are boxed closures; workers pull in submission order. Shutdown is
-//! graceful: [`WorkerPool::shutdown`] stops intake, drains nothing (queued
-//! jobs still run), and joins every worker. A job that panics takes down
+//! Jobs are boxed closures; workers pull in submission order. Shutdown
+//! policy is explicit ([`DrainPolicy`]): [`WorkerPool::shutdown`] stops
+//! intake, **drains the queue** (every already-queued job still runs),
+//! and joins every worker; [`WorkerPool::shutdown_with`] can instead
+//! *abandon* queued jobs — they are dropped unexecuted (their drop guards
+//! fire) and workers are detached to exit after their current job, so a
+//! wedged job cannot block the caller. A job that panics takes down
 //! neither its worker (the thread survives via `catch_unwind`) nor the
 //! pool.
 
@@ -12,6 +16,23 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// What shutdown does with jobs still waiting in the queue. The running
+/// job of each worker always finishes either way (cancellation tokens,
+/// not the pool, interrupt running work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainPolicy {
+    /// Let every queued job run to completion, then join the workers.
+    /// This is what [`WorkerPool::shutdown`] (and a clean
+    /// [`PpServer::shutdown`](crate::server::PpServer::shutdown)) does.
+    DrainQueued,
+    /// Drop queued jobs unexecuted (firing their drop guards, so ticket
+    /// holders still get a typed response) and detach workers instead of
+    /// joining, so a long-running job cannot block the caller. Used by
+    /// [`PpServer::drain`](crate::server::PpServer::drain) when its
+    /// timeout expires.
+    AbandonQueued,
+}
 
 struct Queue {
     jobs: Mutex<QueueState>,
@@ -86,19 +107,43 @@ impl WorkerPool {
             .len()
     }
 
-    /// Stops intake, lets queued jobs finish, and joins every worker.
+    /// Stops intake, lets queued jobs finish, and joins every worker
+    /// (equivalent to `shutdown_with(DrainPolicy::DrainQueued)`).
     pub fn shutdown(&mut self) {
-        {
+        self.shutdown_with(DrainPolicy::DrainQueued);
+    }
+
+    /// Stops intake and shuts down under `policy`; see [`DrainPolicy`].
+    /// Returns the number of queued jobs dropped unexecuted (always 0
+    /// for [`DrainPolicy::DrainQueued`]). Idempotent: repeat calls finish
+    /// whatever the first left (e.g. joining still-attached workers).
+    pub fn shutdown_with(&mut self, policy: DrainPolicy) -> usize {
+        let abandoned: Vec<Job> = {
             let mut state = self.queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
-            if state.shutting_down {
-                return;
-            }
             state.shutting_down = true;
-        }
+            match policy {
+                DrainPolicy::DrainQueued => Vec::new(),
+                DrainPolicy::AbandonQueued => state.pending.drain(..).collect(),
+            }
+        };
         self.queue.cv.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        let dropped = abandoned.len();
+        // Dropping the boxed jobs fires their captured drop guards (permit
+        // release, typed "abandoned" responses) without running them.
+        drop(abandoned);
+        match policy {
+            DrainPolicy::DrainQueued => {
+                for w in self.workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            DrainPolicy::AbandonQueued => {
+                // Detach: each worker exits after its current job; a
+                // wedged job must not block the drain deadline.
+                self.workers.clear();
+            }
         }
+        dropped
     }
 }
 
@@ -180,6 +225,46 @@ mod tests {
         opener.join().unwrap();
         assert_eq!(rx.try_recv().unwrap(), 2, "queued job was dropped");
         assert!(!pool.submit(|| {}), "post-shutdown submit accepted");
+    }
+
+    #[test]
+    fn abandon_queued_drops_jobs_but_fires_their_guards() {
+        struct NotifyOnDrop(mpsc::Sender<&'static str>);
+        impl Drop for NotifyOnDrop {
+            fn drop(&mut self) {
+                let _ = self.0.send("dropped");
+            }
+        }
+        let mut pool = WorkerPool::new(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (started_tx, started_rx) = mpsc::channel();
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                started_tx.send(()).unwrap();
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        // The worker is provably busy; this job can only sit in the queue.
+        started_rx.recv().unwrap();
+        let (tx, rx) = mpsc::channel();
+        let guard = NotifyOnDrop(tx);
+        pool.submit(move || {
+            let _ = guard.0.send("ran");
+        });
+        let dropped = pool.shutdown_with(DrainPolicy::AbandonQueued);
+        assert_eq!(dropped, 1);
+        // The guard fired without the job running.
+        assert_eq!(rx.recv().unwrap(), "dropped");
+        // Unblock the detached worker so its thread exits cleanly.
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        assert!(!pool.submit(|| {}), "post-abandon submit accepted");
     }
 
     #[test]

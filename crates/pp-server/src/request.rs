@@ -11,9 +11,11 @@
 
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 use pp_core::catalog::CatalogEpoch;
 use pp_core::planner::PlanReport;
+use pp_engine::cancel::{CancelReason, CancelToken};
 use pp_engine::fault::FaultPlan;
 use pp_engine::predicate::Predicate;
 use pp_engine::resilience::ResilienceConfig;
@@ -35,6 +37,11 @@ pub struct QueryRequest {
     pub fault_plan: Option<FaultPlan>,
     /// Optional resilience-policy override for this query's run.
     pub resilience: Option<ResilienceConfig>,
+    /// Optional wall-clock budget measured from submit. When it elapses
+    /// the query's cancellation token fires with
+    /// [`CancelReason::DeadlineExceeded`] and the query lands as
+    /// [`QueryOutcome::Cancelled`] at the next batch boundary.
+    pub deadline: Option<Duration>,
 }
 
 impl QueryRequest {
@@ -47,6 +54,7 @@ impl QueryRequest {
             accuracy_target,
             fault_plan: None,
             resilience: None,
+            deadline: None,
         }
     }
 
@@ -59,6 +67,12 @@ impl QueryRequest {
     /// Overrides the server's default resilience policy for this query.
     pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
         self.resilience = Some(config);
+        self
+    }
+
+    /// Gives the query a wall-clock budget measured from submit.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
         self
     }
 }
@@ -129,6 +143,18 @@ pub enum QueryOutcome {
     Complete(Box<QuerySuccess>),
     /// The admission controller shed the query before execution.
     Rejected(RejectReason),
+    /// The query was cancelled (caller request, deadline, drain, or a
+    /// worker panic) after doing — and being billed for — partial work.
+    Cancelled {
+        /// Why the cancellation token fired.
+        reason: CancelReason,
+        /// Rows consumed by completed operators before the cancellation
+        /// point (work the meter charged; discarded probe work is not
+        /// counted, matching how it is not billed).
+        rows_processed: usize,
+        /// Cluster-seconds actually billed for the partial run.
+        charged_cluster_seconds: f64,
+    },
     /// Planning or execution failed; the message is the underlying error.
     Failed(String),
 }
@@ -146,6 +172,11 @@ impl QueryOutcome {
     pub fn is_rejected(&self) -> bool {
         matches!(self, QueryOutcome::Rejected(_))
     }
+
+    /// True when the query was cancelled mid-flight.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, QueryOutcome::Cancelled { .. })
+    }
 }
 
 /// The server's answer to one request.
@@ -160,16 +191,34 @@ pub struct QueryResponse {
 /// A handle to one in-flight query. Await it with
 /// [`wait`][QueryTicket::wait]; dropping it abandons the response (the
 /// query still runs and its telemetry is still folded into the monitor).
+/// [`cancel`][QueryTicket::cancel] asks the query to stop at its next
+/// batch boundary.
 #[derive(Debug)]
 pub struct QueryTicket {
     pub(crate) request_id: u64,
     pub(crate) rx: mpsc::Receiver<QueryResponse>,
+    pub(crate) cancel: CancelToken,
 }
 
 impl QueryTicket {
     /// The id assigned to this request at submit time.
     pub fn request_id(&self) -> u64 {
         self.request_id
+    }
+
+    /// Fires this query's cancellation token with
+    /// [`CancelReason::Requested`]. Returns `true` if this call latched
+    /// the token (false when already cancelled or expired). The query
+    /// stops at its next batch boundary; [`wait`][QueryTicket::wait] then
+    /// yields [`QueryOutcome::Cancelled`] — unless it had already reached
+    /// a terminal state, in which case that result stands.
+    pub fn cancel(&self) -> bool {
+        self.cancel.cancel(CancelReason::Requested)
+    }
+
+    /// This query's cancellation token (clone to cancel from elsewhere).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// Blocks until the query reaches a terminal state. If the worker

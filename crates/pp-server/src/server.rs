@@ -25,24 +25,43 @@
 //! Publishing a retrained corpus ([`publish_pps`][PpServer::publish_pps])
 //! bumps the epoch, invalidates exactly the superseded cache entries, and
 //! never pauses in-flight queries — they hold their pinned snapshots.
+//!
+//! # Cancellation and drain
+//!
+//! Every submit mints a [`CancelToken`] (deadline-armed when the request
+//! carries one), registers it in the server's active-query map, and hands
+//! a cancel handle back on the [`QueryTicket`]. The execution context
+//! polls the token at batch boundaries; a fired token surfaces as
+//! [`QueryOutcome::Cancelled`] with the partial work actually billed.
+//! A worker-side `ResponseGuard` owns the admission permit and the
+//! response channel, so **every** submit ends in exactly one typed
+//! response — a panicking worker lands as `Failed` (and fires the token
+//! with [`CancelReason::WorkerPanic`]), a drain-abandoned job lands as
+//! `Cancelled`, and the ticket never hangs. [`PpServer::drain`] runs the
+//! graceful-exit choreography: stop intake → grace → cancel stragglers →
+//! abandon what remains → flush maintenance.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-use pp_core::catalog::{CatalogEpoch, CatalogSnapshot, VersionedPpCatalog};
+use parking_lot::Mutex;
+use pp_core::catalog::{CatalogEpoch, CatalogSnapshot, SnapshotGarbage, VersionedPpCatalog};
 use pp_core::planner::{PpQueryOptimizer, QoConfig};
 use pp_core::runtime::{MonitorConfig, RuntimeMonitor};
 use pp_core::wrangle::Domains;
 use pp_core::PpCatalog;
+use pp_engine::cancel::{CancelReason, CancelToken};
 use pp_engine::exec::ExecutionContext;
 use pp_engine::telemetry::MetricsRegistry;
-use pp_engine::Catalog;
+use pp_engine::{Catalog, EngineError};
 
-use crate::admission::{check_cost_budget, AdmissionConfig, DepthGate};
-use crate::cache::{CacheKey, CacheStats, CachedPlan, PlanCache};
+use crate::admission::{check_cost_budget, AdmissionConfig, DepthGate, Permit};
+use crate::cache::{CacheConfig, CacheKey, CacheStats, CachedPlan, PlanCache};
+use crate::chaos::ServerFaults;
 use crate::maintenance::{self, MaintenanceHandle, MaintenanceReport};
-use crate::pool::WorkerPool;
+use crate::pool::{DrainPolicy, WorkerPool};
 use crate::request::{
     QueryOutcome, QueryRequest, QueryResponse, QuerySuccess, QueryTicket, RejectReason,
 };
@@ -65,6 +84,11 @@ pub struct ServerConfig {
     /// [`maintenance_now`][PpServer::maintenance_now] calls, which is
     /// also what deterministic tests want.
     pub maintenance_interval: Option<Duration>,
+    /// Plan-cache capacity / eviction knobs.
+    pub cache: CacheConfig,
+    /// Seeded server-side fault injection (chaos testing); `None` (the
+    /// default) injects nothing.
+    pub faults: Option<ServerFaults>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +99,8 @@ impl Default for ServerConfig {
             qo: QoConfig::default(),
             monitor: MonitorConfig::default(),
             maintenance_interval: None,
+            cache: CacheConfig::default(),
+            faults: None,
         }
     }
 }
@@ -92,6 +118,9 @@ pub(crate) struct ServerInner {
     gate: Arc<DepthGate>,
     next_id: AtomicU64,
     shutting_down: AtomicBool,
+    /// Cancellation tokens of every query between submit and response;
+    /// drain fires these, worker panics latch them.
+    active: Mutex<HashMap<u64, CancelToken>>,
 }
 
 impl ServerInner {
@@ -128,6 +157,92 @@ impl ServerInner {
     }
 }
 
+/// Guarantees exactly one typed [`QueryResponse`] per submit. The guard
+/// owns the admission permit and the response channel; the worker job
+/// either `finish`es it with a real outcome, or — if the job panics or is
+/// dropped unexecuted by an abandoning drain — the `Drop` impl sends the
+/// appropriate terminal outcome. Either way the permit is released
+/// *before* the response becomes visible, and the active-map entry is
+/// removed.
+struct ResponseGuard {
+    inner: Arc<ServerInner>,
+    request_id: u64,
+    cancel: CancelToken,
+    permit: Option<Permit>,
+    tx: Option<mpsc::Sender<QueryResponse>>,
+}
+
+impl ResponseGuard {
+    fn finish(mut self, outcome: QueryOutcome) {
+        self.respond(outcome);
+    }
+
+    fn respond(&mut self, outcome: QueryOutcome) {
+        let Some(tx) = self.tx.take() else { return };
+        self.inner.active.lock().remove(&self.request_id);
+        // The permit is gone *before* the response is visible, so a caller
+        // unblocked by `wait()` observes the slot as free.
+        drop(self.permit.take());
+        let _ = tx.send(QueryResponse {
+            request_id: self.request_id,
+            outcome,
+        });
+    }
+}
+
+impl Drop for ResponseGuard {
+    fn drop(&mut self) {
+        if self.tx.is_none() {
+            return; // finished normally
+        }
+        let outcome = if std::thread::panicking() {
+            // The job panicked mid-query. Latch the token so any clones
+            // observe the death, and surface a typed failure.
+            self.cancel.cancel(CancelReason::WorkerPanic);
+            self.inner
+                .metrics
+                .counter("server.worker_panics_total")
+                .inc();
+            self.inner.metrics.counter("server.failed_total").inc();
+            QueryOutcome::Failed("worker panicked mid-query".into())
+        } else {
+            // The job was dropped unexecuted (an abandoning drain).
+            let reason = self.cancel.reason().unwrap_or(CancelReason::Drain);
+            self.inner.metrics.counter("server.cancelled_total").inc();
+            QueryOutcome::Cancelled {
+                reason,
+                rows_processed: 0,
+                charged_cluster_seconds: 0.0,
+            }
+        };
+        self.respond(outcome);
+    }
+}
+
+/// What [`PpServer::drain`] did: how much was in flight, how it ended.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Queued + running queries when the drain began.
+    pub in_flight_at_drain: usize,
+    /// Of those, how many reached a typed response by drain's return
+    /// (completed, failed, rejected, or cancelled).
+    pub responded: usize,
+    /// Cancellation tokens fired with [`CancelReason::Drain`] after the
+    /// grace period expired (0 on a clean drain).
+    pub cancelled: usize,
+    /// Queued jobs dropped unexecuted at the deadline; their tickets
+    /// resolved as `Cancelled` via the response guard.
+    pub abandoned: usize,
+    /// True when everything finished inside the grace period — no
+    /// cancellation or abandonment was needed.
+    pub clean: bool,
+    /// Detached workers still running a query when drain returned (their
+    /// tickets resolve when the cooperative cancel lands).
+    pub still_running: usize,
+    /// The final maintenance flush's report.
+    pub maintenance: MaintenanceReport,
+}
+
 /// The long-running serving runtime. See the [module docs](self).
 pub struct PpServer {
     inner: Arc<ServerInner>,
@@ -158,18 +273,20 @@ impl PpServer {
         let monitor = Arc::new(RuntimeMonitor::with_config(config.monitor));
         let workers = config.workers;
         let maintenance_interval = config.maintenance_interval;
+        let cache = PlanCache::with_config(config.cache.clone());
         let inner = Arc::new(ServerInner {
             data,
             sources,
             pps: VersionedPpCatalog::new(initial_pps),
             domains,
             monitor,
-            cache: PlanCache::new(),
+            cache,
             metrics: MetricsRegistry::new(),
             config,
             gate: Arc::new(DepthGate::new()),
             next_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
+            active: Mutex::new(HashMap::new()),
         });
         let maintenance =
             maintenance_interval.map(|every| maintenance::spawn(Arc::clone(&inner), every));
@@ -207,24 +324,34 @@ impl PpServer {
         // of when a worker picks it up or what gets published meanwhile.
         let snapshot = self.inner.pps.snapshot();
         let request_id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        // The deadline clock starts here, at submit — queue time counts.
+        let cancel = match request.deadline {
+            Some(budget) => CancelToken::with_deadline(budget),
+            None => CancelToken::new(),
+        };
+        self.inner.active.lock().insert(request_id, cancel.clone());
         let (tx, rx) = mpsc::channel();
-        let inner = Arc::clone(&self.inner);
+        let guard = ResponseGuard {
+            inner: Arc::clone(&self.inner),
+            request_id,
+            cancel: cancel.clone(),
+            permit: Some(permit),
+            tx: Some(tx),
+        };
         let queued = self.pool.submit(move || {
-            let outcome = {
-                let _permit = permit; // released on every exit path, panic included
-                run_query(&inner, &request, &snapshot)
-            };
-            // The permit is gone *before* the response is visible, so a
-            // caller unblocked by `wait()` observes the slot as free.
-            let _ = tx.send(QueryResponse {
-                request_id,
-                outcome,
-            });
+            let outcome = run_query(&guard.inner, request_id, &request, &snapshot, &guard.cancel);
+            guard.finish(outcome);
         });
         if !queued {
+            // The closure (and with it the guard) was dropped by the pool;
+            // the guard already tidied the active map and permit.
             return Err(RejectReason::ShuttingDown);
         }
-        Ok(QueryTicket { request_id, rx })
+        Ok(QueryTicket {
+            request_id,
+            rx,
+            cancel,
+        })
     }
 
     /// Publishes a retrained PP corpus under the next epoch, invalidating
@@ -263,6 +390,21 @@ impl PpServer {
         self.inner.gate.depth()
     }
 
+    /// Live pinned catalog snapshots per epoch — superseded epochs with a
+    /// nonzero count are garbage kept alive by in-flight (or leaked)
+    /// queries. The maintenance pass exports these as gauges.
+    pub fn snapshot_garbage(&self) -> Vec<SnapshotGarbage> {
+        self.inner.pps.pinned_snapshots()
+    }
+
+    /// Cancels one in-flight query by request id with
+    /// [`CancelReason::Requested`]. Returns `false` when the id is
+    /// unknown, already terminal, or already cancelled.
+    pub fn cancel_query(&self, request_id: u64) -> bool {
+        let token = self.inner.active.lock().get(&request_id).cloned();
+        token.is_some_and(|t| t.cancel(CancelReason::Requested))
+    }
+
     /// Runs one maintenance pass synchronously: folds nothing new (that
     /// happens per query) but checks calibration drift and re-optimizes /
     /// swaps every cached plan whose PPs drifted. Deterministic tests call
@@ -272,13 +414,76 @@ impl PpServer {
     }
 
     /// Stops intake, drains queued queries, joins workers, and stops the
-    /// background maintenance loop. Idempotent; also runs on drop.
+    /// background maintenance loop. Idempotent; also runs on drop. This
+    /// waits however long the queued queries take; use
+    /// [`drain`][PpServer::drain] for a bounded exit.
     pub fn shutdown(&mut self) {
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         if let Some(m) = self.maintenance.take() {
             m.stop();
         }
         self.pool.shutdown();
+    }
+
+    /// Gracefully winds the server down within (approximately) `timeout`:
+    ///
+    /// 1. **Stop intake** — new submits shed with
+    ///    [`RejectReason::ShuttingDown`].
+    /// 2. **Grace** — in-flight queries get 80% of the timeout to finish
+    ///    on their own.
+    /// 3. **Cancel** — stragglers' tokens fire with
+    ///    [`CancelReason::Drain`]; the remaining 20% lets the cooperative
+    ///    cancels land as typed `Cancelled` responses.
+    /// 4. **Abandon** — whatever is still queued at the deadline is
+    ///    dropped unexecuted; the response guards resolve those tickets
+    ///    as `Cancelled`, and still-running workers are detached so a
+    ///    wedged UDF cannot block the drain.
+    /// 5. **Flush** — one final maintenance pass exports gauges and folds
+    ///    calibration state.
+    ///
+    /// No ticket is ever lost: every query in flight at drain time ends
+    /// in exactly one typed response (possibly after drain returns, for
+    /// detached still-running workers). Idempotent with
+    /// [`shutdown`][PpServer::shutdown]; also safe to call twice.
+    pub fn drain(&mut self, timeout: Duration) -> DrainReport {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(m) = self.maintenance.take() {
+            m.stop();
+        }
+        let in_flight_at_drain = self.inner.gate.depth();
+        let grace = timeout.mul_f64(0.8);
+        let clean = self.inner.gate.wait_idle(grace);
+        let mut cancelled = 0usize;
+        if !clean {
+            let tokens: Vec<CancelToken> = self.inner.active.lock().values().cloned().collect();
+            for token in &tokens {
+                if token.cancel(CancelReason::Drain) {
+                    cancelled += 1;
+                }
+            }
+            self.inner.gate.wait_idle(timeout.saturating_sub(grace));
+        }
+        let idle = self.inner.gate.depth() == 0;
+        let abandoned = self.pool.shutdown_with(if idle {
+            DrainPolicy::DrainQueued
+        } else {
+            DrainPolicy::AbandonQueued
+        });
+        self.inner
+            .metrics
+            .counter("server.abandoned_total")
+            .add(abandoned as u64);
+        let maintenance = maintenance::run_once(&self.inner);
+        let still_running = self.inner.gate.depth();
+        DrainReport {
+            in_flight_at_drain,
+            responded: in_flight_at_drain.saturating_sub(still_running),
+            cancelled,
+            abandoned,
+            clean,
+            still_running,
+            maintenance,
+        }
     }
 }
 
@@ -290,12 +495,30 @@ impl Drop for PpServer {
 
 /// The worker-side query path: plan (via cache) → cost-admit → execute →
 /// fold telemetry. Never panics on query-shaped failures; every error is
-/// an outcome.
+/// an outcome. (Injected chaos panics are the deliberate exception — the
+/// response guard and the pool's `catch_unwind` turn those into `Failed`.)
 fn run_query(
     inner: &ServerInner,
+    request_id: u64,
     request: &QueryRequest,
     snapshot: &CatalogSnapshot,
+    cancel: &CancelToken,
 ) -> QueryOutcome {
+    // A query cancelled while queued (drain, caller, expired deadline)
+    // stops here, before planning: no work done, nothing billed.
+    if let Some(reason) = cancel.reason() {
+        inner.metrics.counter("server.cancelled_total").inc();
+        return QueryOutcome::Cancelled {
+            reason,
+            rows_processed: 0,
+            charged_cluster_seconds: 0.0,
+        };
+    }
+    if let Some(faults) = &inner.config.faults {
+        if faults.should_panic_worker(request_id) {
+            panic!("chaos: injected worker panic");
+        }
+    }
     let key = CacheKey::new(
         &request.source,
         &request.predicate,
@@ -303,6 +526,16 @@ fn run_query(
         snapshot.epoch(),
     );
     let built = inner.cache.get_or_build(&key, || {
+        if let Some(faults) = &inner.config.faults {
+            if let Some(delay) = faults.build_delay(request_id) {
+                std::thread::sleep(delay);
+            }
+            if faults.should_fail_build(request_id) {
+                return Err(pp_core::PpError::InvalidParameter(
+                    "chaos: injected plan-build failure",
+                ));
+            }
+        }
         inner.optimize(
             &request.source,
             &request.predicate,
@@ -325,7 +558,7 @@ fn run_query(
         return QueryOutcome::Rejected(reason);
     }
 
-    let mut builder = ExecutionContext::builder(&inner.data);
+    let mut builder = ExecutionContext::builder(&inner.data).cancel_token(cancel.clone());
     if let Some(fp) = &request.fault_plan {
         builder = builder.fault_plan(fp.clone());
     }
@@ -352,6 +585,22 @@ fn run_query(
                 report: Arc::clone(&cached.report),
                 telemetry,
             }))
+        }
+        Err(EngineError::Cancelled { reason }) => {
+            if let Some(t) = &telemetry {
+                // Fault rates still count toward quarantine decisions.
+                inner.monitor.observe_telemetry(t);
+            }
+            // Bill what the meter actually charged: completed operators
+            // plus consumed-but-interrupted batches. Discarded probe work
+            // was never charged, so it is not reported either.
+            let meter = ctx.meter();
+            inner.metrics.counter("server.cancelled_total").inc();
+            QueryOutcome::Cancelled {
+                reason,
+                rows_processed: meter.entries().iter().map(|e| e.rows_in).sum(),
+                charged_cluster_seconds: meter.cluster_seconds(),
+            }
         }
         Err(e) => {
             if let Some(t) = &telemetry {

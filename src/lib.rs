@@ -16,8 +16,10 @@
 //! * [`baselines`] — the comparator systems of §8 (NoP, SortP, the
 //!   correlation filter of Joglekar et al., a NoScope-like cascade),
 //! * [`server`] — a concurrent serving runtime: plan cache, versioned PP
-//!   catalog with epoch-stamped snapshots, admission control, and
-//!   drift-triggered background replanning.
+//!   catalog with epoch-stamped snapshots, admission control,
+//!   drift-triggered background replanning, query deadlines with
+//!   cooperative cancellation, bounded graceful drain, and a seeded
+//!   chaos harness.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -47,6 +49,7 @@ pub mod prelude {
     pub use pp_core::wrangle::Domains;
     pub use pp_core::{CatalogEpoch, PpCatalog, VersionedPpCatalog};
     pub use pp_data::traffic::{TrafficConfig, TrafficDataset};
+    pub use pp_engine::cancel::{CancelReason, CancelToken};
     pub use pp_engine::cost::{CostMeter, CostModel, QueryMetrics};
     pub use pp_engine::exec::{ExecutionContext, ExecutionContextBuilder};
     pub use pp_engine::explain::{ExplainAnalyze, OperatorPrediction, PredictionHints};
@@ -67,7 +70,7 @@ pub mod prelude {
     pub use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
     pub use pp_ml::reduction::ReducerSpec;
     pub use pp_server::{
-        AdmissionConfig, PlanCache, PpServer, QueryOutcome, QueryRequest, RejectReason,
-        ServerConfig, SourceRegistry, SourceSpec,
+        AdmissionConfig, CacheConfig, ChaosConfig, DrainReport, PlanCache, PpServer, QueryOutcome,
+        QueryRequest, RejectReason, ServerConfig, ServerFaults, SourceRegistry, SourceSpec,
     };
 }
