@@ -40,7 +40,7 @@ fn main() {
 
     // Clean run.
     let mut ctx = ExecutionContext::builder(&setup.catalog)
-        .parallelism(4)
+        .with_parallelism(4)
         .build();
     ctx.run(&optimized.plan).expect("clean execution");
     let clean = snapshot_of(&ctx);
@@ -58,8 +58,8 @@ fn main() {
         fault_plan = fault_plan.inject(op, FaultSpec::transient(0.08).with_timeouts(0.02, 90.0));
     }
     let mut faulted_ctx = ExecutionContext::builder(&setup.catalog)
-        .parallelism(4)
-        .fault_plan(fault_plan)
+        .with_parallelism(4)
+        .with_fault_plan(fault_plan)
         .build();
     faulted_ctx.run(&optimized.plan).expect("faulted execution");
     let faulted = snapshot_of(&faulted_ctx);

@@ -25,7 +25,7 @@ fn main() {
         setup.train_seconds
     );
     let mut ctx = ExecutionContext::builder(&setup.catalog)
-        .parallelism(4)
+        .with_parallelism(4)
         .build();
     let queries = traf20_queries();
     let targets = [0.95, 0.98, 1.0];

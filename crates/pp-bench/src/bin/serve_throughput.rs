@@ -28,6 +28,7 @@ struct Args {
     parallelism: Vec<usize>,
     seconds: f64,
     frames: usize,
+    out: String,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +36,7 @@ fn parse_args() -> Args {
         parallelism: vec![1, 4, 16],
         seconds: 3.0,
         frames: 4_000,
+        out: String::from("BENCH_serve.json"),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,6 +53,7 @@ fn parse_args() -> Args {
             }
             "--seconds" => args.seconds = value.parse().expect("seconds: f64"),
             "--frames" => args.frames = value.parse().expect("frames: usize"),
+            "--out" => args.out = value,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -232,6 +235,45 @@ fn main() {
     let total: u64 = results.iter().map(|(_, s)| s.completed).sum();
     let failed: u64 = results.iter().map(|(_, s)| s.failed).sum();
     println!("RESULT total_completed={total} total_failed={failed} hardware_threads={cores}");
+
+    // Hand-rolled JSON mirror of the RESULT lines for artifact upload.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"serve_throughput\",\n");
+    json.push_str(&format!("  \"frames\": {},\n", args.frames));
+    json.push_str(&format!("  \"seconds_per_config\": {},\n", args.seconds));
+    json.push_str(&format!("  \"hardware_threads\": {cores},\n"));
+    json.push_str("  \"configs\": [\n");
+    let first_qps = results
+        .first()
+        .map(|(_, s)| s.completed as f64 / s.elapsed)
+        .unwrap_or(0.0);
+    for (i, (clients, stats)) in results.iter().enumerate() {
+        let qps = stats.completed as f64 / stats.elapsed;
+        let scaling = if first_qps > 0.0 {
+            qps / first_qps
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"clients\": {clients}, \"qps\": {qps:.2}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
+             \"cache_hits\": {}, \"scaling_vs_first\": {scaling:.2}}}{}\n",
+            stats.p50_ms,
+            stats.p99_ms,
+            stats.completed,
+            stats.rejected,
+            stats.failed,
+            stats.cache_hits,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"total_completed\": {total},\n  \"total_failed\": {failed}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&args.out, json).expect("write BENCH json");
+    println!("wrote {}", args.out);
     if cores == 1 {
         println!("note: 1 hardware thread — QPS cannot scale with client count on this host");
     }

@@ -24,7 +24,7 @@ fn main() {
         let setup = traffic_setup(train_frames + scale, train_frames, 0xF18);
         let qo = setup.optimizer(0.95);
         let mut ctx = ExecutionContext::builder(&setup.catalog)
-            .parallelism(4)
+            .with_parallelism(4)
             .build();
         let mut nop_total = 0.0;
         let mut pp_total = 0.0;

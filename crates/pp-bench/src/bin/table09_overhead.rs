@@ -16,7 +16,7 @@ fn main() {
     let setup = traffic_setup(6_000, 1_500, 0xF19);
     let qo = setup.optimizer(0.95);
     let mut ctx = ExecutionContext::builder(&setup.catalog)
-        .parallelism(4)
+        .with_parallelism(4)
         .build();
     let queries = traf20_queries();
     let detail_ids = [4u32, 8, 20];

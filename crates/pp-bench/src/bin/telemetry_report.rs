@@ -91,7 +91,7 @@ fn main() {
 
     // Clean run: discover the PP operators the optimizer injected.
     let mut ctx = ExecutionContext::builder(&setup.catalog)
-        .parallelism(4)
+        .with_parallelism(4)
         .build();
     ctx.run(&optimized).expect("clean execution");
     let clean = ctx.telemetry().expect("telemetry snapshot").clone();
@@ -109,8 +109,8 @@ fn main() {
         fault_plan = fault_plan.inject(op, FaultSpec::transient(0.08).with_timeouts(0.02, 90.0));
     }
     let mut faulted_ctx = ExecutionContext::builder(&setup.catalog)
-        .parallelism(4)
-        .fault_plan(fault_plan)
+        .with_parallelism(4)
+        .with_fault_plan(fault_plan)
         .build();
     faulted_ctx.run(&optimized).expect("faulted execution");
     let faulted = faulted_ctx.telemetry().expect("telemetry snapshot").clone();

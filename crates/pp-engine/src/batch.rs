@@ -1,0 +1,418 @@
+//! The unified batch representation handed to batch-capable UDFs.
+//!
+//! One [`Batch`] enum replaces the three historical vectorized entry
+//! points (`process_batch`, `passes_batch`, and pp-ml's `score_batch`):
+//! every UDF implements [`BatchKernel::eval_batch`] over a `Batch`, which
+//! is either a row view ([`Batch::Rows`]) or a columnar view
+//! ([`Batch::Columns`]). Both views borrow the same underlying rows — the
+//! variant is the executor's *contract* about how the kernel should
+//! evaluate:
+//!
+//! * `Rows` — the kernel takes its row-oriented path (per-row access,
+//!   reference gathering). This is the baseline the byte-identity
+//!   invariant is defined against.
+//! * `Columns` — the kernel may gather the columns it reads into
+//!   contiguous buffers ([`ColumnarBatch::feature_column`]) and evaluate
+//!   them with block kernels. Results must stay **bit-identical** to the
+//!   `Rows` path: gathering a dense feature vector is a bitwise copy and
+//!   every model scores both layouts through the same
+//!   `pp_linalg::kernels`, so this holds by construction. Sparse vectors
+//!   are never gathered (densifying would reassociate their dot-product
+//!   sums); a column containing any sparse cell falls back to the
+//!   reference path inside the kernel itself.
+//!
+//! Scalar UDFs ignore the distinction via [`for_each_row`], which walks
+//! either variant in row order.
+
+use pp_linalg::{FeatureBlock, Features};
+
+use crate::row::{Row, RowBatch};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Result;
+
+/// A unified batch of rows: the single argument to
+/// [`BatchKernel::eval_batch`].
+#[derive(Debug, Clone, Copy)]
+pub enum Batch<'a> {
+    /// Row-oriented view; kernels take their per-row/reference path.
+    Rows(RowBatch<'a>),
+    /// Columnar view; kernels may gather contiguous feature blocks.
+    Columns(ColumnarBatch<'a>),
+}
+
+/// Which [`Batch`] variant the executor hands to kernels — a per-context
+/// knob ([`with_batch_mode`](crate::exec::ExecutionContextBuilder::with_batch_mode)).
+/// Both modes produce bit-identical results; `Rows` exists as the baseline for the
+/// byte-identity invariant and for benchmarking the columnar speed-up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Hand kernels the historical row-oriented view.
+    Rows,
+    /// Hand kernels the columnar view (the default).
+    #[default]
+    Columnar,
+}
+
+impl<'a> Batch<'a> {
+    /// Builds a row-mode batch over `rows`, where `rows[0]` sits at global
+    /// input index `offset`.
+    pub fn rows(schema: &'a Schema, rows: &'a [Row], offset: usize) -> Self {
+        Batch::Rows(RowBatch::new(schema, rows, offset))
+    }
+
+    /// Builds the batch variant selected by `mode` over the same rows.
+    pub fn with_mode(mode: BatchMode, schema: &'a Schema, rows: &'a [Row], offset: usize) -> Self {
+        match mode {
+            BatchMode::Rows => Batch::rows(schema, rows, offset),
+            BatchMode::Columnar => Batch::columns(schema, rows, offset),
+        }
+    }
+
+    /// Builds a columnar-mode batch over the same borrowed rows.
+    pub fn columns(schema: &'a Schema, rows: &'a [Row], offset: usize) -> Self {
+        Batch::Columns(ColumnarBatch {
+            schema,
+            rows,
+            offset,
+        })
+    }
+
+    /// The schema every row in the batch conforms to.
+    pub fn schema(&self) -> &'a Schema {
+        match self {
+            Batch::Rows(b) => b.schema(),
+            Batch::Columns(b) => b.schema,
+        }
+    }
+
+    /// The underlying rows, in batch order.
+    pub fn row_slice(&self) -> &'a [Row] {
+        match self {
+            Batch::Rows(b) => b.rows(),
+            Batch::Columns(b) => b.rows,
+        }
+    }
+
+    /// Global input index of the batch's first row.
+    pub fn offset(&self) -> usize {
+        match self {
+            Batch::Rows(b) => b.offset(),
+            Batch::Columns(b) => b.offset,
+        }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.row_slice().len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.row_slice().is_empty()
+    }
+
+    /// The columnar view, when the executor offered one.
+    pub fn as_columns(&self) -> Option<&ColumnarBatch<'a>> {
+        match self {
+            Batch::Rows(_) => None,
+            Batch::Columns(b) => Some(b),
+        }
+    }
+}
+
+/// A columnar view over a borrowed row slice.
+///
+/// Feature columns are gathered on demand via
+/// [`feature_column`](ColumnarBatch::feature_column) — one pass per
+/// (batch, column) that the kernel
+/// actually reads, producing a contiguous [`FeatureBlock`] plus a
+/// selection vector and per-row validity. Non-feature columns stay in row
+/// form; vectorizing plain predicate evaluation is not where PP plans
+/// spend their time.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnarBatch<'a> {
+    schema: &'a Schema,
+    rows: &'a [Row],
+    offset: usize,
+}
+
+impl<'a> ColumnarBatch<'a> {
+    /// The schema every row conforms to.
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// The underlying rows, in batch order.
+    pub fn rows(&self) -> &'a [Row] {
+        self.rows
+    }
+
+    /// Global input index of the first row.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Gathers blob column `name` into a [`FeatureColumn`].
+    ///
+    /// Per-row extraction reproduces the row path exactly: an unknown
+    /// column yields `UnknownColumn` for every row, a non-blob cell yields
+    /// `TypeMismatch` for that row — the same errors, in the same order,
+    /// that `row.get_named(..).and_then(as_blob)` would produce.
+    ///
+    /// The contiguous block is built only when every valid cell is dense
+    /// with one uniform dimension; otherwise `block` is `None` and the
+    /// kernel scores through the gathered references (bit-identical to the
+    /// row path by definition — it *is* the row path's data).
+    pub fn feature_column(&self, name: &str) -> FeatureColumn<'a> {
+        let idx = match self.schema.index_of(name) {
+            Ok(i) => i,
+            Err(_) => {
+                // Reproduce the row path: every row reports the same
+                // unknown-column error.
+                return FeatureColumn {
+                    cells: self
+                        .rows
+                        .iter()
+                        .map(|_| Err(crate::EngineError::UnknownColumn(name.to_string())))
+                        .collect(),
+                    block: None,
+                    selection: Vec::new(),
+                };
+            }
+        };
+        let mut cells: Vec<Result<&'a Features>> = Vec::with_capacity(self.rows.len());
+        let mut selection: Vec<u32> = Vec::with_capacity(self.rows.len());
+        let mut gatherable = true;
+        let mut dim: Option<usize> = None;
+        for (i, row) in self.rows.iter().enumerate() {
+            match row.get(idx).as_blob() {
+                Ok(blob) => {
+                    let f: &'a Features = blob;
+                    match f.as_dense() {
+                        Some(d) => match dim {
+                            None => dim = Some(d.len()),
+                            Some(expect) if expect != d.len() => gatherable = false,
+                            Some(_) => {}
+                        },
+                        None => gatherable = false,
+                    }
+                    selection.push(i as u32);
+                    cells.push(Ok(f));
+                }
+                Err(e) => cells.push(Err(e)),
+            }
+        }
+        let block = if gatherable && !selection.is_empty() {
+            let dim = dim.unwrap_or(0);
+            let mut block = FeatureBlock::with_capacity(dim, selection.len());
+            for cell in cells.iter().flatten() {
+                // All valid cells are dense with dimension `dim`.
+                if block.push_features(cell).is_err() {
+                    // Unreachable by construction; fall back rather than
+                    // serve a partial block.
+                    return FeatureColumn {
+                        cells,
+                        block: None,
+                        selection,
+                    };
+                }
+            }
+            Some(block)
+        } else {
+            None
+        };
+        FeatureColumn {
+            cells,
+            block,
+            selection,
+        }
+    }
+}
+
+/// The result of gathering one blob column from a [`ColumnarBatch`].
+#[derive(Debug)]
+pub struct FeatureColumn<'a> {
+    /// Per-row extraction outcome in batch order — the validity mask.
+    /// Errors are exactly what the row path's
+    /// `get_named(..).and_then(as_blob)` would have produced.
+    pub cells: Vec<Result<&'a Features>>,
+    /// Contiguous gather of the valid cells, present only when every valid
+    /// cell is dense with one uniform dimension. Block row `j` is a bitwise
+    /// copy of the cell at batch row `selection[j]`.
+    pub block: Option<FeatureBlock>,
+    /// Selection vector: batch row indices of the valid cells, ascending.
+    pub selection: Vec<u32>,
+}
+
+/// A batch-capable UDF kernel: the single vectorized entry point.
+///
+/// `eval_batch` returns one outcome per input row
+/// (`results.len() == batch.len()`), each counting as that row's *first
+/// attempt* — the executor retries failed rows individually through the
+/// scalar path. Implementations must be row-independent (row `i`'s outcome
+/// may not depend on which other rows share the batch) and
+/// **layout-independent**: the `Rows` and `Columns` variants of the same
+/// underlying rows must produce bit-identical outcomes.
+pub trait BatchKernel: Send + Sync {
+    /// Per-row output type (`bool` for filters, appended rows for
+    /// processors).
+    type Out;
+
+    /// Evaluates a whole batch, returning one outcome per input row.
+    fn eval_batch(&self, batch: &Batch<'_>) -> Vec<Result<Self::Out>>;
+}
+
+/// Evaluates a scalar per-row function over either batch variant in row
+/// order — the fallback for UDFs with no vectorized form.
+pub fn for_each_row<T>(
+    batch: &Batch<'_>,
+    mut f: impl FnMut(&Row, &Schema) -> Result<T>,
+) -> Vec<Result<T>> {
+    let schema = batch.schema();
+    batch.row_slice().iter().map(|row| f(row, schema)).collect()
+}
+
+/// Type alias documenting the processor kernel output: appended cells for
+/// each output row derived from one input row.
+pub type ProcessedRows = Vec<Vec<Value>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
+    use crate::EngineError;
+    use std::sync::Arc;
+
+    fn blob_schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("blob", DataType::Blob),
+        ])
+        .unwrap()
+    }
+
+    fn dense_row(id: i64, v: Vec<f64>) -> Row {
+        Row::new(vec![Value::Int(id), Value::blob(Features::Dense(v))])
+    }
+
+    #[test]
+    fn variants_agree_on_shape() {
+        let s = blob_schema();
+        let rows = vec![dense_row(0, vec![1.0, 2.0]), dense_row(1, vec![3.0, 4.0])];
+        let r = Batch::rows(&s, &rows, 7);
+        let c = Batch::columns(&s, &rows, 7);
+        for b in [&r, &c] {
+            assert_eq!(b.len(), 2);
+            assert_eq!(b.offset(), 7);
+            assert!(!b.is_empty());
+        }
+        assert!(r.as_columns().is_none());
+        assert!(c.as_columns().is_some());
+    }
+
+    #[test]
+    fn feature_column_gathers_dense_block() {
+        let s = blob_schema();
+        let rows = vec![
+            dense_row(0, vec![1.0, 2.0]),
+            dense_row(1, vec![3.0, 4.0]),
+            dense_row(2, vec![5.0, 6.0]),
+        ];
+        let b = Batch::columns(&s, &rows, 0);
+        let col = b.as_columns().unwrap().feature_column("blob");
+        let block = col.block.as_ref().unwrap();
+        assert_eq!(block.len(), 3);
+        assert_eq!(block.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(col.selection, vec![0, 1, 2]);
+        assert!(col.cells.iter().all(|c| c.is_ok()));
+    }
+
+    #[test]
+    fn invalid_cells_become_validity_errors() {
+        let s = blob_schema();
+        let rows = vec![
+            dense_row(0, vec![1.0, 2.0]),
+            Row::new(vec![Value::Int(1), Value::Int(99)]), // not a blob
+            dense_row(2, vec![5.0, 6.0]),
+        ];
+        let b = Batch::columns(&s, &rows, 0);
+        let col = b.as_columns().unwrap().feature_column("blob");
+        assert!(matches!(
+            col.cells[1],
+            Err(EngineError::TypeMismatch {
+                expected: "blob",
+                ..
+            })
+        ));
+        // The block skips the invalid row; selection maps back.
+        let block = col.block.as_ref().unwrap();
+        assert_eq!(block.len(), 2);
+        assert_eq!(col.selection, vec![0, 2]);
+        assert_eq!(block.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn sparse_cells_disable_the_block() {
+        use pp_linalg::SparseVector;
+        let s = blob_schema();
+        let sparse = Features::Sparse(SparseVector::from_pairs(2, vec![(1, 9.0)]).unwrap());
+        let rows = vec![
+            dense_row(0, vec![1.0, 2.0]),
+            Row::new(vec![Value::Int(1), Value::blob(sparse)]),
+        ];
+        let b = Batch::columns(&s, &rows, 0);
+        let col = b.as_columns().unwrap().feature_column("blob");
+        assert!(col.block.is_none(), "sparse cells must not be densified");
+        assert_eq!(col.selection, vec![0, 1]);
+        assert_eq!(col.cells.len(), 2);
+    }
+
+    #[test]
+    fn unknown_column_errors_every_row() {
+        let s = blob_schema();
+        let rows = vec![dense_row(0, vec![1.0]), dense_row(1, vec![2.0])];
+        let b = Batch::columns(&s, &rows, 0);
+        let col = b.as_columns().unwrap().feature_column("nope");
+        assert_eq!(col.cells.len(), 2);
+        for c in &col.cells {
+            assert!(matches!(c, Err(EngineError::UnknownColumn(n)) if n == "nope"));
+        }
+        assert!(col.block.is_none());
+        assert!(col.selection.is_empty());
+    }
+
+    #[test]
+    fn for_each_row_walks_both_variants() {
+        let s = blob_schema();
+        let rows = vec![dense_row(3, vec![1.0]), dense_row(4, vec![2.0])];
+        let per_row = |row: &Row, _s: &Schema| row.get(0).as_int();
+        let from_rows = for_each_row(&Batch::rows(&s, &rows, 0), per_row);
+        let from_cols = for_each_row(&Batch::columns(&s, &rows, 0), per_row);
+        let a: Vec<i64> = from_rows.into_iter().map(|r| r.unwrap()).collect();
+        let b: Vec<i64> = from_cols.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(a, b);
+        assert_eq!(a, vec![3, 4]);
+    }
+
+    #[test]
+    fn ragged_dims_disable_the_block() {
+        let s = blob_schema();
+        let rows = vec![dense_row(0, vec![1.0, 2.0]), dense_row(1, vec![3.0])];
+        let b = Batch::columns(&s, &rows, 0);
+        let col = b.as_columns().unwrap().feature_column("blob");
+        assert!(col.block.is_none());
+        assert_eq!(col.cells.len(), 2);
+    }
+}

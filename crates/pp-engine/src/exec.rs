@@ -17,7 +17,7 @@
 //! let mut catalog = Catalog::new();
 //! catalog.register("t", Rowset::new(schema, rows).unwrap());
 //!
-//! let mut ctx = ExecutionContext::builder(&catalog).parallelism(4).build();
+//! let mut ctx = ExecutionContext::builder(&catalog).with_parallelism(4).build();
 //! let out = ctx.run(&LogicalPlan::scan("t")).unwrap();
 //! assert_eq!(out.len(), 8);
 //! assert!(ctx.metrics().is_some());
@@ -35,6 +35,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use crate::batch::BatchMode;
 use crate::cancel::CancelToken;
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel, QueryMetrics};
@@ -55,42 +56,61 @@ pub struct ExecutionContextBuilder<'a> {
     model: CostModel,
     resilience: ResilienceConfig,
     fault_plan: Option<FaultPlan>,
-    parallelism: usize,
-    batch_size: usize,
+    opts: ExecOptions,
     cancel: Option<CancelToken>,
 }
 
 impl<'a> ExecutionContextBuilder<'a> {
     /// Sets the cost model used for operator charging and derived metrics.
-    pub fn cost_model(mut self, model: CostModel) -> Self {
+    pub fn with_cost_model(mut self, model: CostModel) -> Self {
         self.model = model;
         self
     }
 
     /// Sets the resilience policy (retries, timeouts, breakers, fail-open).
-    pub fn resilience(mut self, config: ResilienceConfig) -> Self {
+    pub fn with_resilience(mut self, config: ResilienceConfig) -> Self {
         self.resilience = config;
         self
     }
 
     /// Installs a seeded fault-injection plan applied to every plan passed
     /// to [`ExecutionContext::run`].
-    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
     }
 
     /// Sets the number of worker threads for row-parallel operators
     /// (clamped to at least 1; 1 means fully serial, the default).
-    pub fn parallelism(mut self, k: usize) -> Self {
-        self.parallelism = k.max(1);
+    pub fn with_parallelism(mut self, k: usize) -> Self {
+        self.opts.parallelism = k.max(1);
         self
     }
 
     /// Sets the number of rows per batch handed to batch-capable UDFs
     /// (clamped to at least 1; defaults to 256).
-    pub fn batch_size(mut self, rows: usize) -> Self {
-        self.batch_size = rows.max(1);
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.opts.batch_size = rows.max(1);
+        self
+    }
+
+    /// Sets the number of rows per morsel — the contiguous row range a
+    /// worker claims off the shared scheduler counter (clamped to at
+    /// least 1; defaults to 1024). Smaller morsels steal more evenly;
+    /// larger morsels amortize claim overhead. Output bytes never depend
+    /// on the setting.
+    pub fn with_morsel_size(mut self, rows: usize) -> Self {
+        self.opts.morsel_size = rows.max(1);
+        self
+    }
+
+    /// Sets which [`Batch`](crate::batch::Batch) variant kernels receive:
+    /// [`BatchMode::Columnar`] (the default) lets them gather feature
+    /// columns into contiguous blocks; [`BatchMode::Rows`] forces the
+    /// historical row-at-a-time view. Both produce bit-identical output;
+    /// the knob exists for benchmarking and bisection.
+    pub fn with_batch_mode(mut self, mode: BatchMode) -> Self {
+        self.opts.mode = mode;
         self
     }
 
@@ -100,9 +120,54 @@ impl<'a> ExecutionContextBuilder<'a> {
     /// charging the cost meter for exactly the work consumed; a token
     /// that never fires changes nothing (the default is a token nobody
     /// can fire).
-    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// Installs a fresh deadline token: runs are cancelled once `deadline`
+    /// has elapsed from this call. Replaces any previously installed
+    /// token; use [`with_cancel_token`][Self::with_cancel_token] with
+    /// [`CancelToken::with_deadline`] to share or inspect the token.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.cancel = Some(CancelToken::with_deadline(deadline));
+        self
+    }
+
+    /// Deprecated alias of [`with_cost_model`][Self::with_cost_model].
+    #[deprecated(since = "0.7.0", note = "renamed to with_cost_model")]
+    pub fn cost_model(self, model: CostModel) -> Self {
+        self.with_cost_model(model)
+    }
+
+    /// Deprecated alias of [`with_resilience`][Self::with_resilience].
+    #[deprecated(since = "0.7.0", note = "renamed to with_resilience")]
+    pub fn resilience(self, config: ResilienceConfig) -> Self {
+        self.with_resilience(config)
+    }
+
+    /// Deprecated alias of [`with_fault_plan`][Self::with_fault_plan].
+    #[deprecated(since = "0.7.0", note = "renamed to with_fault_plan")]
+    pub fn fault_plan(self, plan: FaultPlan) -> Self {
+        self.with_fault_plan(plan)
+    }
+
+    /// Deprecated alias of [`with_parallelism`][Self::with_parallelism].
+    #[deprecated(since = "0.7.0", note = "renamed to with_parallelism")]
+    pub fn parallelism(self, k: usize) -> Self {
+        self.with_parallelism(k)
+    }
+
+    /// Deprecated alias of [`with_batch_size`][Self::with_batch_size].
+    #[deprecated(since = "0.7.0", note = "renamed to with_batch_size")]
+    pub fn batch_size(self, rows: usize) -> Self {
+        self.with_batch_size(rows)
+    }
+
+    /// Deprecated alias of [`with_cancel_token`][Self::with_cancel_token].
+    #[deprecated(since = "0.7.0", note = "renamed to with_cancel_token")]
+    pub fn cancel_token(self, token: CancelToken) -> Self {
+        self.with_cancel_token(token)
     }
 
     /// Finalizes the context.
@@ -116,10 +181,7 @@ impl<'a> ExecutionContextBuilder<'a> {
                 .fault_plan
                 .map(|fp| fp.with_log(Arc::clone(&fault_log))),
             fault_log,
-            opts: ExecOptions {
-                parallelism: self.parallelism,
-                batch_size: self.batch_size,
-            },
+            opts: self.opts,
             meter: CostMeter::new(),
             metrics: None,
             registry: MetricsRegistry::new(),
@@ -166,8 +228,7 @@ impl<'a> ExecutionContext<'a> {
             model: CostModel::default(),
             resilience: ResilienceConfig::default(),
             fault_plan: None,
-            parallelism: 1,
-            batch_size: ExecOptions::default().batch_size,
+            opts: ExecOptions::default(),
             cancel: None,
         }
     }
@@ -293,6 +354,16 @@ impl<'a> ExecutionContext<'a> {
         self.opts.batch_size
     }
 
+    /// Rows per morsel claimed by scheduler workers.
+    pub fn morsel_size(&self) -> usize {
+        self.opts.morsel_size
+    }
+
+    /// Which [`Batch`](crate::batch::Batch) variant kernels receive.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.opts.mode
+    }
+
     /// The cost meter of the most recent [`run`][Self::run] (empty before
     /// the first run).
     pub fn meter(&self) -> &CostMeter {
@@ -393,8 +464,8 @@ mod tests {
         let plan = LogicalPlan::scan("t").filter(even_filter());
         let mut serial = ExecutionContext::builder(&cat).build();
         let mut parallel = ExecutionContext::builder(&cat)
-            .parallelism(4)
-            .batch_size(8)
+            .with_parallelism(4)
+            .with_batch_size(8)
             .build();
         let a = serial.run(&plan).unwrap();
         let b = parallel.run(&plan).unwrap();
@@ -446,7 +517,9 @@ mod tests {
         let plan = LogicalPlan::scan("t").filter(even_filter());
         let token = CancelToken::new();
         token.cancel(CancelReason::Requested);
-        let mut ctx = ExecutionContext::builder(&cat).cancel_token(token).build();
+        let mut ctx = ExecutionContext::builder(&cat)
+            .with_cancel_token(token)
+            .build();
         let err = ctx.run(&plan).unwrap_err();
         assert!(matches!(
             err,
@@ -474,8 +547,8 @@ mod tests {
         }));
         let plan = LogicalPlan::scan("t").filter(trip);
         let mut ctx = ExecutionContext::builder(&cat)
-            .batch_size(8)
-            .cancel_token(token)
+            .with_batch_size(8)
+            .with_cancel_token(token)
             .build();
         let err = ctx.run(&plan).unwrap_err();
         assert!(matches!(err, crate::EngineError::Cancelled { .. }));
@@ -499,9 +572,9 @@ mod tests {
         for k in [1usize, 2, 4, 8] {
             for b in [1usize, 7, 64] {
                 let mut ctx = ExecutionContext::builder(&cat)
-                    .parallelism(k)
-                    .batch_size(b)
-                    .cancel_token(CancelToken::new())
+                    .with_parallelism(k)
+                    .with_batch_size(b)
+                    .with_cancel_token(CancelToken::new())
                     .build();
                 let out = ctx.run(&plan).unwrap();
                 assert_eq!(
@@ -519,8 +592,8 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("t").filter(even_filter());
         let mut ctx = ExecutionContext::builder(&cat)
-            .resilience(ResilienceConfig::default().with_retry(RetryPolicy::none()))
-            .fault_plan(FaultPlan::new(7).inject("PP[even]", FaultSpec::transient(1.0)))
+            .with_resilience(ResilienceConfig::default().with_retry(RetryPolicy::none()))
+            .with_fault_plan(FaultPlan::new(7).inject("PP[even]", FaultSpec::transient(1.0)))
             .build();
         // Dead filter fails open on every row: nothing is dropped.
         let out = ctx.run(&plan).unwrap();

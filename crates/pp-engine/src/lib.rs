@@ -21,6 +21,7 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod batch;
 pub mod cancel;
 pub mod catalog;
 pub mod cost;
@@ -39,6 +40,7 @@ pub mod telemetry;
 pub mod udf;
 pub mod value;
 
+pub use batch::{Batch, BatchKernel, BatchMode, ColumnarBatch, FeatureColumn, ProcessedRows};
 pub use cancel::{CancelReason, CancelToken};
 pub use catalog::Catalog;
 pub use cost::{CostMeter, QueryMetrics};

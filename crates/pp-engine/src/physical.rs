@@ -1,5 +1,5 @@
 //! The executor: materialized, bottom-up evaluation of logical plans with
-//! cost metering, fault-tolerant UDF dispatch, and partitioned
+//! cost metering, fault-tolerant UDF dispatch, and morsel-driven
 //! batch-at-a-time evaluation of row-parallel operators.
 //!
 //! Corpora in this reproduction are in-memory, so operators materialize
@@ -10,19 +10,27 @@
 //! plus any retry backoff and timeout stalls accrued by the
 //! [`ExecSession`].
 //!
-//! # Partitioned execution
+//! # Morsel-driven execution
 //!
 //! Row-parallel operators — `Filter`, `Process`, and `Select` — split
-//! their input into K contiguous row partitions and *probe* them across a
-//! `std::thread` worker pool, one [`RowBatch`] at a time (so batch-capable
-//! UDFs can vectorize, e.g. PP model scoring). Probing runs the full
-//! retry loop per row but touches no shared state; the main thread then
-//! *consumes* the probe outcomes sequentially in global row order, which
+//! their input into fixed-size *morsels* (contiguous row ranges of
+//! `ExecOptions::morsel_size`) that a `std::thread` worker pool claims
+//! off a shared atomic counter: a worker stuck on an expensive morsel
+//! never blocks the rest of the input (work stealing by construction).
+//! Within a morsel, rows are *probed* one [`Batch`] at a time — columnar
+//! by default, so batch-capable UDFs can gather feature columns into
+//! contiguous blocks and vectorize (see [`crate::batch`]). Batch
+//! boundaries are a pure function of `(morsel_size, batch_size)`, never of
+//! the worker count. Probing runs the full retry loop per row but touches
+//! no shared state; the main thread then *consumes* the probe outcomes
+//! sequentially in global row order (morsels reassembled by index), which
 //! replays circuit-breaker evolution, fail-open decisions, resilience
 //! counters, and cost charges exactly as a serial run would. Injected
 //! faults key off row identity and attempt ordinal (see
-//! [`fault`](crate::fault)), so results, row order, reports, and charges
-//! are byte-identical to serial execution for every seed and every K.
+//! [`fault`](crate::fault)), and kernels are layout-independent, so
+//! results, row order, reports, and charges are byte-identical to serial
+//! row-mode execution for every seed, every parallelism, every batch and
+//! morsel size, and both batch modes.
 //! Group-based operators (`Join`, `Aggregate`, `Reduce`, `Combine`) and
 //! `Scan`/`Project` stay serial; see
 //! [`LogicalPlan::partitionability`](crate::logical::LogicalPlan::partitionability).
@@ -38,26 +46,33 @@
 //!   their errors are not maskable; after retries the error propagates.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::batch::{Batch, BatchMode};
 use crate::cancel::CancelToken;
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel};
 use crate::logical::{AggFunc, LogicalPlan};
 use crate::resilience::{ExecSession, Invocation};
-use crate::row::{Row, RowBatch, Rowset};
+use crate::row::{Row, Rowset};
 use crate::telemetry::{EventKind, OperatorSpan, SpanCollector};
 use crate::value::{Key, Value};
 use crate::{EngineError, Result};
 
-/// Tuning knobs for the partitioned executor, carried through the plan
+/// Tuning knobs for the morsel-driven executor, carried through the plan
 /// recursion. Constructed by [`ExecutionContext`](crate::exec::ExecutionContext).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct ExecOptions {
     /// Worker threads for row-parallel operators (1 = inline/serial).
     pub parallelism: usize,
-    /// Rows per [`RowBatch`] handed to batch-capable UDFs.
+    /// Rows per [`Batch`] handed to batch-capable UDFs.
     pub batch_size: usize,
+    /// Rows per morsel — the unit workers claim off the shared counter.
+    pub morsel_size: usize,
+    /// Which [`Batch`] variant kernels receive.
+    pub mode: BatchMode,
 }
 
 impl Default for ExecOptions {
@@ -65,74 +80,91 @@ impl Default for ExecOptions {
         ExecOptions {
             parallelism: 1,
             batch_size: 256,
+            morsel_size: 1024,
+            mode: BatchMode::default(),
         }
     }
 }
 
-/// Contiguous, balanced partition bounds: `len` rows into at most `k`
-/// non-empty `(start, end)` ranges, earlier partitions taking the
-/// remainder rows.
-fn partition_bounds(len: usize, k: usize) -> Vec<(usize, usize)> {
-    let k = k.clamp(1, len.max(1));
-    let base = len / k;
-    let rem = len % k;
-    let mut bounds = Vec::with_capacity(k);
-    let mut start = 0;
-    for i in 0..k {
-        let size = base + usize::from(i < rem);
-        if size == 0 {
-            break;
-        }
-        bounds.push((start, start + size));
-        start += size;
-    }
-    bounds
-}
-
-/// Runs `work` over `rows` split into batches of at most
-/// `opts.batch_size`, fanning contiguous partitions across a scoped
-/// worker pool when `opts.parallelism > 1`. `work` receives each batch
-/// slice plus the global index of its first row and must return one
-/// output per input row; outputs are reassembled in global row order.
+/// Runs `work` over `rows` split into morsels of `opts.morsel_size`, each
+/// evaluated one batch of at most `opts.batch_size` at a time. `work`
+/// receives each batch slice plus the global index of its first row and
+/// must return one output per input row.
 ///
-/// A batch may return `Err` (only cancellation does today); the earliest
-/// erroring partition's error wins and the probe results are discarded —
-/// nothing was consumed, so nothing is charged, matching how an open
-/// breaker discards unconsumed probes.
-fn run_partitioned<T, F>(rows: &[Row], opts: ExecOptions, work: F) -> Result<Vec<T>>
+/// With `parallelism > 1` a scoped worker pool claims morsels off a
+/// shared atomic counter (work stealing: no static assignment, so one
+/// slow morsel never idles the pool) and outputs are reassembled in
+/// morsel order — bit-identical to the serial walk. Batch boundaries are
+/// relative to each morsel's start, a pure function of
+/// `(morsel_size, batch_size)` and never of the worker count.
+///
+/// A batch may return `Err` (only cancellation does today); the
+/// lowest-indexed erroring morsel's error wins and the probe results are
+/// discarded — nothing was consumed, so nothing is charged, matching how
+/// an open breaker discards unconsumed probes.
+fn run_morsels<T, F>(rows: &[Row], opts: ExecOptions, work: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(&[Row], usize) -> Result<Vec<T>> + Sync,
 {
-    let batched = |slice: &[Row], base: usize| -> Result<Vec<T>> {
-        let step = opts.batch_size.max(1);
-        let mut out = Vec::with_capacity(slice.len());
-        let mut start = 0;
-        while start < slice.len() {
-            let end = (start + step).min(slice.len());
-            out.extend(work(&slice[start..end], base + start)?);
-            start = end;
+    let step = opts.batch_size.max(1);
+    let morsel = opts.morsel_size.max(1);
+    let run_one = |start: usize| -> Result<Vec<T>> {
+        let end = (start + morsel).min(rows.len());
+        let mut out = Vec::with_capacity(end - start);
+        let mut b = start;
+        while b < end {
+            let be = (b + step).min(end);
+            out.extend(work(&rows[b..be], b)?);
+            b = be;
         }
         Ok(out)
     };
-    if opts.parallelism <= 1 || rows.len() < 2 {
-        return batched(rows, 0);
-    }
-    let bounds = partition_bounds(rows.len(), opts.parallelism);
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = bounds
-            .iter()
-            .map(|&(start, end)| {
-                let batched = &batched;
-                scope.spawn(move || batched(&rows[start..end], start))
-            })
-            .collect();
+    let n_morsels = rows.len().div_ceil(morsel).max(1);
+    let workers = opts.parallelism.min(n_morsels);
+    if workers <= 1 {
         let mut out = Vec::with_capacity(rows.len());
-        for h in handles {
-            out.extend(h.join().expect("executor worker panicked")?);
+        for i in 0..n_morsels {
+            out.extend(run_one(i * morsel)?);
         }
-        Ok(out)
-    })
+        return Ok(out);
+    }
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<Vec<T>>>>> =
+        (0..n_morsels).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_morsels {
+                    break;
+                }
+                let r = run_one(i * morsel);
+                if r.is_err() {
+                    // First error aborts the fan-out; morsels nobody has
+                    // claimed yet stay unprocessed (their probes would be
+                    // discarded anyway).
+                    stop.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("morsel slot poisoned") = Some(r);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(rows.len());
+    for slot in slots {
+        match slot.into_inner().expect("morsel slot poisoned") {
+            Some(Ok(v)) => out.extend(v),
+            Some(Err(e)) => return Err(e),
+            // Morsels are claimed in index order, so unclaimed (None)
+            // slots can only trail the erroring morsel returned above.
+            None => unreachable!("unprocessed morsel with no earlier error"),
+        }
+    }
+    Ok(out)
 }
 
 /// The partitioned executor behind [`ExecutionContext`](crate::exec::ExecutionContext).
@@ -192,13 +224,12 @@ pub(crate) fn execute_partitioned(
             let (wr, wb) = (tel.worker_rows.clone(), tel.worker_batches.clone());
             // Probe phase: batch-evaluate first attempts (vectorizable),
             // retry failed rows individually. Pure — no session state.
-            let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+            let probes = run_morsels(in_rows.rows(), opts, |rows, offset| {
                 cancel.check()?;
                 wr.add(rows.len() as u64);
                 wb.inc();
-                let batch = RowBatch::new(&in_schema, rows, offset);
-                let firsts =
-                    crate::fault::with_attempt_ordinal(0, || processor.process_batch(&batch));
+                let batch = Batch::with_mode(opts.mode, &in_schema, rows, offset);
+                let firsts = crate::fault::with_attempt_ordinal(0, || processor.eval_batch(&batch));
                 debug_assert_eq!(firsts.len(), rows.len());
                 Ok(firsts
                     .into_iter()
@@ -226,6 +257,14 @@ pub(crate) fn execute_partitioned(
             let mut attempts: u64 = 0;
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
+            // Resolve the operator's session entry once; the breaker is
+            // sticky within a run (it only flips open inside `consume` on
+            // a terminal error), so mirror it locally and refresh only on
+            // the (rare) error path. The per-row fold then does no map
+            // lookups at all.
+            let mut fold = session.op_fold(&op);
+            let mut breaker_open = fold.breaker_open();
+            let mut clean_rows: u64 = 0;
             for (idx, (row, probe)) in in_rows.rows().iter().zip(probes).enumerate() {
                 let row_idx = idx as u64;
                 if idx % opts.batch_size.max(1) == 0 {
@@ -235,10 +274,10 @@ pub(crate) fn execute_partitioned(
                         break;
                     }
                 }
-                let was_open = session.breaker_open(&op);
+                let was_open = breaker_open;
                 let (p_retries, p_failures, p_timeouts) =
                     (probe.retries, probe.failures, probe.timeouts);
-                let inv = session.consume(&op, probe);
+                let inv = fold.consume(probe);
                 attempts += u64::from(inv.attempts);
                 extra_seconds += inv.extra_seconds;
                 if was_open {
@@ -255,11 +294,26 @@ pub(crate) fn execute_partitioned(
                     if p_timeouts > 0 {
                         tel.push_event(&op, Some(row_idx), EventKind::Timeout, p_timeouts);
                     }
-                    span.latency.record(
-                        f64::from(inv.attempts) * processor.cost_per_row() + inv.extra_seconds,
-                    );
-                    if session.breaker_open(&op) {
-                        span.breaker_tripped = true;
+                    if inv.attempts == 1 && inv.extra_seconds == 0.0 {
+                        // Overwhelmingly common case: one clean attempt.
+                        // The latency value is the constant cost_per_row,
+                        // so count these and record them in one batched
+                        // `record_n` after the loop — same buckets, same
+                        // counts, no per-row histogram math.
+                        clean_rows += 1;
+                    } else {
+                        span.latency.record(
+                            f64::from(inv.attempts) * processor.cost_per_row() + inv.extra_seconds,
+                        );
+                    }
+                    // The breaker can only have tripped during this row's
+                    // consume, and it only trips on a terminal error —
+                    // skip the check on the (hot) success path.
+                    if inv.result.is_err() {
+                        breaker_open = fold.breaker_open();
+                        if breaker_open {
+                            span.breaker_tripped = true;
+                        }
                     }
                 }
                 match inv.result {
@@ -276,6 +330,9 @@ pub(crate) fn execute_partitioned(
                         break;
                     }
                 }
+            }
+            if clean_rows > 0 {
+                span.latency.record_n(processor.cost_per_row(), clean_rows);
             }
             let seconds = attempts as f64 * processor.cost_per_row() + extra_seconds;
             span.rows_emitted = out.len() as u64;
@@ -298,7 +355,7 @@ pub(crate) fn execute_partitioned(
             let schema = in_rows.schema().clone();
             let total = in_rows.len();
             let (wr, wb) = (tel.worker_rows.clone(), tel.worker_batches.clone());
-            let verdicts = run_partitioned(in_rows.rows(), opts, |rows, _offset| {
+            let verdicts = run_morsels(in_rows.rows(), opts, |rows, _offset| {
                 cancel.check()?;
                 wr.add(rows.len() as u64);
                 wb.inc();
@@ -343,12 +400,12 @@ pub(crate) fn execute_partitioned(
             // session state. If the breaker is (or becomes) open, the
             // consume phase discards the affected probes, so charges stay
             // identical to a serial run that never made those calls.
-            let probes = run_partitioned(in_rows.rows(), opts, |rows, offset| {
+            let probes = run_morsels(in_rows.rows(), opts, |rows, offset| {
                 cancel.check()?;
                 wr.add(rows.len() as u64);
                 wb.inc();
-                let batch = RowBatch::new(&schema, rows, offset);
-                let firsts = crate::fault::with_attempt_ordinal(0, || filter.passes_batch(&batch));
+                let batch = Batch::with_mode(opts.mode, &schema, rows, offset);
+                let firsts = crate::fault::with_attempt_ordinal(0, || filter.eval_batch(&batch));
                 debug_assert_eq!(firsts.len(), rows.len());
                 Ok(firsts
                     .into_iter()
@@ -365,6 +422,11 @@ pub(crate) fn execute_partitioned(
             let mut attempts: u64 = 0;
             let mut extra_seconds = 0.0;
             let mut failure: Option<EngineError> = None;
+            // Per-operator fold + sticky-breaker mirror: see the Process
+            // consume loop.
+            let mut fold = session.op_fold(&op);
+            let mut breaker_open = fold.breaker_open();
+            let mut clean_rows: u64 = 0;
             for (idx, (row, probe)) in in_rows.into_rows().into_iter().zip(probes).enumerate() {
                 let row_idx = idx as u64;
                 if idx % opts.batch_size.max(1) == 0 {
@@ -374,10 +436,10 @@ pub(crate) fn execute_partitioned(
                         break;
                     }
                 }
-                let was_open = session.breaker_open(&op);
+                let was_open = breaker_open;
                 let (p_retries, p_failures, p_timeouts) =
                     (probe.retries, probe.failures, probe.timeouts);
-                let inv = session.consume(&op, probe);
+                let inv = fold.consume(probe);
                 attempts += u64::from(inv.attempts);
                 extra_seconds += inv.extra_seconds;
                 if was_open {
@@ -394,11 +456,23 @@ pub(crate) fn execute_partitioned(
                     if p_timeouts > 0 {
                         tel.push_event(&op, Some(row_idx), EventKind::Timeout, p_timeouts);
                     }
-                    span.latency.record(
-                        f64::from(inv.attempts) * filter.cost_per_row() + inv.extra_seconds,
-                    );
-                    if session.breaker_open(&op) {
-                        span.breaker_tripped = true;
+                    if inv.attempts == 1 && inv.extra_seconds == 0.0 {
+                        // One clean attempt: constant latency, batched via
+                        // `record_n` after the loop (see the Process fold).
+                        clean_rows += 1;
+                    } else {
+                        span.latency.record(
+                            f64::from(inv.attempts) * filter.cost_per_row() + inv.extra_seconds,
+                        );
+                    }
+                    // The breaker can only have tripped during this row's
+                    // consume, and it only trips on a terminal error —
+                    // skip the check on the (hot) success path.
+                    if inv.result.is_err() {
+                        breaker_open = fold.breaker_open();
+                        if breaker_open {
+                            span.breaker_tripped = true;
+                        }
                     }
                 }
                 let keep = match inv.result {
@@ -407,7 +481,7 @@ pub(crate) fn execute_partitioned(
                         // Safe degradation: a PP is pure data reduction, so
                         // on failure the row passes. We lose speed-up on
                         // this row, never a result.
-                        session.record_fail_open(&op);
+                        fold.record_fail_open();
                         span.failed_open += 1;
                         tel.push_event(&op, Some(row_idx), EventKind::FailOpen, 1);
                         true
@@ -423,6 +497,9 @@ pub(crate) fn execute_partitioned(
                 } else {
                     span.rows_filtered += 1;
                 }
+            }
+            if clean_rows > 0 {
+                span.latency.record_n(filter.cost_per_row(), clean_rows);
             }
             let seconds = attempts as f64 * filter.cost_per_row() + extra_seconds;
             span.rows_emitted = out.len() as u64;
@@ -1228,6 +1305,14 @@ mod tests {
     #[test]
     fn fail_closed_filter_propagates_the_error() -> Result<()> {
         struct Gate;
+        impl crate::batch::BatchKernel for Gate {
+            type Out = bool;
+            fn eval_batch(&self, batch: &crate::batch::Batch<'_>) -> Vec<Result<bool>> {
+                crate::batch::for_each_row(batch, |row, schema| {
+                    crate::udf::RowFilter::passes(self, row, schema)
+                })
+            }
+        }
         impl crate::udf::RowFilter for Gate {
             fn name(&self) -> &str {
                 "Gate"

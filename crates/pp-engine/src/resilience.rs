@@ -16,8 +16,50 @@
 //! never introduce false negatives beyond the accuracy target.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::{EngineError, Result};
+
+/// A multiply-rotate string hasher (the rustc/Firefox "Fx" construction)
+/// for the session's per-operator maps.
+///
+/// Operator names are short, trusted strings looked up several times per
+/// consumed row, which made SipHash the single largest line item in the
+/// serial consume fold. The keys come from the plan, not from user data,
+/// so HashDoS hardening buys nothing here. Iteration order is never
+/// observed (reports use `touch_order`), so the hasher only affects speed.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let word = u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+        }
+        for &b in chunks.remainder() {
+            self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, b: u8) {
+        self.hash = (self.hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
 
 /// Bounded-retry policy with exponential backoff.
 ///
@@ -328,10 +370,30 @@ pub struct BreakerTransition {
 #[derive(Debug, Default)]
 pub struct ExecSession {
     config: ResilienceConfig,
-    breakers: HashMap<String, BreakerState>,
-    stats: HashMap<String, OpResilience>,
+    ops: HashMap<String, OpState, FxBuild>,
     touch_order: Vec<String>,
     transitions: Vec<BreakerTransition>,
+}
+
+/// Per-operator session state: resilience counters and the circuit
+/// breaker live in one map entry so the per-row consume fold pays for a
+/// single lookup, not one per concern.
+#[derive(Debug, Default)]
+struct OpState {
+    stat: OpResilience,
+    breaker: BreakerState,
+}
+
+impl OpState {
+    fn new(op: &str) -> Self {
+        OpState {
+            stat: OpResilience {
+                op: op.to_string(),
+                ..Default::default()
+            },
+            breaker: BreakerState::default(),
+        }
+    }
 }
 
 impl ExecSession {
@@ -350,16 +412,16 @@ impl ExecSession {
 
     /// Whether `op`'s circuit breaker is currently open.
     pub fn breaker_open(&self, op: &str) -> bool {
-        self.breakers.get(op).is_some_and(|b| b.open)
+        self.ops.get(op).is_some_and(|s| s.breaker.open)
     }
 
     /// Manually reset one operator's breaker (e.g. after redeploying a
     /// fixed UDF).
     pub fn reset_breaker(&mut self, op: &str) {
-        if let Some(b) = self.breakers.get_mut(op) {
-            b.consecutive_failures = 0;
-            if b.open {
-                b.open = false;
+        if let Some(s) = self.ops.get_mut(op) {
+            s.breaker.consecutive_failures = 0;
+            if s.breaker.open {
+                s.breaker.open = false;
                 self.transitions.push(BreakerTransition {
                     op: op.to_string(),
                     opened: false,
@@ -380,27 +442,26 @@ impl ExecSession {
             ops: self
                 .touch_order
                 .iter()
-                .filter_map(|op| self.stats.get(op))
-                .cloned()
+                .filter_map(|op| self.ops.get(op))
+                .map(|s| s.stat.clone())
                 .collect(),
         }
     }
 
-    fn stat(&mut self, op: &str) -> &mut OpResilience {
-        if !self.stats.contains_key(op) {
+    /// Ensures `op` is tracked. Hot path: called once per consumed row.
+    /// Avoids the owned-key `entry` form, which would allocate a String
+    /// per call even when the operator is already tracked.
+    fn state(&mut self, op: &str) -> &mut OpState {
+        if !self.ops.contains_key(op) {
             self.touch_order.push(op.to_string());
+            self.ops.insert(op.to_string(), OpState::new(op));
         }
-        self.stats
-            .entry(op.to_string())
-            .or_insert_with(|| OpResilience {
-                op: op.to_string(),
-                ..Default::default()
-            })
+        self.ops.get_mut(op).expect("op state just ensured")
     }
 
     /// Records that a filter passed a row via fail-open degradation.
     pub fn record_fail_open(&mut self, op: &str) {
-        self.stat(op).failed_open += 1;
+        self.state(op).stat.failed_open += 1;
     }
 
     /// Folds a worker-side [`ProbeOutcome`] into the session: breaker
@@ -413,56 +474,24 @@ impl ExecSession {
     /// serial executor would never have made those calls. This is what
     /// keeps parallel charges byte-identical to serial ones.
     pub fn consume<T>(&mut self, op: &str, probe: ProbeOutcome<T>) -> Invocation<T> {
-        if self.breaker_open(op) {
-            let st = self.stat(op);
-            st.short_circuited += 1;
-            return Invocation {
-                result: Err(EngineError::BreakerOpen { op: op.to_string() }),
-                attempts: 0,
-                extra_seconds: 0.0,
-            };
-        }
-        let breaker_threshold = self.config.breaker_threshold;
-        let st = self.stat(op);
-        st.calls += u64::from(probe.attempts);
-        st.failures += probe.failures;
-        st.retries += probe.retries;
-        st.timeouts += probe.timeouts;
-        st.extra_seconds += probe.extra_seconds;
+        self.op_fold(op).consume(probe)
+    }
 
-        match probe.result {
-            Ok(value) => {
-                self.breakers
-                    .entry(op.to_string())
-                    .or_default()
-                    .consecutive_failures = 0;
-                Invocation {
-                    result: Ok(value),
-                    attempts: probe.attempts,
-                    extra_seconds: probe.extra_seconds,
-                }
-            }
-            Err(err) => {
-                // Terminal failure: count toward the breaker.
-                let breaker = self.breakers.entry(op.to_string()).or_default();
-                breaker.consecutive_failures += 1;
-                if breaker_threshold > 0
-                    && breaker.consecutive_failures >= breaker_threshold
-                    && !breaker.open
-                {
-                    breaker.open = true;
-                    self.transitions.push(BreakerTransition {
-                        op: op.to_string(),
-                        opened: true,
-                    });
-                    self.stat(op).breaker_tripped = true;
-                }
-                Invocation {
-                    result: Err(err),
-                    attempts: probe.attempts,
-                    extra_seconds: probe.extra_seconds,
-                }
-            }
+    /// A consume cursor for one operator: resolves the operator's session
+    /// entry once, so a consume loop folding thousands of rows for the
+    /// same operator does no per-row map lookups at all. Dropping the
+    /// fold releases the session; state changes are visible immediately
+    /// (the fold borrows, it does not copy).
+    pub fn op_fold<'a>(&'a mut self, op: &'a str) -> OpFold<'a> {
+        if !self.ops.contains_key(op) {
+            self.touch_order.push(op.to_string());
+            self.ops.insert(op.to_string(), OpState::new(op));
+        }
+        OpFold {
+            op,
+            threshold: self.config.breaker_threshold,
+            state: self.ops.get_mut(op).expect("op state just ensured"),
+            transitions: &mut self.transitions,
         }
     }
 
@@ -472,8 +501,7 @@ impl ExecSession {
     /// terminal error (processors propagate, filters may fail open).
     pub fn invoke<T>(&mut self, op: &str, call: impl FnMut() -> Result<T>) -> Invocation<T> {
         if self.breaker_open(op) {
-            let st = self.stat(op);
-            st.short_circuited += 1;
+            self.state(op).stat.short_circuited += 1;
             return Invocation {
                 result: Err(EngineError::BreakerOpen { op: op.to_string() }),
                 attempts: 0,
@@ -482,6 +510,81 @@ impl ExecSession {
         }
         let probe = self.config.probe(op, call);
         self.consume(op, probe)
+    }
+}
+
+/// A borrowed per-operator view into an [`ExecSession`], produced by
+/// [`ExecSession::op_fold`]. All reads and writes go straight to the
+/// session entry; the value of the handle is that the entry is resolved
+/// once per operator instead of once per consumed row.
+pub struct OpFold<'a> {
+    op: &'a str,
+    threshold: u32,
+    state: &'a mut OpState,
+    transitions: &'a mut Vec<BreakerTransition>,
+}
+
+impl OpFold<'_> {
+    /// Whether this operator's circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        self.state.breaker.open
+    }
+
+    /// Records that a filter passed a row via fail-open degradation.
+    pub fn record_fail_open(&mut self) {
+        self.state.stat.failed_open += 1;
+    }
+
+    /// Folds one worker-side probe into the session — identical semantics
+    /// to [`ExecSession::consume`] (which delegates here).
+    pub fn consume<T>(&mut self, probe: ProbeOutcome<T>) -> Invocation<T> {
+        let s = &mut *self.state;
+        if s.breaker.open {
+            s.stat.short_circuited += 1;
+            return Invocation {
+                result: Err(EngineError::BreakerOpen {
+                    op: self.op.to_string(),
+                }),
+                attempts: 0,
+                extra_seconds: 0.0,
+            };
+        }
+        s.stat.calls += u64::from(probe.attempts);
+        s.stat.failures += probe.failures;
+        s.stat.retries += probe.retries;
+        s.stat.timeouts += probe.timeouts;
+        s.stat.extra_seconds += probe.extra_seconds;
+
+        match probe.result {
+            Ok(value) => {
+                s.breaker.consecutive_failures = 0;
+                Invocation {
+                    result: Ok(value),
+                    attempts: probe.attempts,
+                    extra_seconds: probe.extra_seconds,
+                }
+            }
+            Err(err) => {
+                // Terminal failure: count toward the breaker.
+                s.breaker.consecutive_failures += 1;
+                if self.threshold > 0
+                    && s.breaker.consecutive_failures >= self.threshold
+                    && !s.breaker.open
+                {
+                    s.breaker.open = true;
+                    s.stat.breaker_tripped = true;
+                    self.transitions.push(BreakerTransition {
+                        op: self.op.to_string(),
+                        opened: true,
+                    });
+                }
+                Invocation {
+                    result: Err(err),
+                    attempts: probe.attempts,
+                    extra_seconds: probe.extra_seconds,
+                }
+            }
+        }
     }
 }
 

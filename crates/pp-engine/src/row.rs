@@ -6,17 +6,22 @@ use crate::schema::Schema;
 use crate::value::Value;
 use crate::{EngineError, Result};
 
-/// One tuple. Cheap to clone when cells are shared (`Arc`-backed strings
-/// and blobs).
+/// One tuple. Cloning is a reference-count bump: the cell storage is
+/// shared (`Arc`-backed), so a table scan can hand out per-query row
+/// copies without re-allocating every tuple. Rows are immutable after
+/// construction — derived rows (e.g. Process outputs) are built fresh
+/// via [`Row::extended`] or [`Row::new`].
 #[derive(Debug, Clone)]
 pub struct Row {
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
 
 impl Row {
     /// Creates a row from values.
     pub fn new(values: Vec<Value>) -> Self {
-        Row { values }
+        Row {
+            values: values.into(),
+        }
     }
 
     /// The cell values in schema order.
@@ -46,14 +51,15 @@ impl Row {
 
     /// A new row with extra cells appended (used by Process nodes).
     pub fn extended(&self, extra: Vec<Value>) -> Row {
-        let mut values = self.values.clone();
+        let mut values = Vec::with_capacity(self.values.len() + extra.len());
+        values.extend_from_slice(&self.values);
         values.extend(extra);
-        Row { values }
+        Row::new(values)
     }
 
     /// Consumes the row, yielding its values.
     pub fn into_values(self) -> Vec<Value> {
-        self.values
+        self.values.to_vec()
     }
 }
 

@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 
+use crate::batch::{Batch, BatchKernel, ProcessedRows};
 use crate::row::{Row, RowBatch};
 use crate::schema::{Column, Schema};
 use crate::value::Value;
@@ -23,7 +24,13 @@ use crate::{EngineError, Result};
 
 /// A processor UDF: appends columns, emitting zero or more output rows per
 /// input row.
-pub trait Processor: Send + Sync {
+///
+/// Batch evaluation goes through the [`BatchKernel`] supertrait: the
+/// executor calls [`eval_batch`](BatchKernel::eval_batch) with a unified
+/// [`Batch`]. Scalar processors implement it with
+/// [`for_each_row`](crate::batch::for_each_row) over
+/// [`process`](Self::process).
+pub trait Processor: Send + Sync + BatchKernel<Out = ProcessedRows> {
     /// Unique UDF name.
     fn name(&self) -> &str;
     /// The columns this processor appends to its input schema.
@@ -34,19 +41,10 @@ pub trait Processor: Send + Sync {
     /// Returning an empty vec drops the row (e.g. a detector finding no
     /// vehicles).
     fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>>;
-    /// Processes a whole batch, returning one per-row outcome per input
-    /// row (`results.len() == batch.len()`). Each outcome counts as that
-    /// row's *first attempt*; the executor retries failed rows
-    /// individually. The default loops over [`process`][Self::process];
-    /// override to amortize per-call work across the batch. Overrides must
-    /// be row-independent: row `i`'s outcome may not depend on which other
-    /// rows share the batch.
+    /// Processes a whole row batch.
+    #[deprecated(note = "use BatchKernel::eval_batch with a unified Batch")]
     fn process_batch(&self, batch: &RowBatch<'_>) -> Vec<Result<Vec<Vec<Value>>>> {
-        batch
-            .rows()
-            .iter()
-            .map(|row| self.process(row, batch.schema()))
-            .collect()
+        self.eval_batch(&Batch::Rows(*batch))
     }
 }
 
@@ -88,26 +86,24 @@ pub trait Combiner: Send + Sync {
 
 /// A row-level filter — the physical form a probabilistic predicate takes
 /// inside a plan.
-pub trait RowFilter: Send + Sync {
+///
+/// Batch evaluation goes through the [`BatchKernel`] supertrait: the
+/// executor calls [`eval_batch`](BatchKernel::eval_batch) with a unified
+/// [`Batch`]. PP filters vectorize it (columnar block scoring in
+/// `pp-core`); scalar filters use
+/// [`for_each_row`](crate::batch::for_each_row) over
+/// [`passes`](Self::passes).
+pub trait RowFilter: Send + Sync + BatchKernel<Out = bool> {
     /// Display name (e.g. `PP[t = SUV]@0.95`).
     fn name(&self) -> &str;
     /// Simulated cluster seconds charged per input row (the `c` of §3).
     fn cost_per_row(&self) -> f64;
     /// Whether the row survives the filter.
     fn passes(&self, row: &Row, schema: &Schema) -> Result<bool>;
-    /// Evaluates a whole batch, returning one verdict per input row
-    /// (`results.len() == batch.len()`). Each verdict counts as that row's
-    /// *first attempt*; the executor retries failed rows individually. The
-    /// default loops over [`passes`][Self::passes]; override to amortize
-    /// per-call work (PP filters score all blobs through the model in one
-    /// vectorized pass). Overrides must be row-independent: row `i`'s
-    /// verdict may not depend on which other rows share the batch.
+    /// Evaluates a whole row batch.
+    #[deprecated(note = "use BatchKernel::eval_batch with a unified Batch")]
     fn passes_batch(&self, batch: &RowBatch<'_>) -> Vec<Result<bool>> {
-        batch
-            .rows()
-            .iter()
-            .map(|row| self.passes(row, batch.schema()))
-            .collect()
+        self.eval_batch(&Batch::Rows(*batch))
     }
     /// Whether the executor may degrade this filter to pass-through when
     /// it fails (see [`resilience`](crate::resilience)). Defaults to true:
@@ -171,6 +167,13 @@ impl std::fmt::Debug for ClosureProcessor {
             .field("name", &self.name)
             .field("cost_per_row", &self.cost_per_row)
             .finish_non_exhaustive()
+    }
+}
+
+impl BatchKernel for ClosureProcessor {
+    type Out = ProcessedRows;
+    fn eval_batch(&self, batch: &Batch<'_>) -> Vec<Result<Self::Out>> {
+        crate::batch::for_each_row(batch, |row, schema| self.process(row, schema))
     }
 }
 
@@ -288,6 +291,13 @@ impl std::fmt::Debug for ClosureFilter {
             .field("name", &self.name)
             .field("cost_per_row", &self.cost_per_row)
             .finish_non_exhaustive()
+    }
+}
+
+impl BatchKernel for ClosureFilter {
+    type Out = bool;
+    fn eval_batch(&self, batch: &Batch<'_>) -> Vec<Result<bool>> {
+        crate::batch::for_each_row(batch, |row, schema| self.passes(row, schema))
     }
 }
 

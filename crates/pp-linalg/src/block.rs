@@ -1,0 +1,227 @@
+//! Contiguous row-major feature blocks for columnar batch scoring.
+//!
+//! A [`FeatureBlock`] stores one feature vector per row in a single
+//! contiguous `Vec<f64>`, so batch scoring walks memory linearly and the
+//! chunked kernels in [`crate::kernels`] can stream it at full bandwidth.
+//! Sparse vectors are densified on insertion; the block is the gather
+//! target the execution engine fills once per batch before handing it to
+//! the PP models.
+
+use crate::features::Features;
+use crate::{LinalgError, Result};
+
+/// A dense row-major block of feature vectors, all of dimension `dim`.
+///
+/// The backing storage is one contiguous buffer: row `i` is
+/// `data[i*dim .. (i+1)*dim]`. Rows are appended via [`push_features`]
+/// (densifying sparse inputs in place) or [`push_dense`].
+///
+/// [`push_features`]: FeatureBlock::push_features
+/// [`push_dense`]: FeatureBlock::push_dense
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureBlock {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureBlock {
+    /// Creates an empty block whose rows will have dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        FeatureBlock {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty block with capacity reserved for `rows` rows.
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        FeatureBlock {
+            dim,
+            data: Vec::with_capacity(dim.saturating_mul(rows)),
+        }
+    }
+
+    /// Row dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True when the block holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends a dense row.
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `row.len() != dim`.
+    pub fn push_dense(&mut self, row: &[f64]) -> Result<()> {
+        if row.len() != self.dim {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+            });
+        }
+        self.data.extend_from_slice(row);
+        Ok(())
+    }
+
+    /// Appends a feature vector, densifying sparse inputs in place
+    /// (zero-fill then scatter — no intermediate allocation).
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `f.dim() != dim`.
+    pub fn push_features(&mut self, f: &Features) -> Result<()> {
+        match f {
+            Features::Dense(v) => self.push_dense(v),
+            Features::Sparse(s) => {
+                if s.dim() != self.dim {
+                    return Err(LinalgError::DimensionMismatch {
+                        expected: self.dim,
+                        actual: s.dim(),
+                    });
+                }
+                let base = self.data.len();
+                self.data.resize(base + self.dim, 0.0);
+                for (i, v) in s.iter() {
+                    self.data[base + i as usize] = v;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Gathers an iterator of feature vectors into a new block.
+    pub fn from_features<'a, I>(dim: usize, feats: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Features>,
+    {
+        let iter = feats.into_iter();
+        let mut block = FeatureBlock::with_capacity(dim, iter.size_hint().0);
+        for f in iter {
+            block.push_features(f)?;
+        }
+        Ok(block)
+    }
+
+    /// Borrows row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates rows in order as contiguous slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.dim.max(1))
+    }
+
+    /// The raw contiguous row-major buffer (`len() * dim()` elements).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Drops all rows, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// A unified batch of feature vectors handed to the classifiers: either
+/// borrowed per-blob references (row-oriented callers) or one contiguous
+/// dense block (columnar callers).
+///
+/// The two variants score bit-identically for dense inputs — a block row
+/// is a bitwise copy of the dense vector it was gathered from, and every
+/// model scores both through the same [`crate::kernels`]. Sparse inputs
+/// only exist in the [`Refs`][FeatureBatch::Refs] variant (gathering a
+/// sparse vector into a block would change the summation order of its
+/// dot products), so callers that need cross-variant bit-identity keep
+/// sparse batches in `Refs` form.
+#[derive(Debug, Clone, Copy)]
+pub enum FeatureBatch<'a> {
+    /// Borrowed references to individual feature vectors.
+    Refs(&'a [&'a Features]),
+    /// A contiguous dense row-major block.
+    Block(&'a FeatureBlock),
+}
+
+impl FeatureBatch<'_> {
+    /// Number of feature vectors in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureBatch::Refs(r) => r.len(),
+            FeatureBatch::Block(b) => b.len(),
+        }
+    }
+
+    /// True when the batch holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseVector;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut b = FeatureBlock::new(3);
+        assert!(b.is_empty());
+        b.push_dense(&[1.0, 2.0, 3.0]).unwrap();
+        b.push_features(&Features::Dense(vec![4.0, 5.0, 6.0]))
+            .unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(b.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn sparse_densifies_in_place() {
+        let mut b = FeatureBlock::new(4);
+        let s = SparseVector::from_pairs(4, vec![(1, 2.0), (3, -1.0)]).unwrap();
+        b.push_features(&Features::Sparse(s)).unwrap();
+        assert_eq!(b.row(0), &[0.0, 2.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut b = FeatureBlock::new(3);
+        assert!(matches!(
+            b.push_dense(&[1.0]),
+            Err(LinalgError::DimensionMismatch {
+                expected: 3,
+                actual: 1
+            })
+        ));
+        let s = SparseVector::from_pairs(5, vec![(0, 1.0)]).unwrap();
+        assert!(b.push_features(&Features::Sparse(s)).is_err());
+        assert!(b.is_empty(), "failed pushes must not leave partial rows");
+    }
+
+    #[test]
+    fn from_features_gathers_in_order() {
+        let feats = [
+            Features::Dense(vec![1.0, 0.0]),
+            Features::Dense(vec![0.0, 1.0]),
+        ];
+        let b = FeatureBlock::from_features(2, feats.iter()).unwrap();
+        let rows: Vec<&[f64]> = b.rows().collect();
+        assert_eq!(rows, vec![&[1.0, 0.0][..], &[0.0, 1.0][..]]);
+    }
+
+    #[test]
+    fn zero_dim_block_stays_empty() {
+        let b = FeatureBlock::new(0);
+        assert_eq!(b.len(), 0);
+        assert!(b.rows().next().is_none());
+    }
+}

@@ -41,9 +41,26 @@ impl Features {
     }
 
     /// Dot product with a dense weight vector of the same dimension.
+    ///
+    /// Uses the strict left-fold ([`dense::dot`]); training code depends on
+    /// this order staying fixed. Inference paths use
+    /// [`dot_kernel`](Features::dot_kernel) instead.
     pub fn dot(&self, weights: &[f64]) -> f64 {
         match self {
             Features::Dense(v) => dense::dot(v, weights),
+            Features::Sparse(s) => s.dot_dense(weights),
+        }
+    }
+
+    /// Dot product with a dense weight vector via the chunked inference
+    /// kernel ([`crate::kernels::dot`]) for dense features.
+    ///
+    /// Sparse features keep their nonzero-order fold — densifying them
+    /// first would reassociate the sum. All *inference* call sites use this
+    /// entry so scalar, row-batch and columnar scoring agree bit-for-bit.
+    pub fn dot_kernel(&self, weights: &[f64]) -> f64 {
+        match self {
+            Features::Dense(v) => crate::kernels::dot(v, weights),
             Features::Sparse(s) => s.dot_dense(weights),
         }
     }

@@ -8,7 +8,7 @@
 //! The tree stores point indices into a caller-owned point array and
 //! supports exact k-nearest-neighbor queries via branch-and-bound.
 
-use crate::dense::sq_dist;
+use crate::kernels::sq_dist;
 use crate::{LinalgError, Result};
 use std::collections::BinaryHeap;
 

@@ -6,6 +6,9 @@
 //! * [`dense`] — dense vectors and row-major matrices,
 //! * [`sparse`] — sorted-coordinate sparse vectors (bag-of-words blobs),
 //! * [`features`] — a unified dense/sparse feature representation,
+//! * [`block`] — contiguous row-major feature blocks for columnar scoring,
+//! * [`kernels`] — chunked auto-vectorizable dot/distance kernels with a
+//!   scalar tail (the inference hot loops),
 //! * [`pca`] — principal component analysis (§5.4 of the paper),
 //! * [`hashing`] — feature hashing (Weinberger et al., Eq. 7 of the paper),
 //! * [`kdtree`] — a k-d tree used to approximate KDE neighborhoods (§5.2),
@@ -18,15 +21,18 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod block;
 pub mod dense;
 pub mod features;
 pub mod hashing;
 pub mod kdtree;
+pub mod kernels;
 pub mod pca;
 pub mod rng;
 pub mod sparse;
 pub mod stats;
 
+pub use block::{FeatureBatch, FeatureBlock};
 pub use dense::Matrix;
 pub use features::Features;
 pub use hashing::FeatureHasher;

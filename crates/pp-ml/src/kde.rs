@@ -6,7 +6,7 @@
 //! applying the estimator at test time uses a k-d tree so that only the
 //! `n' ≪ n` nearest training points participate in the density sum.
 
-use pp_linalg::{Features, KdTree};
+use pp_linalg::{FeatureBatch, Features, KdTree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -137,23 +137,33 @@ impl ScoreModel for Kde {
         self.score_dense(&x.to_dense())
     }
 
-    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
-        // Reuse one densification scratch buffer across the batch.
-        let mut scratch: Vec<f64> = Vec::new();
+    fn score_many(&self, xs: &FeatureBatch<'_>) -> Vec<f64> {
         let mut out = Vec::with_capacity(xs.len());
-        for x in xs {
-            let dense: &[f64] = match x.as_dense() {
-                Some(d) => d,
-                None => {
-                    scratch.clear();
-                    scratch.resize(x.dim(), 0.0);
-                    for (i, v) in x.iter_nonzero() {
-                        scratch[i as usize] = v;
-                    }
-                    &scratch
+        match xs {
+            FeatureBatch::Refs(refs) => {
+                // Reuse one densification scratch buffer across the batch.
+                let mut scratch: Vec<f64> = Vec::new();
+                for x in *refs {
+                    let dense: &[f64] = match x.as_dense() {
+                        Some(d) => d,
+                        None => {
+                            scratch.clear();
+                            scratch.resize(x.dim(), 0.0);
+                            for (i, v) in x.iter_nonzero() {
+                                scratch[i as usize] = v;
+                            }
+                            &scratch
+                        }
+                    };
+                    out.push(self.score_dense(dense));
                 }
-            };
-            out.push(self.score_dense(dense));
+            }
+            FeatureBatch::Block(block) => {
+                // Block rows are already dense and contiguous.
+                for row in block.rows() {
+                    out.push(self.score_dense(row));
+                }
+            }
         }
         out
     }

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use pp_linalg::Features;
+use pp_linalg::{FeatureBatch, Features};
 
 use crate::calibrate::Calibration;
 use crate::dataset::LabeledSet;
@@ -24,14 +24,28 @@ pub trait ScoreModel {
     /// Scores one feature vector; higher means "more likely to pass".
     fn score(&self, x: &Features) -> f64;
 
-    /// Scores a batch of feature vectors.
+    /// Scores a unified batch of feature vectors ([`FeatureBatch::Refs`]
+    /// for row-oriented callers, [`FeatureBatch::Block`] for columnar
+    /// callers).
     ///
     /// Semantically equivalent to calling [`score`][Self::score] on each
     /// element; implementations may override it to amortize per-call work
-    /// (scratch buffers, hoisted lookups) but must return bit-identical
-    /// scores in input order.
+    /// (scratch buffers, hoisted lookups, contiguous block walks) but must
+    /// return bit-identical scores in input order across both variants.
+    fn score_many(&self, xs: &FeatureBatch<'_>) -> Vec<f64> {
+        match xs {
+            FeatureBatch::Refs(refs) => refs.iter().map(|x| self.score(x)).collect(),
+            FeatureBatch::Block(block) => block
+                .rows()
+                .map(|row| self.score(&Features::Dense(row.to_vec())))
+                .collect(),
+        }
+    }
+
+    /// Scores a slice of feature references.
+    #[deprecated(note = "use score_many with a unified FeatureBatch")]
     fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
-        xs.iter().map(|x| self.score(x)).collect()
+        self.score_many(&FeatureBatch::Refs(xs))
     }
 }
 
@@ -110,13 +124,13 @@ impl ScoreModel for Model {
         }
     }
 
-    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+    fn score_many(&self, xs: &FeatureBatch<'_>) -> Vec<f64> {
         match self {
-            Model::Svm(m) => m.score_batch(xs),
-            Model::Kde(m) => m.score_batch(xs),
-            Model::Dnn(m) => m.score_batch(xs),
+            Model::Svm(m) => m.score_many(xs),
+            Model::Kde(m) => m.score_many(xs),
+            Model::Dnn(m) => m.score_many(xs),
             Model::Negated(m) => {
-                let mut scores = m.score_batch(xs);
+                let mut scores = m.score_many(xs);
                 for s in &mut scores {
                     *s = -*s;
                 }
@@ -193,7 +207,11 @@ impl Pipeline {
 
     /// Scores a raw blob: `f(ψ(x))`.
     pub fn score(&self, x: &Features) -> f64 {
-        self.model.score(&self.reducer.apply(x))
+        match &self.reducer {
+            // ψ(x) = x: skip the defensive clone Reducer::apply would make.
+            Reducer::Identity => self.model.score(x),
+            r => self.model.score(&r.apply(x)),
+        }
     }
 
     /// Decision at accuracy target `a` (Eq. 2): pass iff `f(ψ(x)) ≥ th(a]`.
@@ -201,20 +219,48 @@ impl Pipeline {
         Ok(self.score(x) >= self.calibration.threshold(a)?)
     }
 
-    /// Scores a batch of raw blobs; bit-identical to per-blob
-    /// [`score`][Self::score] in input order, but lets the underlying
-    /// model reuse scratch buffers across blobs.
-    pub fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
-        let reduced: Vec<Features> = xs.iter().map(|x| self.reducer.apply(x)).collect();
-        let refs: Vec<&Features> = reduced.iter().collect();
-        self.model.score_batch(&refs)
+    /// Scores a unified batch of raw blobs; bit-identical to per-blob
+    /// [`score`][Self::score] in input order across both
+    /// [`FeatureBatch`] variants, but lets the underlying model reuse
+    /// scratch buffers and walk contiguous blocks.
+    ///
+    /// With the identity reducer the batch goes straight to the model —
+    /// no per-blob clone — which is where columnar callers earn their
+    /// throughput.
+    pub fn score_many(&self, xs: &FeatureBatch<'_>) -> Vec<f64> {
+        match &self.reducer {
+            Reducer::Identity => self.model.score_many(xs),
+            r => {
+                let reduced: Vec<Features> = match xs {
+                    FeatureBatch::Refs(refs) => refs.iter().map(|x| r.apply(x)).collect(),
+                    FeatureBatch::Block(block) => block
+                        .rows()
+                        .map(|row| r.apply(&Features::Dense(row.to_vec())))
+                        .collect(),
+                };
+                let refs: Vec<&Features> = reduced.iter().collect();
+                self.model.score_many(&FeatureBatch::Refs(&refs))
+            }
+        }
     }
 
     /// Batch decision at accuracy target `a`: the threshold is resolved
-    /// once and compared against [`score_batch`][Self::score_batch].
-    pub fn passes_batch(&self, xs: &[&Features], a: f64) -> Result<Vec<bool>> {
+    /// once and compared against [`score_many`][Self::score_many].
+    pub fn passes_many(&self, xs: &FeatureBatch<'_>, a: f64) -> Result<Vec<bool>> {
         let th = self.calibration.threshold(a)?;
-        Ok(self.score_batch(xs).into_iter().map(|s| s >= th).collect())
+        Ok(self.score_many(xs).into_iter().map(|s| s >= th).collect())
+    }
+
+    /// Scores a slice of blob references.
+    #[deprecated(note = "use score_many with a unified FeatureBatch")]
+    pub fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+        self.score_many(&FeatureBatch::Refs(xs))
+    }
+
+    /// Batch decision over a slice of blob references.
+    #[deprecated(note = "use passes_many with a unified FeatureBatch")]
+    pub fn passes_batch(&self, xs: &[&Features], a: f64) -> Result<Vec<bool>> {
+        self.passes_many(&FeatureBatch::Refs(xs), a)
     }
 
     /// The calibration table.
@@ -359,12 +405,22 @@ mod tests {
             let pp = Pipeline::train(approach, &train, &val, 13).unwrap();
             let neg = pp.negated(&val).unwrap();
             let xs: Vec<&Features> = test.iter().map(|s| &s.features).collect();
+            let block = pp_linalg::FeatureBlock::from_features(
+                test.dim(),
+                test.iter().map(|s| &s.features),
+            )
+            .unwrap();
             for pipeline in [&pp, &neg] {
-                let batch = pipeline.score_batch(&xs);
+                let batch = pipeline.score_many(&FeatureBatch::Refs(&xs));
                 for (x, b) in xs.iter().zip(&batch) {
                     assert_eq!(pipeline.score(x), *b, "{}", pipeline.approach_name());
                 }
-                let decisions = pipeline.passes_batch(&xs, 0.95).unwrap();
+                // The columnar block variant is bit-identical to refs.
+                let columnar = pipeline.score_many(&FeatureBatch::Block(&block));
+                assert_eq!(batch, columnar, "{}", pipeline.approach_name());
+                let decisions = pipeline
+                    .passes_many(&FeatureBatch::Refs(&xs), 0.95)
+                    .unwrap();
                 for (x, d) in xs.iter().zip(&decisions) {
                     assert_eq!(pipeline.passes(x, 0.95).unwrap(), *d);
                 }

@@ -8,7 +8,7 @@
 //! still ranks positives above negatives instead of collapsing to the
 //! majority class.
 
-use pp_linalg::Features;
+use pp_linalg::{FeatureBatch, Features};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -145,17 +145,31 @@ impl LinearSvm {
 impl ScoreModel for LinearSvm {
     fn score(&self, x: &Features) -> f64 {
         debug_assert_eq!(x.dim(), self.weights.len(), "svm score: dimension mismatch");
-        x.dot(&self.weights) + self.bias
+        x.dot_kernel(&self.weights) + self.bias
     }
 
-    fn score_batch(&self, xs: &[&Features]) -> Vec<f64> {
+    fn score_many(&self, xs: &FeatureBatch<'_>) -> Vec<f64> {
         let (w, b) = (self.weights.as_slice(), self.bias);
-        xs.iter()
-            .map(|x| {
-                debug_assert_eq!(x.dim(), w.len(), "svm score: dimension mismatch");
-                x.dot(w) + b
-            })
-            .collect()
+        match xs {
+            FeatureBatch::Refs(refs) => refs
+                .iter()
+                .map(|x| {
+                    debug_assert_eq!(x.dim(), w.len(), "svm score: dimension mismatch");
+                    x.dot_kernel(w) + b
+                })
+                .collect(),
+            FeatureBatch::Block(block) => {
+                debug_assert_eq!(block.dim(), w.len(), "svm score: dimension mismatch");
+                // One pass over the contiguous block; per-row arithmetic is
+                // the same kernels::dot + bias as the scalar path.
+                let mut out = Vec::new();
+                pp_linalg::kernels::block_dot(block.as_slice(), w, &mut out);
+                for s in &mut out {
+                    *s += b;
+                }
+                out
+            }
+        }
     }
 }
 

@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use pp_core::catalog::CatalogEpoch;
 use pp_core::planner::PlanReport;
+use pp_engine::batch::BatchMode;
 use pp_engine::cancel::{CancelReason, CancelToken};
 use pp_engine::fault::FaultPlan;
 use pp_engine::predicate::Predicate;
@@ -42,6 +43,17 @@ pub struct QueryRequest {
     /// [`CancelReason::DeadlineExceeded`] and the query lands as
     /// [`QueryOutcome::Cancelled`] at the next batch boundary.
     pub deadline: Option<Duration>,
+    /// Optional worker-thread override for this query's executor (the
+    /// server default is serial).
+    pub parallelism: Option<usize>,
+    /// Optional rows-per-batch override for batch-capable UDFs.
+    pub batch_size: Option<usize>,
+    /// Optional rows-per-morsel override for the work-stealing scheduler.
+    pub morsel_size: Option<usize>,
+    /// Optional batch-mode override (columnar vs row-oriented kernels).
+    /// Output bytes are identical either way; this is a perf/bisection
+    /// knob.
+    pub batch_mode: Option<BatchMode>,
 }
 
 impl QueryRequest {
@@ -55,6 +67,10 @@ impl QueryRequest {
             fault_plan: None,
             resilience: None,
             deadline: None,
+            parallelism: None,
+            batch_size: None,
+            morsel_size: None,
+            batch_mode: None,
         }
     }
 
@@ -73,6 +89,32 @@ impl QueryRequest {
     /// Gives the query a wall-clock budget measured from submit.
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Overrides executor worker threads for this query (morsels are fed
+    /// to a work-stealing pool; results are byte-identical at any
+    /// setting).
+    pub fn with_parallelism(mut self, k: usize) -> Self {
+        self.parallelism = Some(k.max(1));
+        self
+    }
+
+    /// Overrides rows-per-batch handed to batch-capable UDFs.
+    pub fn with_batch_size(mut self, rows: usize) -> Self {
+        self.batch_size = Some(rows.max(1));
+        self
+    }
+
+    /// Overrides rows-per-morsel claimed by scheduler workers.
+    pub fn with_morsel_size(mut self, rows: usize) -> Self {
+        self.morsel_size = Some(rows.max(1));
+        self
+    }
+
+    /// Overrides which batch variant kernels receive for this query.
+    pub fn with_batch_mode(mut self, mode: BatchMode) -> Self {
+        self.batch_mode = Some(mode);
         self
     }
 }

@@ -558,12 +558,24 @@ fn run_query(
         return QueryOutcome::Rejected(reason);
     }
 
-    let mut builder = ExecutionContext::builder(&inner.data).cancel_token(cancel.clone());
+    let mut builder = ExecutionContext::builder(&inner.data).with_cancel_token(cancel.clone());
     if let Some(fp) = &request.fault_plan {
-        builder = builder.fault_plan(fp.clone());
+        builder = builder.with_fault_plan(fp.clone());
     }
     if let Some(rc) = &request.resilience {
-        builder = builder.resilience(*rc);
+        builder = builder.with_resilience(*rc);
+    }
+    if let Some(k) = request.parallelism {
+        builder = builder.with_parallelism(k);
+    }
+    if let Some(rows) = request.batch_size {
+        builder = builder.with_batch_size(rows);
+    }
+    if let Some(rows) = request.morsel_size {
+        builder = builder.with_morsel_size(rows);
+    }
+    if let Some(mode) = request.batch_mode {
+        builder = builder.with_batch_mode(mode);
     }
     let mut ctx = builder.build();
     let result = ctx.run(&cached.plan);

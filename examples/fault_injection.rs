@@ -67,12 +67,14 @@ fn main() {
     // the context and is applied to every plan it runs; results (and
     // charges) are identical at any parallelism.
     let mut flaky = ExecutionContext::builder(&catalog)
-        .resilience(ResilienceConfig::default().with_retry(RetryPolicy {
+        .with_resilience(ResilienceConfig::default().with_retry(RetryPolicy {
             max_retries: 8,
             ..Default::default()
         }))
-        .fault_plan(FaultPlan::new(0x5EED).inject("VehTypeClassifier", FaultSpec::transient(0.20)))
-        .parallelism(4)
+        .with_fault_plan(
+            FaultPlan::new(0x5EED).inject("VehTypeClassifier", FaultSpec::transient(0.20)),
+        )
+        .with_parallelism(4)
         .build();
     let out = flaky.run(&plan).expect("recovered run");
     let report = flaky.report();
@@ -104,12 +106,12 @@ fn main() {
     );
 
     let mut broken = ExecutionContext::builder(&catalog)
-        .resilience(
+        .with_resilience(
             ResilienceConfig::default()
                 .with_retry(RetryPolicy::none())
                 .with_breaker_threshold(3),
         )
-        .fault_plan(FaultPlan::new(0x0BAD).inject(&pp_op, FaultSpec::transient(1.0)))
+        .with_fault_plan(FaultPlan::new(0x0BAD).inject(&pp_op, FaultSpec::transient(1.0)))
         .build();
     let out = broken.run(&optimized.plan).expect("fail-open run");
     let report = broken.report();

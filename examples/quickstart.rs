@@ -97,8 +97,8 @@ fn main() {
     // One context per plan run: the builder bundles catalog, cost model,
     // and parallelism; `run` meters each query from zero.
     let mut ctx = ExecutionContext::builder(&catalog)
-        .cost_model(CostModel::default())
-        .parallelism(4)
+        .with_cost_model(CostModel::default())
+        .with_parallelism(4)
         .build();
     let baseline = ctx.run(&query).expect("baseline");
     let baseline_secs = ctx.meter().cluster_seconds();

@@ -84,7 +84,9 @@ fn main() {
 
     // Run both plans through one partitioned context; the meter resets per
     // run, so snapshot what each query charged.
-    let mut ctx = ExecutionContext::builder(&catalog).parallelism(4).build();
+    let mut ctx = ExecutionContext::builder(&catalog)
+        .with_parallelism(4)
+        .build();
     let baseline = ctx.run(&query).expect("baseline");
     let baseline_secs = ctx.meter().cluster_seconds();
     let fast = ctx.run(&optimized.plan).expect("accelerated");

@@ -49,6 +49,7 @@ pub mod prelude {
     pub use pp_core::wrangle::Domains;
     pub use pp_core::{CatalogEpoch, PpCatalog, VersionedPpCatalog};
     pub use pp_data::traffic::{TrafficConfig, TrafficDataset};
+    pub use pp_engine::batch::{Batch, BatchKernel, BatchMode, ColumnarBatch, FeatureColumn};
     pub use pp_engine::cancel::{CancelReason, CancelToken};
     pub use pp_engine::cost::{CostMeter, CostModel, QueryMetrics};
     pub use pp_engine::exec::{ExecutionContext, ExecutionContextBuilder};
@@ -66,7 +67,7 @@ pub mod prelude {
     pub use pp_engine::udf::{ClosureFilter, ClosureProcessor};
     pub use pp_engine::value::Value;
     pub use pp_engine::Catalog;
-    pub use pp_linalg::Features;
+    pub use pp_linalg::{FeatureBatch, FeatureBlock, Features};
     pub use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
     pub use pp_ml::reduction::ReducerSpec;
     pub use pp_server::{

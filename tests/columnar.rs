@@ -1,0 +1,321 @@
+//! The columnar safety rail: for a fixed plan, catalog, and fault seed,
+//! the columnar vectorized path must be **byte-identical** to the serial
+//! row path — same result rows, same cost-meter charges, same telemetry
+//! snapshot (after [`TelemetrySnapshot::zero_wall_clock`]) — at every
+//! combination of batch mode, parallelism, batch size, and morsel size,
+//! with and without injected faults and under cancellation.
+//!
+//! [`TelemetrySnapshot::zero_wall_clock`]:
+//! probabilistic_predicates::engine::telemetry::TelemetrySnapshot::zero_wall_clock
+
+use std::sync::OnceLock;
+
+use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
+use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
+use probabilistic_predicates::core::wrangle::Domains;
+use probabilistic_predicates::data::traf20::traf20_queries;
+use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
+use probabilistic_predicates::engine::exec::ExecutionContext;
+use probabilistic_predicates::engine::{
+    Batch, BatchKernel, BatchMode, Catalog, FaultPlan, FaultSpec, LogicalPlan, ResilienceConfig,
+    RetryPolicy, Rowset,
+};
+use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
+use probabilistic_predicates::ml::reduction::ReducerSpec;
+use probabilistic_predicates::ml::svm::SvmParams;
+
+struct Fixture {
+    catalog: Catalog,
+    /// Q1 (`vehType = SUV`) with the PP injected above the scan — the
+    /// PP filter is the operator with a real columnar kernel.
+    pp_plan: LogicalPlan,
+    /// Display name of the injected PP filter operator.
+    pp_op: String,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = TrafficDataset::generate(TrafficConfig {
+            n_frames: 800,
+            seed: 0xC01A,
+            ..Default::default()
+        });
+        let trainer = PpTrainer::new(TrainerConfig {
+            approach_override: Some(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Svm(SvmParams::default()),
+            }),
+            cost_per_row: Some(0.0025),
+            ..Default::default()
+        });
+        let clauses = TrafficDataset::pp_corpus_clauses();
+        let labeled: Vec<_> = clauses
+            .iter()
+            .map(|c| dataset.labeled_for_clause_range(c, 0..400))
+            .collect();
+        let pp_catalog = trainer.train_catalog(&clauses, &labeled).expect("train");
+        let mut domains = Domains::new();
+        for (col, values) in TrafficDataset::column_domains() {
+            domains.declare(col, values);
+        }
+        let mut catalog = Catalog::new();
+        dataset.register_slice(&mut catalog, 400..800);
+        let qo = PpQueryOptimizer::new(pp_catalog, domains, QoConfig::default());
+        let q1 = traf20_queries()
+            .into_iter()
+            .find(|q| q.id == 1)
+            .expect("Q1");
+        let optimized = qo
+            .optimize(&q1.nop_plan(&dataset), &catalog)
+            .expect("optimize");
+        assert!(optimized.report.chosen.is_some(), "Q1 must get a PP");
+        let mut ctx = ExecutionContext::new(&catalog);
+        ctx.run(&optimized.plan).expect("pp plan executes");
+        let pp_op = ctx
+            .report()
+            .ops
+            .iter()
+            .find(|o| o.op.contains("PP["))
+            .expect("PP filter op present")
+            .op
+            .clone();
+        Fixture {
+            catalog,
+            pp_plan: optimized.plan,
+            pp_op,
+        }
+    })
+}
+
+/// Byte-comparable digest of a result set (values *and* row order).
+fn digest(out: &Rowset) -> String {
+    format!("{:?}", out.rows())
+}
+
+/// Everything the safety rail compares: result bytes, meter charges, and
+/// the wall-clock-scrubbed telemetry snapshot JSON.
+fn observe(ctx: &ExecutionContext, out: &Rowset) -> (String, String, String) {
+    let mut snap = ctx.telemetry().expect("snapshot after run").clone();
+    snap.zero_wall_clock();
+    (
+        digest(out),
+        format!("{:?}", ctx.meter().entries()),
+        snap.to_json(),
+    )
+}
+
+/// The tentpole acceptance gate: columnar execution is byte-identical to
+/// the serial row path at every (mode, K, batch, morsel) combination —
+/// results, charges, and telemetry snapshots all match.
+#[test]
+fn columnar_matches_serial_row_path_at_every_shape() {
+    let f = fixture();
+    let mut baseline = ExecutionContext::builder(&f.catalog)
+        .with_batch_mode(BatchMode::Rows)
+        .with_parallelism(1)
+        .build();
+    let out = baseline.run(&f.pp_plan).expect("serial row run");
+    let base = observe(&baseline, &out);
+
+    for mode in [BatchMode::Rows, BatchMode::Columnar] {
+        for k in [1usize, 2, 4, 8] {
+            for batch in [1usize, 7, 64] {
+                for morsel in [16usize, 100, 1024] {
+                    let mut ctx = ExecutionContext::builder(&f.catalog)
+                        .with_batch_mode(mode)
+                        .with_parallelism(k)
+                        .with_batch_size(batch)
+                        .with_morsel_size(morsel)
+                        .build();
+                    let out = ctx.run(&f.pp_plan).expect("run");
+                    let got = observe(&ctx, &out);
+                    assert_eq!(
+                        got.0, base.0,
+                        "{mode:?} K={k} batch={batch} morsel={morsel}: rows diverged"
+                    );
+                    assert_eq!(
+                        got.1, base.1,
+                        "{mode:?} K={k} batch={batch} morsel={morsel}: charges diverged"
+                    );
+                    assert_eq!(
+                        got.2, base.2,
+                        "{mode:?} K={k} batch={batch} morsel={morsel}: telemetry diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The identity holds under seeded fault injection: faults key off row
+/// identity, not batch layout, so retries and fail-opens land on the same
+/// rows in either mode at any morsel size.
+#[test]
+fn columnar_matches_row_path_under_seeded_faults() {
+    let f = fixture();
+    let spec = FaultSpec::transient(0.2).with_timeouts(0.05, 2.0);
+    let run = |mode: BatchMode, k: usize, batch: usize, morsel: usize| {
+        let mut ctx = ExecutionContext::builder(&f.catalog)
+            .with_fault_plan(
+                FaultPlan::new(0xC01A7)
+                    .inject("VehTypeClassifier", spec)
+                    .inject(&f.pp_op, spec),
+            )
+            .with_resilience(ResilienceConfig::default().with_retry(RetryPolicy {
+                max_retries: 8,
+                ..Default::default()
+            }))
+            .with_batch_mode(mode)
+            .with_parallelism(k)
+            .with_batch_size(batch)
+            .with_morsel_size(morsel)
+            .build();
+        let out = ctx.run(&f.pp_plan).expect("faulted run");
+        let obs = observe(&ctx, &out);
+        (obs, ctx.report())
+    };
+    let (base, base_report) = run(BatchMode::Rows, 1, 1, 1024);
+    assert!(
+        base_report.total_failures() > 0,
+        "faults must actually fire"
+    );
+    for mode in [BatchMode::Rows, BatchMode::Columnar] {
+        for (k, batch, morsel) in [(1, 7, 32), (4, 64, 64), (8, 7, 256)] {
+            let (got, report) = run(mode, k, batch, morsel);
+            assert_eq!(
+                got, base,
+                "{mode:?} K={k} batch={batch} morsel={morsel}: faulted run diverged"
+            );
+            assert_eq!(
+                report, base_report,
+                "{mode:?} K={k} batch={batch} morsel={morsel}: fault report diverged"
+            );
+        }
+    }
+}
+
+/// Columnar is the engine default; `BatchMode::Rows` is an explicit
+/// opt-out. A default-built context must agree with an explicit
+/// row-mode context bit for bit.
+#[test]
+fn columnar_is_the_default_and_agrees_with_rows() {
+    let f = fixture();
+    let mut default_ctx = ExecutionContext::new(&f.catalog);
+    assert_eq!(default_ctx.batch_mode(), BatchMode::Columnar);
+    let mut rows_ctx = ExecutionContext::builder(&f.catalog)
+        .with_batch_mode(BatchMode::Rows)
+        .build();
+    let out_default = default_ctx.run(&f.pp_plan).expect("default run");
+    let out_rows = rows_ctx.run(&f.pp_plan).expect("row-mode run");
+    assert_eq!(
+        observe(&default_ctx, &out_default),
+        observe(&rows_ctx, &out_rows)
+    );
+}
+
+/// Engine-level edge shapes: an empty table and a single-row table run
+/// identically in both modes at extreme batch/morsel settings.
+#[test]
+fn edge_shapes_are_mode_independent() {
+    use probabilistic_predicates::engine::{Column, DataType, Row, Schema, Value};
+
+    let schema = Schema::new(vec![Column::new("id", DataType::Int)]).expect("schema");
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "empty",
+        Rowset::new(schema.clone(), vec![]).expect("empty rowset"),
+    );
+    catalog.register(
+        "one",
+        Rowset::new(schema, vec![Row::new(vec![Value::Int(7)])]).expect("one-row rowset"),
+    );
+    for table in ["empty", "one"] {
+        let plan = LogicalPlan::scan(table);
+        let mut base: Option<(String, String, String)> = None;
+        for mode in [BatchMode::Rows, BatchMode::Columnar] {
+            for (k, batch, morsel) in [(1, 1, 1), (8, 64, 1), (8, 1, 4096)] {
+                let mut ctx = ExecutionContext::builder(&catalog)
+                    .with_batch_mode(mode)
+                    .with_parallelism(k)
+                    .with_batch_size(batch)
+                    .with_morsel_size(morsel)
+                    .build();
+                let out = ctx.run(&plan).expect("edge run");
+                let got = observe(&ctx, &out);
+                match &base {
+                    None => base = Some(got),
+                    Some(b) => assert_eq!(
+                        &got, b,
+                        "{table}: {mode:?} K={k} batch={batch} morsel={morsel} diverged"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// A kernel that sees only one batch variant would silently skip half the
+/// matrix; this pins that both variants reach a user [`BatchKernel`] when
+/// the mode toggles.
+#[test]
+fn both_batch_variants_reach_kernels() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    use probabilistic_predicates::engine::udf::RowFilter;
+    use probabilistic_predicates::engine::{Column, DataType, Row, Schema, Value};
+
+    struct Probe {
+        rows_seen: AtomicUsize,
+        cols_seen: AtomicUsize,
+    }
+    struct ProbeFilter(Arc<Probe>);
+    impl RowFilter for ProbeFilter {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn cost_per_row(&self) -> f64 {
+            1e-6
+        }
+        fn passes(
+            &self,
+            _row: &Row,
+            _schema: &Schema,
+        ) -> probabilistic_predicates::engine::Result<bool> {
+            Ok(true)
+        }
+    }
+    impl BatchKernel for ProbeFilter {
+        type Out = bool;
+        fn eval_batch(
+            &self,
+            batch: &Batch<'_>,
+        ) -> Vec<probabilistic_predicates::engine::Result<bool>> {
+            match batch.as_columns() {
+                Some(_) => self.0.cols_seen.fetch_add(batch.len(), Ordering::Relaxed),
+                None => self.0.rows_seen.fetch_add(batch.len(), Ordering::Relaxed),
+            };
+            (0..batch.len()).map(|_| Ok(true)).collect()
+        }
+    }
+
+    let schema = Schema::new(vec![Column::new("id", DataType::Int)]).expect("schema");
+    let rows: Vec<Row> = (0..50).map(|i| Row::new(vec![Value::Int(i)])).collect();
+    let mut catalog = Catalog::new();
+    catalog.register("t", Rowset::new(schema, rows).expect("rowset"));
+    let probe = Arc::new(Probe {
+        rows_seen: AtomicUsize::new(0),
+        cols_seen: AtomicUsize::new(0),
+    });
+    let plan = LogicalPlan::scan("t").filter(Arc::new(ProbeFilter(Arc::clone(&probe))));
+    for mode in [BatchMode::Rows, BatchMode::Columnar] {
+        let mut ctx = ExecutionContext::builder(&catalog)
+            .with_batch_mode(mode)
+            .with_batch_size(8)
+            .build();
+        ctx.run(&plan).expect("probe run");
+    }
+    assert_eq!(probe.rows_seen.load(Ordering::Relaxed), 50);
+    assert_eq!(probe.cols_seen.load(Ordering::Relaxed), 50);
+}

@@ -54,7 +54,9 @@ fn run_once() -> (usize, f64, String) {
         .expect("Q11");
     let plan = q.nop_plan(&dataset);
     let optimized = qo.optimize(&plan, &catalog).expect("optimize");
-    let mut ctx = ExecutionContext::builder(&catalog).parallelism(4).build();
+    let mut ctx = ExecutionContext::builder(&catalog)
+        .with_parallelism(4)
+        .build();
     let out = ctx.run(&optimized.plan).expect("execute");
     let chosen = optimized.report.chosen.map(|c| c.expr).unwrap_or_default();
     (out.len(), ctx.meter().cluster_seconds(), chosen)

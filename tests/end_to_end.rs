@@ -75,7 +75,7 @@ fn row_key(row: &Row) -> i64 {
 fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
     let world = build_world(0.95);
     let mut ctx = ExecutionContext::builder(&world.catalog)
-        .parallelism(4)
+        .with_parallelism(4)
         .build();
     let mut improved = 0usize;
     for q in traf20_queries() {
@@ -129,7 +129,7 @@ fn pp_plans_are_subsets_with_bounded_loss_and_lower_cost() {
 fn accuracy_target_one_keeps_validation_guarantee() {
     let world = build_world(1.0);
     let mut ctx = ExecutionContext::builder(&world.catalog)
-        .parallelism(4)
+        .with_parallelism(4)
         .build();
     for q in traf20_queries().into_iter().filter(|q| q.id % 4 == 0) {
         let plan = q.nop_plan(&world.dataset);

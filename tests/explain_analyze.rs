@@ -97,10 +97,10 @@ fn run_snapshot(
     seed: Option<u64>,
 ) -> TelemetrySnapshot {
     let mut builder = ExecutionContext::builder(&f.catalog)
-        .parallelism(parallelism)
-        .batch_size(batch);
+        .with_parallelism(parallelism)
+        .with_batch_size(batch);
     if let Some(seed) = seed {
-        builder = builder.fault_plan(FaultPlan::new(seed).inject(
+        builder = builder.with_fault_plan(FaultPlan::new(seed).inject(
             &f.pp_op,
             FaultSpec::transient(0.15).with_timeouts(0.05, 2.0),
         ));

@@ -55,11 +55,12 @@ fn fixture_plan() -> LogicalPlan {
 fn run(parallelism: usize, batch: usize, faults: bool) -> TelemetrySnapshot {
     let cat = fixture_catalog();
     let mut builder = ExecutionContext::builder(&cat)
-        .parallelism(parallelism)
-        .batch_size(batch);
+        .with_parallelism(parallelism)
+        .with_batch_size(batch);
     if faults {
-        builder = builder
-            .fault_plan(FaultPlan::new(0x601D).inject("PP[id % 3 = 0]", FaultSpec::transient(0.2)));
+        builder = builder.with_fault_plan(
+            FaultPlan::new(0x601D).inject("PP[id % 3 = 0]", FaultSpec::transient(0.2)),
+        );
     }
     let mut ctx = builder.build();
     ctx.run(&fixture_plan()).expect("run");

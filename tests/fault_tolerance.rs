@@ -128,8 +128,8 @@ fn run_plain(plan: &LogicalPlan) -> (Rowset, CostMeter) {
 fn run_resilient(plan: &LogicalPlan, config: ResilienceConfig) -> (Rowset, CostMeter, ExecReport) {
     let f = fixture();
     let mut ctx = ExecutionContext::builder(&f.catalog)
-        .resilience(config)
-        .parallelism(4)
+        .with_resilience(config)
+        .with_parallelism(4)
         .build();
     let out = ctx.run(plan).expect("resilient execute");
     let meter = ctx.meter().clone();

@@ -103,10 +103,10 @@ fn snapshot_json_is_byte_identical_across_parallelism_and_batch() {
         for parallelism in [1usize, 2, 4, 8] {
             for batch_size in [1usize, 7, 64] {
                 let mut builder = ExecutionContext::builder(&f.catalog)
-                    .parallelism(parallelism)
-                    .batch_size(batch_size);
+                    .with_parallelism(parallelism)
+                    .with_batch_size(batch_size);
                 if let Some(seed) = fault_seed {
-                    builder = builder.fault_plan(FaultPlan::new(seed).inject(
+                    builder = builder.with_fault_plan(FaultPlan::new(seed).inject(
                         &f.pp_op,
                         FaultSpec::transient(0.15).with_timeouts(0.05, 2.0),
                     ));
@@ -144,8 +144,8 @@ fn snapshot_json_is_byte_identical_across_parallelism_and_batch() {
 fn worker_metrics_stay_out_of_snapshots() {
     let f = fixture();
     let mut ctx = ExecutionContext::builder(&f.catalog)
-        .parallelism(4)
-        .batch_size(8)
+        .with_parallelism(4)
+        .with_batch_size(8)
         .build();
     ctx.run(&f.pp_plan).expect("run");
     let snap = ctx.telemetry().expect("snapshot");
@@ -242,7 +242,7 @@ fn breaker_open_rows_fail_open_and_are_fully_accounted() {
     }));
     let plan = LogicalPlan::scan("t").filter(dead);
     let mut ctx = ExecutionContext::builder(&cat)
-        .resilience(ResilienceConfig::default().with_retry(RetryPolicy::none()))
+        .with_resilience(ResilienceConfig::default().with_retry(RetryPolicy::none()))
         .build();
     let out = ctx.run(&plan).expect("fail-open keeps the query alive");
     assert_eq!(out.len(), 64, "every row passes through the dead PP");

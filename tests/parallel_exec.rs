@@ -104,8 +104,8 @@ fn every_parallelism_matches_serial_exactly() {
         for k in [1usize, 2, 4, 8] {
             for batch in [1usize, 7, 64, 1024] {
                 let mut ctx = ExecutionContext::builder(&f.catalog)
-                    .parallelism(k)
-                    .batch_size(batch)
+                    .with_parallelism(k)
+                    .with_batch_size(batch)
                     .build();
                 let out = ctx.run(plan).expect("partitioned run");
                 assert_eq!(
@@ -137,16 +137,16 @@ fn parallel_fault_injection_matches_serial() {
     let spec = FaultSpec::transient(0.15).with_timeouts(0.05, 2.0);
     let run = |k: usize| {
         let mut ctx = ExecutionContext::builder(&f.catalog)
-            .fault_plan(
+            .with_fault_plan(
                 FaultPlan::new(0xDE7E12)
                     .inject("VehTypeClassifier", spec)
                     .inject(&f.pp_op, spec),
             )
-            .resilience(ResilienceConfig::default().with_retry(RetryPolicy {
+            .with_resilience(ResilienceConfig::default().with_retry(RetryPolicy {
                 max_retries: 8,
                 ..Default::default()
             }))
-            .parallelism(k)
+            .with_parallelism(k)
             .build();
         let out = ctx.run(&f.pp_plan).expect("faulted run");
         (digest(&out), ctx.meter().clone(), ctx.report())

@@ -218,9 +218,9 @@ proptest! {
             .with_corrupt(corrupt)
             .with_poison(poison);
         let mut ctx = ExecutionContext::builder(&f.catalog)
-            .fault_plan(FaultPlan::new(seed).inject(&f.pp_op, spec))
-            .parallelism(parallelism)
-            .batch_size(batch_size)
+            .with_fault_plan(FaultPlan::new(seed).inject(&f.pp_op, spec))
+            .with_parallelism(parallelism)
+            .with_batch_size(batch_size)
             .build();
         let out = ctx.run(&f.pp_plan)
             .expect("faulted run must not abort: PP filters degrade fail-open");
