@@ -132,6 +132,7 @@ fn main() {
     let mut mismatches = 0usize;
     let mut leaked = 0usize;
     let mut poisoned = 0usize;
+    let mut shared_submits = 0usize;
     for round in 0..args.rounds {
         let workers = [1, 2, 4, 8][round % 4];
         let round_seed = args.seed.wrapping_add(round as u64);
@@ -162,6 +163,10 @@ fn main() {
                 seed: round_seed ^ 0x9E3779B97F4A7C15,
                 cancel_probability: 0.25,
                 publish_every: Some(5),
+                // Route a slice of each round through the shared-scan
+                // coordinator; byte-identity means the baselines apply
+                // unchanged.
+                shared_probability: 0.35,
             },
         );
         // Post-storm probe: the cache/catalog must still serve cleanly.
@@ -198,9 +203,10 @@ fn main() {
         mismatches += report.mismatches.len();
         leaked += round_leaked;
         poisoned += usize::from(!probe_ok);
+        shared_submits += report.shared_submits;
         println!(
             "round {round}: workers={workers} completed={} cancelled={} failed={} \
-             rejected={} shed={} lost={} mismatches={} probe_ok={probe_ok}",
+             rejected={} shed={} lost={} mismatches={} shared={} probe_ok={probe_ok}",
             report.completed,
             report.cancelled,
             report.failed,
@@ -208,11 +214,13 @@ fn main() {
             report.rejected_at_submit,
             report.lost_tickets,
             report.mismatches.len(),
+            report.shared_submits,
         );
     }
     println!(
         "\nRESULT rounds={} completed={} cancelled={} failed={} rejected={} shed={} \
-         lost_tickets={lost} mismatches={mismatches} permits_leaked={leaked} poisoned={poisoned}",
+         lost_tickets={lost} mismatches={mismatches} permits_leaked={leaked} poisoned={poisoned} \
+         shared_submits={shared_submits}",
         args.rounds, totals.0, totals.1, totals.2, totals.3, totals.4,
     );
     if lost + mismatches + leaked + poisoned > 0 {

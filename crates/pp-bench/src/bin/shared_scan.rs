@@ -1,0 +1,263 @@
+//! Shared-scan batching benchmark: four overlapping TRAF-20 queries over
+//! one source, run independently ([`PpServer::submit`]) vs through the
+//! shared-scan coordinator ([`PpServer::submit_shared`]).
+//!
+//! Each round submits the four queries concurrently and waits for all of
+//! them. In shared mode the coordinator windows them (window size 4), so
+//! each expensive UDF runs at most once per blob per window; the
+//! `server.sharedscan.*` counters report exactly how many invocations the
+//! memo absorbed. Verdicts are byte-identical either way (checked per
+//! round), so the saved invocations are pure profit.
+//!
+//! ```text
+//! cargo run --release -p pp-bench --bin shared_scan -- \
+//!     --frames 4000 --rounds 20
+//! ```
+//!
+//! The final `RESULT` lines are machine-parseable for CI smoke checks.
+
+use std::time::{Duration, Instant};
+
+use pp_bench::setup::traffic_setup;
+use pp_bench::table::{f2, Table};
+use pp_data::traf20::traf20_queries;
+use pp_server::{
+    PpServer, QueryRequest, ServerConfig, SharedScanConfig, SourceRegistry, SourceSpec,
+};
+
+struct Args {
+    frames: usize,
+    rounds: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        frames: 4_000,
+        rounds: 20,
+        out: String::from("BENCH_shared_scan.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--frames" => args.frames = value.parse().expect("frames: usize"),
+            "--rounds" => args.rounds = value.parse().expect("rounds: usize"),
+            "--out" => args.out = value,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+struct ModeStats {
+    completed: u64,
+    elapsed: f64,
+    digests: Vec<String>,
+    windows: u64,
+    invoked: u64,
+    saved: u64,
+}
+
+/// Runs `rounds` rounds of the 4-query workload against a fresh server.
+/// Returns per-query digests of the first round (byte-identity oracle)
+/// plus the shared-scan counters read after shutdown (zero in
+/// independent mode).
+fn run_mode(
+    shared: bool,
+    rounds: usize,
+    setup: &pp_bench::setup::TrafSetup,
+    sources: &SourceRegistry,
+) -> ModeStats {
+    let queries: Vec<_> = traf20_queries().into_iter().filter(|q| q.id <= 4).collect();
+    let mut server = PpServer::new(
+        ServerConfig {
+            workers: 4,
+            sharedscan: SharedScanConfig {
+                max_window: queries.len(),
+                window_wait: Some(Duration::from_millis(500)),
+            },
+            ..Default::default()
+        },
+        setup.catalog.clone(),
+        sources.clone(),
+        setup.pp_catalog.clone(),
+        setup.domains.clone(),
+    );
+    // Warm the plan cache (solo path) so both modes time execution, not
+    // optimization.
+    for q in &queries {
+        let ticket = server
+            .submit(QueryRequest::new("traffic", q.predicate.clone(), 0.95))
+            .expect("warmup admitted");
+        assert!(
+            ticket.wait().outcome.success().is_some(),
+            "warmup query failed"
+        );
+    }
+    let mut completed = 0u64;
+    let mut digests: Vec<String> = Vec::new();
+    let start = Instant::now();
+    for round in 0..rounds {
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let req = QueryRequest::new("traffic", q.predicate.clone(), 0.95);
+                if shared {
+                    server.submit_shared(req).expect("admitted")
+                } else {
+                    server.submit(req).expect("admitted")
+                }
+            })
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.wait();
+            let s = resp
+                .outcome
+                .success()
+                .unwrap_or_else(|| panic!("round {round} q{} failed: {:?}", i + 1, resp.outcome));
+            completed += 1;
+            let digest = format!("{:?}", s.rows.rows());
+            if round == 0 {
+                digests.push(digest);
+            } else {
+                assert_eq!(
+                    digest,
+                    digests[i],
+                    "round {round} q{} diverged from round 0",
+                    i + 1
+                );
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    // Shutdown joins the worker pool, making the window jobs' final
+    // counter flushes visible before we read them.
+    let windows = server.metrics().counter("server.sharedscan.windows_total");
+    let invoked = server
+        .metrics()
+        .counter("server.sharedscan.udf_invocations_total");
+    let saved = server
+        .metrics()
+        .counter("server.sharedscan.udf_invocations_saved_total");
+    server.shutdown();
+    ModeStats {
+        completed,
+        elapsed,
+        digests,
+        windows: windows.get(),
+        invoked: invoked.get(),
+        saved: saved.get(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let train = (args.frames / 4).max(200);
+    let setup = traffic_setup(args.frames, train, 0x5A5C);
+    println!(
+        "shared-scan: {} eval frames, PP corpus of {} ({} training frames), {} rounds x 4 queries\n",
+        args.frames - train,
+        setup.pp_catalog.len(),
+        train,
+        args.rounds
+    );
+    let mut sources = SourceRegistry::new();
+    let mut spec = SourceSpec::new("traffic");
+    for col in ["vehType", "vehColor", "speed", "fromI", "toI"] {
+        spec = spec.with_udf(col, setup.dataset.udf(col).expect("known column"));
+    }
+    sources.register("traffic", spec);
+
+    let independent = run_mode(false, args.rounds, &setup, &sources);
+    let shared = run_mode(true, args.rounds, &setup, &sources);
+    assert_eq!(
+        independent.digests, shared.digests,
+        "shared-scan verdicts diverged from independent execution"
+    );
+
+    let mut table = Table::new("Shared-scan batching — 4 overlapping TRAF-20 queries, one source")
+        .headers([
+            "mode",
+            "QPS",
+            "completed",
+            "windows",
+            "UDF invocations",
+            "UDF saved",
+        ]);
+    for (name, stats) in [("independent", &independent), ("shared", &shared)] {
+        table.row([
+            name.to_string(),
+            f2(stats.completed as f64 / stats.elapsed),
+            stats.completed.to_string(),
+            stats.windows.to_string(),
+            stats.invoked.to_string(),
+            stats.saved.to_string(),
+        ]);
+    }
+    table.print();
+    println!();
+
+    let ind_qps = independent.completed as f64 / independent.elapsed;
+    let shared_qps = shared.completed as f64 / shared.elapsed;
+    println!(
+        "RESULT mode=independent rounds={} completed={} qps={ind_qps:.2} windows={} \
+         udf_invocations={} udf_saved={}",
+        args.rounds,
+        independent.completed,
+        independent.windows,
+        independent.invoked,
+        independent.saved,
+    );
+    println!(
+        "RESULT mode=shared rounds={} completed={} qps={shared_qps:.2} windows={} \
+         udf_invocations={} udf_saved={}",
+        args.rounds, shared.completed, shared.windows, shared.invoked, shared.saved,
+    );
+    println!(
+        "RESULT speedup={:.2} total_udf_saved={}",
+        shared_qps / ind_qps.max(1e-9),
+        shared.saved
+    );
+
+    // Hand-rolled JSON mirror of the RESULT lines for artifact upload.
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"shared_scan\",\n");
+    json.push_str(&format!("  \"frames\": {},\n", args.frames));
+    json.push_str(&format!("  \"rounds\": {},\n", args.rounds));
+    json.push_str("  \"modes\": [\n");
+    for (i, (name, stats)) in [("independent", &independent), ("shared", &shared)]
+        .iter()
+        .enumerate()
+    {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{name}\", \"qps\": {:.2}, \"completed\": {}, \"windows\": {}, \
+             \"udf_invocations\": {}, \"udf_saved\": {}}}{}\n",
+            stats.completed as f64 / stats.elapsed,
+            stats.completed,
+            stats.windows,
+            stats.invoked,
+            stats.saved,
+            if i == 1 { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup\": {:.2},\n  \"total_udf_saved\": {}\n",
+        shared_qps / ind_qps.max(1e-9),
+        shared.saved
+    ));
+    json.push_str("}\n");
+    std::fs::write(&args.out, json).expect("write BENCH json");
+    println!("wrote {}", args.out);
+    if shared.saved == 0 {
+        eprintln!("shared-scan saved no UDF invocations");
+        std::process::exit(1);
+    }
+}

@@ -41,6 +41,7 @@ use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel, QueryMetrics};
 use crate::fault::{FaultLog, FaultPlan};
 use crate::logical::LogicalPlan;
+use crate::memo::UdfMemo;
 use crate::physical::{execute_partitioned, ExecOptions};
 use crate::resilience::{ExecReport, ExecSession, ResilienceConfig};
 use crate::row::Rowset;
@@ -58,6 +59,7 @@ pub struct ExecutionContextBuilder<'a> {
     fault_plan: Option<FaultPlan>,
     opts: ExecOptions,
     cancel: Option<CancelToken>,
+    udf_memo: Option<Arc<UdfMemo>>,
 }
 
 impl<'a> ExecutionContextBuilder<'a> {
@@ -134,6 +136,20 @@ impl<'a> ExecutionContextBuilder<'a> {
         self
     }
 
+    /// Installs a shared [`UdfMemo`]: every `Process` node of every plan
+    /// passed to [`ExecutionContext::run`] is wrapped in a
+    /// [`MemoProcessor`](crate::memo::MemoProcessor) consulting it, so
+    /// contexts sharing one memo (a shared-scan window) invoke each
+    /// expensive UDF at most once per distinct input row. The rewrite is
+    /// applied *before* any installed fault plan, so fault shims wrap the
+    /// memoized UDF and injected faults fire (and corrupt) exactly as
+    /// they would solo; `CostMeter` charges, telemetry, and verdicts are
+    /// unchanged by construction (see [`crate::memo`]).
+    pub fn with_udf_memo(mut self, memo: Arc<UdfMemo>) -> Self {
+        self.udf_memo = Some(memo);
+        self
+    }
+
     /// Deprecated alias of [`with_cost_model`][Self::with_cost_model].
     #[deprecated(since = "0.7.0", note = "renamed to with_cost_model")]
     pub fn cost_model(self, model: CostModel) -> Self {
@@ -188,6 +204,7 @@ impl<'a> ExecutionContextBuilder<'a> {
             telemetry: None,
             runs: 0,
             cancel: self.cancel.unwrap_or_default(),
+            udf_memo: self.udf_memo,
         }
     }
 }
@@ -217,6 +234,7 @@ pub struct ExecutionContext<'a> {
     telemetry: Option<TelemetrySnapshot>,
     runs: u64,
     cancel: CancelToken,
+    udf_memo: Option<Arc<UdfMemo>>,
 }
 
 impl<'a> ExecutionContext<'a> {
@@ -230,6 +248,7 @@ impl<'a> ExecutionContext<'a> {
             fault_plan: None,
             opts: ExecOptions::default(),
             cancel: None,
+            udf_memo: None,
         }
     }
 
@@ -256,6 +275,17 @@ impl<'a> ExecutionContext<'a> {
             self.registry.counter("worker.rows_probed_total"),
             self.registry.counter("worker.batches_total"),
         );
+        // Memoize before fault application so fault shims wrap the
+        // memoized UDFs: injected faults fire identically to solo runs
+        // and corrupted outputs are never cached.
+        let memoized;
+        let plan = match &self.udf_memo {
+            Some(memo) => {
+                memoized = crate::memo::memoize_plan(plan, memo);
+                &memoized
+            }
+            None => plan,
+        };
         let faulted;
         let plan = match &self.fault_plan {
             Some(fp) => {

@@ -30,6 +30,7 @@ pub mod explain;
 pub mod export;
 pub mod fault;
 pub mod logical;
+pub mod memo;
 pub mod physical;
 pub mod predicate;
 pub mod resilience;
@@ -49,6 +50,7 @@ pub use explain::{ExplainAnalyze, ExplainNode, OperatorPrediction, PredictionHin
 pub use export::{Exporter, JsonlExporter, OpenMetricsExporter};
 pub use fault::{FaultKind, FaultLog, FaultPlan, FaultSpec, InjectedFault};
 pub use logical::{LogicalPlan, OpParallelism};
+pub use memo::{memoize_plan, MemoProcessor, MemoStats, UdfMemo};
 pub use predicate::{Clause, CompareOp, Predicate};
 pub use resilience::{
     BreakerTransition, ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy,

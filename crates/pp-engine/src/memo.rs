@@ -1,0 +1,399 @@
+//! Cross-query UDF memoization for shared-scan execution.
+//!
+//! The paper's premise is that the expensive UDF dominates query cost, so
+//! N concurrent queries over the same source should not pay for the same
+//! blob N times. A [`UdfMemo`] caches the output of every expensive
+//! [`Processor`] keyed by `(op name, base-row key)`; a
+//! [`MemoProcessor`] shim consults the memo before invoking the wrapped
+//! UDF, so a window of queries sharing one memo invokes each UDF at most
+//! once per blob while every query's *observable* behavior — verdicts,
+//! `CostMeter` charges, telemetry spans, `EXPLAIN` output, fault
+//! targeting — is byte-identical to running alone:
+//!
+//! - `CostMeter` charges are simulated (`rows_in × cost_per_row`), never a
+//!   function of whether the closure actually ran, so a memo hit charges
+//!   exactly what a real invocation would.
+//! - [`MemoProcessor`] forwards `name()`, `output_columns()` and
+//!   `cost_per_row()`, so plan rendering, telemetry span names, and
+//!   [`FaultPlan`](crate::fault::FaultPlan) name-targeting see the inner
+//!   UDF unchanged. The fault shim wraps *outside* the memo (the memo
+//!   rewrite runs before fault application in
+//!   [`ExecutionContext::run`](crate::exec::ExecutionContext::run)), so
+//!   injected faults fire identically and corrupted outputs are never
+//!   cached.
+//! - Each query's own PP prefix still decides which rows reach the
+//!   memoized `Process` node, so per-query row counts are untouched; the
+//!   memo only deduplicates the *work* on the union of surviving rows.
+//!
+//! ## Key soundness
+//!
+//! Rows are keyed on a prefix of their cells — the source table's base
+//! columns (set via [`UdfMemo::new`]). Columns appended by upstream
+//! processors are excluded deliberately: they are themselves pure
+//! functions of the base row (the same `Arc`'d processor instances are
+//! shared through the source registry), so two plans that apply different
+//! UDF subsets before the same processor still produce the same output for
+//! the same base row. Cells are compared exactly: floats by bit pattern,
+//! blobs by `Arc` pointer identity (the catalog keeps every blob alive for
+//! the memo's lifetime, so a pointer uniquely names a blob).
+//!
+//! Errors are never cached: a failing invocation is retried (and re-drawn
+//! by any fault shim) exactly as it would be solo.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::batch::{Batch, BatchKernel, ProcessedRows};
+use crate::logical::LogicalPlan;
+use crate::row::Row;
+use crate::schema::{Column, Schema};
+use crate::udf::Processor;
+use crate::value::Value;
+use crate::Result;
+
+/// One row cell reduced to an exactly-comparable, hashable key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum CellKey {
+    Null,
+    Bool(bool),
+    Int(i64),
+    /// Bit pattern — distinguishes `-0.0`/`0.0` and keeps NaNs keyable.
+    Float(u64),
+    Str(Arc<str>),
+    /// `Arc` pointer identity; the owning catalog outlives the memo.
+    Blob(usize),
+}
+
+fn cell_key(value: &Value) -> CellKey {
+    match value {
+        Value::Null => CellKey::Null,
+        Value::Bool(b) => CellKey::Bool(*b),
+        Value::Int(i) => CellKey::Int(*i),
+        Value::Float(f) => CellKey::Float(f.to_bits()),
+        Value::Str(s) => CellKey::Str(Arc::clone(s)),
+        Value::Blob(b) => CellKey::Blob(Arc::as_ptr(b) as usize),
+    }
+}
+
+type MemoKey = (Arc<str>, Box<[CellKey]>);
+
+/// Running totals for a memo's lifetime (one shared-scan window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Real UDF invocations (memo misses that ran the wrapped closure).
+    pub invoked: u64,
+    /// Invocations skipped because an identical `(op, row)` was cached.
+    pub hits: u64,
+    /// Distinct cached entries.
+    pub entries: u64,
+}
+
+/// A shared cache of expensive-UDF outputs keyed by `(op, base-row key)`.
+///
+/// Thread-safe; one instance is shared by every query in a shared-scan
+/// window (and by that query's own morsel workers at parallelism > 1).
+pub struct UdfMemo {
+    /// Number of leading cells that form the key — the source table's
+    /// base column count. See the module docs for why appended columns
+    /// are excluded.
+    key_prefix: usize,
+    cache: Mutex<HashMap<MemoKey, Arc<Vec<Vec<Value>>>>>,
+    invoked: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl std::fmt::Debug for UdfMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("UdfMemo")
+            .field("key_prefix", &self.key_prefix)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl UdfMemo {
+    /// Creates a memo keying rows on their first `key_prefix` cells (the
+    /// source table's base columns).
+    pub fn new(key_prefix: usize) -> Self {
+        UdfMemo {
+            key_prefix,
+            cache: Mutex::new(HashMap::new()),
+            invoked: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            invoked: self.invoked.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            entries: self.lock_cache().len() as u64,
+        }
+    }
+
+    /// The cache holds only fully computed entries, so a panic elsewhere
+    /// on a window worker can never leave it half-written — recover from
+    /// poisoning instead of wedging every sibling query.
+    fn lock_cache(&self) -> MutexGuard<'_, HashMap<MemoKey, Arc<Vec<Vec<Value>>>>> {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn key_for(&self, op: &Arc<str>, row: &Row) -> MemoKey {
+        let cells = row.values();
+        let take = self.key_prefix.min(cells.len());
+        let key: Box<[CellKey]> = cells[..take].iter().map(cell_key).collect();
+        (Arc::clone(op), key)
+    }
+
+    /// Looks up `(op, row)`, invoking `compute` on a miss and caching the
+    /// successful result. Errors pass through uncached so retries (and
+    /// re-drawn faults) behave exactly as they would solo.
+    fn get_or_invoke(
+        &self,
+        op: &Arc<str>,
+        row: &Row,
+        compute: impl FnOnce() -> Result<Vec<Vec<Value>>>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let key = self.key_for(op, row);
+        if let Some(cached) = self.lock_cache().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(cached.as_ref().clone());
+        }
+        let computed = compute()?;
+        self.invoked.fetch_add(1, Ordering::Relaxed);
+        let entry = self
+            .lock_cache()
+            .entry(key)
+            .or_insert_with(|| Arc::new(computed))
+            .clone();
+        Ok(entry.as_ref().clone())
+    }
+}
+
+/// A name-, cost- and schema-preserving [`Processor`] shim that consults a
+/// [`UdfMemo`] before invoking the wrapped UDF.
+///
+/// Evaluation always takes the per-row path: the wrapped expensive UDFs
+/// are scalar (their vectorized entry point is defined as
+/// [`for_each_row`](crate::batch::for_each_row) over
+/// [`process`](Processor::process)), so the per-row memoized path is
+/// bit-identical to the unmemoized kernel in either batch layout.
+pub struct MemoProcessor {
+    inner: Arc<dyn Processor>,
+    /// Interned once so every key shares one allocation.
+    op: Arc<str>,
+    memo: Arc<UdfMemo>,
+}
+
+impl MemoProcessor {
+    /// Wraps `inner` so invocations consult (and populate) `memo`.
+    pub fn new(inner: Arc<dyn Processor>, memo: Arc<UdfMemo>) -> Self {
+        let op: Arc<str> = Arc::from(inner.name());
+        MemoProcessor { inner, op, memo }
+    }
+}
+
+impl std::fmt::Debug for MemoProcessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoProcessor")
+            .field("inner", &self.inner.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BatchKernel for MemoProcessor {
+    type Out = ProcessedRows;
+    fn eval_batch(&self, batch: &Batch<'_>) -> Vec<Result<Self::Out>> {
+        crate::batch::for_each_row(batch, |row, schema| self.process(row, schema))
+    }
+}
+
+impl Processor for MemoProcessor {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn output_columns(&self) -> &[Column] {
+        self.inner.output_columns()
+    }
+    fn cost_per_row(&self) -> f64 {
+        self.inner.cost_per_row()
+    }
+    fn process(&self, row: &Row, schema: &Schema) -> Result<Vec<Vec<Value>>> {
+        self.memo
+            .get_or_invoke(&self.op, row, || self.inner.process(row, schema))
+    }
+}
+
+/// Rebuilds `plan` with every `Process` node's UDF wrapped in a
+/// [`MemoProcessor`] sharing `memo`. All other nodes (and the plan
+/// structure, predicates, filters, costs) are untouched, so `explain()`
+/// and `partitionability()` render identically.
+pub fn memoize_plan(plan: &LogicalPlan, memo: &Arc<UdfMemo>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { table } => LogicalPlan::Scan {
+            table: table.clone(),
+        },
+        LogicalPlan::Process { input, processor } => LogicalPlan::Process {
+            input: Box::new(memoize_plan(input, memo)),
+            processor: Arc::new(MemoProcessor::new(Arc::clone(processor), Arc::clone(memo))),
+        },
+        LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+            input: Box::new(memoize_plan(input, memo)),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Filter { input, filter } => LogicalPlan::Filter {
+            input: Box::new(memoize_plan(input, memo)),
+            filter: Arc::clone(filter),
+        },
+        LogicalPlan::Project { input, items } => LogicalPlan::Project {
+            input: Box::new(memoize_plan(input, memo)),
+            items: items.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => LogicalPlan::Join {
+            left: Box::new(memoize_plan(left, memo)),
+            right: Box::new(memoize_plan(right, memo)),
+            left_key: left_key.clone(),
+            right_key: right_key.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(memoize_plan(input, memo)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Reduce { input, reducer } => LogicalPlan::Reduce {
+            input: Box::new(memoize_plan(input, memo)),
+            reducer: Arc::clone(reducer),
+        },
+        LogicalPlan::Combine {
+            left,
+            right,
+            combiner,
+        } => LogicalPlan::Combine {
+            left: Box::new(memoize_plan(left, memo)),
+            right: Box::new(memoize_plan(right, memo)),
+            combiner: Arc::clone(combiner),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::udf::ClosureProcessor;
+    use std::sync::atomic::AtomicUsize;
+
+    fn counting_udf(calls: Arc<AtomicUsize>) -> Arc<dyn Processor> {
+        Arc::new(ClosureProcessor::map(
+            "Doubler",
+            vec![Column::new("doubled", DataType::Int)],
+            0.5,
+            move |row, schema| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                let v = row.get_named(schema, "id")?.as_int().unwrap_or(0);
+                Ok(vec![Value::Int(v * 2)])
+            },
+        ))
+    }
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![Column::new("id", DataType::Int)]).unwrap()
+    }
+
+    #[test]
+    fn memo_invokes_once_per_key_and_preserves_output() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let memo = Arc::new(UdfMemo::new(1));
+        let shim = MemoProcessor::new(counting_udf(Arc::clone(&calls)), Arc::clone(&memo));
+        let schema = schema();
+        let row = Row::new(vec![Value::Int(21)]);
+        let first = shim.process(&row, &schema).unwrap();
+        let second = shim.process(&row, &schema).unwrap();
+        assert_eq!(format!("{first:?}"), "[[Int(42)]]");
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = memo.stats();
+        assert_eq!((stats.invoked, stats.hits, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_each_invoke() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let memo = Arc::new(UdfMemo::new(1));
+        let shim = MemoProcessor::new(counting_udf(Arc::clone(&calls)), Arc::clone(&memo));
+        let schema = schema();
+        for id in 0..4 {
+            shim.process(&Row::new(vec![Value::Int(id)]), &schema)
+                .unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 4);
+        assert_eq!(memo.stats().hits, 0);
+    }
+
+    #[test]
+    fn key_prefix_ignores_appended_columns() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let memo = Arc::new(UdfMemo::new(1));
+        let shim = MemoProcessor::new(counting_udf(Arc::clone(&calls)), Arc::clone(&memo));
+        let schema = schema();
+        // Same base cell, different appended tail: one real invocation.
+        let bare = Row::new(vec![Value::Int(7)]);
+        let extended = Row::new(vec![Value::Int(7), Value::str("tagged")]);
+        let a = shim.process(&bare, &schema).unwrap();
+        let b = shim.process(&extended, &schema).unwrap();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let inner = {
+            let attempts = Arc::clone(&attempts);
+            Arc::new(ClosureProcessor::map(
+                "Flaky",
+                vec![Column::new("out", DataType::Int)],
+                0.5,
+                move |_, _| {
+                    if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                        Err(crate::EngineError::Transient("first call fails".into()))
+                    } else {
+                        Ok(vec![Value::Int(1)])
+                    }
+                },
+            ))
+        };
+        let memo = Arc::new(UdfMemo::new(1));
+        let shim = MemoProcessor::new(inner, Arc::clone(&memo));
+        let schema = schema();
+        let row = Row::new(vec![Value::Int(0)]);
+        assert!(shim.process(&row, &schema).is_err());
+        assert!(shim.process(&row, &schema).is_ok());
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+        assert_eq!(memo.stats().invoked, 1);
+    }
+
+    #[test]
+    fn float_keys_compare_by_bit_pattern() {
+        assert_ne!(
+            cell_key(&Value::Float(0.0)),
+            cell_key(&Value::Float(-0.0)),
+            "0.0 and -0.0 must key separately"
+        );
+        assert_eq!(cell_key(&Value::Float(f64::NAN)), {
+            cell_key(&Value::Float(f64::NAN))
+        });
+    }
+}

@@ -31,7 +31,18 @@
 //! * [`chaos`] — seeded, replayable server-side fault injection (slow and
 //!   failing plan builds, worker panics) plus a harness composing them
 //!   with engine faults, cancels, publish storms, and admission pressure
-//!   while checking robustness invariants.
+//!   while checking robustness invariants,
+//! * [`sharedscan`] — cross-query shared-scan batching: concurrent
+//!   queries over the same source are windowed and run over one shared
+//!   UDF memo ([`PpServer::submit_shared`](server::PpServer::submit_shared)),
+//!   so each expensive UDF runs at most once per blob per window while
+//!   every per-query verdict, charge, and report stays byte-identical to
+//!   solo execution,
+//! * [`wire`] — a framed, length-prefixed binary request/response
+//!   protocol (streaming verdict frames, typed error frames) usable over
+//!   any `Read`/`Write` pair, plus
+//!   [`serve_connection`] to drive a connection
+//!   against a server.
 //!
 //! # Determinism
 //!
@@ -52,15 +63,24 @@ pub mod maintenance;
 pub mod pool;
 pub mod request;
 pub mod server;
+pub mod sharedscan;
 pub mod source;
+pub mod wire;
 
 pub use admission::AdmissionConfig;
 pub use cache::{CacheConfig, CacheKey, CacheStats, CachedPlan, PlanCache};
 pub use chaos::{rows_digest, run_chaos, ChaosConfig, ChaosReport, ServerFaults};
 pub use pool::DrainPolicy;
-pub use request::{QueryOutcome, QueryRequest, QueryResponse, QueryTicket, RejectReason};
+pub use request::{
+    QueryOutcome, QueryRequest, QueryResponse, QuerySuccess, QueryTicket, RejectReason,
+};
 pub use server::{DrainReport, PpServer, ServerConfig};
+pub use sharedscan::SharedScanConfig;
 pub use source::{SourceRegistry, SourceSpec};
+pub use wire::{
+    encode_frame, read_frame, read_response, serve_connection, write_frame, Frame, WireError,
+    WireErrorKind, WireOutcome, WireRequest, WireResponse, MAX_FRAME_LEN,
+};
 
 /// Errors produced by the serving runtime itself (planning and execution
 /// errors surface per query inside [`QueryOutcome`], not here).

@@ -273,4 +273,20 @@ impl QueryTicket {
             outcome: QueryOutcome::Failed("worker disappeared without responding".into()),
         })
     }
+
+    /// Non-blocking poll: `Ok(response)` if the query already reached a
+    /// terminal state (including the worker-disappeared fallback),
+    /// `Err(self)` — the ticket back, still valid — while it is in
+    /// flight. Lets a wire connection or event loop multiplex many
+    /// tickets without parking a thread per query.
+    pub fn try_wait(self) -> Result<QueryResponse, QueryTicket> {
+        match self.rx.try_recv() {
+            Ok(response) => Ok(response),
+            Err(mpsc::TryRecvError::Empty) => Err(self),
+            Err(mpsc::TryRecvError::Disconnected) => Ok(QueryResponse {
+                request_id: self.request_id,
+                outcome: QueryOutcome::Failed("worker disappeared without responding".into()),
+            }),
+        }
+    }
 }

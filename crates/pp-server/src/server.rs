@@ -54,6 +54,7 @@ use pp_core::wrangle::Domains;
 use pp_core::PpCatalog;
 use pp_engine::cancel::{CancelReason, CancelToken};
 use pp_engine::exec::ExecutionContext;
+use pp_engine::memo::UdfMemo;
 use pp_engine::telemetry::MetricsRegistry;
 use pp_engine::{Catalog, EngineError};
 
@@ -65,6 +66,7 @@ use crate::pool::{DrainPolicy, WorkerPool};
 use crate::request::{
     QueryOutcome, QueryRequest, QueryResponse, QuerySuccess, QueryTicket, RejectReason,
 };
+use crate::sharedscan::{Enqueued, SharedScanConfig, SharedScanCoordinator, WindowMember};
 use crate::source::SourceRegistry;
 
 /// Server configuration.
@@ -89,6 +91,9 @@ pub struct ServerConfig {
     /// Seeded server-side fault injection (chaos testing); `None` (the
     /// default) injects nothing.
     pub faults: Option<ServerFaults>,
+    /// Shared-scan window batching knobs
+    /// ([`submit_shared`][PpServer::submit_shared]).
+    pub sharedscan: SharedScanConfig,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +106,7 @@ impl Default for ServerConfig {
             maintenance_interval: None,
             cache: CacheConfig::default(),
             faults: None,
+            sharedscan: SharedScanConfig::default(),
         }
     }
 }
@@ -164,7 +170,7 @@ impl ServerInner {
 /// appropriate terminal outcome. Either way the permit is released
 /// *before* the response becomes visible, and the active-map entry is
 /// removed.
-struct ResponseGuard {
+pub(crate) struct ResponseGuard {
     inner: Arc<ServerInner>,
     request_id: u64,
     cancel: CancelToken,
@@ -248,6 +254,7 @@ pub struct PpServer {
     inner: Arc<ServerInner>,
     pool: WorkerPool,
     maintenance: Option<MaintenanceHandle>,
+    shared: Arc<SharedScanCoordinator>,
 }
 
 impl std::fmt::Debug for PpServer {
@@ -274,6 +281,7 @@ impl PpServer {
         let workers = config.workers;
         let maintenance_interval = config.maintenance_interval;
         let cache = PlanCache::with_config(config.cache.clone());
+        let shared = Arc::new(SharedScanCoordinator::new(config.sharedscan.clone()));
         let inner = Arc::new(ServerInner {
             data,
             sources,
@@ -294,13 +302,15 @@ impl PpServer {
             inner,
             pool: WorkerPool::new(workers),
             maintenance,
+            shared,
         }
     }
 
-    /// Submits a query. Synchronous shedding (queue depth, unknown
-    /// source, shutdown) comes back as `Err`; everything after admission
-    /// — including the plan-cost rejection — arrives through the ticket.
-    pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, RejectReason> {
+    /// Admission shared by [`submit`][Self::submit] and
+    /// [`submit_shared`][Self::submit_shared]: shutdown/source checks,
+    /// depth gate, snapshot pin, id mint, cancel-token registration, and
+    /// the response guard + ticket plumbing.
+    fn admit(&self, request: QueryRequest) -> Result<(WindowMember, QueryTicket), RejectReason> {
         if self.inner.shutting_down.load(Ordering::SeqCst) {
             return Err(RejectReason::ShuttingDown);
         }
@@ -338,8 +348,42 @@ impl PpServer {
             permit: Some(permit),
             tx: Some(tx),
         };
+        let member = WindowMember {
+            request_id,
+            request,
+            snapshot,
+            guard,
+        };
+        Ok((
+            member,
+            QueryTicket {
+                request_id,
+                rx,
+                cancel,
+            },
+        ))
+    }
+
+    /// Submits a query. Synchronous shedding (queue depth, unknown
+    /// source, shutdown) comes back as `Err`; everything after admission
+    /// — including the plan-cost rejection — arrives through the ticket.
+    pub fn submit(&self, request: QueryRequest) -> Result<QueryTicket, RejectReason> {
+        let (member, ticket) = self.admit(request)?;
+        let WindowMember {
+            request_id,
+            request,
+            snapshot,
+            guard,
+        } = member;
         let queued = self.pool.submit(move || {
-            let outcome = run_query(&guard.inner, request_id, &request, &snapshot, &guard.cancel);
+            let outcome = run_query(
+                &guard.inner,
+                request_id,
+                &request,
+                &snapshot,
+                &guard.cancel,
+                None,
+            );
             guard.finish(outcome);
         });
         if !queued {
@@ -347,11 +391,43 @@ impl PpServer {
             // the guard already tidied the active map and permit.
             return Err(RejectReason::ShuttingDown);
         }
-        Ok(QueryTicket {
-            request_id,
-            rx,
-            cancel,
-        })
+        Ok(ticket)
+    }
+
+    /// Submits a query through the shared-scan coordinator: concurrent
+    /// queries over the same source are window-batched and executed over
+    /// one shared [`UdfMemo`], so each
+    /// expensive UDF runs at most once per blob per window while every
+    /// query's verdicts, `PlanReport`, and `CostMeter` charges stay
+    /// byte-identical to a solo [`submit`][Self::submit] (see
+    /// [`crate::sharedscan`]). Admission, deadlines, cancellation, and
+    /// drain semantics are identical to `submit`.
+    pub fn submit_shared(&self, request: QueryRequest) -> Result<QueryTicket, RejectReason> {
+        let (member, ticket) = self.admit(request)?;
+        match self.shared.enqueue(member) {
+            Enqueued::Joined => {}
+            Enqueued::Opened(window_id) => {
+                let inner = Arc::clone(&self.inner);
+                let coord = Arc::clone(&self.shared);
+                let queued = self.pool.submit(move || {
+                    let members = coord.claim(window_id);
+                    run_window(&inner, members);
+                });
+                if !queued {
+                    // Pool rejected the window job: resolve everything
+                    // parked in it (tickets already handed out land as
+                    // `Cancelled` via their guards) and shed this caller.
+                    drop(self.shared.take(window_id));
+                    return Err(RejectReason::ShuttingDown);
+                }
+            }
+        }
+        Ok(ticket)
+    }
+
+    /// Queries parked in shared-scan windows not yet claimed by a worker.
+    pub fn shared_pending(&self) -> usize {
+        self.shared.pending()
     }
 
     /// Publishes a retrained PP corpus under the next epoch, invalidating
@@ -422,6 +498,9 @@ impl PpServer {
         if let Some(m) = self.maintenance.take() {
             m.stop();
         }
+        // Close shared-scan windows so their jobs claim without lingering
+        // and every parked query still runs before the pool drains.
+        self.shared.flush_all();
         self.pool.shutdown();
     }
 
@@ -450,6 +529,10 @@ impl PpServer {
         if let Some(m) = self.maintenance.take() {
             m.stop();
         }
+        // Close shared-scan windows: their pool jobs claim immediately,
+        // so parked queries either run inside the grace period or resolve
+        // as `Cancelled` when the deadline abandons their jobs.
+        self.shared.flush_all();
         let in_flight_at_drain = self.inner.gate.depth();
         let grace = timeout.mul_f64(0.8);
         let clean = self.inner.gate.wait_idle(grace);
@@ -497,12 +580,75 @@ impl Drop for PpServer {
 /// fold telemetry. Never panics on query-shaped failures; every error is
 /// an outcome. (Injected chaos panics are the deliberate exception — the
 /// response guard and the pool's `catch_unwind` turn those into `Failed`.)
+/// Runs one claimed shared-scan window: every member query executes the
+/// normal per-query path over one shared [`UdfMemo`], inside its own
+/// `catch_unwind` so a panicking member (chaos or real) sheds only itself
+/// — its guard resolves the ticket as `Failed`, and the siblings still
+/// run. Members execute in submit order, which keeps window execution
+/// deterministic for a fixed submission sequence.
+fn run_window(inner: &Arc<ServerInner>, members: Vec<WindowMember>) {
+    let Some(first) = members.first() else { return };
+    // Memo keys are the source table's base columns: appended UDF columns
+    // are pure functions of those, so plans applying different UDF
+    // subsets still share work soundly (see `pp_engine::memo`). If the
+    // table lookup fails the fallback keys on whole rows — never wrong,
+    // just less sharing.
+    let key_prefix = inner
+        .sources
+        .get(&first.request.source)
+        .and_then(|spec| inner.data.table(spec.table()).ok())
+        .map(|table| table.schema().len())
+        .unwrap_or(usize::MAX);
+    let memo = Arc::new(UdfMemo::new(key_prefix));
+    inner
+        .metrics
+        .counter("server.sharedscan.windows_total")
+        .inc();
+    inner
+        .metrics
+        .counter("server.sharedscan.window_queries_total")
+        .add(members.len() as u64);
+    for member in members {
+        let WindowMember {
+            request_id,
+            request,
+            snapshot,
+            guard,
+        } = member;
+        let memo = Arc::clone(&memo);
+        // The guard moves into the closure: on a panic it drops while
+        // unwinding and resolves the ticket as `Failed` with
+        // `CancelReason::WorkerPanic` latched, exactly like a solo job.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let outcome = run_query(
+                &guard.inner,
+                request_id,
+                &request,
+                &snapshot,
+                &guard.cancel,
+                Some(&memo),
+            );
+            guard.finish(outcome);
+        }));
+    }
+    let stats = memo.stats();
+    inner
+        .metrics
+        .counter("server.sharedscan.udf_invocations_total")
+        .add(stats.invoked);
+    inner
+        .metrics
+        .counter("server.sharedscan.udf_invocations_saved_total")
+        .add(stats.hits);
+}
+
 fn run_query(
     inner: &ServerInner,
     request_id: u64,
     request: &QueryRequest,
     snapshot: &CatalogSnapshot,
     cancel: &CancelToken,
+    memo: Option<&Arc<UdfMemo>>,
 ) -> QueryOutcome {
     // A query cancelled while queued (drain, caller, expired deadline)
     // stops here, before planning: no work done, nothing billed.
@@ -559,6 +705,9 @@ fn run_query(
     }
 
     let mut builder = ExecutionContext::builder(&inner.data).with_cancel_token(cancel.clone());
+    if let Some(memo) = memo {
+        builder = builder.with_udf_memo(Arc::clone(memo));
+    }
     if let Some(fp) = &request.fault_plan {
         builder = builder.with_fault_plan(fp.clone());
     }

@@ -71,7 +71,9 @@ pub mod prelude {
     pub use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
     pub use pp_ml::reduction::ReducerSpec;
     pub use pp_server::{
-        AdmissionConfig, CacheConfig, ChaosConfig, DrainReport, PlanCache, PpServer, QueryOutcome,
-        QueryRequest, RejectReason, ServerConfig, ServerFaults, SourceRegistry, SourceSpec,
+        read_frame, read_response, serve_connection, write_frame, AdmissionConfig, CacheConfig,
+        ChaosConfig, DrainReport, Frame, PlanCache, PpServer, QueryOutcome, QueryRequest,
+        RejectReason, ServerConfig, ServerFaults, SharedScanConfig, SourceRegistry, SourceSpec,
+        WireOutcome, WireRequest, WireResponse,
     };
 }

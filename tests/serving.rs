@@ -4,6 +4,7 @@
 //! fault containment.
 
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use probabilistic_predicates::core::calibration::CalibrationRecord;
 use probabilistic_predicates::core::catalog::CatalogEpoch;
@@ -23,8 +24,8 @@ use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec, Pipeline};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
 use probabilistic_predicates::server::{
-    AdmissionConfig, PpServer, QueryOutcome, QueryRequest, RejectReason, ServerConfig,
-    SourceRegistry, SourceSpec,
+    AdmissionConfig, CacheConfig, PpServer, QueryOutcome, QueryRequest, RejectReason, ServerConfig,
+    ServerFaults, SourceRegistry, SourceSpec,
 };
 
 struct Fixture {
@@ -441,5 +442,137 @@ fn failed_and_shed_queries_cannot_poison_the_server() {
         other => panic!("expected CostBudgetExceeded, got {other:?}"),
     }
     stingy.shutdown();
+    server.shutdown();
+}
+
+/// Cost-weighted LRU eviction under concurrent single-flight builds: six
+/// distinct plans race into a two-entry cache while every build sleeps
+/// (injected delay), so inserts evict ready entries while *other* keys
+/// are still mid-build. An evicted-while-building neighbor must not
+/// wedge single-flight waiters (a `Building` slot is never a victim, and
+/// waiters woken after their slot leaves the map still read its `Ready`
+/// state), and `CacheStats` must stay arithmetically consistent
+/// throughout.
+#[test]
+fn eviction_under_concurrent_builds_never_wedges_waiters_or_corrupts_stats() {
+    let f = fixture();
+    // Fault-free serial baselines for the six distinct queries.
+    let queries: Vec<_> = traf20_queries().into_iter().filter(|q| q.id <= 6).collect();
+    let mut solo = make_server(1);
+    let baselines: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let resp = solo
+                .submit(QueryRequest::new("traffic", q.predicate.clone(), 0.95))
+                .expect("baseline admitted")
+                .wait();
+            digest(&resp.outcome.success().expect("baseline completes").rows)
+        })
+        .collect();
+    solo.shutdown();
+
+    let mut server = PpServer::new(
+        ServerConfig {
+            workers: 4,
+            cache: CacheConfig { max_entries: 2 },
+            faults: Some(ServerFaults {
+                // Every build sleeps: each insert-triggered eviction runs
+                // while other builds (and their coalesced waiters) are
+                // still in flight.
+                plan_build_delay_probability: 1.0,
+                plan_build_delay: Duration::from_millis(15),
+                ..ServerFaults::new(0xE71C)
+            }),
+            ..Default::default()
+        },
+        f.catalog.clone(),
+        f.sources.clone(),
+        f.pp_catalog.clone(),
+        f.domains.clone(),
+    );
+
+    // Two submits per query, interleaved: the duplicate either coalesces
+    // onto the in-flight build (a waiter) or re-misses after an eviction
+    // (a rebuild). Both must answer identically.
+    let started = Instant::now();
+    let mut tickets = Vec::new();
+    for pass in 0..2 {
+        for (i, q) in queries.iter().enumerate() {
+            let ticket = server
+                .submit(QueryRequest::new("traffic", q.predicate.clone(), 0.95))
+                .expect("admitted");
+            tickets.push((i, pass, ticket));
+        }
+    }
+    for (i, pass, ticket) in tickets {
+        let resp = ticket.wait();
+        let s = resp
+            .outcome
+            .success()
+            .unwrap_or_else(|| panic!("q{} pass {pass} failed: {:?}", i + 1, resp.outcome));
+        assert_eq!(
+            digest(&s.rows),
+            baselines[i],
+            "q{} pass {pass} diverged from its serial baseline",
+            i + 1
+        );
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "waiters wedged: 12 queries took {:?}",
+        started.elapsed()
+    );
+
+    // Six distinct keys passed through a two-entry cache: at least four
+    // ready entries were evicted, some while neighbors were mid-build.
+    let stats = server.cache_stats();
+    assert!(
+        stats.evicted >= 4,
+        "expected >= 4 evictions from 6 keys in a 2-entry cache, got {stats:?}"
+    );
+    assert_eq!(stats.build_failures, 0, "no injected failures: {stats:?}");
+    assert_eq!(
+        stats.misses, stats.builds,
+        "every miss elects exactly one builder (single-flight): {stats:?}"
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        12,
+        "each query performs exactly one cache lookup: {stats:?}"
+    );
+    assert!(
+        stats.builds >= 6,
+        "six distinct keys need at least six builds: {stats:?}"
+    );
+    // Conservation: entries still resident = built − evicted (nothing was
+    // invalidated or failed), and that can never exceed capacity.
+    let resident = stats.builds - stats.evicted;
+    assert!(
+        (1..=2).contains(&resident),
+        "builds − evicted = {resident} must land within the 2-entry capacity: {stats:?}"
+    );
+
+    // An evicted key rebuilds on demand and still answers identically —
+    // the post-eviction cache is not poisoned.
+    let resp = server
+        .submit(QueryRequest::new(
+            "traffic",
+            queries[0].predicate.clone(),
+            0.95,
+        ))
+        .expect("admitted")
+        .wait();
+    let s = resp.outcome.success().expect("resubmit completes");
+    assert_eq!(
+        digest(&s.rows),
+        baselines[0],
+        "post-eviction rebuild diverged"
+    );
+    let after = server.cache_stats();
+    assert_eq!(
+        after.hits + after.misses,
+        13,
+        "resubmit performs exactly one more lookup: {after:?}"
+    );
     server.shutdown();
 }

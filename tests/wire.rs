@@ -1,0 +1,389 @@
+//! Wire-protocol tests: golden byte layouts, round-trip identity, hostile
+//! input rejection, and `serve_connection` end-to-end over in-memory
+//! buffers.
+//!
+//! The golden file under `tests/golden/wire_frames.hex` pins the exact
+//! byte encoding of every frame type (including all `Value` variants and
+//! a nested predicate), so any codec change that would break deployed
+//! clients shows up as a diff. Regenerate after an intentional protocol
+//! change with `UPDATE_GOLDEN=1 cargo test --test wire`.
+
+use std::fs;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use probabilistic_predicates::engine::udf::ClosureProcessor;
+use probabilistic_predicates::engine::{
+    BatchMode, Catalog, Clause, Column, CompareOp, DataType, Predicate, Row, Rowset, Schema, Value,
+};
+use probabilistic_predicates::linalg::features::Features;
+use probabilistic_predicates::linalg::sparse::SparseVector;
+use probabilistic_predicates::server::wire::{
+    encode_frame, read_frame, read_response, serve_connection, write_frame, Frame, WireError,
+    WireErrorKind, WireOutcome, WireRequest, MAX_FRAME_LEN,
+};
+use probabilistic_predicates::server::{PpServer, ServerConfig, SourceRegistry, SourceSpec};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run UPDATE_GOLDEN=1"));
+    assert_eq!(expected, actual, "golden mismatch for {name}");
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Every frame type with every value variant and a nested predicate —
+/// the representative corpus the goldens and round-trips run over.
+fn corpus() -> Vec<(&'static str, Frame)> {
+    let sparse = SparseVector::new(8, vec![1, 5], vec![0.25, -3.5]).unwrap();
+    let predicate = Predicate::And(vec![
+        Predicate::Clause(Clause::new("vehType", CompareOp::Eq, Value::str("SUV"))),
+        Predicate::Or(vec![
+            Predicate::Clause(Clause::new("speed", CompareOp::Ge, Value::Float(42.5))),
+            Predicate::Not(Box::new(Predicate::Clause(Clause::new(
+                "fromI",
+                CompareOp::Ne,
+                Value::Int(-7),
+            )))),
+        ]),
+        Predicate::True,
+    ]);
+    let mut request = WireRequest::new("traffic", predicate, 0.95);
+    request.deadline_ms = Some(1500);
+    request.parallelism = Some(4);
+    request.batch_size = Some(64);
+    request.morsel_size = Some(128);
+    request.batch_mode = Some(BatchMode::Columnar);
+    request.shared = true;
+
+    vec![
+        ("request", Frame::Request(request)),
+        (
+            "request_minimal",
+            Frame::Request(WireRequest::new("t", Predicate::False, 0.5)),
+        ),
+        (
+            "result_header",
+            Frame::ResultHeader {
+                request_id: 7,
+                epoch: 2,
+                cache_hit: true,
+                columns: vec!["id".into(), "blob".into(), "vehType".into()],
+            },
+        ),
+        (
+            "verdict_batch",
+            Frame::VerdictBatch {
+                request_id: 7,
+                rows: vec![
+                    vec![
+                        Value::Int(3),
+                        Value::blob(Features::Dense(vec![1.0, -0.5, 0.0])),
+                        Value::str("SUV"),
+                    ],
+                    vec![
+                        Value::Null,
+                        Value::blob(Features::Sparse(sparse)),
+                        Value::Bool(false),
+                    ],
+                ],
+            },
+        ),
+        (
+            "complete",
+            Frame::Complete {
+                request_id: 7,
+                total_rows: 2,
+            },
+        ),
+        (
+            "error",
+            Frame::Error {
+                request_id: 9,
+                kind: WireErrorKind::Cancelled,
+                detail: "deadline_exceeded".into(),
+                rows_processed: 17,
+                charged_cluster_seconds: 0.125,
+            },
+        ),
+    ]
+}
+
+/// The byte layout of every frame type is pinned by a golden file, and
+/// decode(encode(frame)) is an identity (checked via `Debug`, then via a
+/// second encode — byte-identical).
+#[test]
+fn frame_encodings_match_golden_and_round_trip() {
+    let mut golden = String::new();
+    for (name, frame) in corpus() {
+        let bytes = encode_frame(&frame);
+        golden.push_str(&format!("# {name}\n{}", hex(&bytes)));
+
+        let decoded = read_frame(&mut Cursor::new(&bytes))
+            .expect("decodes")
+            .expect("not EOF");
+        assert_eq!(
+            format!("{decoded:?}"),
+            format!("{frame:?}"),
+            "{name}: decode(encode(..)) changed the frame"
+        );
+        assert_eq!(
+            encode_frame(&decoded),
+            bytes,
+            "{name}: re-encode is not byte-identical"
+        );
+    }
+    check_golden("wire_frames.hex", &golden);
+}
+
+/// Clean EOF between frames is `Ok(None)`; EOF anywhere inside a frame is
+/// a typed `Truncated` error, never a panic or a hang.
+#[test]
+fn truncation_at_every_byte_is_rejected() {
+    let (_, frame) = &corpus()[0];
+    let bytes = encode_frame(frame);
+    assert!(matches!(read_frame(&mut Cursor::new(&[][..])), Ok(None)));
+    for cut in 1..bytes.len() {
+        match read_frame(&mut Cursor::new(&bytes[..cut])) {
+            Err(WireError::Truncated) => {}
+            other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_bad_magic_unknown_type_and_trailing_bytes_are_rejected() {
+    // Oversized: the declared length alone must trigger rejection (the
+    // payload is never allocated or read).
+    let mut oversized = b"PPW1\x01".to_vec();
+    oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+    match read_frame(&mut Cursor::new(&oversized)) {
+        Err(WireError::FrameTooLarge { len, max }) => {
+            assert_eq!(len, MAX_FRAME_LEN + 1);
+            assert_eq!(max, MAX_FRAME_LEN);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+
+    let bad_magic = b"HTTP\x01\x00\x00\x00\x00".to_vec();
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&bad_magic)),
+        Err(WireError::BadMagic(_))
+    ));
+
+    let unknown = b"PPW1\x7f\x00\x00\x00\x00".to_vec();
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&unknown)),
+        Err(WireError::UnknownFrameType(0x7f))
+    ));
+
+    // A complete frame with junk appended *inside* the declared payload.
+    let mut padded = encode_frame(&Frame::Complete {
+        request_id: 1,
+        total_rows: 0,
+    });
+    padded.push(0xAA);
+    let len_at = 5;
+    let declared = u32::from_be_bytes(padded[len_at..len_at + 4].try_into().unwrap());
+    padded[len_at..len_at + 4].copy_from_slice(&(declared + 1).to_be_bytes());
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&padded)),
+        Err(WireError::Malformed(_))
+    ));
+}
+
+/// A predicate nested beyond the decoder's depth cap is rejected instead
+/// of recursing toward a stack overflow.
+#[test]
+fn predicate_depth_bomb_is_rejected() {
+    let mut bomb = Predicate::Clause(Clause::new("c", CompareOp::Eq, Value::Int(0)));
+    for _ in 0..100 {
+        bomb = Predicate::Not(Box::new(bomb));
+    }
+    let bytes = encode_frame(&Frame::Request(WireRequest::new("t", bomb, 0.9)));
+    assert!(matches!(
+        read_frame(&mut Cursor::new(&bytes)),
+        Err(WireError::DepthExceeded)
+    ));
+}
+
+/// A tiny server over a plain integer table (no trained PPs): enough to
+/// drive `serve_connection` end-to-end without the traffic fixture.
+fn tiny_server() -> PpServer {
+    let schema = Schema::new(vec![Column::new("id", DataType::Int)]).unwrap();
+    let rows = (0..600).map(|i| Row::new(vec![Value::Int(i)])).collect();
+    let mut catalog = Catalog::new();
+    catalog.register("t", Rowset::new(schema, rows).unwrap());
+    let tagger = Arc::new(ClosureProcessor::map(
+        "Tagger",
+        vec![Column::new("tag", DataType::Int)],
+        0.001,
+        |row, _| Ok(vec![Value::Int(row.get(0).as_int()? % 10)]),
+    ));
+    let mut sources = SourceRegistry::new();
+    sources.register("tiny", SourceSpec::new("t").with_udf("tag", tagger));
+    PpServer::new(
+        ServerConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        catalog,
+        sources,
+        probabilistic_predicates::core::PpCatalog::new(),
+        probabilistic_predicates::core::wrangle::Domains::new(),
+    )
+}
+
+fn tag_request(shared: bool) -> WireRequest {
+    let mut req = WireRequest::new(
+        "tiny",
+        Predicate::Clause(Clause::new("tag", CompareOp::Eq, Value::Int(3))),
+        0.9,
+    );
+    req.batch_size = Some(64);
+    req.shared = shared;
+    req
+}
+
+/// `serve_connection` end to end over in-memory buffers: requests in,
+/// streamed typed responses out, both solo and shared routes. The rows
+/// crossing the wire are the same rows the in-process API returns, and a
+/// >256-row result exercises the multi-frame verdict stream.
+#[test]
+fn serve_connection_streams_solo_and_shared_results() {
+    let mut server = tiny_server();
+
+    // In-process truth for the same query.
+    let expected = {
+        let q = tag_request(false).to_query_request();
+        let s = server.submit(q).unwrap().wait();
+        let s = s.outcome.success().expect("completes").clone();
+        let cells: Vec<Vec<Value>> = s.rows.rows().iter().map(|r| r.values().to_vec()).collect();
+        format!("{cells:?}")
+    };
+
+    let mut inbox = Vec::new();
+    write_frame(&mut inbox, &Frame::Request(tag_request(false))).unwrap();
+    write_frame(&mut inbox, &Frame::Request(tag_request(true))).unwrap();
+    // Unknown source: served as a typed error frame, connection stays up.
+    write_frame(
+        &mut inbox,
+        &Frame::Request(WireRequest::new("nope", Predicate::True, 0.9)),
+    )
+    .unwrap();
+
+    let mut outbox = Vec::new();
+    let served = serve_connection(&server, Cursor::new(inbox), &mut outbox).unwrap();
+    assert_eq!(served, 3);
+
+    let mut reader = Cursor::new(&outbox[..]);
+    for label in ["solo", "shared"] {
+        let response = read_response(&mut reader).unwrap();
+        match response.outcome {
+            WireOutcome::Complete {
+                epoch,
+                columns,
+                rows,
+                ..
+            } => {
+                assert_eq!(epoch, 1, "{label}");
+                assert_eq!(columns, ["id", "tag"], "{label}");
+                assert_eq!(rows.len(), 60, "{label}");
+                assert_eq!(format!("{rows:?}"), expected, "{label}: wire rows diverged");
+            }
+            other => panic!("{label}: expected completion, got {other:?}"),
+        }
+    }
+    let rejected = read_response(&mut reader).unwrap();
+    assert_eq!(rejected.request_id, 0, "pre-admission reject has id 0");
+    match rejected.outcome {
+        WireOutcome::Error { kind, detail, .. } => {
+            assert_eq!(kind, WireErrorKind::Rejected);
+            assert!(detail.contains("nope"), "detail: {detail}");
+        }
+        other => panic!("expected error outcome, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// A full result larger than one verdict chunk arrives across several
+/// `VerdictBatch` frames whose concatenation `read_response` validates
+/// against the `Complete` frame's row count.
+#[test]
+fn large_results_stream_across_multiple_verdict_frames() {
+    let mut server = tiny_server();
+    // tag >= 0 matches all 600 rows → 3 chunks of ≤256.
+    let mut req = WireRequest::new(
+        "tiny",
+        Predicate::Clause(Clause::new("tag", CompareOp::Ge, Value::Int(0))),
+        0.9,
+    );
+    req.batch_size = Some(64);
+
+    let mut inbox = Vec::new();
+    write_frame(&mut inbox, &Frame::Request(req)).unwrap();
+    let mut outbox = Vec::new();
+    serve_connection(&server, Cursor::new(inbox), &mut outbox).unwrap();
+
+    let mut reader = Cursor::new(&outbox[..]);
+    let mut batches = 0;
+    loop {
+        match read_frame(&mut reader).unwrap().expect("stream complete") {
+            Frame::ResultHeader { .. } => {}
+            Frame::VerdictBatch { rows, .. } => {
+                assert!(rows.len() <= 256);
+                batches += 1;
+            }
+            Frame::Complete { total_rows, .. } => {
+                assert_eq!(total_rows, 600);
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(batches, 3, "600 rows must stream as 3 chunks");
+    server.shutdown();
+}
+
+/// Garbage on the wire: the connection dies with a decode error *after*
+/// sending the client a typed `Malformed` error frame.
+#[test]
+fn malformed_input_gets_a_typed_error_frame_then_hangup() {
+    let mut server = tiny_server();
+    let mut outbox = Vec::new();
+    let result = serve_connection(
+        &server,
+        Cursor::new(b"GET / HTTP/1.1\r\n".to_vec()),
+        &mut outbox,
+    );
+    assert!(matches!(result, Err(WireError::BadMagic(_))));
+    let response = read_response(&mut Cursor::new(&outbox[..])).unwrap();
+    assert_eq!(response.request_id, 0);
+    match response.outcome {
+        WireOutcome::Error { kind, .. } => assert_eq!(kind, WireErrorKind::Malformed),
+        other => panic!("expected malformed error frame, got {other:?}"),
+    }
+    server.shutdown();
+}
