@@ -27,6 +27,7 @@ use std::time::Duration;
 use pp_bench::setup::traffic_setup;
 use pp_data::traf20::traf20_queries;
 use pp_engine::fault::{FaultPlan, FaultSpec};
+use pp_engine::telemetry::LatencyHistogram;
 use pp_server::{
     rows_digest, run_chaos, AdmissionConfig, CacheConfig, ChaosConfig, PpServer, QueryRequest,
     ServerConfig, ServerFaults, SourceRegistry, SourceSpec,
@@ -133,6 +134,11 @@ fn main() {
     let mut leaked = 0usize;
     let mut poisoned = 0usize;
     let mut shared_submits = 0usize;
+    // Per-stage latency merged across every round's server: under faults
+    // the waterfall shows *where* the storm's latency (and the cancels'
+    // short-circuits) landed.
+    let mut stage_totals: std::collections::BTreeMap<String, LatencyHistogram> =
+        std::collections::BTreeMap::new();
     for round in 0..args.rounds {
         let workers = [1, 2, 4, 8][round % 4];
         let round_seed = args.seed.wrapping_add(round as u64);
@@ -182,6 +188,17 @@ fn main() {
             .is_some_and(|digest| digest == baselines[&probe.predicate.to_string()]);
         let drain = server.drain(Duration::from_millis(500));
         let round_leaked = server.in_flight();
+        for (name, hist) in server.metrics().histogram_samples() {
+            if let Some(stage) = name
+                .strip_prefix("server.stage.")
+                .and_then(|s| s.strip_suffix("_seconds"))
+            {
+                stage_totals
+                    .entry(stage.to_string())
+                    .or_default()
+                    .merge(&hist);
+            }
+        }
         writeln!(
             log,
             "# round={round} workers={workers} seed={round_seed} lost={} mismatches={} \
@@ -223,6 +240,25 @@ fn main() {
          shared_submits={shared_submits}",
         args.rounds, totals.0, totals.1, totals.2, totals.3, totals.4,
     );
+    for stage in [
+        "admission",
+        "queue",
+        "window",
+        "cache",
+        "execute",
+        "respond",
+    ] {
+        if let Some(h) = stage_totals.get(stage) {
+            if h.count() > 0 {
+                println!(
+                    "RESULT stage={stage} p50_ms={:.3} p99_ms={:.3} count={}",
+                    h.p50() * 1e3,
+                    h.p99() * 1e3,
+                    h.count()
+                );
+            }
+        }
+    }
     if lost + mismatches + leaked + poisoned > 0 {
         eprintln!("invariant violation — see {}", args.log);
         std::process::exit(1);

@@ -24,6 +24,36 @@ use pp_bench::table::{f2, Table};
 use pp_data::traf20::traf20_queries;
 use pp_server::{PpServer, QueryRequest, ServerConfig, SourceRegistry, SourceSpec};
 
+/// Waterfall order for the per-stage breakdown (solo requests skip
+/// `window`; shared requests skip `queue` — both may appear).
+const STAGE_ORDER: [&str; 6] = [
+    "admission",
+    "queue",
+    "window",
+    "cache",
+    "execute",
+    "respond",
+];
+
+/// `(stage, p50_ms, p99_ms, count)` rows in waterfall order.
+type StageQuantiles = Vec<(String, f64, f64, u64)>;
+
+/// Snapshot the server's `server.stage.<name>_seconds` histograms in
+/// waterfall order.
+fn stage_quantiles(server: &PpServer) -> StageQuantiles {
+    let samples = server.metrics().histogram_samples();
+    let mut out = Vec::new();
+    for stage in STAGE_ORDER {
+        let name = format!("server.stage.{stage}_seconds");
+        if let Some((_, h)) = samples.iter().find(|(n, _)| *n == name) {
+            if h.count() > 0 {
+                out.push((stage.to_string(), h.p50() * 1e3, h.p99() * 1e3, h.count()));
+            }
+        }
+    }
+    out
+}
+
 struct Args {
     parallelism: Vec<usize>,
     seconds: f64,
@@ -169,6 +199,7 @@ fn main() {
             "cache hit%",
         ]);
     let mut results: Vec<(usize, RunStats)> = Vec::new();
+    let mut stage_results: Vec<(usize, StageQuantiles)> = Vec::new();
     for &clients in &args.parallelism {
         let mut server = PpServer::new(
             ServerConfig {
@@ -192,6 +223,9 @@ fn main() {
             );
         }
         let stats = run_closed_loop(&server, clients, Duration::from_secs_f64(args.seconds));
+        // Per-stage waterfall quantiles from the request-trace histograms
+        // (includes the warmup pass; the measured phase dominates).
+        stage_results.push((clients, stage_quantiles(&server)));
         server.shutdown();
         let qps = stats.completed as f64 / stats.elapsed;
         let hit_pct =
@@ -232,6 +266,16 @@ fn main() {
             stats.cache_hits,
         );
     }
+    // Where the latency went: one RESULT line per (clients, stage) so CI
+    // can track stage-level regressions, not just end-to-end quantiles.
+    for (clients, stages) in &stage_results {
+        for (stage, p50_ms, p99_ms, count) in stages {
+            println!(
+                "RESULT clients={clients} stage={stage} p50_ms={p50_ms:.3} \
+                 p99_ms={p99_ms:.3} count={count}"
+            );
+        }
+    }
     let total: u64 = results.iter().map(|(_, s)| s.completed).sum();
     let failed: u64 = results.iter().map(|(_, s)| s.failed).sum();
     println!("RESULT total_completed={total} total_failed={failed} hardware_threads={cores}");
@@ -254,10 +298,27 @@ fn main() {
         } else {
             0.0
         };
+        let stages_json = stage_results
+            .iter()
+            .find(|(c, _)| c == clients)
+            .map(|(_, stages)| {
+                stages
+                    .iter()
+                    .map(|(stage, p50_ms, p99_ms, count)| {
+                        format!(
+                            "\"{stage}\": {{\"p50_ms\": {p50_ms:.3}, \
+                             \"p99_ms\": {p99_ms:.3}, \"count\": {count}}}"
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
         json.push_str(&format!(
             "    {{\"clients\": {clients}, \"qps\": {qps:.2}, \"p50_ms\": {:.3}, \
              \"p99_ms\": {:.3}, \"completed\": {}, \"rejected\": {}, \"failed\": {}, \
-             \"cache_hits\": {}, \"scaling_vs_first\": {scaling:.2}}}{}\n",
+             \"cache_hits\": {}, \"scaling_vs_first\": {scaling:.2}, \
+             \"stages\": {{{stages_json}}}}}{}\n",
             stats.p50_ms,
             stats.p99_ms,
             stats.completed,

@@ -126,6 +126,18 @@ pub enum QuarantineReason {
     BreakerTripped,
     /// Quarantined explicitly via [`RuntimeMonitor::mark_broken`].
     Manual,
+    /// An online accuracy audit found the achieved accuracy below the
+    /// promised target: replaying a sample of PP-dropped blobs through
+    /// the ground-truth UDF pipeline put the Wilson lower confidence
+    /// bound on achieved accuracy under the plan's promise. Values are
+    /// fixed-point thousandths (e.g. `950` = 0.950) so the reason stays
+    /// `Copy + Eq`.
+    AccuracyViolation {
+        /// The accuracy the plan promised, in thousandths.
+        promised_millis: u32,
+        /// The Wilson lower bound on achieved accuracy, in thousandths.
+        achieved_millis: u32,
+    },
 }
 
 /// Cumulative fault counters for one PP key.
@@ -257,6 +269,23 @@ impl RuntimeMonitor {
     /// Explicitly quarantines a PP (e.g. after an out-of-band incident).
     pub fn mark_broken(&self, pp_key: &str) {
         self.mark_broken_for(pp_key, QuarantineReason::Manual);
+    }
+
+    /// Quarantines a PP because an accuracy audit measured its achieved
+    /// accuracy (Wilson lower bound) below the promised target. Both
+    /// values are fractions in `[0, 1]`; they are stored as fixed-point
+    /// thousandths in the [`QuarantineReason`]. The planner excludes the
+    /// PP from future plans exactly like a fault-rate quarantine, so the
+    /// next (re)plan restores the accuracy guarantee without it.
+    pub fn quarantine_accuracy(&self, pp_key: &str, promised: f64, achieved_lower: f64) {
+        let to_millis = |v: f64| (v.clamp(0.0, 1.0) * 1000.0).round() as u32;
+        self.mark_broken_for(
+            pp_key,
+            QuarantineReason::AccuracyViolation {
+                promised_millis: to_millis(promised),
+                achieved_millis: to_millis(achieved_lower),
+            },
+        );
     }
 
     fn mark_broken_for(&self, pp_key: &str, reason: QuarantineReason) {

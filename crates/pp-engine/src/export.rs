@@ -139,11 +139,30 @@ pub fn openmetrics(snapshot: &TelemetrySnapshot) -> String {
     out
 }
 
-/// Renders a registry's counter/gauge samples as Prometheus/OpenMetrics
-/// text exposition (lexicographic name order, `# EOF`-terminated).
+/// Renders a registry's counter/gauge samples — and its latency
+/// histograms as cumulative-bucket Prometheus histogram families — as
+/// Prometheus/OpenMetrics text exposition (lexicographic name order,
+/// `# EOF`-terminated). Histogram `le` bounds are the power-of-two bucket
+/// upper bounds in seconds; only non-empty buckets plus the mandatory
+/// `+Inf` bucket and `_count` line are emitted.
 pub fn openmetrics_registry(registry: &MetricsRegistry) -> String {
     let mut out = String::with_capacity(1024);
     write_samples(&mut out, &registry.samples());
+    for (name, hist) in registry.histogram_samples() {
+        let name = sanitize_metric_name(&name);
+        out.push_str(&format!("# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, count) in hist.nonzero_buckets() {
+            cumulative += count;
+            let le = crate::telemetry::LatencyHistogram::bucket_upper_bound(i);
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"+Inf\"}} {}\n{name}_count {}\n",
+            hist.count(),
+            hist.count()
+        ));
+    }
     out.push_str("# EOF\n");
     out
 }
@@ -254,6 +273,27 @@ mod tests {
         let text = openmetrics_registry(&reg);
         assert!(text.contains("pp_calls_total 3\n"));
         assert!(text.contains("pp_depth 2.25\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn registry_exposition_renders_histograms() {
+        let reg = MetricsRegistry::default();
+        reg.histogram("server.stage.execute_seconds").record(0.5);
+        reg.histogram("server.stage.execute_seconds").record(0.5);
+        let text = openmetrics_registry(&reg);
+        assert!(
+            text.contains("# TYPE pp_server_stage_execute_seconds histogram\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pp_server_stage_execute_seconds_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pp_server_stage_execute_seconds_count 2\n"),
+            "{text}"
+        );
         assert!(text.ends_with("# EOF\n"));
     }
 

@@ -161,6 +161,17 @@ impl LatencyHistogram {
         self.count += other.count;
     }
 
+    /// The upper bound, in seconds, of bucket `i` (`+Inf` conceptually for
+    /// the last bucket; this returns its finite bound). Bucket 0 holds
+    /// sub-nanosecond values, so its bound is `0.0`.
+    pub fn bucket_upper_bound(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            ((1u128 << i.min(HISTOGRAM_BUCKETS - 1)) - 1) as f64 * 1e-9
+        }
+    }
+
     /// Non-empty buckets as `(bucket index, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
         self.buckets
@@ -324,6 +335,20 @@ impl MetricsRegistry {
             out.push((name.clone(), MetricValue::Gauge(g.get())));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// All histograms as `(name, loaded snapshot)` pairs in lexicographic
+    /// name order (stable export order). Deliberately separate from
+    /// [`samples`][Self::samples]: histograms record wall-clock stage
+    /// durations, so they never participate in the byte-identical
+    /// deterministic snapshots.
+    pub fn histogram_samples(&self) -> Vec<(String, LatencyHistogram)> {
+        let out: Vec<(String, LatencyHistogram)> = lock(&self.histograms)
+            .iter()
+            .map(|(n, h)| (n.clone(), h.load()))
+            .collect();
+        // BTreeMap iteration is already name-ordered; collect preserves it.
         out
     }
 

@@ -57,6 +57,7 @@
 #![warn(clippy::all)]
 
 pub mod admission;
+pub mod audit;
 pub mod cache;
 pub mod chaos;
 pub mod maintenance;
@@ -65,9 +66,11 @@ pub mod request;
 pub mod server;
 pub mod sharedscan;
 pub mod source;
+pub mod trace;
 pub mod wire;
 
 pub use admission::AdmissionConfig;
+pub use audit::{AuditConfig, AuditEntry, AuditPassReport, Auditor};
 pub use cache::{CacheConfig, CacheKey, CacheStats, CachedPlan, PlanCache};
 pub use chaos::{rows_digest, run_chaos, ChaosConfig, ChaosReport, ServerFaults};
 pub use pool::DrainPolicy;
@@ -77,6 +80,7 @@ pub use request::{
 pub use server::{DrainReport, PpServer, ServerConfig};
 pub use sharedscan::SharedScanConfig;
 pub use source::{SourceRegistry, SourceSpec};
+pub use trace::{RequestStage, RequestTimeline, StageSpan};
 pub use wire::{
     encode_frame, read_frame, read_response, serve_connection, write_frame, Frame, WireError,
     WireErrorKind, WireOutcome, WireRequest, WireResponse, MAX_FRAME_LEN,

@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use pp_core::catalog::CatalogEpoch;
 
+use crate::audit::{self, AuditPassReport};
 use crate::server::ServerInner;
 
 /// What one maintenance pass saw and did.
@@ -41,16 +42,23 @@ pub struct MaintenanceReport {
     pub examined: usize,
     /// Entries re-optimized and atomically swapped.
     pub replanned: usize,
+    /// What the accuracy-audit phase of this pass did.
+    pub audit: AuditPassReport,
 }
 
 pub(crate) fn run_once(inner: &ServerInner) -> MaintenanceReport {
+    // Accuracy audit first: replayed evidence may quarantine PPs, and the
+    // violated keys join the drifted set so the very same pass replans the
+    // affected cache entries (no extra pass of violating queries).
+    let audit_report = audit::run_pass(inner);
     let calibration = inner.monitor.calibration_report();
-    let drifted: BTreeSet<String> = calibration
+    let mut drifted: BTreeSet<String> = calibration
         .entries
         .iter()
         .filter(|e| e.drifted)
         .map(|e| e.key.clone())
         .collect();
+    drifted.extend(audit_report.violated_keys.iter().cloned());
     let needs_replan = !drifted.is_empty();
     let snapshot = inner.pps.snapshot();
     let epoch = snapshot.epoch();
@@ -133,6 +141,7 @@ pub(crate) fn run_once(inner: &ServerInner) -> MaintenanceReport {
         drifted_keys: drifted.into_iter().collect(),
         examined,
         replanned,
+        audit: audit_report,
     }
 }
 

@@ -23,6 +23,8 @@ use pp_engine::resilience::ResilienceConfig;
 use pp_engine::row::Rowset;
 use pp_engine::telemetry::TelemetrySnapshot;
 
+use crate::trace::RequestTimeline;
+
 /// One inference query submitted to the server.
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
@@ -228,6 +230,11 @@ pub struct QueryResponse {
     pub request_id: u64,
     /// What happened.
     pub outcome: QueryOutcome,
+    /// The request's stage waterfall: every serving-pipeline stage it
+    /// crossed (admission, queue/window, cache, execute, respond) with
+    /// wall-clock durations summing exactly to end-to-end latency, plus
+    /// the terminal stage it ended in (see [`crate::trace`]).
+    pub timeline: RequestTimeline,
 }
 
 /// A handle to one in-flight query. Await it with
@@ -268,9 +275,10 @@ impl QueryTicket {
     /// [`QueryOutcome::Failed`] — callers never hang or panic.
     pub fn wait(self) -> QueryResponse {
         let request_id = self.request_id;
-        self.rx.recv().unwrap_or(QueryResponse {
+        self.rx.recv().unwrap_or_else(|_| QueryResponse {
             request_id,
             outcome: QueryOutcome::Failed("worker disappeared without responding".into()),
+            timeline: RequestTimeline::empty(request_id),
         })
     }
 
@@ -286,6 +294,7 @@ impl QueryTicket {
             Err(mpsc::TryRecvError::Disconnected) => Ok(QueryResponse {
                 request_id: self.request_id,
                 outcome: QueryOutcome::Failed("worker disappeared without responding".into()),
+                timeline: RequestTimeline::empty(self.request_id),
             }),
         }
     }

@@ -44,7 +44,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pp_core::catalog::{CatalogEpoch, CatalogSnapshot, SnapshotGarbage, VersionedPpCatalog};
@@ -59,6 +59,7 @@ use pp_engine::telemetry::MetricsRegistry;
 use pp_engine::{Catalog, EngineError};
 
 use crate::admission::{check_cost_budget, AdmissionConfig, DepthGate, Permit};
+use crate::audit::{AuditConfig, Auditor};
 use crate::cache::{CacheConfig, CacheKey, CacheStats, CachedPlan, PlanCache};
 use crate::chaos::ServerFaults;
 use crate::maintenance::{self, MaintenanceHandle, MaintenanceReport};
@@ -68,6 +69,7 @@ use crate::request::{
 };
 use crate::sharedscan::{Enqueued, SharedScanConfig, SharedScanCoordinator, WindowMember};
 use crate::source::SourceRegistry;
+use crate::trace::{RequestStage, TraceContext};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -94,6 +96,8 @@ pub struct ServerConfig {
     /// Shared-scan window batching knobs
     /// ([`submit_shared`][PpServer::submit_shared]).
     pub sharedscan: SharedScanConfig,
+    /// Online accuracy-audit knobs (see [`crate::audit`]).
+    pub audit: AuditConfig,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +111,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             faults: None,
             sharedscan: SharedScanConfig::default(),
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -121,6 +126,7 @@ pub(crate) struct ServerInner {
     pub(crate) cache: PlanCache,
     pub(crate) metrics: MetricsRegistry,
     pub(crate) config: ServerConfig,
+    pub(crate) audit: Auditor,
     gate: Arc<DepthGate>,
     next_id: AtomicU64,
     shutting_down: AtomicBool,
@@ -176,6 +182,9 @@ pub(crate) struct ResponseGuard {
     cancel: CancelToken,
     permit: Option<Permit>,
     tx: Option<mpsc::Sender<QueryResponse>>,
+    /// The request's live trace; finalized (terminal stage stamped,
+    /// per-stage histograms recorded) when the response is sent.
+    pub(crate) trace: TraceContext,
 }
 
 impl ResponseGuard {
@@ -189,9 +198,32 @@ impl ResponseGuard {
         // The permit is gone *before* the response is visible, so a caller
         // unblocked by `wait()` observes the slot as free.
         drop(self.permit.take());
+        // Close the trace: whatever stage is current becomes the terminal
+        // stage, so cancelled/failed outcomes record where they died.
+        let timeline = self.trace.finish();
+        for span in &timeline.stages {
+            self.inner
+                .metrics
+                .histogram(&format!("server.stage.{}_seconds", span.name))
+                .record(span.nanos as f64 / 1e9);
+        }
+        let kind = match &outcome {
+            QueryOutcome::Complete(_) => "completed",
+            QueryOutcome::Rejected(_) => "rejected",
+            QueryOutcome::Cancelled { .. } => "cancelled",
+            QueryOutcome::Failed(_) => "failed",
+        };
+        self.inner
+            .metrics
+            .counter(&format!(
+                "server.terminal_stage_total.{}.{kind}",
+                timeline.terminal
+            ))
+            .inc();
         let _ = tx.send(QueryResponse {
             request_id: self.request_id,
             outcome,
+            timeline,
         });
     }
 }
@@ -282,6 +314,7 @@ impl PpServer {
         let maintenance_interval = config.maintenance_interval;
         let cache = PlanCache::with_config(config.cache.clone());
         let shared = Arc::new(SharedScanCoordinator::new(config.sharedscan.clone()));
+        let audit = Auditor::new(config.audit.clone());
         let inner = Arc::new(ServerInner {
             data,
             sources,
@@ -291,6 +324,7 @@ impl PpServer {
             cache,
             metrics: MetricsRegistry::new(),
             config,
+            audit,
             gate: Arc::new(DepthGate::new()),
             next_id: AtomicU64::new(1),
             shutting_down: AtomicBool::new(false),
@@ -311,6 +345,9 @@ impl PpServer {
     /// depth gate, snapshot pin, id mint, cancel-token registration, and
     /// the response guard + ticket plumbing.
     fn admit(&self, request: QueryRequest) -> Result<(WindowMember, QueryTicket), RejectReason> {
+        // The trace (and deadline) clock starts here, before any checks:
+        // admission time is part of the latency the caller observes.
+        let born = Instant::now();
         if self.inner.shutting_down.load(Ordering::SeqCst) {
             return Err(RejectReason::ShuttingDown);
         }
@@ -347,6 +384,7 @@ impl PpServer {
             cancel: cancel.clone(),
             permit: Some(permit),
             tx: Some(tx),
+            trace: TraceContext::new(request_id, born),
         };
         let member = WindowMember {
             request_id,
@@ -375,6 +413,9 @@ impl PpServer {
             snapshot,
             guard,
         } = member;
+        // Admission is done; time from here to the worker picking the job
+        // up is pool-queue wait.
+        guard.trace.enter(RequestStage::Queue);
         let queued = self.pool.submit(move || {
             let outcome = run_query(
                 &guard.inner,
@@ -382,6 +423,7 @@ impl PpServer {
                 &request,
                 &snapshot,
                 &guard.cancel,
+                &guard.trace,
                 None,
             );
             guard.finish(outcome);
@@ -404,6 +446,10 @@ impl PpServer {
     /// drain semantics are identical to `submit`.
     pub fn submit_shared(&self, request: QueryRequest) -> Result<QueryTicket, RejectReason> {
         let (member, ticket) = self.admit(request)?;
+        // The window stage covers everything between admission and this
+        // member's own execution: pool-queue wait, the claiming worker's
+        // linger, and earlier window members' runs.
+        member.guard.trace.enter(RequestStage::Window);
         match self.shared.enqueue(member) {
             Enqueued::Joined => {}
             Enqueued::Opened(window_id) => {
@@ -448,6 +494,14 @@ impl PpServer {
     /// The shared runtime monitor (calibration, drift, quarantine state).
     pub fn monitor(&self) -> &Arc<RuntimeMonitor> {
         &self.inner.monitor
+    }
+
+    /// The online accuracy auditor (pending tasks, per-PP-expression
+    /// evidence, replay cluster-seconds). Replays run inside
+    /// [`maintenance_now`][Self::maintenance_now] / the background
+    /// maintenance loop, never on the query path.
+    pub fn auditor(&self) -> &crate::audit::Auditor {
+        &self.inner.audit
     }
 
     /// Plan-cache counters.
@@ -626,6 +680,7 @@ fn run_window(inner: &Arc<ServerInner>, members: Vec<WindowMember>) {
                 &request,
                 &snapshot,
                 &guard.cancel,
+                &guard.trace,
                 Some(&memo),
             );
             guard.finish(outcome);
@@ -642,12 +697,14 @@ fn run_window(inner: &Arc<ServerInner>, members: Vec<WindowMember>) {
         .add(stats.hits);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     inner: &ServerInner,
     request_id: u64,
     request: &QueryRequest,
     snapshot: &CatalogSnapshot,
     cancel: &CancelToken,
+    trace: &TraceContext,
     memo: Option<&Arc<UdfMemo>>,
 ) -> QueryOutcome {
     // A query cancelled while queued (drain, caller, expired deadline)
@@ -671,6 +728,11 @@ fn run_query(
         request.accuracy_target,
         snapshot.epoch(),
     );
+    // Classify the cache interaction for the trace: a plan already Ready
+    // is a `hit`; otherwise `get_or_build` either single-flight-`wait`s
+    // on a concurrent builder (it reports a hit) or `build`s itself.
+    let ready_before = inner.cache.peek(&key).is_some();
+    trace.enter(RequestStage::Cache);
     let built = inner.cache.get_or_build(&key, || {
         if let Some(faults) = &inner.config.faults {
             if let Some(delay) = faults.build_delay(request_id) {
@@ -696,6 +758,13 @@ fn run_query(
             return QueryOutcome::Failed(e.to_string());
         }
     };
+    trace.note(if ready_before {
+        "hit"
+    } else if cache_hit {
+        "wait"
+    } else {
+        "build"
+    });
     if cache_hit {
         inner.metrics.counter("server.cache_hits_total").inc();
     }
@@ -727,6 +796,7 @@ fn run_query(
         builder = builder.with_batch_mode(mode);
     }
     let mut ctx = builder.build();
+    trace.enter(RequestStage::Execute);
     let result = ctx.run(&cached.plan);
     // Fold this run into the shared state regardless of outcome: service
     // metrics always, calibration only for clean runs (observe_run skips
@@ -739,6 +809,12 @@ fn run_query(
             let telemetry = telemetry.expect("successful run always has telemetry");
             inner.monitor.observe_run(&cached.report, &telemetry);
             inner.metrics.counter("server.completed_total").inc();
+            // Enqueue for the off-hot-path accuracy audit (replays happen
+            // in the maintenance pass; this only records the plan Arc).
+            inner
+                .audit
+                .observe(request_id, &request.source, &cached, &telemetry, rows.len());
+            trace.enter(RequestStage::Respond);
             QueryOutcome::Complete(Box::new(QuerySuccess {
                 rows,
                 epoch: snapshot.epoch(),

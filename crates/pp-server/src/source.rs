@@ -62,6 +62,13 @@ impl SourceSpec {
         self.udfs.iter().map(|(c, _)| c.as_str()).collect()
     }
 
+    /// The declared `(column, processor)` pairs in execution order — the
+    /// accuracy auditor replays dropped blobs through exactly these
+    /// ground-truth UDFs.
+    pub(crate) fn udf_processors(&self) -> impl Iterator<Item = (&String, &Arc<dyn Processor>)> {
+        self.udfs.iter().map(|(c, p)| (c, p))
+    }
+
     /// The unmodified plan for `predicate`: scan → the UDFs materializing
     /// each referenced column (in declaration order) → select. Columns the
     /// predicate does not touch are skipped, so the plan only pays for the

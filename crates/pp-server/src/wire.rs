@@ -20,14 +20,20 @@
 //! | `0x03` | verdict batch | request id + a chunk of result rows |
 //! | `0x04` | complete | request id + total row count |
 //! | `0x05` | error | request id, typed kind, detail, partial-work billing |
+//! | `0x06` | trace | the request's [`RequestTimeline`] stage waterfall |
 //!
-//! A successful query streams back `result header`, zero or more `verdict
-//! batch` frames (chunked [`VERDICT_CHUNK_ROWS`] rows at a time, so a
-//! client renders verdicts incrementally instead of buffering the full
-//! result), then `complete` whose row count lets the client verify it
-//! missed nothing. Anything else — admission sheds, cost rejections,
-//! cancellations/deadlines, execution failures, malformed input — arrives
-//! as exactly one typed `error` frame.
+//! Every admitted query's response stream opens with one `trace` frame
+//! carrying its [`RequestTimeline`] (per-stage wall-clock durations plus
+//! the terminal stage — see [`crate::trace`]), so clients can render a
+//! stage waterfall without any extra round trip. A successful query then
+//! streams `result header`, zero or more `verdict batch` frames (chunked
+//! [`VERDICT_CHUNK_ROWS`] rows at a time, so a client renders verdicts
+//! incrementally instead of buffering the full result), then `complete`
+//! whose row count lets the client verify it missed nothing. Anything
+//! else — admission sheds, cost rejections, cancellations/deadlines,
+//! execution failures, malformed input — arrives as exactly one typed
+//! `error` frame (synchronous sheds carry no trace: the request never
+//! admitted).
 //!
 //! Frames larger than [`MAX_FRAME_LEN`] are rejected *before* any payload
 //! allocation ([`WireError::FrameTooLarge`]), truncated payloads surface
@@ -53,6 +59,7 @@ use pp_linalg::sparse::SparseVector;
 
 use crate::request::{QueryOutcome, QueryRequest};
 use crate::server::PpServer;
+use crate::trace::{RequestTimeline, StageSpan};
 
 /// Frame magic: protocol name + version.
 pub const MAGIC: [u8; 4] = *b"PPW1";
@@ -69,6 +76,7 @@ const TYPE_RESULT_HEADER: u8 = 0x02;
 const TYPE_VERDICT_BATCH: u8 = 0x03;
 const TYPE_COMPLETE: u8 = 0x04;
 const TYPE_ERROR: u8 = 0x05;
+const TYPE_TRACE: u8 = 0x06;
 
 /// Decode/encode/transport failures of the wire codec.
 #[derive(Debug)]
@@ -257,6 +265,11 @@ pub enum Frame {
         /// Total rows streamed — clients verify against what they saw.
         total_rows: u64,
     },
+    /// Server → client: the request's stage waterfall. Sent once per
+    /// admitted query, *before* the terminal `ResultHeader`/`Error`
+    /// frames, so response collectors terminate on the same frame they
+    /// always did.
+    Trace(RequestTimeline),
     /// Server → client: the query ended without a verdict stream.
     Error {
         /// Request id (0 when the request never reached admission).
@@ -638,6 +651,24 @@ fn encode_payload(frame: &Frame) -> (u8, Vec<u8>) {
             put_u64(&mut out, charged_cluster_seconds.to_bits());
             TYPE_ERROR
         }
+        Frame::Trace(timeline) => {
+            put_u64(&mut out, timeline.trace_id);
+            put_string(&mut out, &timeline.terminal);
+            put_u64(&mut out, timeline.total_nanos);
+            put_u32(&mut out, timeline.stages.len() as u32);
+            for stage in &timeline.stages {
+                put_string(&mut out, &stage.name);
+                match &stage.detail {
+                    Some(d) => {
+                        out.push(1);
+                        put_string(&mut out, d);
+                    }
+                    None => out.push(0),
+                }
+                put_u64(&mut out, stage.nanos);
+            }
+            TYPE_TRACE
+        }
     };
     (ty, out)
 }
@@ -720,6 +751,33 @@ fn decode_payload(ty: u8, payload: &[u8]) -> Result<Frame, WireError> {
                 charged_cluster_seconds,
             }
         }
+        TYPE_TRACE => {
+            let trace_id = cur.u64()?;
+            let terminal = cur.string()?;
+            let total_nanos = cur.u64()?;
+            let n = cur.u32()? as usize;
+            let mut stages = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let name = cur.string()?;
+                let detail = match cur.u8()? {
+                    0 => None,
+                    1 => Some(cur.string()?),
+                    other => return Err(WireError::Malformed(format!("detail flag {other}"))),
+                };
+                let nanos = cur.u64()?;
+                stages.push(StageSpan {
+                    name,
+                    detail,
+                    nanos,
+                });
+            }
+            Frame::Trace(RequestTimeline {
+                trace_id,
+                stages,
+                terminal,
+                total_nanos,
+            })
+        }
         other => return Err(WireError::UnknownFrameType(other)),
     };
     cur.finished()?;
@@ -786,6 +844,10 @@ pub struct WireResponse {
     pub request_id: u64,
     /// How the query ended.
     pub outcome: WireOutcome,
+    /// The request's stage waterfall from the server's `Trace` frame;
+    /// `None` when the request was shed before admission (no trace
+    /// exists) or the server predates the frame.
+    pub trace: Option<RequestTimeline>,
 }
 
 /// The client-visible ending of a wire query.
@@ -821,6 +883,7 @@ pub enum WireOutcome {
 pub fn read_response<R: Read>(reader: &mut R) -> Result<WireResponse, WireError> {
     let mut header: Option<(u64, u64, bool, Vec<String>)> = None;
     let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut trace: Option<RequestTimeline> = None;
     loop {
         let frame = read_frame(reader)?.ok_or(WireError::Truncated)?;
         match frame {
@@ -868,6 +931,7 @@ pub fn read_response<R: Read>(reader: &mut R) -> Result<WireResponse, WireError>
                         columns,
                         rows,
                     },
+                    trace,
                 });
             }
             Frame::Error {
@@ -885,7 +949,14 @@ pub fn read_response<R: Read>(reader: &mut R) -> Result<WireResponse, WireError>
                         rows_processed,
                         charged_cluster_seconds,
                     },
+                    trace,
                 });
+            }
+            Frame::Trace(timeline) => {
+                if trace.is_some() {
+                    return Err(WireError::Malformed("duplicate trace frame".into()));
+                }
+                trace = Some(timeline);
             }
             Frame::Request(_) => {
                 return Err(WireError::Malformed("request frame from server".into()));
@@ -956,6 +1027,9 @@ pub fn serve_connection<R: Read, W: Write>(
             Ok(ticket) => {
                 let request_id = ticket.request_id();
                 let response = ticket.wait();
+                // The trace precedes the terminal frames so collectors
+                // still terminate on `Complete`/`Error` as before.
+                write_frame(&mut writer, &Frame::Trace(response.timeline))?;
                 write_outcome(&mut writer, request_id, response.outcome)?;
             }
             Err(reject) => {

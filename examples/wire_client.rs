@@ -100,6 +100,30 @@ fn main() {
                 .expect("read frame")
                 .expect("stream open");
             match frame {
+                Frame::Trace(timeline) => {
+                    // The server streams the request's stage waterfall just
+                    // before the terminal frames: where every nanosecond of
+                    // the observed latency went.
+                    println!(
+                        "[client] trace {} total={:.3}ms terminal={}",
+                        timeline.trace_id,
+                        timeline.total_nanos as f64 / 1e6,
+                        timeline.terminal
+                    );
+                    for span in &timeline.stages {
+                        let detail = span
+                            .detail
+                            .as_deref()
+                            .map(|d| format!(" ({d})"))
+                            .unwrap_or_default();
+                        println!(
+                            "[client]   {:<10}{} {:>10.3}ms",
+                            span.name,
+                            detail,
+                            span.nanos as f64 / 1e6
+                        );
+                    }
+                }
                 Frame::ResultHeader {
                     request_id,
                     epoch,
@@ -143,7 +167,24 @@ fn main() {
                 let response = read_response(&mut stream).expect("read response");
                 match response.outcome {
                     WireOutcome::Complete { rows, .. } => {
-                        println!("[client] shared `{predicate}`: {} rows", rows.len());
+                        // `read_response` surfaces the trace frame too: the
+                        // window stage shows the linger this query spent
+                        // waiting to share its scan.
+                        let waterfall = response
+                            .trace
+                            .as_ref()
+                            .map(|t| {
+                                t.stages
+                                    .iter()
+                                    .map(|s| format!("{}={:.3}ms", s.name, s.nanos as f64 / 1e6))
+                                    .collect::<Vec<_>>()
+                                    .join(" ")
+                            })
+                            .unwrap_or_default();
+                        println!(
+                            "[client] shared `{predicate}`: {} rows [{waterfall}]",
+                            rows.len()
+                        );
                     }
                     WireOutcome::Error { kind, detail, .. } => {
                         println!("[client] shared `{predicate}` failed {kind:?}: {detail}");

@@ -520,8 +520,13 @@ fn storm_fault_decisions_replay_from_the_seed() {
     let workload = storm_workload(12);
     let run = |publish_storm: bool| {
         let f = fixture();
+        // One worker: the storm repeats predicates, so with concurrent
+        // workers two same-key requests race in single-flight plan
+        // building and the *builder* — whose id keys the injected-failure
+        // draw — is scheduling-dependent. Serial execution keeps fault
+        // attribution a pure function of the seed and submit order.
         let server = make_server(ServerConfig {
-            workers: 2,
+            workers: 1,
             faults: Some(ServerFaults {
                 plan_build_failure: 0.25,
                 ..ServerFaults::new(0xABCD)

@@ -7,9 +7,15 @@
 //! parallelism K ∈ {1, 2, 4, 8} × batch ∈ {1, 7, 64}, with and without
 //! seeded fault injection. A second group covers the cost-meter /
 //! query-metrics edge cases: zero-row inputs, fully-filtering plans, the
-//! breaker-open fail-open path, and context reuse across runs.
+//! breaker-open fail-open path, and context reuse across runs. A third
+//! group extends the promise to the serving stack's request timelines:
+//! stage spans telescope exactly to the end-to-end latency, the timeline
+//! *structure* (stage names, details, terminal stage) is byte-identical
+//! across engine configurations, and cancelled/failed requests stamp the
+//! stage they died in.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use probabilistic_predicates::core::planner::{PpQueryOptimizer, QoConfig};
 use probabilistic_predicates::core::train::{PpTrainer, TrainerConfig};
@@ -19,6 +25,7 @@ use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
 use probabilistic_predicates::engine::exec::ExecutionContext;
 use probabilistic_predicates::engine::predicate::{Clause, CompareOp, Predicate};
 use probabilistic_predicates::engine::udf::{ClosureFilter, ClosureProcessor};
+use probabilistic_predicates::engine::BatchMode;
 use probabilistic_predicates::engine::{
     Catalog, EngineError, EventKind, FaultPlan, FaultSpec, LogicalPlan, QueryId, ResilienceConfig,
     RetryPolicy, Row, Rowset, Value,
@@ -26,6 +33,10 @@ use probabilistic_predicates::engine::{
 use probabilistic_predicates::ml::pipeline::{Approach, ModelSpec};
 use probabilistic_predicates::ml::reduction::ReducerSpec;
 use probabilistic_predicates::ml::svm::SvmParams;
+use probabilistic_predicates::server::{
+    PpServer, QueryOutcome, QueryRequest, QueryResponse, ServerConfig, ServerFaults,
+    SourceRegistry, SourceSpec,
+};
 
 /// A PP-optimized TRAF-20 Q1 plan over a held-out slice, plus the name of
 /// the injected PP filter (the fault-plan target).
@@ -291,4 +302,249 @@ fn context_reuse_restarts_metrics_and_telemetry_from_zero() {
     );
     // Registry counters are cumulative across runs by design.
     assert_eq!(ctx.registry().counter("queries_total").get(), 2);
+}
+
+// ---- Request timelines through the serving stack -----------------------
+
+/// A servable traffic fixture (mirrors `tests/serving.rs`): trained PPs
+/// over the first half of the dataset, held-out rows registered for
+/// execution, and a source materializing every predicate column.
+struct ServeFixture {
+    catalog: Catalog,
+    sources: SourceRegistry,
+    pp_catalog: probabilistic_predicates::core::PpCatalog,
+    domains: Domains,
+    suv: Predicate,
+}
+
+fn serve_fixture() -> &'static ServeFixture {
+    static FIXTURE: OnceLock<ServeFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = TrafficDataset::generate(TrafficConfig {
+            n_frames: 800,
+            seed: 0x0B5E,
+            ..Default::default()
+        });
+        let trainer = PpTrainer::new(TrainerConfig {
+            approach_override: Some(Approach {
+                reducer: ReducerSpec::Identity,
+                model: ModelSpec::Svm(SvmParams::default()),
+            }),
+            cost_per_row: Some(0.0025),
+            ..Default::default()
+        });
+        let clauses = TrafficDataset::pp_corpus_clauses();
+        let labeled: Vec<_> = clauses
+            .iter()
+            .map(|c| dataset.labeled_for_clause_range(c, 0..400))
+            .collect();
+        let pp_catalog = trainer.train_catalog(&clauses, &labeled).expect("train");
+        let mut domains = Domains::new();
+        for (col, values) in TrafficDataset::column_domains() {
+            domains.declare(col, values);
+        }
+        let mut catalog = Catalog::new();
+        dataset.register_slice(&mut catalog, 400..800);
+        let mut sources = SourceRegistry::new();
+        let mut spec = SourceSpec::new("traffic");
+        for col in ["vehType", "vehColor", "speed", "fromI", "toI"] {
+            spec = spec.with_udf(col, dataset.udf(col).expect("known column"));
+        }
+        sources.register("traffic", spec);
+        ServeFixture {
+            catalog,
+            sources,
+            pp_catalog,
+            domains,
+            suv: Predicate::from(Clause::new("vehType", CompareOp::Eq, "SUV")),
+        }
+    })
+}
+
+fn serve_server(config: ServerConfig) -> PpServer {
+    let f = serve_fixture();
+    PpServer::new(
+        config,
+        f.catalog.clone(),
+        f.sources.clone(),
+        f.pp_catalog.clone(),
+        f.domains.clone(),
+    )
+}
+
+fn serve_one(server: &PpServer, request: QueryRequest) -> QueryResponse {
+    server.submit(request).expect("admitted").wait()
+}
+
+/// The tentpole invariant, serving edition: every stage span telescopes
+/// off the same clock, so the spans sum *exactly* to the end-to-end
+/// latency, and the timeline's structure — stage names, cache detail,
+/// terminal stage — is byte-identical across `BatchMode` × parallelism ×
+/// batch size, with and without seeded engine faults. (Fresh server per
+/// config: `CacheKey` ignores engine knobs, so a shared server would flip
+/// the cache detail from `build` to `hit` across configs.)
+#[test]
+fn request_timelines_are_structure_identical_across_engine_configs() {
+    let f = serve_fixture();
+    for fault_seed in [None, Some(0xFA07u64)] {
+        let mut reference: Option<String> = None;
+        let mut histogram_reference: Option<Vec<(String, u64)>> = None;
+        for mode in [BatchMode::Rows, BatchMode::Columnar] {
+            for parallelism in [1usize, 4] {
+                for batch_size in [1usize, 64] {
+                    let mut server = serve_server(ServerConfig {
+                        workers: 1,
+                        ..Default::default()
+                    });
+                    let mut request = QueryRequest::new("traffic", f.suv.clone(), 0.95)
+                        .with_batch_mode(mode)
+                        .with_parallelism(parallelism)
+                        .with_batch_size(batch_size);
+                    if let Some(seed) = fault_seed {
+                        // Target the source's UDFs rather than a PP op so
+                        // the fault plan is plan-shape-agnostic; PPs fail
+                        // open, UDF faults retry deterministically.
+                        request = request.with_fault_plan(
+                            FaultPlan::new(seed)
+                                .inject("VehTypeClassifier", FaultSpec::transient(0.15)),
+                        );
+                    }
+                    let response = serve_one(&server, request);
+                    assert!(
+                        matches!(response.outcome, QueryOutcome::Complete(_)),
+                        "mode={mode:?} K={parallelism} batch={batch_size}: {:?}",
+                        response.outcome
+                    );
+                    let timeline = &response.timeline;
+                    let span_sum: u64 = timeline.stages.iter().map(|s| s.nanos).sum();
+                    assert_eq!(
+                        span_sum, timeline.total_nanos,
+                        "stage spans must telescope exactly to the end-to-end latency"
+                    );
+                    assert_eq!(timeline.terminal, "respond");
+                    assert_eq!(
+                        timeline.stage_names(),
+                        vec!["admission", "queue", "cache", "execute", "respond"]
+                    );
+                    let structure = timeline.zero_durations().to_json();
+                    match &reference {
+                        None => reference = Some(structure),
+                        Some(expected) => assert_eq!(
+                            expected, &structure,
+                            "timeline structure diverged at mode={mode:?} K={parallelism} \
+                             batch={batch_size} faults={fault_seed:?}"
+                        ),
+                    }
+                    // Histogram *counts* (names and observation counts, not
+                    // wall-clock values) are config-independent too: one
+                    // observation per stage per request.
+                    let histogram_counts: Vec<(String, u64)> = server
+                        .metrics()
+                        .histogram_samples()
+                        .into_iter()
+                        .map(|(name, h)| (name, h.count()))
+                        .collect();
+                    for stage in ["admission", "queue", "cache", "execute", "respond"] {
+                        assert!(
+                            histogram_counts
+                                .iter()
+                                .any(|(n, c)| n == &format!("server.stage.{stage}_seconds")
+                                    && *c == 1),
+                            "missing stage histogram for {stage}: {histogram_counts:?}"
+                        );
+                    }
+                    match &histogram_reference {
+                        None => histogram_reference = Some(histogram_counts),
+                        Some(expected) => assert_eq!(
+                            expected, &histogram_counts,
+                            "histogram names/counts diverged at mode={mode:?} \
+                             K={parallelism} batch={batch_size} faults={fault_seed:?}"
+                        ),
+                    }
+                    server.shutdown();
+                }
+            }
+        }
+    }
+}
+
+/// Cancelled and failed requests stamp the stage they died in, and the
+/// server aggregates terminal stages into
+/// `server.terminal_stage_total.<stage>.<outcome>` counters.
+#[test]
+fn terminal_stage_records_where_requests_die() {
+    let f = serve_fixture();
+    // An already-expired deadline cancels the request while it is still
+    // queued: no planning, nothing billed, terminal stage `queue`.
+    let server = serve_server(ServerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let response = serve_one(
+        &server,
+        QueryRequest::new("traffic", f.suv.clone(), 0.95).with_deadline(Duration::ZERO),
+    );
+    assert!(
+        matches!(response.outcome, QueryOutcome::Cancelled { .. }),
+        "{:?}",
+        response.outcome
+    );
+    assert_eq!(response.timeline.terminal, "queue");
+    assert_eq!(
+        server
+            .metrics()
+            .counter("server.terminal_stage_total.queue.cancelled")
+            .get(),
+        1
+    );
+
+    // An injected plan-build failure dies in the cache stage.
+    let server = serve_server(ServerConfig {
+        workers: 1,
+        faults: Some(ServerFaults {
+            plan_build_failure: 1.0,
+            ..ServerFaults::new(7)
+        }),
+        ..Default::default()
+    });
+    let response = serve_one(&server, QueryRequest::new("traffic", f.suv.clone(), 0.95));
+    assert!(
+        matches!(response.outcome, QueryOutcome::Failed(_)),
+        "{:?}",
+        response.outcome
+    );
+    assert_eq!(response.timeline.terminal, "cache");
+    assert_eq!(
+        server
+            .metrics()
+            .counter("server.terminal_stage_total.cache.failed")
+            .get(),
+        1
+    );
+}
+
+/// Shared-scan submissions trace a `window` stage (admission → window →
+/// cache → execute → respond) instead of the solo `queue` stage.
+#[test]
+fn shared_submissions_trace_the_window_stage() {
+    let f = serve_fixture();
+    let server = serve_server(ServerConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    let response = server
+        .submit_shared(QueryRequest::new("traffic", f.suv.clone(), 0.95))
+        .expect("admitted")
+        .wait();
+    assert!(
+        matches!(response.outcome, QueryOutcome::Complete(_)),
+        "{:?}",
+        response.outcome
+    );
+    assert_eq!(
+        response.timeline.stage_names(),
+        vec!["admission", "window", "cache", "execute", "respond"]
+    );
+    let span_sum: u64 = response.timeline.stages.iter().map(|s| s.nanos).sum();
+    assert_eq!(span_sum, response.timeline.total_nanos);
 }

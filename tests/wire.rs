@@ -23,7 +23,9 @@ use probabilistic_predicates::server::wire::{
     encode_frame, read_frame, read_response, serve_connection, write_frame, Frame, WireError,
     WireErrorKind, WireOutcome, WireRequest, MAX_FRAME_LEN,
 };
-use probabilistic_predicates::server::{PpServer, ServerConfig, SourceRegistry, SourceSpec};
+use probabilistic_predicates::server::{
+    PpServer, RequestTimeline, ServerConfig, SourceRegistry, SourceSpec, StageSpan,
+};
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -117,6 +119,31 @@ fn corpus() -> Vec<(&'static str, Frame)> {
                 request_id: 7,
                 total_rows: 2,
             },
+        ),
+        (
+            "trace",
+            Frame::Trace(RequestTimeline {
+                trace_id: 7,
+                total_nanos: 6_000,
+                terminal: "respond".into(),
+                stages: vec![
+                    StageSpan {
+                        name: "admission".into(),
+                        detail: None,
+                        nanos: 1_000,
+                    },
+                    StageSpan {
+                        name: "cache".into(),
+                        detail: Some("hit".into()),
+                        nanos: 2_000,
+                    },
+                    StageSpan {
+                        name: "execute".into(),
+                        detail: None,
+                        nanos: 3_000,
+                    },
+                ],
+            }),
         ),
         (
             "error",
@@ -351,7 +378,7 @@ fn large_results_stream_across_multiple_verdict_frames() {
     let mut batches = 0;
     loop {
         match read_frame(&mut reader).unwrap().expect("stream complete") {
-            Frame::ResultHeader { .. } => {}
+            Frame::Trace(_) | Frame::ResultHeader { .. } => {}
             Frame::VerdictBatch { rows, .. } => {
                 assert!(rows.len() <= 256);
                 batches += 1;
