@@ -71,8 +71,8 @@ fn walk(
     out: &mut Vec<PushablePredicate>,
 ) -> Result<SubtreeInfo> {
     match plan {
-        LogicalPlan::Scan { table } => {
-            let schema = catalog.table(table)?.schema().clone();
+        LogicalPlan::Scan { table, .. } => {
+            let schema = catalog.table_schema(table)?;
             let blob = schema
                 .columns()
                 .iter()
@@ -206,7 +206,7 @@ pub fn inject_above_scan(
 
 fn inject_rec(plan: &LogicalPlan, table: &str, filter: &Arc<dyn RowFilter>) -> (LogicalPlan, bool) {
     match plan {
-        LogicalPlan::Scan { table: t } if t == table => (
+        LogicalPlan::Scan { table: t, .. } if t == table => (
             LogicalPlan::Filter {
                 input: Box::new(plan.clone()),
                 filter: filter.clone(),

@@ -49,7 +49,7 @@ pub use calibration::{
 };
 pub use catalog::{CatalogEpoch, CatalogSnapshot, PpCatalog, SnapshotGarbage, VersionedPpCatalog};
 pub use expr::PpExpr;
-pub use planner::{PpQueryOptimizer, QoConfig};
+pub use planner::{PpQueryOptimizer, QoConfig, ZonePushdownReport};
 pub use pp::ProbabilisticPredicate;
 pub use runtime::{MonitorConfig, QuarantineReason, RuntimeMonitor};
 

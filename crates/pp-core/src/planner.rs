@@ -20,9 +20,11 @@ use pp_engine::cost::CostModel;
 use pp_engine::explain::{predict, OperatorPrediction, PredictionHints};
 use pp_engine::logical::{LogicalPlan, OpParallelism};
 use pp_engine::predicate::Predicate;
-use pp_engine::Catalog;
+use pp_engine::schema::Schema;
+use pp_engine::{prune_stats, shard_prune_stats, Catalog};
 
 use crate::alloc::{allocate, allocate_uniform, AccuracyGrid};
+use crate::calibration::CalibrationRecord;
 use crate::catalog::PpCatalog;
 use crate::combine::{plan_cost_per_blob, Estimate};
 use crate::expr::{Assignment, PlannedPpExpr, PpExpr};
@@ -112,6 +114,25 @@ impl ChosenPlan {
     }
 }
 
+/// One zone-map pushdown decision: the storable conjuncts of a query
+/// predicate handed to a segment-backed scan, with the predicted prune
+/// effect. Zone maps behave as zero-cost, accuracy-1.0 leaf PPs — they
+/// only skip row groups the predicate provably cannot match, so verdicts
+/// never change and no accuracy budget is spent.
+#[derive(Debug, Clone)]
+pub struct ZonePushdownReport {
+    /// The provider-backed table the pushdown targets.
+    pub table: String,
+    /// Display form of the pushed-down (storable-column) predicate.
+    pub predicate: String,
+    /// Row groups across all shards.
+    pub row_groups_total: usize,
+    /// Row groups the zone maps prove cannot match — these are skipped.
+    pub row_groups_pruned: usize,
+    /// Rows inside the pruned groups.
+    pub rows_pruned: usize,
+}
+
 /// A report of what the optimizer saw and decided.
 #[derive(Debug, Clone, Default)]
 pub struct PlanReport {
@@ -135,6 +156,8 @@ pub struct PlanReport {
     /// same charge order — the "plan" side of
     /// [`ExplainAnalyze`](pp_engine::explain::ExplainAnalyze).
     pub predictions: Vec<OperatorPrediction>,
+    /// Zone-map pushdowns applied to segment-backed scans, one per table.
+    pub zone_pushdowns: Vec<ZonePushdownReport>,
 }
 
 impl PlanReport {
@@ -237,6 +260,47 @@ impl PpQueryOptimizer {
                 _ => Predicate::And(preds),
             }
             .simplify();
+            // Zone-map pushdown (the store's "PPs for free", §5): the
+            // conjuncts evaluable over the provider's *stored* columns are
+            // handed to the scan, where per-group zone maps skip row
+            // groups that provably cannot match. Only applies when the
+            // scan actually runs against the provider (an in-memory table
+            // of the same name shadows it). Runs regardless of whether a
+            // trained PP is injected — the two prune independently.
+            if catalog.table(&table).is_err() {
+                if let Some(provider) = catalog.provider(&table) {
+                    if let Some(push) = storable_conjuncts(&predicate, &provider.schema()) {
+                        let stats = prune_stats(provider.as_ref(), &push);
+                        if let Some(m) = monitor {
+                            let key = format!("zone[{table}:{push}]");
+                            for (s, ss) in shard_prune_stats(provider.as_ref(), &push)
+                                .iter()
+                                .enumerate()
+                            {
+                                let frac = ss.row_fraction();
+                                m.record_shard_calibration(
+                                    &key,
+                                    s,
+                                    CalibrationRecord {
+                                        predicted_reduction: frac,
+                                        observed_reduction: frac,
+                                        predicted_cost: 0.0,
+                                        observed_cost: 0.0,
+                                    },
+                                );
+                            }
+                        }
+                        report.zone_pushdowns.push(ZonePushdownReport {
+                            table: table.clone(),
+                            predicate: push.to_string(),
+                            row_groups_total: stats.groups_total,
+                            row_groups_pruned: stats.groups_pruned,
+                            rows_pruned: stats.rows_pruned,
+                        });
+                        out_plan = out_plan.with_scan_pushdown(&table, &push);
+                    }
+                }
+            }
             let outcome = rewrite(
                 &predicate,
                 &self.pp_catalog,
@@ -349,6 +413,29 @@ impl PpQueryOptimizer {
             plan: out_plan,
             report,
         })
+    }
+}
+
+/// The conjuncts of `predicate` whose columns all exist in the stored
+/// `schema` — the portion a segment scan can evaluate with zone maps.
+/// `None` when nothing is storable (e.g. every conjunct references
+/// UDF-produced columns that only exist above a Process operator).
+fn storable_conjuncts(predicate: &Predicate, schema: &Schema) -> Option<Predicate> {
+    let conjuncts: Vec<Predicate> = match predicate {
+        Predicate::And(ps) => ps.clone(),
+        p => vec![p.clone()],
+    };
+    let mut kept: Vec<Predicate> = conjuncts
+        .into_iter()
+        .filter(|c| {
+            let cols = c.columns();
+            !cols.is_empty() && cols.iter().all(|col| schema.index_of(col).is_ok())
+        })
+        .collect();
+    match kept.len() {
+        0 => None,
+        1 => Some(kept.swap_remove(0)),
+        _ => Some(Predicate::And(kept)),
     }
 }
 

@@ -423,6 +423,17 @@ impl RuntimeMonitor {
         self.inner.write().calibration.record(key, record);
     }
 
+    /// Records one predicted-vs-observed calibration record for a
+    /// (PP, shard) pair under the composite key `{key}@shard{shard}`.
+    /// Shard-level zone-map pruning rates differ when data is skewed
+    /// across segment files (one camera's frames cluster in one shard),
+    /// so the planner seeds and tracks calibration per shard; the
+    /// composite keys surface alongside plain keys in
+    /// [`calibration_report`](Self::calibration_report).
+    pub fn record_shard_calibration(&self, key: &str, shard: usize, record: CalibrationRecord) {
+        self.record_calibration(&format!("{key}@shard{shard}"), record);
+    }
+
     /// The accumulated calibration summary for `key`, or `None` if never
     /// recorded.
     pub fn calibration_summary(&self, key: &str) -> Option<CalibrationSummary> {

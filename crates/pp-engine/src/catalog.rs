@@ -3,13 +3,18 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::row::Rowset;
+use crate::provider::TableProvider;
+use crate::row::{Row, Rowset};
+use crate::schema::Schema;
 use crate::{EngineError, Result};
 
-/// Named, materialized tables visible to plans.
+/// Named tables visible to plans: materialized in-memory [`Rowset`]s
+/// and/or out-of-core [`TableProvider`]s. When both are registered under
+/// one name, the in-memory table shadows the provider.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Arc<Rowset>>,
+    providers: HashMap<String, Arc<dyn TableProvider>>,
 }
 
 impl Catalog {
@@ -28,23 +33,81 @@ impl Catalog {
         self.tables.insert(name.into(), table);
     }
 
-    /// Looks up a table.
+    /// Registers (or replaces) an out-of-core table provider.
+    pub fn register_provider(&mut self, name: impl Into<String>, provider: Arc<dyn TableProvider>) {
+        self.providers.insert(name.into(), provider);
+    }
+
+    /// Looks up an in-memory table.
     pub fn table(&self, name: &str) -> Result<&Arc<Rowset>> {
         self.tables
             .get(name)
             .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
     }
 
-    /// Table names (unordered).
+    /// Looks up an out-of-core provider, if one is registered.
+    pub fn provider(&self, name: &str) -> Option<&Arc<dyn TableProvider>> {
+        self.providers.get(name)
+    }
+
+    /// The schema of a table, whether in-memory or provider-backed.
+    pub fn table_schema(&self, name: &str) -> Result<Arc<Schema>> {
+        if let Some(t) = self.tables.get(name) {
+            return Ok(t.schema().clone());
+        }
+        self.providers
+            .get(name)
+            .map(|p| p.schema())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// The row count of a table, whether in-memory or provider-backed.
+    pub fn table_rows(&self, name: &str) -> Result<usize> {
+        if let Some(t) = self.tables.get(name) {
+            return Ok(t.len());
+        }
+        self.providers
+            .get(name)
+            .map(|p| p.row_count())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Materializes a table as a [`Rowset`]: a cheap clone for in-memory
+    /// tables, a full decode (in group order) for provider-backed ones.
+    /// Off-hot-path consumers (training, audit replay) use this; the
+    /// executor streams groups instead.
+    pub fn read_table(&self, name: &str) -> Result<Rowset> {
+        if let Some(t) = self.tables.get(name) {
+            return Ok((**t).clone());
+        }
+        let provider = self
+            .providers
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        let mut rows: Vec<Row> = Vec::with_capacity(provider.row_count());
+        for g in 0..provider.group_count() {
+            rows.extend(provider.read_group(g)?);
+        }
+        Rowset::new(provider.schema(), rows)
+    }
+
+    /// Table names (unordered; provider-only names included once).
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
-        self.tables.keys().map(String::as_str)
+        self.tables.keys().map(String::as_str).chain(
+            self.providers
+                .keys()
+                .filter(|k| !self.tables.contains_key(*k))
+                .map(String::as_str),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::schema::{Column, DataType, Schema};
+    use crate::provider::MemoryProvider;
+    use crate::schema::{Column, DataType};
+    use crate::value::Value;
 
     #[test]
     fn register_and_lookup() {
@@ -67,5 +130,52 @@ mod tests {
         let schema2 = Schema::new(vec![Column::new("y", DataType::Str)]).unwrap();
         c.register("t", Rowset::empty(schema2));
         assert!(c.table("t").unwrap().schema().contains("y"));
+    }
+
+    fn sample_provider(n: usize) -> Arc<MemoryProvider> {
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        let rows: Vec<Row> = (0..n)
+            .map(|i| Row::new(vec![Value::Int(i as i64)]))
+            .collect();
+        Arc::new(MemoryProvider::new(
+            Arc::new(Rowset::new(schema, rows).unwrap()),
+            4,
+            1,
+        ))
+    }
+
+    #[test]
+    fn provider_backed_lookups() {
+        let mut c = Catalog::new();
+        c.register_provider("disk", sample_provider(10));
+        assert!(c.table("disk").is_err(), "no in-memory table");
+        assert!(c.provider("disk").is_some());
+        assert_eq!(c.table_rows("disk").unwrap(), 10);
+        assert_eq!(c.table_schema("disk").unwrap().len(), 1);
+        let materialized = c.read_table("disk").unwrap();
+        assert_eq!(materialized.len(), 10);
+        assert_eq!(c.table_names().count(), 1);
+        assert!(matches!(
+            c.table_schema("missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            c.table_rows("missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            c.read_table("missing"),
+            Err(EngineError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn in_memory_shadows_provider() {
+        let mut c = Catalog::new();
+        c.register_provider("t", sample_provider(10));
+        let schema = Schema::new(vec![Column::new("x", DataType::Int)]).unwrap();
+        c.register("t", Rowset::empty(schema));
+        assert_eq!(c.table_rows("t").unwrap(), 0);
+        assert_eq!(c.table_names().count(), 1);
     }
 }

@@ -274,6 +274,11 @@ impl<'a> ExecutionContext<'a> {
         let mut tel = SpanCollector::new(
             self.registry.counter("worker.rows_probed_total"),
             self.registry.counter("worker.batches_total"),
+        )
+        .with_store_counters(
+            self.registry.counter("store.row_groups_scanned_total"),
+            self.registry.counter("store.row_groups_pruned_total"),
+            self.registry.counter("store.bytes_read_total"),
         );
         // Memoize before fault application so fault shims wrap the
         // memoized UDFs: injected faults fire identically to solo runs

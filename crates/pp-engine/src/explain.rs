@@ -148,7 +148,7 @@ fn predict_into(
 ) -> Result<f64> {
     // Recurse inputs first so `out.len()` is this node's charge index.
     let (rows_in, left_rows) = match plan {
-        LogicalPlan::Scan { table } => (catalog.table(table)?.len() as f64, 0.0),
+        LogicalPlan::Scan { table, .. } => (catalog.table_rows(table)? as f64, 0.0),
         LogicalPlan::Process { input, .. }
         | LogicalPlan::Select { input, .. }
         | LogicalPlan::Filter { input, .. }
@@ -176,7 +176,19 @@ fn predict_into(
         .ok_or_else(|| EngineError::InvalidPlan("prediction traversal diverged".into()))?;
     let ratio = hints.ratio(&op).unwrap_or(1.0);
     let (rows_out, seconds) = match plan {
-        LogicalPlan::Scan { .. } => (rows_in * ratio, rows_in * model.scan),
+        // Provider-backed scans with a pushdown predict zone-map pruning
+        // *exactly* (zone maps are static, an accuracy-1.0 PP): rows_out
+        // and seconds cover only the rows surviving group pruning, which
+        // is precisely what the executor emits and charges.
+        LogicalPlan::Scan { table, pushdown } => {
+            let kept = match (catalog.provider(table), pushdown) {
+                (Some(p), Some(pred)) if catalog.table(table).is_err() => {
+                    rows_in - crate::provider::prune_stats(p.as_ref(), pred).rows_pruned as f64
+                }
+                _ => rows_in,
+            };
+            (kept * ratio, kept * model.scan)
+        }
         LogicalPlan::Process { processor, .. } => {
             (rows_in * ratio, rows_in * processor.cost_per_row())
         }

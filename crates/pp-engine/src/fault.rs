@@ -255,8 +255,9 @@ impl FaultPlan {
     /// run.
     pub fn apply(&self, plan: &LogicalPlan) -> LogicalPlan {
         match plan {
-            LogicalPlan::Scan { table } => LogicalPlan::Scan {
+            LogicalPlan::Scan { table, pushdown } => LogicalPlan::Scan {
                 table: table.clone(),
+                pushdown: pushdown.clone(),
             },
             LogicalPlan::Process { input, processor } => {
                 let processor = match self.spec_for(processor.name()) {

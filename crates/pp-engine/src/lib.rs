@@ -33,6 +33,7 @@ pub mod logical;
 pub mod memo;
 pub mod physical;
 pub mod predicate;
+pub mod provider;
 pub mod resilience;
 pub mod row;
 pub mod schema;
@@ -52,6 +53,10 @@ pub use fault::{FaultKind, FaultLog, FaultPlan, FaultSpec, InjectedFault};
 pub use logical::{LogicalPlan, OpParallelism};
 pub use memo::{memoize_plan, MemoProcessor, MemoStats, UdfMemo};
 pub use predicate::{Clause, CompareOp, Predicate};
+pub use provider::{
+    group_may_match, kept_groups, prune_stats, shard_prune_stats, MemoryProvider, PruneStats,
+    RowGroupMeta, TableProvider, ZoneMap,
+};
 pub use resilience::{
     BreakerTransition, ExecReport, ExecSession, OpResilience, ResilienceConfig, RetryPolicy,
 };
@@ -110,6 +115,9 @@ pub enum EngineError {
         /// Why the token fired.
         reason: crate::cancel::CancelReason,
     },
+    /// An out-of-core storage backend failed (I/O error, corrupt or
+    /// truncated segment, checksum mismatch).
+    Storage(String),
     /// A UDF call kept failing after all configured retries.
     RetriesExhausted {
         /// The operator that failed.
@@ -158,6 +166,7 @@ impl std::fmt::Display for EngineError {
             EngineError::PoisonedRow(m) => write!(f, "poisoned row: {m}"),
             EngineError::BreakerOpen { op } => write!(f, "circuit breaker open for {op}"),
             EngineError::Cancelled { reason } => write!(f, "query cancelled: {reason}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
             EngineError::RetriesExhausted { op, attempts, last } => {
                 write!(f, "{op} failed after {attempts} attempts: {last}")
             }

@@ -80,6 +80,12 @@ pub enum LogicalPlan {
     Scan {
         /// Catalog table name.
         table: String,
+        /// Optional predicate pushed down to the storage layer for
+        /// zone-map row-group pruning. Pruning is conservative — it only
+        /// skips groups that provably cannot match — so results are
+        /// unchanged; the full predicate is still applied above the
+        /// scan. Ignored for in-memory tables.
+        pushdown: Option<Predicate>,
     },
     /// Apply a processor UDF (appends columns, may fan out or drop rows).
     Process {
@@ -179,6 +185,70 @@ impl LogicalPlan {
     pub fn scan(table: impl Into<String>) -> LogicalPlan {
         LogicalPlan::Scan {
             table: table.into(),
+            pushdown: None,
+        }
+    }
+
+    /// Returns a copy of the plan with `pushdown` attached to every scan
+    /// of `table` (replacing any existing pushdown there). Used by the
+    /// planner to push zone-map-prunable conjuncts into provider-backed
+    /// scans.
+    pub fn with_scan_pushdown(&self, table: &str, pushdown: &Predicate) -> LogicalPlan {
+        match self {
+            LogicalPlan::Scan { table: t, .. } if t == table => LogicalPlan::Scan {
+                table: t.clone(),
+                pushdown: Some(pushdown.clone()),
+            },
+            LogicalPlan::Scan { .. } => self.clone(),
+            LogicalPlan::Process { input, processor } => LogicalPlan::Process {
+                input: Box::new(input.with_scan_pushdown(table, pushdown)),
+                processor: processor.clone(),
+            },
+            LogicalPlan::Select { input, predicate } => LogicalPlan::Select {
+                input: Box::new(input.with_scan_pushdown(table, pushdown)),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Filter { input, filter } => LogicalPlan::Filter {
+                input: Box::new(input.with_scan_pushdown(table, pushdown)),
+                filter: filter.clone(),
+            },
+            LogicalPlan::Project { input, items } => LogicalPlan::Project {
+                input: Box::new(input.with_scan_pushdown(table, pushdown)),
+                items: items.clone(),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => LogicalPlan::Join {
+                left: Box::new(left.with_scan_pushdown(table, pushdown)),
+                right: Box::new(right.with_scan_pushdown(table, pushdown)),
+                left_key: left_key.clone(),
+                right_key: right_key.clone(),
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(input.with_scan_pushdown(table, pushdown)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::Reduce { input, reducer } => LogicalPlan::Reduce {
+                input: Box::new(input.with_scan_pushdown(table, pushdown)),
+                reducer: reducer.clone(),
+            },
+            LogicalPlan::Combine {
+                left,
+                right,
+                combiner,
+            } => LogicalPlan::Combine {
+                left: Box::new(left.with_scan_pushdown(table, pushdown)),
+                right: Box::new(right.with_scan_pushdown(table, pushdown)),
+                combiner: combiner.clone(),
+            },
         }
     }
 
@@ -234,7 +304,7 @@ impl LogicalPlan {
     /// Computes the output schema against a catalog.
     pub fn output_schema(&self, catalog: &Catalog) -> Result<Arc<Schema>> {
         match self {
-            LogicalPlan::Scan { table } => Ok(catalog.table(table)?.schema().clone()),
+            LogicalPlan::Scan { table, .. } => catalog.table_schema(table),
             LogicalPlan::Process { input, processor } => {
                 let in_schema = input.output_schema(catalog)?;
                 in_schema.extend(processor.output_columns())
@@ -329,7 +399,7 @@ impl LogicalPlan {
 
     fn partitionability_into(&self, out: &mut Vec<OpParallelism>) {
         let entry = match self {
-            LogicalPlan::Scan { table } => OpParallelism {
+            LogicalPlan::Scan { table, .. } => OpParallelism {
                 op: format!("Scan[{table}]"),
                 partitionable: true,
             },
@@ -414,9 +484,12 @@ impl LogicalPlan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            LogicalPlan::Scan { table } => {
-                out.push_str(&format!("{pad}Scan[{table}]\n"));
-            }
+            LogicalPlan::Scan { table, pushdown } => match pushdown {
+                // Keep `Scan[{table}]` verbatim so operator-name matching
+                // (spans, meter labels) is unaffected by the annotation.
+                Some(p) => out.push_str(&format!("{pad}Scan[{table}] pushdown=[{p}]\n")),
+                None => out.push_str(&format!("{pad}Scan[{table}]\n")),
+            },
             LogicalPlan::Process { input, processor } => {
                 out.push_str(&format!(
                     "{pad}Process[{} cost={}s/row]\n",

@@ -233,8 +233,9 @@ impl Processor for MemoProcessor {
 /// and `partitionability()` render identically.
 pub fn memoize_plan(plan: &LogicalPlan, memo: &Arc<UdfMemo>) -> LogicalPlan {
     match plan {
-        LogicalPlan::Scan { table } => LogicalPlan::Scan {
+        LogicalPlan::Scan { table, pushdown } => LogicalPlan::Scan {
             table: table.clone(),
+            pushdown: pushdown.clone(),
         },
         LogicalPlan::Process { input, processor } => LogicalPlan::Process {
             input: Box::new(memoize_plan(input, memo)),

@@ -55,6 +55,8 @@ use crate::cancel::CancelToken;
 use crate::catalog::Catalog;
 use crate::cost::{CostMeter, CostModel};
 use crate::logical::{AggFunc, LogicalPlan};
+use crate::predicate::Predicate;
+use crate::provider::TableProvider;
 use crate::resilience::{ExecSession, Invocation};
 use crate::row::{Row, Rowset};
 use crate::telemetry::{EventKind, OperatorSpan, SpanCollector};
@@ -86,10 +88,11 @@ impl Default for ExecOptions {
     }
 }
 
-/// Runs `work` over `rows` split into morsels of `opts.morsel_size`, each
-/// evaluated one batch of at most `opts.batch_size` at a time. `work`
-/// receives each batch slice plus the global index of its first row and
-/// must return one output per input row.
+/// Runs `work` over `items` (rows, or row-group indices for provider
+/// scans) split into morsels of `opts.morsel_size`, each evaluated one
+/// batch of at most `opts.batch_size` at a time. `work` receives each
+/// batch slice plus the global index of its first item and must return
+/// one output per input item.
 ///
 /// With `parallelism > 1` a scoped worker pool claims morsels off a
 /// shared atomic counter (work stealing: no static assignment, so one
@@ -102,28 +105,29 @@ impl Default for ExecOptions {
 /// lowest-indexed erroring morsel's error wins and the probe results are
 /// discarded — nothing was consumed, so nothing is charged, matching how
 /// an open breaker discards unconsumed probes.
-fn run_morsels<T, F>(rows: &[Row], opts: ExecOptions, work: F) -> Result<Vec<T>>
+fn run_morsels<I, T, F>(items: &[I], opts: ExecOptions, work: F) -> Result<Vec<T>>
 where
+    I: Sync,
     T: Send,
-    F: Fn(&[Row], usize) -> Result<Vec<T>> + Sync,
+    F: Fn(&[I], usize) -> Result<Vec<T>> + Sync,
 {
     let step = opts.batch_size.max(1);
     let morsel = opts.morsel_size.max(1);
     let run_one = |start: usize| -> Result<Vec<T>> {
-        let end = (start + morsel).min(rows.len());
+        let end = (start + morsel).min(items.len());
         let mut out = Vec::with_capacity(end - start);
         let mut b = start;
         while b < end {
             let be = (b + step).min(end);
-            out.extend(work(&rows[b..be], b)?);
+            out.extend(work(&items[b..be], b)?);
             b = be;
         }
         Ok(out)
     };
-    let n_morsels = rows.len().div_ceil(morsel).max(1);
+    let n_morsels = items.len().div_ceil(morsel).max(1);
     let workers = opts.parallelism.min(n_morsels);
     if workers <= 1 {
-        let mut out = Vec::with_capacity(rows.len());
+        let mut out = Vec::with_capacity(items.len());
         for i in 0..n_morsels {
             out.extend(run_one(i * morsel)?);
         }
@@ -154,7 +158,7 @@ where
             });
         }
     });
-    let mut out = Vec::with_capacity(rows.len());
+    let mut out = Vec::with_capacity(items.len());
     for slot in slots {
         match slot.into_inner().expect("morsel slot poisoned") {
             Some(Ok(v)) => out.extend(v),
@@ -165,6 +169,87 @@ where
         }
     }
     Ok(out)
+}
+
+/// Scans a provider-backed table: prunes row groups the pushdown
+/// provably cannot match (zone-map satisfiability — conservative, so
+/// verdicts never change), then decodes the kept groups in waves whose
+/// encoded bytes respect the provider's memory budget. Each wave fans
+/// its groups out on the morsel scheduler (one group per morsel) and
+/// reassembles them in group order, so row order — and therefore every
+/// downstream result, charge, and span — is byte-identical to the
+/// in-memory scan at any parallelism.
+///
+/// Charge/span contract: `rows_in` is the full table, `rows_filtered`
+/// the rows inside pruned groups (skipped without decoding), and
+/// `seconds` covers only decoded rows — an unpruned provider scan
+/// charges exactly what the in-memory scan does.
+#[allow(clippy::too_many_arguments)]
+fn scan_provider(
+    provider: &dyn TableProvider,
+    table: &str,
+    pushdown: Option<&Predicate>,
+    meter: &mut CostMeter,
+    model: &CostModel,
+    opts: ExecOptions,
+    tel: &mut SpanCollector,
+    cancel: &CancelToken,
+    start: Instant,
+) -> Result<Rowset> {
+    let op = format!("Scan[{table}]");
+    let total = provider.row_count();
+    let kept = crate::provider::kept_groups(provider, pushdown);
+    let pruned = provider.group_count() - kept.len();
+    let budget = provider.memory_budget();
+    // Group decode reuses the morsel scheduler with one group per
+    // morsel; group sizes are row counts, so the row-oriented batch and
+    // morsel knobs don't apply here (parallelism still does).
+    let decode_opts = ExecOptions {
+        batch_size: 1,
+        morsel_size: 1,
+        ..opts
+    };
+    let mut rows: Vec<Row> = Vec::with_capacity(total);
+    let mut read_bytes: u64 = 0;
+    let mut wave_start = 0;
+    while wave_start < kept.len() {
+        cancel.check()?;
+        // Grow the wave until the next group would overflow the budget;
+        // a single oversized group still decodes (alone).
+        let mut wave_end = wave_start;
+        let mut wave_bytes: u64 = 0;
+        while wave_end < kept.len() {
+            let bytes = provider.group_meta(kept[wave_end]).bytes;
+            if wave_end > wave_start && budget.is_some_and(|cap| wave_bytes + bytes > cap) {
+                break;
+            }
+            wave_bytes += bytes;
+            wave_end += 1;
+        }
+        let decoded = run_morsels(&kept[wave_start..wave_end], decode_opts, |groups, _| {
+            groups.iter().map(|&g| provider.read_group(g)).collect()
+        })?;
+        for group in decoded {
+            rows.extend(group);
+        }
+        read_bytes += wave_bytes;
+        wave_start = wave_end;
+    }
+    tel.store_groups_scanned.add(kept.len() as u64);
+    tel.store_groups_pruned.add(pruned as u64);
+    tel.store_bytes_read.add(read_bytes);
+    let emitted = rows.len();
+    let seconds = emitted as f64 * model.scan;
+    let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), total);
+    span.rows_out = emitted as u64;
+    span.rows_emitted = emitted as u64;
+    span.rows_filtered = total.saturating_sub(emitted) as u64;
+    span.seconds = seconds;
+    span.latency.record_n(model.scan, emitted as u64);
+    span.wall_nanos = start.elapsed().as_nanos() as u64;
+    tel.push_span(span);
+    meter.charge(op, total, emitted, seconds);
+    Rowset::new(provider.schema(), rows)
 }
 
 /// The partitioned executor behind [`ExecutionContext`](crate::exec::ExecutionContext).
@@ -197,9 +282,29 @@ pub(crate) fn execute_partitioned(
 ) -> Result<Rowset> {
     cancel.check()?;
     match plan {
-        LogicalPlan::Scan { table } => {
+        LogicalPlan::Scan { table, pushdown } => {
             let start = Instant::now();
-            let t = catalog.table(table)?;
+            let t = match catalog.table(table) {
+                Ok(t) => t,
+                // No in-memory table: fall through to the out-of-core
+                // provider path (streamed row groups, zone-map pruning).
+                Err(e) => match catalog.provider(table) {
+                    Some(p) => {
+                        return scan_provider(
+                            p.as_ref(),
+                            table,
+                            pushdown.as_ref(),
+                            meter,
+                            model,
+                            opts,
+                            tel,
+                            cancel,
+                            start,
+                        )
+                    }
+                    None => return Err(e),
+                },
+            };
             let op = format!("Scan[{table}]");
             let seconds = t.len() as f64 * model.scan;
             let mut span = OperatorSpan::new(tel.next_op_id(), op.clone(), t.len());

@@ -30,7 +30,10 @@
 //! * Scheduling-dependent counters (the `worker.*` namespace, bumped
 //!   lock-free from worker threads) live only in the context-level
 //!   [`MetricsRegistry`] and are excluded from the snapshot, as are the
-//!   context's parallelism/batch knobs themselves.
+//!   context's parallelism/batch knobs themselves. The storage-backend
+//!   `store.*` namespace (row groups scanned/pruned, bytes read by
+//!   provider scans) is excluded for the same reason: a segment-backed
+//!   scan must snapshot byte-identically to its in-memory twin.
 //!
 //! Latency histograms bucket *simulated* per-row seconds (charged cost),
 //! not wall time, so p50/p99 are reproducible; wall-clock fields are the
@@ -353,11 +356,14 @@ impl MetricsRegistry {
     }
 
     /// Samples eligible for the deterministic snapshot: everything except
-    /// the scheduling-dependent `worker.*` namespace.
+    /// the scheduling-dependent `worker.*` namespace and the
+    /// storage-backend `store.*` namespace (those depend on whether a
+    /// table is served from memory or from segments — a provider-backed
+    /// scan must snapshot byte-identically to its in-memory twin).
     pub fn snapshot_samples(&self) -> Vec<(String, MetricValue)> {
         self.samples()
             .into_iter()
-            .filter(|(name, _)| !name.starts_with("worker."))
+            .filter(|(name, _)| !name.starts_with("worker.") && !name.starts_with("store."))
             .collect()
     }
 
@@ -564,7 +570,8 @@ pub struct TelemetrySnapshot {
     /// `(op, row fingerprint, attempt, kind)`.
     pub injected_faults: Vec<InjectedFault>,
     /// Snapshot-eligible registry samples (cumulative across the context's
-    /// runs; excludes the scheduling-dependent `worker.*` namespace).
+    /// runs; excludes the scheduling-dependent `worker.*` namespace and
+    /// the storage-backend `store.*` namespace).
     pub metrics: Vec<(String, MetricValue)>,
     /// Terminal error of the run, if it failed.
     pub error: Option<String>,
@@ -778,6 +785,12 @@ pub(crate) struct SpanCollector {
     pub worker_rows: Counter,
     /// `worker.batches_total` handle, bumped from worker threads.
     pub worker_batches: Counter,
+    /// `store.row_groups_scanned_total` handle (provider scans).
+    pub store_groups_scanned: Counter,
+    /// `store.row_groups_pruned_total` handle (provider scans).
+    pub store_groups_pruned: Counter,
+    /// `store.bytes_read_total` handle (provider scans).
+    pub store_bytes_read: Counter,
 }
 
 impl SpanCollector {
@@ -789,7 +802,23 @@ impl SpanCollector {
             max_events: DEFAULT_MAX_EVENTS,
             worker_rows,
             worker_batches,
+            store_groups_scanned: Counter::default(),
+            store_groups_pruned: Counter::default(),
+            store_bytes_read: Counter::default(),
         }
+    }
+
+    /// Attaches registry-backed `store.*` counter handles.
+    pub(crate) fn with_store_counters(
+        mut self,
+        scanned: Counter,
+        pruned: Counter,
+        bytes: Counter,
+    ) -> Self {
+        self.store_groups_scanned = scanned;
+        self.store_groups_pruned = pruned;
+        self.store_bytes_read = bytes;
+        self
     }
 
     /// A collector detached from any registry (test harness only).

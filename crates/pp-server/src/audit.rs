@@ -8,11 +8,11 @@
 //! arbitrarily far from served-data reality. This module closes the
 //! loop:
 //!
-//! 1. **Record** ([`Auditor::observe`], called on the hot path): every
+//! 1. **Record** (`Auditor::observe`, called on the hot path): every
 //!    completed query whose plan carried a PP prefix that actually
 //!    dropped blobs enqueues a lightweight audit task (its cached plan
 //!    `Arc`, source, result-row count). No replay work happens here.
-//! 2. **Replay** ([`run_pass`], called from the maintenance pass, off
+//! 2. **Replay** (`run_pass`, called from the maintenance pass, off
 //!    the hot path): for each task, the base table's rows are re-scored
 //!    through the plan's PP filters to find the dropped set, a
 //!    deterministic seeded per-`(query, row)` coin samples a configured
@@ -159,8 +159,8 @@ struct AuditState {
     meter: CostMeter,
 }
 
-/// The server's accuracy auditor. Hot-path [`observe`](Auditor::observe)
-/// only enqueues; all replay work happens in [`run_pass`] on the
+/// The server's accuracy auditor. Hot-path `observe` only enqueues; all
+/// replay work happens in `run_pass` on the
 /// maintenance thread.
 pub struct Auditor {
     config: AuditConfig,
@@ -406,7 +406,9 @@ pub(crate) fn run_pass(inner: &ServerInner) -> AuditPassReport {
         let Some(spec) = inner.sources.get(&task.source) else {
             continue;
         };
-        let Ok(table) = inner.data.table(spec.table()) else {
+        // `read_table` falls back to decoding provider-backed (segment)
+        // tables, so audit replay covers out-of-core sources too.
+        let Ok(table) = inner.data.read_table(spec.table()) else {
             continue;
         };
         let filters = collect_pp_filters(&task.plan.plan);

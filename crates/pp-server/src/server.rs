@@ -650,8 +650,8 @@ fn run_window(inner: &Arc<ServerInner>, members: Vec<WindowMember>) {
     let key_prefix = inner
         .sources
         .get(&first.request.source)
-        .and_then(|spec| inner.data.table(spec.table()).ok())
-        .map(|table| table.schema().len())
+        .and_then(|spec| inner.data.table_schema(spec.table()).ok())
+        .map(|schema| schema.len())
         .unwrap_or(usize::MAX);
     let memo = Arc::new(UdfMemo::new(key_prefix));
     inner

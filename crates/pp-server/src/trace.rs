@@ -11,7 +11,7 @@
 //!   [`submit_shared`](crate::server::PpServer::submit_shared) admission
 //!   and rides the worker-side response guard through every stage the
 //!   request crosses,
-//! * each stage transition ([`TraceContext::enter`]) closes the previous
+//! * each stage transition (`TraceContext::enter`) closes the previous
 //!   stage against a monotonic clock, so the per-stage durations of the
 //!   finished [`RequestTimeline`] **sum exactly** to the end-to-end
 //!   latency (`total_nanos`) by construction,

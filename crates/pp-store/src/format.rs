@@ -1,0 +1,599 @@
+//! The segment file format: constants, CRC32, and the value codec.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ header    magic "PPSG" (4) · version u32 (4)                 │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ pages     row group 0: column 0 page, column 1 page, …       │
+//! │           row group 1: column 0 page, column 1 page, …       │
+//! │           (each page = the column's values, tag-encoded)     │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ footer    shard u32 · shard_count u32 · rows u64             │
+//! │           schema: n_cols u32, per column (name u16+bytes,    │
+//! │             dtype u8)                                        │
+//! │           groups: n_groups u32, per group (rows u32, per     │
+//! │             column: page offset u64 + len u64 + crc32 u32 +  │
+//! │             zone map)                                        │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ trailer   footer crc32 u32 · footer len u64 · magic "GSPP"   │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The footer is found by reading the fixed-size trailer at end-of-file;
+//! its declared length is capped at [`MAX_FOOTER_LEN`] **before**
+//! allocation, and its CRC is verified before decoding. Page reads are
+//! bounds-checked against the data region and CRC-verified per page.
+
+use std::fmt;
+
+use pp_engine::schema::DataType;
+use pp_engine::value::Value;
+use pp_linalg::{Features, SparseVector};
+
+/// Leading file magic (`PPSG`).
+pub(crate) const MAGIC: [u8; 4] = *b"PPSG";
+/// Trailing footer magic (`GSPP`).
+pub(crate) const FOOTER_MAGIC: [u8; 4] = *b"GSPP";
+/// Current (only) format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Header bytes: magic + version.
+pub(crate) const HEADER_LEN: u64 = 8;
+/// Trailer bytes: footer crc (4) + footer len (8) + magic (4).
+pub(crate) const TRAILER_LEN: u64 = 16;
+/// Cap on the declared footer length, enforced before allocation.
+pub const MAX_FOOTER_LEN: u64 = 1 << 24;
+/// Cap on schema width.
+pub(crate) const MAX_COLUMNS: u32 = 4096;
+/// Cap on column-name bytes.
+pub(crate) const MAX_NAME_LEN: u16 = 4096;
+/// Cap on row groups per segment.
+pub(crate) const MAX_GROUPS: u32 = 1 << 20;
+/// Cap on rows per group.
+pub(crate) const MAX_GROUP_ROWS: u32 = 1 << 30;
+/// Cap on one string value's bytes.
+pub(crate) const MAX_STR_LEN: u32 = 1 << 20;
+/// Cap on one blob's dimensionality / nonzeros.
+pub(crate) const MAX_BLOB_LEN: u32 = 1 << 24;
+
+// Value tags.
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_DENSE: u8 = 5;
+const TAG_SPARSE: u8 = 6;
+
+/// Typed failures from the segment store. Readers return these for any
+/// malformed input — corrupt, truncated, wrong-magic, or oversized files
+/// — and never panic.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A magic number did not match.
+    BadMagic {
+        /// Which magic (header or trailer).
+        context: &'static str,
+        /// The bytes found.
+        found: [u8; 4],
+    },
+    /// The file declares a version this reader does not support.
+    UnsupportedVersion(u32),
+    /// The input ended before a complete structure could be read.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A CRC32 check failed.
+    ChecksumMismatch {
+        /// What was being verified.
+        context: String,
+        /// CRC stored in the file.
+        expected: u32,
+        /// CRC computed over the bytes read.
+        actual: u32,
+    },
+    /// A declared size exceeds its cap (refused before allocation).
+    TooLarge {
+        /// Which size field.
+        what: &'static str,
+        /// Declared value.
+        len: u64,
+        /// The cap.
+        max: u64,
+    },
+    /// Structurally invalid content (bad tag, bad offsets, arity drift).
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "segment i/o error: {e}"),
+            StoreError::BadMagic { context, found } => {
+                write!(f, "bad {context} magic: {found:02x?}")
+            }
+            StoreError::UnsupportedVersion(v) => write!(f, "unsupported segment version {v}"),
+            StoreError::Truncated { context } => write!(f, "truncated segment: {context}"),
+            StoreError::ChecksumMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in {context}: stored {expected:#010x}, computed {actual:#010x}"
+            ),
+            StoreError::TooLarge { what, len, max } => {
+                write!(f, "{what} too large: {len} exceeds cap {max}")
+            }
+            StoreError::Corrupt(m) => write!(f, "corrupt segment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for pp_engine::EngineError {
+    fn from(e: StoreError) -> Self {
+        pp_engine::EngineError::Storage(e.to_string())
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected), table-driven.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+// ---- encoding helpers ----------------------------------------------------
+
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn dtype_code(d: DataType) -> u8 {
+    match d {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Blob => 4,
+    }
+}
+
+pub(crate) fn dtype_from_code(c: u8) -> Result<DataType, StoreError> {
+    Ok(match c {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        4 => DataType::Blob,
+        _ => return Err(StoreError::Corrupt(format!("unknown dtype code {c}"))),
+    })
+}
+
+/// Appends one tag-encoded value. Floats are stored as raw IEEE-754 bits
+/// so the round trip is bit-exact (including NaN payloads and -0.0).
+pub(crate) fn encode_value(buf: &mut Vec<u8>, v: &Value) -> Result<(), StoreError> {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(b) => {
+            buf.push(TAG_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(x) => {
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&x.to_bits().to_be_bytes());
+        }
+        Value::Str(s) => {
+            if s.len() as u64 > MAX_STR_LEN as u64 {
+                return Err(StoreError::TooLarge {
+                    what: "string value",
+                    len: s.len() as u64,
+                    max: MAX_STR_LEN as u64,
+                });
+            }
+            buf.push(TAG_STR);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Blob(features) => match &**features {
+            Features::Dense(xs) => {
+                if xs.len() as u64 > MAX_BLOB_LEN as u64 {
+                    return Err(StoreError::TooLarge {
+                        what: "dense blob",
+                        len: xs.len() as u64,
+                        max: MAX_BLOB_LEN as u64,
+                    });
+                }
+                buf.push(TAG_DENSE);
+                put_u32(buf, xs.len() as u32);
+                for x in xs {
+                    buf.extend_from_slice(&x.to_bits().to_be_bytes());
+                }
+            }
+            Features::Sparse(sv) => {
+                if sv.dim() as u64 > MAX_BLOB_LEN as u64 {
+                    return Err(StoreError::TooLarge {
+                        what: "sparse blob",
+                        len: sv.dim() as u64,
+                        max: MAX_BLOB_LEN as u64,
+                    });
+                }
+                buf.push(TAG_SPARSE);
+                put_u32(buf, sv.dim() as u32);
+                put_u32(buf, sv.nnz() as u32);
+                for (i, _) in sv.iter() {
+                    put_u32(buf, i);
+                }
+                for (_, x) in sv.iter() {
+                    buf.extend_from_slice(&x.to_bits().to_be_bytes());
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Appends a zone-map bound: absent (0), or a tagged Int/Float value.
+pub(crate) fn encode_bound(buf: &mut Vec<u8>, bound: &Option<Value>) {
+    match bound {
+        None => buf.push(0),
+        Some(Value::Int(i)) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&i.to_be_bytes());
+        }
+        Some(Value::Float(x)) => {
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&x.to_bits().to_be_bytes());
+        }
+        // Zone ranges are numeric by construction; anything else is
+        // dropped (equivalent to "no statistics", which is always safe).
+        Some(_) => buf.push(0),
+    }
+}
+
+// ---- decoding ------------------------------------------------------------
+
+/// A bounds-checked reader over a byte slice. Every accessor returns
+/// [`StoreError::Truncated`] instead of reading past the end.
+pub(crate) struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(data: &'a [u8], context: &'static str) -> Cursor<'a> {
+        Cursor {
+            data,
+            pos: 0,
+            context,
+        }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated {
+                context: self.context,
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, StoreError> {
+        Ok(u16::from_be_bytes(
+            self.bytes(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_be_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_be_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64, StoreError> {
+        Ok(i64::from_be_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f64_bits(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Decodes one tag-encoded value.
+pub(crate) fn decode_value(cur: &mut Cursor<'_>) -> Result<Value, StoreError> {
+    let tag = cur.u8()?;
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => match cur.u8()? {
+            0 => Value::Bool(false),
+            1 => Value::Bool(true),
+            b => return Err(StoreError::Corrupt(format!("bad bool byte {b:#04x}"))),
+        },
+        TAG_INT => Value::Int(cur.i64()?),
+        TAG_FLOAT => Value::Float(cur.f64_bits()?),
+        TAG_STR => {
+            let len = cur.u32()?;
+            if len > MAX_STR_LEN {
+                return Err(StoreError::TooLarge {
+                    what: "string value",
+                    len: len as u64,
+                    max: MAX_STR_LEN as u64,
+                });
+            }
+            let bytes = cur.bytes(len as usize)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|e| StoreError::Corrupt(format!("invalid utf-8 string: {e}")))?;
+            Value::str(s)
+        }
+        TAG_DENSE => {
+            let n = cur.u32()?;
+            if n > MAX_BLOB_LEN {
+                return Err(StoreError::TooLarge {
+                    what: "dense blob",
+                    len: n as u64,
+                    max: MAX_BLOB_LEN as u64,
+                });
+            }
+            // Bound the allocation by what the page actually holds.
+            if cur.remaining() < n as usize * 8 {
+                return Err(StoreError::Truncated {
+                    context: "dense blob payload",
+                });
+            }
+            let mut xs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                xs.push(cur.f64_bits()?);
+            }
+            Value::blob(Features::Dense(xs))
+        }
+        TAG_SPARSE => {
+            let dim = cur.u32()?;
+            let nnz = cur.u32()?;
+            if dim > MAX_BLOB_LEN {
+                return Err(StoreError::TooLarge {
+                    what: "sparse blob",
+                    len: dim as u64,
+                    max: MAX_BLOB_LEN as u64,
+                });
+            }
+            if nnz > dim {
+                return Err(StoreError::Corrupt(format!(
+                    "sparse blob nnz {nnz} exceeds dim {dim}"
+                )));
+            }
+            if cur.remaining() < nnz as usize * 12 {
+                return Err(StoreError::Truncated {
+                    context: "sparse blob payload",
+                });
+            }
+            let mut indices = Vec::with_capacity(nnz as usize);
+            for _ in 0..nnz {
+                indices.push(cur.u32()?);
+            }
+            let mut values = Vec::with_capacity(nnz as usize);
+            for _ in 0..nnz {
+                values.push(cur.f64_bits()?);
+            }
+            let sv = SparseVector::new(dim as usize, indices, values)
+                .map_err(|e| StoreError::Corrupt(format!("invalid sparse blob: {e}")))?;
+            Value::blob(Features::Sparse(sv))
+        }
+        t => return Err(StoreError::Corrupt(format!("unknown value tag {t:#04x}"))),
+    })
+}
+
+/// Decodes a zone-map bound written by [`encode_bound`].
+pub(crate) fn decode_bound(cur: &mut Cursor<'_>) -> Result<Option<Value>, StoreError> {
+    match cur.u8()? {
+        0 => Ok(None),
+        TAG_INT => Ok(Some(Value::Int(cur.i64()?))),
+        TAG_FLOAT => Ok(Some(Value::Float(cur.f64_bits()?))),
+        t => Err(StoreError::Corrupt(format!("unknown bound tag {t:#04x}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn value_round_trip_is_bit_exact() {
+        let sv = SparseVector::from_pairs(8, vec![(1, 0.5), (6, -2.25)]).unwrap();
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(1.5e308),
+            Value::str("héllo"),
+            Value::str(""),
+            Value::blob(Features::Dense(vec![0.1, -0.2, f64::INFINITY])),
+            Value::blob(Features::Sparse(sv)),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            encode_value(&mut buf, v).unwrap();
+        }
+        let mut cur = Cursor::new(&buf, "test");
+        for v in &values {
+            let got = decode_value(&mut cur).unwrap();
+            assert_eq!(format!("{v:?}"), format!("{got:?}"));
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn truncated_values_are_typed_errors() {
+        let mut buf = Vec::new();
+        encode_value(&mut buf, &Value::str("hello world")).unwrap();
+        for cut in 0..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut], "test");
+            assert!(decode_value(&mut cur).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_lengths_are_refused() {
+        // A string claiming MAX_STR_LEN+1 bytes with a tiny payload.
+        let mut buf = vec![TAG_STR];
+        put_u32(&mut buf, MAX_STR_LEN + 1);
+        buf.extend_from_slice(b"x");
+        let mut cur = Cursor::new(&buf, "test");
+        assert!(matches!(
+            decode_value(&mut cur),
+            Err(StoreError::TooLarge { .. })
+        ));
+        // A dense blob claiming a huge count must not allocate it.
+        let mut buf = vec![TAG_DENSE];
+        put_u32(&mut buf, MAX_BLOB_LEN);
+        let mut cur = Cursor::new(&buf, "test");
+        assert!(matches!(
+            decode_value(&mut cur),
+            Err(StoreError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        let mut cur = Cursor::new(&[0xEE], "test");
+        assert!(matches!(
+            decode_value(&mut cur),
+            Err(StoreError::Corrupt(_))
+        ));
+        let mut cur = Cursor::new(&[TAG_BOOL, 7], "test");
+        assert!(matches!(
+            decode_value(&mut cur),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bounds_round_trip() {
+        let mut buf = Vec::new();
+        encode_bound(&mut buf, &None);
+        encode_bound(&mut buf, &Some(Value::Int(-5)));
+        encode_bound(&mut buf, &Some(Value::Float(2.5)));
+        encode_bound(&mut buf, &Some(Value::str("not numeric")));
+        let mut cur = Cursor::new(&buf, "test");
+        assert!(decode_bound(&mut cur).unwrap().is_none());
+        assert!(matches!(
+            decode_bound(&mut cur).unwrap(),
+            Some(Value::Int(-5))
+        ));
+        assert!(matches!(decode_bound(&mut cur).unwrap(), Some(Value::Float(x)) if x == 2.5));
+        // Non-numeric bounds degrade to "no statistics".
+        assert!(decode_bound(&mut cur).unwrap().is_none());
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let errors: Vec<StoreError> = vec![
+            StoreError::Io(std::io::Error::other("boom")),
+            StoreError::BadMagic {
+                context: "header",
+                found: *b"XXXX",
+            },
+            StoreError::UnsupportedVersion(9),
+            StoreError::Truncated { context: "footer" },
+            StoreError::ChecksumMismatch {
+                context: "page".into(),
+                expected: 1,
+                actual: 2,
+            },
+            StoreError::TooLarge {
+                what: "footer",
+                len: 10,
+                max: 5,
+            },
+            StoreError::Corrupt("x".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+            let _engine: pp_engine::EngineError = e.into();
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The hardened segment reader.
+//!
+//! [`Segment::open`] validates the header magic and version, the trailer,
+//! and the CRC-checksummed footer before trusting a single directory
+//! entry; every declared size is capped before allocation and every page
+//! extent is bounds-checked against the data region. Decoding a row
+//! group re-verifies the page checksum and requires each page to decode
+//! to exactly the declared row count with no trailing bytes. Corrupt or
+//! truncated input yields a typed [`StoreError`] — never a panic.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Read;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+use pp_engine::row::Row;
+use pp_engine::schema::{Column, Schema};
+use pp_engine::ZoneMap;
+
+use crate::format::{
+    crc32, decode_bound, decode_value, dtype_from_code, Cursor, FOOTER_MAGIC, HEADER_LEN, MAGIC,
+    MAX_COLUMNS, MAX_FOOTER_LEN, MAX_GROUPS, MAX_GROUP_ROWS, MAX_NAME_LEN, SEGMENT_VERSION,
+    TRAILER_LEN,
+};
+use crate::{Result, StoreError};
+
+/// Extent and checksum of one column page within the data region.
+#[derive(Debug, Clone, Copy)]
+struct PageRef {
+    offset: u64,
+    len: u64,
+    crc: u32,
+}
+
+/// Directory entry for one row group.
+#[derive(Debug, Clone)]
+struct GroupEntry {
+    rows: u32,
+    /// One page per schema column, in schema order.
+    pages: Vec<PageRef>,
+    /// One zone map per schema column, in schema order.
+    zones: Vec<ZoneMap>,
+}
+
+/// A validated, open segment file.
+///
+/// Reads are positional ([`FileExt::read_exact_at`]) so a `Segment` can
+/// serve concurrent `&self` page reads without locking.
+#[derive(Debug)]
+pub struct Segment {
+    file: File,
+    schema: Arc<Schema>,
+    shard: u32,
+    shard_count: u32,
+    rows: u64,
+    groups: Vec<GroupEntry>,
+}
+
+impl Segment {
+    /// Opens and fully validates a segment file.
+    pub fn open(path: &Path) -> Result<Segment> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < HEADER_LEN + TRAILER_LEN {
+            return Err(StoreError::Truncated {
+                context: "segment file",
+            });
+        }
+
+        // Header: magic + version.
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if header[..4] != MAGIC {
+            return Err(StoreError::BadMagic {
+                context: "segment header",
+                found: [header[0], header[1], header[2], header[3]],
+            });
+        }
+        let version = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+        if version != SEGMENT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+
+        // Trailer: footer crc32 · footer len · footer magic.
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        file.read_exact_at(&mut trailer, file_len - TRAILER_LEN)?;
+        if trailer[12..16] != FOOTER_MAGIC {
+            return Err(StoreError::BadMagic {
+                context: "segment trailer",
+                found: [trailer[12], trailer[13], trailer[14], trailer[15]],
+            });
+        }
+        let footer_crc = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+        let footer_len = u64::from_be_bytes([
+            trailer[4],
+            trailer[5],
+            trailer[6],
+            trailer[7],
+            trailer[8],
+            trailer[9],
+            trailer[10],
+            trailer[11],
+        ]);
+        if footer_len > MAX_FOOTER_LEN {
+            return Err(StoreError::TooLarge {
+                what: "footer",
+                len: footer_len,
+                max: MAX_FOOTER_LEN,
+            });
+        }
+        // The footer must fit between the header and the trailer.
+        if footer_len > file_len - HEADER_LEN - TRAILER_LEN {
+            return Err(StoreError::Truncated {
+                context: "segment footer",
+            });
+        }
+        let footer_start = file_len - TRAILER_LEN - footer_len;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.read_exact_at(&mut footer, footer_start)?;
+        let actual = crc32(&footer);
+        if actual != footer_crc {
+            return Err(StoreError::ChecksumMismatch {
+                context: "segment footer".to_string(),
+                expected: footer_crc,
+                actual,
+            });
+        }
+
+        // Footer payload: shard ids, row count, schema, group directory.
+        let mut cur = Cursor::new(&footer, "segment footer");
+        let shard = cur.u32()?;
+        let shard_count = cur.u32()?;
+        let rows = cur.u64()?;
+        let n_cols = cur.u32()?;
+        if n_cols > MAX_COLUMNS {
+            return Err(StoreError::TooLarge {
+                what: "schema width",
+                len: n_cols as u64,
+                max: MAX_COLUMNS as u64,
+            });
+        }
+        let mut columns = Vec::with_capacity(n_cols as usize);
+        for _ in 0..n_cols {
+            let name_len = cur.u16()?;
+            if name_len > MAX_NAME_LEN {
+                return Err(StoreError::TooLarge {
+                    what: "column name",
+                    len: name_len as u64,
+                    max: MAX_NAME_LEN as u64,
+                });
+            }
+            let name = std::str::from_utf8(cur.bytes(name_len as usize)?)
+                .map_err(|_| StoreError::Corrupt("column name is not valid utf-8".to_string()))?
+                .to_string();
+            let dtype = dtype_from_code(cur.u8()?)?;
+            columns.push(Column { name, dtype });
+        }
+        let schema = Schema::new(columns)
+            .map_err(|e| StoreError::Corrupt(format!("invalid schema: {e}")))?;
+
+        let n_groups = cur.u32()?;
+        if n_groups > MAX_GROUPS {
+            return Err(StoreError::TooLarge {
+                what: "row groups",
+                len: n_groups as u64,
+                max: MAX_GROUPS as u64,
+            });
+        }
+        let mut groups = Vec::with_capacity(n_groups as usize);
+        let mut dir_rows: u64 = 0;
+        for _ in 0..n_groups {
+            let group_rows = cur.u32()?;
+            if group_rows > MAX_GROUP_ROWS {
+                return Err(StoreError::TooLarge {
+                    what: "group rows",
+                    len: group_rows as u64,
+                    max: MAX_GROUP_ROWS as u64,
+                });
+            }
+            dir_rows += group_rows as u64;
+            let mut pages = Vec::with_capacity(n_cols as usize);
+            let mut zones = Vec::with_capacity(n_cols as usize);
+            for _ in 0..n_cols {
+                let offset = cur.u64()?;
+                let len = cur.u64()?;
+                let crc = cur.u32()?;
+                // Every page must lie fully inside the data region,
+                // which spans [HEADER_LEN, footer_start).
+                let end = offset
+                    .checked_add(len)
+                    .ok_or_else(|| StoreError::Corrupt("page extent overflows u64".to_string()))?;
+                if offset < HEADER_LEN || end > footer_start {
+                    return Err(StoreError::Corrupt(format!(
+                        "page extent {offset}..{end} outside data region \
+                         {HEADER_LEN}..{footer_start}"
+                    )));
+                }
+                let nulls = cur.u64()?;
+                let present = cur.u64()?;
+                let min = decode_bound(&mut cur)?;
+                let max = decode_bound(&mut cur)?;
+                pages.push(PageRef { offset, len, crc });
+                zones.push(ZoneMap {
+                    nulls,
+                    present,
+                    min,
+                    max,
+                });
+            }
+            groups.push(GroupEntry {
+                rows: group_rows,
+                pages,
+                zones,
+            });
+        }
+        if !cur.is_empty() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after segment footer directory",
+                cur.remaining()
+            )));
+        }
+        if dir_rows != rows {
+            return Err(StoreError::Corrupt(format!(
+                "group directory rows {dir_rows} != declared rows {rows}"
+            )));
+        }
+
+        Ok(Segment {
+            file,
+            schema,
+            shard,
+            shard_count,
+            rows,
+            groups,
+        })
+    }
+
+    /// The segment's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Which shard this segment claims to be.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// How many shards the corpus was written as.
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// Total rows in this segment.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of row groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Rows in row group `g`.
+    ///
+    /// # Panics
+    /// If `g` is out of range.
+    pub fn group_rows(&self, g: usize) -> usize {
+        self.groups[g].rows as usize
+    }
+
+    /// On-disk page bytes of row group `g`.
+    ///
+    /// # Panics
+    /// If `g` is out of range.
+    pub fn group_bytes(&self, g: usize) -> u64 {
+        self.groups[g].pages.iter().map(|p| p.len).sum()
+    }
+
+    /// Zone maps of row group `g`, keyed by column name.
+    ///
+    /// # Panics
+    /// If `g` is out of range.
+    pub fn zones(&self, g: usize) -> BTreeMap<String, ZoneMap> {
+        let entry = &self.groups[g];
+        self.schema
+            .columns()
+            .iter()
+            .zip(entry.zones.iter())
+            .map(|(c, z)| (c.name.clone(), z.clone()))
+            .collect()
+    }
+
+    /// Reads, checksums, and decodes row group `g` back into rows.
+    pub fn read_group(&self, g: usize) -> Result<Vec<Row>> {
+        let entry = self.groups.get(g).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "row group {g} out of range ({})",
+                self.groups.len()
+            ))
+        })?;
+        let n_rows = entry.rows as usize;
+        let n_cols = self.schema.len();
+        // Column-major decode, then transpose into rows.
+        let mut columns: Vec<Vec<pp_engine::value::Value>> = Vec::with_capacity(n_cols);
+        for (c, page) in entry.pages.iter().enumerate() {
+            let mut buf = vec![0u8; page.len as usize];
+            self.file.read_exact_at(&mut buf, page.offset)?;
+            let actual = crc32(&buf);
+            if actual != page.crc {
+                return Err(StoreError::ChecksumMismatch {
+                    context: format!("page group={g} col={c}"),
+                    expected: page.crc,
+                    actual,
+                });
+            }
+            let mut cur = Cursor::new(&buf, "column page");
+            let mut vals = Vec::with_capacity(n_rows);
+            for _ in 0..n_rows {
+                vals.push(decode_value(&mut cur)?);
+            }
+            if !cur.is_empty() {
+                return Err(StoreError::Corrupt(format!(
+                    "{} trailing bytes in page group={g} col={c}",
+                    cur.remaining()
+                )));
+            }
+            columns.push(vals);
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for r in 0..n_rows {
+            let mut values = Vec::with_capacity(n_cols);
+            for col in columns.iter_mut() {
+                values.push(std::mem::replace(
+                    &mut col[r],
+                    pp_engine::value::Value::Null,
+                ));
+            }
+            rows.push(Row::new(values));
+        }
+        Ok(rows)
+    }
+}

@@ -19,7 +19,10 @@
 //!   catalog with epoch-stamped snapshots, admission control,
 //!   drift-triggered background replanning, query deadlines with
 //!   cooperative cancellation, bounded graceful drain, and a seeded
-//!   chaos harness.
+//!   chaos harness,
+//! * [`store`] — an out-of-core columnar segment store: checksummed
+//!   on-disk row groups with per-column zone maps that act as zero-cost
+//!   accuracy-1.0 PPs, sharded writers, and budgeted streaming scans.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -32,6 +35,7 @@ pub use pp_engine as engine;
 pub use pp_linalg as linalg;
 pub use pp_ml as ml;
 pub use pp_server as server;
+pub use pp_store as store;
 
 /// One-stop imports for the common workflow: build a catalog, train PPs,
 /// optimize a plan, and run it through an [`ExecutionContext`].
@@ -66,7 +70,7 @@ pub mod prelude {
     };
     pub use pp_engine::udf::{ClosureFilter, ClosureProcessor};
     pub use pp_engine::value::Value;
-    pub use pp_engine::Catalog;
+    pub use pp_engine::{Catalog, PruneStats, TableProvider, ZoneMap};
     pub use pp_linalg::{FeatureBatch, FeatureBlock, Features};
     pub use pp_ml::pipeline::{Approach, ModelSpec, Pipeline};
     pub use pp_ml::reduction::ReducerSpec;
@@ -75,5 +79,8 @@ pub mod prelude {
         ChaosConfig, DrainReport, Frame, PlanCache, PpServer, QueryOutcome, QueryRequest,
         RejectReason, ServerConfig, ServerFaults, SharedScanConfig, SourceRegistry, SourceSpec,
         WireOutcome, WireRequest, WireResponse,
+    };
+    pub use pp_store::{
+        SegmentScan, SegmentWriter, SegmentWriterConfig, StoreError, SEGMENT_VERSION,
     };
 }

@@ -1,0 +1,597 @@
+//! The out-of-core safety rail: scanning a segment-backed table must be
+//! **byte-identical** to scanning the same rows in memory — same result
+//! rows, same cost-meter charges, same telemetry snapshot (after
+//! `zero_wall_clock`) — at every combination of shard count, batch mode,
+//! parallelism, and batch size, with and without injected faults. Zone-map
+//! pruning may only *skip row groups the predicate provably cannot match*:
+//! verdicts never change, and the pruned counter proves groups were
+//! actually skipped.
+//!
+//! The golden file under `tests/golden/segment.hex` pins the exact on-disk
+//! segment encoding (header, pages for every `Value` variant, zone-mapped
+//! footer, trailer), so any codec change that would orphan written corpora
+//! shows up as a diff. Regenerate after an intentional format change with
+//! `UPDATE_GOLDEN=1 cargo test --test store`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use probabilistic_predicates::data::traf20::traf20_queries;
+use probabilistic_predicates::data::traffic::{TrafficConfig, TrafficDataset};
+use probabilistic_predicates::engine::exec::ExecutionContext;
+use probabilistic_predicates::engine::{
+    BatchMode, Catalog, Clause, Column, CompareOp, DataType, FaultPlan, FaultSpec, LogicalPlan,
+    Predicate, ResilienceConfig, RetryPolicy, Row, Rowset, Schema, Value,
+};
+use probabilistic_predicates::linalg::sparse::SparseVector;
+use probabilistic_predicates::linalg::Features;
+use probabilistic_predicates::store::{
+    Segment, SegmentScan, SegmentWriter, SegmentWriterConfig, StoreError,
+};
+
+// ---------------------------------------------------------------------------
+// Fixture: one TRAF corpus, served both from memory and from shard files.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    dataset: TrafficDataset,
+    /// The in-memory reference catalog.
+    mem_catalog: Catalog,
+    /// Segment-backed catalogs at 1, 2, and 4 shards.
+    shard_catalogs: Vec<(usize, Catalog)>,
+    /// Q1's NoP plan (`vehType = SUV`), the equivalence workhorse.
+    q1_plan: LogicalPlan,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pp-store-test-{}-{tag}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = TrafficDataset::generate(TrafficConfig {
+            n_frames: 400,
+            seed: 0x5709,
+            ..Default::default()
+        });
+        let mut mem_catalog = Catalog::new();
+        dataset.register(&mut mem_catalog);
+        let writer = SegmentWriter::new(SegmentWriterConfig { rows_per_group: 32 });
+        let mut shard_catalogs = Vec::new();
+        for shards in [1usize, 2, 4] {
+            let dir = scratch_dir(&format!("shards{shards}"));
+            let paths = writer
+                .write_shards(&dir, "traffic", dataset.table(), shards)
+                .expect("write shards");
+            let scan = SegmentScan::open(&paths).expect("open shards");
+            assert_eq!(scan.shards().len(), shards);
+            let mut catalog = Catalog::new();
+            catalog.register_provider("traffic", Arc::new(scan));
+            shard_catalogs.push((shards, catalog));
+        }
+        let q1 = traf20_queries()
+            .into_iter()
+            .find(|q| q.id == 1)
+            .expect("Q1");
+        let q1_plan = q1.nop_plan(&dataset);
+        Fixture {
+            dataset,
+            mem_catalog,
+            shard_catalogs,
+            q1_plan,
+        }
+    })
+}
+
+/// Everything the safety rail compares: result bytes, meter charges, and
+/// the wall-clock-scrubbed telemetry snapshot JSON.
+fn observe(ctx: &ExecutionContext, out: &Rowset) -> (String, String, String) {
+    let mut snap = ctx.telemetry().expect("snapshot after run").clone();
+    snap.zero_wall_clock();
+    (
+        format!("{:?}", out.rows()),
+        format!("{:?}", ctx.meter().entries()),
+        snap.to_json(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence matrix.
+// ---------------------------------------------------------------------------
+
+/// The tentpole acceptance gate: a sharded on-disk scan is byte-identical
+/// to the in-memory scan at every (shards, mode, K, batch) combination.
+#[test]
+fn segment_scan_matches_in_memory_at_every_shape() {
+    let f = fixture();
+    let mut baseline = ExecutionContext::builder(&f.mem_catalog)
+        .with_batch_mode(BatchMode::Rows)
+        .with_parallelism(1)
+        .build();
+    let out = baseline.run(&f.q1_plan).expect("in-memory run");
+    let base = observe(&baseline, &out);
+
+    for (shards, catalog) in &f.shard_catalogs {
+        for mode in [BatchMode::Rows, BatchMode::Columnar] {
+            for k in [1usize, 4] {
+                for batch in [1usize, 64] {
+                    let mut ctx = ExecutionContext::builder(catalog)
+                        .with_batch_mode(mode)
+                        .with_parallelism(k)
+                        .with_batch_size(batch)
+                        .build();
+                    let out = ctx.run(&f.q1_plan).expect("segment run");
+                    let got = observe(&ctx, &out);
+                    assert_eq!(
+                        got.0, base.0,
+                        "shards={shards} {mode:?} K={k} batch={batch}: rows diverged"
+                    );
+                    assert_eq!(
+                        got.1, base.1,
+                        "shards={shards} {mode:?} K={k} batch={batch}: charges diverged"
+                    );
+                    assert_eq!(
+                        got.2, base.2,
+                        "shards={shards} {mode:?} K={k} batch={batch}: telemetry diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The identity holds under seeded fault injection: faults key off row
+/// identity, which the contiguous-range sharding preserves exactly.
+#[test]
+fn segment_scan_matches_in_memory_under_seeded_faults() {
+    let f = fixture();
+    let spec = FaultSpec::transient(0.2).with_timeouts(0.05, 2.0);
+    let run = |catalog: &Catalog, mode: BatchMode, k: usize| {
+        let mut ctx = ExecutionContext::builder(catalog)
+            .with_fault_plan(FaultPlan::new(0x5709F).inject("VehTypeClassifier", spec))
+            .with_resilience(ResilienceConfig::default().with_retry(RetryPolicy {
+                max_retries: 8,
+                ..Default::default()
+            }))
+            .with_batch_mode(mode)
+            .with_parallelism(k)
+            .build();
+        let out = ctx.run(&f.q1_plan).expect("faulted run");
+        let obs = observe(&ctx, &out);
+        (obs, ctx.report())
+    };
+    let (base, base_report) = run(&f.mem_catalog, BatchMode::Rows, 1);
+    assert!(base_report.total_failures() > 0, "faults must fire");
+    for (shards, catalog) in &f.shard_catalogs {
+        for mode in [BatchMode::Rows, BatchMode::Columnar] {
+            for k in [1usize, 4] {
+                let (got, report) = run(catalog, mode, k);
+                assert_eq!(got, base, "shards={shards} {mode:?} K={k}: diverged");
+                assert_eq!(
+                    report, base_report,
+                    "shards={shards} {mode:?} K={k}: fault report diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Every TRAF-20 query returns identical verdicts from memory and from a
+/// 2-shard segment scan at default execution settings.
+#[test]
+fn all_traf20_queries_agree_across_backends() {
+    let f = fixture();
+    let (_, seg_catalog) = f
+        .shard_catalogs
+        .iter()
+        .find(|(s, _)| *s == 2)
+        .expect("2-shard catalog");
+    for q in traf20_queries() {
+        let plan = q.nop_plan(&f.dataset);
+        let mut mem_ctx = ExecutionContext::new(&f.mem_catalog);
+        let mem_out = mem_ctx.run(&plan).expect("mem run");
+        let mut seg_ctx = ExecutionContext::new(seg_catalog);
+        let seg_out = seg_ctx.run(&plan).expect("segment run");
+        assert_eq!(
+            observe(&mem_ctx, &mem_out),
+            observe(&seg_ctx, &seg_out),
+            "Q{} diverged across backends",
+            q.id
+        );
+    }
+}
+
+/// A memory budget changes streaming wave sizes, never results, charges,
+/// or telemetry.
+#[test]
+fn memory_budget_streams_without_changing_anything_observable() {
+    let f = fixture();
+    let mut baseline = ExecutionContext::new(&f.mem_catalog);
+    let out = baseline.run(&f.q1_plan).expect("in-memory run");
+    let base = observe(&baseline, &out);
+
+    let dir = scratch_dir("budget");
+    let paths = SegmentWriter::new(SegmentWriterConfig { rows_per_group: 32 })
+        .write_shards(&dir, "traffic", f.dataset.table(), 2)
+        .expect("write shards");
+    // A 1-byte budget forces one-group-at-a-time waves (a single group
+    // always overflows, and must still decode alone rather than stall).
+    let scan = SegmentScan::open(&paths)
+        .expect("open")
+        .with_memory_budget(1);
+    let mut catalog = Catalog::new();
+    catalog.register_provider("traffic", Arc::new(scan));
+    let mut ctx = ExecutionContext::new(&catalog);
+    let out = ctx.run(&f.q1_plan).expect("budgeted run");
+    assert_eq!(observe(&ctx, &out), base, "budgeted scan diverged");
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map pruning.
+// ---------------------------------------------------------------------------
+
+/// A pushed-down range predicate on a stored column prunes row groups
+/// (counter > 0) while the query's verdicts stay identical to in-memory.
+#[test]
+fn zone_map_pruning_skips_groups_without_changing_verdicts() {
+    let f = fixture();
+    // frameID is monotone in the corpus, so a range predicate makes most
+    // row groups provably non-matching.
+    let pred = Predicate::from(Clause::new("frameID", CompareOp::Lt, 100i64));
+    let plan = LogicalPlan::scan("traffic").select(pred.clone());
+    let pushed = plan.with_scan_pushdown("traffic", &pred);
+
+    let mut mem_ctx = ExecutionContext::new(&f.mem_catalog);
+    let mem_out = mem_ctx.run(&plan).expect("mem run");
+
+    for (shards, catalog) in &f.shard_catalogs {
+        let mut ctx = ExecutionContext::new(catalog);
+        let out = ctx.run(&pushed).expect("pruned run");
+        assert_eq!(
+            format!("{:?}", out.rows()),
+            format!("{:?}", mem_out.rows()),
+            "shards={shards}: pruning changed verdicts"
+        );
+        let pruned = ctx
+            .registry()
+            .counter("store.row_groups_pruned_total")
+            .get();
+        let scanned = ctx
+            .registry()
+            .counter("store.row_groups_scanned_total")
+            .get();
+        assert!(pruned > 0, "shards={shards}: no groups pruned");
+        assert!(scanned > 0, "shards={shards}: no groups scanned");
+        assert!(
+            ctx.registry().counter("store.bytes_read_total").get() > 0,
+            "shards={shards}: no bytes accounted"
+        );
+    }
+}
+
+/// An unpushed predicate must not prune anything: the scan returns every
+/// row and the Select above does all the filtering.
+#[test]
+fn no_pushdown_means_no_pruning() {
+    let f = fixture();
+    let pred = Predicate::from(Clause::new("frameID", CompareOp::Lt, 100i64));
+    let plan = LogicalPlan::scan("traffic").select(pred);
+    let (_, catalog) = &f.shard_catalogs[0];
+    let mut ctx = ExecutionContext::new(catalog);
+    ctx.run(&plan).expect("run");
+    assert_eq!(
+        ctx.registry()
+            .counter("store.row_groups_pruned_total")
+            .get(),
+        0
+    );
+}
+
+/// `store.*` counters reach operators through the registry-level
+/// OpenMetrics exposition in stable lexicographic order — and stay *out*
+/// of per-run telemetry snapshots, which must remain byte-identical
+/// between in-memory and on-disk scans.
+#[test]
+fn store_metrics_export_in_stable_order_and_stay_out_of_snapshots() {
+    use probabilistic_predicates::engine::export::{openmetrics, openmetrics_registry};
+
+    let f = fixture();
+    let pred = Predicate::from(Clause::new("frameID", CompareOp::Lt, 100i64));
+    let plan = LogicalPlan::scan("traffic")
+        .select(pred.clone())
+        .with_scan_pushdown("traffic", &pred);
+    let (_, catalog) = &f.shard_catalogs[2];
+    let mut ctx = ExecutionContext::new(catalog);
+    ctx.run(&plan).expect("run");
+
+    let text = openmetrics_registry(ctx.registry());
+    let families = [
+        "pp_store_bytes_read_total",
+        "pp_store_row_groups_pruned_total",
+        "pp_store_row_groups_scanned_total",
+    ];
+    let mut last = 0usize;
+    for name in families {
+        assert!(
+            text.contains(&format!("# TYPE {name} counter\n")),
+            "missing TYPE line for {name} in:\n{text}"
+        );
+        let at = text.find(&format!("\n{name} ")).unwrap_or_else(|| {
+            panic!("missing sample for {name} in:\n{text}");
+        });
+        assert!(at > last, "{name} out of lexicographic order in:\n{text}");
+        last = at;
+    }
+
+    // The per-run snapshot carries no store.* samples: provider-backed
+    // and in-memory runs must snapshot byte-identically.
+    let snap = ctx.telemetry().expect("snapshot");
+    assert!(
+        snap.metrics
+            .iter()
+            .all(|(name, _)| !name.starts_with("store.")),
+        "store.* leaked into the telemetry snapshot"
+    );
+    assert!(!openmetrics(snap).contains("pp_store_"));
+}
+
+// ---------------------------------------------------------------------------
+// Golden encoding.
+// ---------------------------------------------------------------------------
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run UPDATE_GOLDEN=1"));
+    assert_eq!(expected, actual, "golden mismatch for {name}");
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A small corpus exercising every `Value` variant, nulls, negative and
+/// extreme numerics, and both blob encodings — split into three groups so
+/// the footer carries a real directory.
+fn golden_rowset() -> Rowset {
+    let schema = Schema::new(vec![
+        Column::new("id", DataType::Int),
+        Column::new("flag", DataType::Bool),
+        Column::new("score", DataType::Float),
+        Column::new("name", DataType::Str),
+        Column::new("frame", DataType::Blob),
+    ])
+    .expect("schema");
+    let sparse = SparseVector::new(8, vec![1, 5], vec![0.25, -3.5]).expect("sparse");
+    let rows = vec![
+        Row::new(vec![
+            Value::Int(0),
+            Value::Bool(true),
+            Value::Float(1.5),
+            Value::str("alpha"),
+            Value::blob(Features::Dense(vec![1.0, -0.5])),
+        ]),
+        Row::new(vec![
+            Value::Int(-7),
+            Value::Bool(false),
+            Value::Float(-0.0),
+            Value::str(""),
+            Value::blob(Features::Sparse(sparse)),
+        ]),
+        Row::new(vec![
+            Value::Int(i64::MAX),
+            Value::Null,
+            Value::Float(f64::NEG_INFINITY),
+            Value::Null,
+            Value::Null,
+        ]),
+        Row::new(vec![
+            Value::Int(i64::MIN),
+            Value::Bool(true),
+            Value::Float(6.25e-3),
+            Value::str("Δ unicode"),
+            Value::blob(Features::Dense(vec![])),
+        ]),
+        Row::new(vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Float(42.0),
+            Value::str("zed"),
+            Value::blob(Features::Dense(vec![0.0])),
+        ]),
+    ];
+    Rowset::new(schema, rows).expect("rowset")
+}
+
+fn golden_bytes() -> Vec<u8> {
+    SegmentWriter::new(SegmentWriterConfig { rows_per_group: 2 })
+        .encode(&golden_rowset(), 3, 7)
+        .expect("encode")
+}
+
+#[test]
+fn segment_encoding_is_pinned() {
+    check_golden("segment.hex", &hex(&golden_bytes()));
+}
+
+/// The golden bytes round-trip: a written file opens, exposes the right
+/// shape, and decodes to the original rows bit-for-bit.
+#[test]
+fn golden_segment_round_trips() {
+    let dir = scratch_dir("roundtrip");
+    let path = dir.join("golden.pps");
+    fs::write(&path, golden_bytes()).expect("write");
+    let seg = Segment::open(&path).expect("open");
+    assert_eq!(seg.shard(), 3);
+    assert_eq!(seg.shard_count(), 7);
+    assert_eq!(seg.rows(), 5);
+    assert_eq!(seg.group_count(), 3);
+    let table = golden_rowset();
+    let mut decoded = Vec::new();
+    for g in 0..seg.group_count() {
+        decoded.extend(seg.read_group(g).expect("read group"));
+    }
+    assert_eq!(format!("{decoded:?}"), format!("{:?}", table.rows()));
+}
+
+// ---------------------------------------------------------------------------
+// Hardened-reader rejection: corrupt input is a typed error, never a panic.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn truncation_at_every_byte_is_rejected() {
+    let bytes = golden_bytes();
+    let dir = scratch_dir("truncate");
+    let path = dir.join("t.pps");
+    for cut in 0..bytes.len() {
+        fs::write(&path, &bytes[..cut]).expect("write");
+        match Segment::open(&path) {
+            Err(_) => {}
+            Ok(seg) => {
+                // A cut inside trailing page padding can still parse the
+                // directory; decoding must then fail, not fabricate rows.
+                let all: Result<Vec<_>, _> =
+                    (0..seg.group_count()).map(|g| seg.read_group(g)).collect();
+                assert!(all.is_err(), "truncated at {cut}/{} decoded", bytes.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let dir = scratch_dir("magic");
+    let path = dir.join("m.pps");
+
+    let mut bytes = golden_bytes();
+    bytes[0] ^= 0xFF;
+    fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        Segment::open(&path),
+        Err(StoreError::BadMagic {
+            context: "segment header",
+            ..
+        })
+    ));
+
+    let mut bytes = golden_bytes();
+    let n = bytes.len();
+    bytes[n - 1] ^= 0xFF;
+    fs::write(&path, &bytes).expect("write");
+    assert!(matches!(
+        Segment::open(&path),
+        Err(StoreError::BadMagic {
+            context: "segment trailer",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn corrupt_footer_fails_checksum() {
+    let bytes = golden_bytes();
+    let n = bytes.len();
+    // Flip one byte inside the footer payload (just before the trailer).
+    let mut corrupt = bytes.clone();
+    corrupt[n - 17] ^= 0x01;
+    let dir = scratch_dir("footer-crc");
+    let path = dir.join("f.pps");
+    fs::write(&path, &corrupt).expect("write");
+    assert!(matches!(
+        Segment::open(&path),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn corrupt_page_fails_checksum_on_read() {
+    let bytes = golden_bytes();
+    // Flip one byte in the first page (just after the 8-byte header). The
+    // footer is intact, so open succeeds; the read must catch it.
+    let mut corrupt = bytes.clone();
+    corrupt[8] ^= 0x01;
+    let dir = scratch_dir("page-crc");
+    let path = dir.join("p.pps");
+    fs::write(&path, &corrupt).expect("write");
+    let seg = Segment::open(&path).expect("open succeeds on intact footer");
+    assert!(matches!(
+        seg.read_group(0),
+        Err(StoreError::ChecksumMismatch { .. })
+    ));
+}
+
+#[test]
+fn oversized_footer_length_is_refused_before_allocation() {
+    let bytes = golden_bytes();
+    let n = bytes.len();
+    // The trailer is `crc32 u32 · footer len u64 · magic [4]`; patch the
+    // length to something absurd. The reader must refuse before trying to
+    // allocate or read it.
+    let mut corrupt = bytes.clone();
+    let huge = (1u64 << 24) + 1; // MAX_FOOTER_LEN + 1
+    corrupt[n - 12..n - 4].copy_from_slice(&huge.to_be_bytes());
+    let dir = scratch_dir("oversize");
+    let path = dir.join("o.pps");
+    fs::write(&path, &corrupt).expect("write");
+    assert!(matches!(
+        Segment::open(&path),
+        Err(StoreError::TooLarge { what: "footer", .. })
+    ));
+}
+
+#[test]
+fn empty_and_tiny_files_are_rejected() {
+    let dir = scratch_dir("tiny");
+    let path = dir.join("tiny.pps");
+    for content in [&b""[..], b"PPSG", b"PPSG\x00\x00\x00\x01GSPP"] {
+        fs::write(&path, content).expect("write");
+        assert!(
+            Segment::open(&path).is_err(),
+            "{} bytes accepted",
+            content.len()
+        );
+    }
+}
+
+#[test]
+fn shards_with_mismatched_schemas_are_rejected() {
+    let dir = scratch_dir("mismatch");
+    let writer = SegmentWriter::default();
+    let a = golden_rowset();
+    let other = Rowset::new(
+        Schema::new(vec![Column::new("x", DataType::Int)]).expect("schema"),
+        vec![Row::new(vec![Value::Int(1)])],
+    )
+    .expect("rowset");
+    let pa = dir.join("a.pps");
+    let pb = dir.join("b.pps");
+    writer.write_segment(&pa, &a, 0, 2).expect("write a");
+    writer.write_segment(&pb, &other, 1, 2).expect("write b");
+    assert!(matches!(
+        SegmentScan::open(&[pa, pb]),
+        Err(StoreError::Corrupt(_))
+    ));
+    assert!(SegmentScan::open::<PathBuf>(&[]).is_err());
+}
